@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Ablation: Deep-Compression-style pruning composed with boosting
+ * (paper Sec. 6.3: compression lets the whole model live in on-chip
+ * SRAM, "making our work indispensable to the application of Deep
+ * Compression at very low voltages"). Prunes the trained FC-DNN at
+ * increasing sparsity, reports accuracy and compressed storage
+ * footprint against the Dante weight memory (128 KB), and shows the
+ * accuracy-vs-voltage behaviour of the pruned model: once the model
+ * is resident on chip, every weight access enjoys the boosted
+ * reliability and the DRAM interface stays idle.
+ */
+
+#include "bench_util.hpp"
+#include "common/logging.hpp"
+#include "core/context.hpp"
+#include "dnn/prune.hpp"
+#include "energy/supply_config.hpp"
+#include "dnn/quantize.hpp"
+#include "dnn/trainer.hpp"
+#include "dnn/zoo.hpp"
+#include "fi/experiment.hpp"
+#include "sram/failure_model.hpp"
+
+using namespace vboost;
+
+int
+main(int argc, char **argv)
+{
+    const auto opts = bench::BenchOptions::parse(argc, argv);
+    setQuiet(!opts.paper);
+
+    const sram::FailureRateModel frm;
+    const auto test = bench::mnistTestSet(opts);
+    constexpr std::uint64_t kOnChipBytes = 128 * 1024;
+
+    Table t({"sparsity", "nonzero weights", "compressed KB",
+             "fits 128 KB", "clean acc", "acc @ 0.44 V",
+             "acc @ 0.44 V boosted L2"});
+    for (double sparsity : {0.0, 0.5, 0.75, 0.9, 0.95}) {
+        auto net = bench::trainedMnistFc(opts); // fresh copy each time
+        const auto report = dnn::magnitudePrune(net, sparsity);
+        const auto bytes = dnn::compressedWeightBytes(net);
+
+        Rng rng(8);
+        auto scratch = dnn::buildMnistFc(rng);
+        fi::ExperimentConfig cfg;
+        cfg.numMaps = opts.maps(6);
+        cfg.maxTestSamples = opts.samples(400);
+        fi::FaultInjectionRunner runner(net, scratch, test, cfg);
+
+        const auto ctx = core::SimContext::standard();
+        energy::SupplyConfigurator sc(ctx.tech, ctx.design, 16);
+        const double f_unboosted = frm.rate(0.44_V);
+        const double f_boosted =
+            frm.rate(sc.boostedVoltage(0.44_V, 2));
+
+        t.addRow({Table::pct(report.sparsity(), 0),
+                  std::to_string(dnn::nonzeroWeights(net)),
+                  Table::num(static_cast<double>(bytes) / 1024.0, 1),
+                  bytes <= kOnChipBytes ? "yes" : "no",
+                  Table::pct(runner.baselineAccuracy()),
+                  Table::pct(
+                      runner.run(f_unboosted,
+                                 fi::InjectionSpec::allWeights())
+                          .meanAccuracy),
+                  Table::pct(
+                      runner.run(f_boosted,
+                                 fi::InjectionSpec::allWeights())
+                          .meanAccuracy)});
+    }
+    bench::emit("Ablation: pruning + compression + boosting "
+                "(FC-DNN, dense int16 weights = " +
+                    Table::num(339968 * 2 / 1024.0, 0) + " KB)",
+                t, opts);
+    return 0;
+}

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Ablation: SECDED ECC versus supply boosting as the low-voltage SRAM
+ * mitigation (the paper's related-work comparison, refs [36] and the
+ * Sec. 7.3 argument that boosting is the more viable 6T solution).
+ *
+ * For each supply voltage we compare FC-DNN accuracy with
+ *  - the raw unboosted memory,
+ *  - SECDED Hamming(72,64) on the unboosted memory (12.5% storage and
+ *    access-energy overhead, check bits in equally faulty cells),
+ *  - boosting to the minimal level whose Vddv clears 0.5 V.
+ * ECC helps in the narrow band where single-bit errors dominate per
+ * 72-bit codeword, but collapses at VLV failure rates where multi-bit
+ * errors are common; boosting attacks the raw bit error rate itself
+ * and keeps working down to 0.34 V.
+ */
+
+#include "bench_util.hpp"
+#include "common/logging.hpp"
+#include "core/context.hpp"
+#include "core/tradeoff.hpp"
+#include "dnn/zoo.hpp"
+#include "fi/experiment.hpp"
+#include "sram/ecc.hpp"
+#include "sram/failure_model.hpp"
+
+using namespace vboost;
+
+int
+main(int argc, char **argv)
+{
+    const auto opts = bench::BenchOptions::parse(argc, argv);
+    setQuiet(!opts.paper);
+
+    const auto ctx = core::SimContext::standard();
+    const sram::FailureRateModel frm(ctx.failure);
+    core::TradeoffExplorer explorer(ctx, 16);
+
+    auto net = bench::trainedMnistFc(opts);
+    Rng rng(8);
+    auto scratch = dnn::buildMnistFc(rng);
+    const auto test = bench::mnistTestSet(opts);
+    fi::ExperimentConfig cfg;
+    cfg.numMaps = opts.maps(6);
+    cfg.maxTestSamples = opts.samples(400);
+    fi::FaultInjectionRunner runner(net, scratch, test, cfg);
+
+    Table t({"Vdd (V)", "BER", "raw acc", "ECC acc",
+             "ECC corrected/word", "ECC uncorrectable/word",
+             "boosted acc", "boost level"});
+    for (Volt v : bench::wideGrid()) {
+        const double f = frm.rate(v);
+        const auto raw =
+            runner.run(f, fi::InjectionSpec::allWeights());
+        sram::EccStats stats;
+        const auto ecc = runner.runWithEcc(f, 0.5, &stats);
+
+        const auto level = explorer.minimalLevelReaching(v, 0.50_V);
+        std::string boost_acc = "-", boost_level = "unreachable";
+        if (level) {
+            const Volt vddv = explorer.boostedVoltage(v, *level);
+            boost_acc = Table::pct(
+                runner.run(frm.rate(vddv),
+                           fi::InjectionSpec::allWeights())
+                    .meanAccuracy);
+            boost_level = std::to_string(*level);
+        }
+        t.addRow({Table::num(v.value(), 2), Table::sci(f),
+                  Table::pct(raw.meanAccuracy),
+                  Table::pct(ecc.meanAccuracy),
+                  Table::num(static_cast<double>(stats.corrected) /
+                                 static_cast<double>(stats.words),
+                             4),
+                  Table::num(static_cast<double>(
+                                 stats.detectedUncorrectable) /
+                                 static_cast<double>(stats.words),
+                             4),
+                  boost_acc, boost_level});
+    }
+    bench::emit("Ablation: SECDED ECC vs supply boosting "
+                "(accuracy across Vdd)",
+                t, opts);
+
+    Table o({"overhead", "ECC", "boosting"});
+    o.addRow({"storage",
+              Table::pct(sram::SecdedCodec::storageOverhead()),
+              "0% (booster beside the macro)"});
+    o.addRow({"silicon area", "encoder/decoder per port",
+              "0.0039 mm^2 per macro (Table 1)"});
+    o.addRow({"per-access energy", "+12.5% bits read/written",
+              Table::num(explorer.supply()
+                                 .booster()
+                                 .boostEventEnergy(0.40_V, 4)
+                                 .value() *
+                             1e15,
+                         0) +
+                  " fJ boost event at Vddv4/0.4 V"});
+    o.addRow({"works below ~0.42 V", "no (multi-bit errors)", "yes"});
+    bench::emit("Ablation: ECC vs boosting overhead comparison", o,
+                opts);
+    return 0;
+}

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Ablation: fault-aware training (related work [20-22]) composed with
+ * boosting. Trains the FC-DNN twice — standard SGD and fault-aware SGD
+ * (per-batch weight bit flips at the ~0.45 V error rate) — and compares
+ * accuracy across voltage. The hardened model tolerates a lower boost
+ * level at the same target, compounding the energy savings; the paper
+ * notes boosting "mitigates the need for fault-aware training", and
+ * this bench quantifies how much the two overlap.
+ */
+
+#include "bench_util.hpp"
+#include "common/logging.hpp"
+#include "core/context.hpp"
+#include "core/tradeoff.hpp"
+#include "dnn/quantize.hpp"
+#include "dnn/zoo.hpp"
+#include "fi/experiment.hpp"
+#include "fi/fault_training.hpp"
+#include "sram/failure_model.hpp"
+
+using namespace vboost;
+
+int
+main(int argc, char **argv)
+{
+    const auto opts = bench::BenchOptions::parse(argc, argv);
+    setQuiet(!opts.paper);
+
+    const auto ctx = core::SimContext::standard();
+    const sram::FailureRateModel frm(ctx.failure);
+    core::TradeoffExplorer explorer(ctx, 16);
+
+    // Standard model from the shared cache.
+    auto baseline = bench::trainedMnistFc(opts);
+
+    // Fault-aware model: train at the error rate of ~0.43 V.
+    Rng rng(7);
+    auto hardened = dnn::buildMnistFc(rng);
+    Rng rng_scratch(17);
+    auto train_scratch = dnn::buildMnistFc(rng_scratch);
+    {
+        const auto train = dnn::makeSyntheticMnist(4000, 1);
+        fi::FaultTrainConfig fcfg;
+        fcfg.base.epochs = 6;
+        fcfg.warmupEpochs = 2;
+        // Train at the error rate of ~0.454 V (5e-3): harsh enough to
+        // harden, gentle enough for stable convergence.
+        fcfg.failProb = frm.rate(0.454_V);
+        fi::FaultAwareTrainer fat(fcfg);
+        Rng trng(3);
+        fat.train(hardened, train_scratch, train, trng);
+        dnn::clipParameters(hardened, 0.5f);
+    }
+
+    const auto test = bench::mnistTestSet(opts);
+    fi::ExperimentConfig cfg;
+    cfg.numMaps = opts.maps(8);
+    cfg.maxTestSamples = opts.samples(400);
+
+    Rng rb(8), rh(9);
+    auto scratch_b = dnn::buildMnistFc(rb);
+    auto scratch_h = dnn::buildMnistFc(rh);
+    fi::FaultInjectionRunner run_b(baseline, scratch_b, test, cfg);
+    fi::FaultInjectionRunner run_h(hardened, scratch_h, test, cfg);
+
+    Table t({"Vdd (V)", "BER", "standard training", "fault-aware",
+             "gain"});
+    for (Volt v : bench::wideGrid()) {
+        const double f = frm.rate(v);
+        const double ab =
+            run_b.run(f, fi::InjectionSpec::allWeights()).meanAccuracy;
+        const double ah =
+            run_h.run(f, fi::InjectionSpec::allWeights()).meanAccuracy;
+        t.addRow({Table::num(v.value(), 2), Table::sci(f),
+                  Table::pct(ab), Table::pct(ah),
+                  Table::pct(ah - ab)});
+    }
+    bench::emit("Ablation: fault-aware training vs standard training "
+                "(unboosted accuracy across Vdd)",
+                t, opts);
+
+    // Minimum boost level meeting the within-2% target for each model.
+    auto min_level = [&](fi::FaultInjectionRunner &runner) {
+        const double target = runner.baselineAccuracy() - 0.02;
+        Table lv({"Vdd (V)", "min level meeting target"});
+        for (Volt v : bench::vlvGrid()) {
+            const auto oracle = [&](Volt vddv) {
+                return runner
+                    .run(frm.rate(vddv),
+                         fi::InjectionSpec::allWeights())
+                    .meanAccuracy;
+            };
+            const auto level =
+                explorer.minimalLevelForAccuracy(v, target, oracle);
+            lv.addRow({Table::num(v.value(), 2),
+                       level ? std::to_string(*level) : "unreachable"});
+        }
+        return lv;
+    };
+    bench::emit("Min boost level, standard training", min_level(run_b),
+                opts);
+    bench::emit("Min boost level, fault-aware training",
+                min_level(run_h), opts);
+    return 0;
+}

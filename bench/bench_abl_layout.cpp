@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Ablation: data layout vs set_boost_config churn (paper Sec. 3.2.1,
+ * "Data layout"). When data of different sensitivity (inputs vs
+ * weights) shares a bank, the accelerator must issue set_boost_config
+ * before each switch between data types; storing each type in its own
+ * BIC-controlled region needs only one configuration per layer. We
+ * sweep the interleaving granularity (accesses between type switches)
+ * and report the instruction count and its energy overhead relative to
+ * the boosted access energy — reproducing the paper's guidance that
+ * the instruction "must be issued at relatively large intervals" and
+ * that partitioned layouts keep the count small.
+ */
+
+#include "bench_util.hpp"
+#include "common/logging.hpp"
+#include "core/context.hpp"
+#include "energy/supply_config.hpp"
+
+using namespace vboost;
+
+int
+main(int argc, char **argv)
+{
+    const auto opts = bench::BenchOptions::parse(argc, argv);
+    setQuiet(!opts.paper);
+
+    const auto ctx = core::SimContext::standard();
+    energy::SupplyConfigurator sc(ctx.tech, ctx.design, 16);
+    const Volt vdd{0.40};
+
+    // One MNIST FC inference under the DANA dataflow: 255k accesses,
+    // of which weights run at level 4 and inputs/psums at level 1.
+    constexpr std::uint64_t kWeightAcc = 63744 + 63744; // w + psum
+    constexpr std::uint64_t kInputAcc = 127488;
+    constexpr std::uint64_t kTotalAcc = kWeightAcc + kInputAcc;
+    constexpr int kLayers = 4;
+
+    // Energy of one set_boost_config instruction: a 4-bit register
+    // write plus decode — modeled as 20 fF of switched capacitance.
+    const Joule e_config = switchingEnergy(Farad(20e-15), vdd);
+    const double base_energy =
+        sc.boostedDynamicMulti({{kWeightAcc, 4}, {kInputAcc, 1}}, 340000,
+                               vdd)
+            .total()
+            .value();
+
+    Table t({"layout", "accesses per config switch",
+             "set_boost_config count", "config energy (pJ)",
+             "overhead vs dynamic"});
+    // Partitioned: one configuration per region per layer.
+    {
+        const std::uint64_t instrs = 2 * kLayers * 16ull; // per bank
+        const double e = static_cast<double>(instrs) * e_config.value();
+        t.addRow({"partitioned (paper)", "-", std::to_string(instrs),
+                  Table::num(e * 1e12, 2), Table::pct(e / base_energy, 4)});
+    }
+    // Interleaved at decreasing granularity.
+    for (std::uint64_t chunk : {4096ull, 512ull, 64ull, 8ull, 1ull}) {
+        const std::uint64_t switches = kTotalAcc / chunk;
+        const double e =
+            static_cast<double>(switches) * e_config.value();
+        t.addRow({"interleaved", std::to_string(chunk),
+                  std::to_string(switches), Table::num(e * 1e12, 2),
+                  Table::pct(e / base_energy, 4)});
+    }
+    bench::emit("Ablation: data layout vs set_boost_config overhead "
+                "(MNIST FC inference at Vdd = 0.40 V)",
+                t, opts);
+
+    Table n({"takeaway", ""});
+    n.addRow({"partitioned regions",
+              "configuration cost is amortized over a whole layer: "
+              "negligible"});
+    n.addRow({"word-level interleaving",
+              "one instruction per access makes the overhead visible "
+              "- exactly why the paper stores inputs and weights in "
+              "separately controlled regions"});
+    bench::emit("Ablation: layout guidance (Sec. 3.2.1)", n, opts);
+    return 0;
+}

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Fig. 1 reproduction: the V_min landscape. Sweeps supply voltage and
+ * prints the SRAM bit failure rate together with the FC-DNN inference
+ * accuracy of the unboosted baseline, plus the voltage landmarks the
+ * figure annotates (V_nom, V_1st-error, V_target-acc,
+ * V_data-retention) and the boosted ("ideal") accuracy that motivates
+ * the whole design.
+ */
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/logging.hpp"
+#include "core/context.hpp"
+#include "core/tradeoff.hpp"
+#include "dnn/zoo.hpp"
+#include "fi/experiment.hpp"
+#include "sram/failure_model.hpp"
+
+using namespace vboost;
+
+int
+main(int argc, char **argv)
+{
+    const auto opts = bench::BenchOptions::parse(argc, argv);
+    setQuiet(!opts.paper);
+
+    const auto ctx = core::SimContext::standard();
+    const sram::FailureRateModel frm(ctx.failure);
+    core::TradeoffExplorer explorer(ctx, 16);
+
+    auto net = bench::trainedMnistFc(opts);
+    Rng rng(8);
+    auto scratch = dnn::buildMnistFc(rng);
+    const auto test = bench::mnistTestSet(opts);
+    fi::ExperimentConfig cfg;
+    cfg.numMaps = opts.maps(8);
+    cfg.maxTestSamples = opts.samples(400);
+    fi::FaultInjectionRunner runner(net, scratch, test, cfg);
+
+    const double peak = runner.baselineAccuracy();
+    const double target = peak - 0.02;
+
+    Table t({"Vdd (V)", "bit fail rate", "baseline acc",
+             "boosted acc (Vddv4)", "meets target (base)",
+             "meets target (boost)"});
+    for (Volt v : bench::wideGrid()) {
+        const auto base = runner.runAtVoltage(
+            v, frm, fi::InjectionSpec::allWeights());
+        const Volt vddv = explorer.boostedVoltage(v, 4);
+        const auto boost = runner.runAtVoltage(
+            vddv, frm, fi::InjectionSpec::allWeights());
+        t.addRow({Table::num(v.value(), 2), Table::sci(base.failProb),
+                  Table::pct(base.meanAccuracy),
+                  Table::pct(boost.meanAccuracy),
+                  base.meanAccuracy >= target ? "yes" : "no",
+                  boost.meanAccuracy >= target ? "yes" : "no"});
+    }
+    bench::emit("Fig. 1: bit failure rate and inference accuracy vs Vdd",
+                t, opts);
+
+    Table lm({"landmark", "voltage (V)", "meaning"});
+    lm.addRow({"V_nom", "0.80", "nominal supply (Table 1)"});
+    lm.addRow({"V_1st-error",
+               Table::num(frm.firstErrorVoltage(144ull * 1024 * 8).value(),
+                          3),
+               "first expected bit fail in the 144 KB on-chip SRAM"});
+    // V_target-acc: lowest grid voltage where the baseline still meets
+    // the accuracy target.
+    Volt v_target{0.0};
+    for (Volt v : bench::wideGrid()) {
+        const auto p = runner.runAtVoltage(
+            v, frm, fi::InjectionSpec::allWeights());
+        if (p.meanAccuracy >= target) {
+            v_target = v;
+            break;
+        }
+    }
+    lm.addRow({"V_target-acc", Table::num(v_target.value(), 2),
+               "minimum unboosted supply meeting target accuracy"});
+    lm.addRow({"V_data-retention",
+               Table::num(frm.dataRetentionVoltage().value(), 2),
+               "minimum voltage at which cells retain data"});
+    bench::emit("Fig. 1: voltage landmarks", lm, opts);
+    return 0;
+}

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Fig. 2 reproduction: effect of fault injection into inputs, weights
+ * of all layers, and selectively into the first and last weight layers
+ * of the MNIST FC-DNN, across supply voltage, together with the bit
+ * error rate used for injection.
+ */
+
+#include "bench_util.hpp"
+#include "common/logging.hpp"
+#include "dnn/zoo.hpp"
+#include "fi/experiment.hpp"
+#include "sram/failure_model.hpp"
+
+using namespace vboost;
+
+int
+main(int argc, char **argv)
+{
+    const auto opts = bench::BenchOptions::parse(argc, argv);
+    setQuiet(!opts.paper);
+
+    const sram::FailureRateModel frm;
+    auto net = bench::trainedMnistFc(opts);
+    Rng rng(8);
+    auto scratch = dnn::buildMnistFc(rng);
+    const auto test = bench::mnistTestSet(opts);
+
+    fi::ExperimentConfig cfg;
+    cfg.numMaps = opts.maps(8);
+    cfg.maxTestSamples = opts.samples(400);
+    fi::FaultInjectionRunner runner(net, scratch, test, cfg);
+
+    const double baseline = runner.baselineAccuracy();
+
+    Table t({"Vdd (V)", "bit error rate", "weights all layers",
+             "inputs", "weights L1 only", "weights L4 only"});
+    for (Volt v : bench::wideGrid()) {
+        const auto all = runner.runAtVoltage(
+            v, frm, fi::InjectionSpec::allWeights());
+        const auto inputs = runner.runAtVoltage(
+            v, frm, fi::InjectionSpec::inputsOnly());
+        const auto l1 = runner.runAtVoltage(
+            v, frm, fi::InjectionSpec::singleLayer(0));
+        const auto l4 = runner.runAtVoltage(
+            v, frm, fi::InjectionSpec::singleLayer(3));
+        t.addRow({Table::num(v.value(), 2), Table::sci(all.failProb),
+                  Table::pct(all.meanAccuracy),
+                  Table::pct(inputs.meanAccuracy),
+                  Table::pct(l1.meanAccuracy),
+                  Table::pct(l4.meanAccuracy)});
+    }
+    bench::emit("Fig. 2: accuracy vs Vdd per injection target "
+                "(baseline " + Table::pct(baseline) + ")",
+                t, opts);
+
+    // The figure's headline comparisons at the 0.44 V anchor.
+    const double f = frm.rate(0.44_V);
+    const auto w = runner.run(f, fi::InjectionSpec::allWeights());
+    const auto in = runner.run(f, fi::InjectionSpec::inputsOnly());
+    Table h({"injection target at 0.44 V (BER 1.4e-2)", "accuracy",
+             "drop vs baseline"});
+    h.addRow({"weights (all layers)", Table::pct(w.meanAccuracy),
+              Table::pct(baseline - w.meanAccuracy)});
+    h.addRow({"inputs", Table::pct(in.meanAccuracy),
+              Table::pct(baseline - in.meanAccuracy)});
+    bench::emit("Fig. 2: weight vs input sensitivity at the anchor BER",
+                h, opts);
+    return 0;
+}

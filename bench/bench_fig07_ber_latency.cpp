@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Fig. 7 reproduction: (top) bit failure rate vs supply voltage for
+ * the 4 Mbit test-chip fit, including the expected fail count of the
+ * array, and (bottom) normalized access latency of a 32 Kbit macro vs
+ * supply voltage.
+ */
+
+#include "bench_util.hpp"
+#include "circuit/latency.hpp"
+#include "common/logging.hpp"
+#include "sram/failure_model.hpp"
+
+using namespace vboost;
+
+int
+main(int argc, char **argv)
+{
+    const auto opts = bench::BenchOptions::parse(argc, argv);
+    setQuiet(!opts.paper);
+
+    const sram::FailureRateModel frm;
+    const auto tech = circuit::TechnologyParams::default14nm();
+    const circuit::LatencyModel lat(tech);
+
+    constexpr std::uint64_t kTestChipBits = 4ull * 1024 * 1024;
+
+    Table t({"Vdd (V)", "bit fail rate", "expected fails (4 Mbit)",
+             "normalized latency (vs 0.8 V)"});
+    for (Volt v : bench::wideGrid()) {
+        t.addRow({Table::num(v.value(), 2), Table::sci(frm.rate(v)),
+                  Table::num(frm.rate(v) *
+                                 static_cast<double>(kTestChipBits),
+                             1),
+                  Table::num(lat.normalized(v, tech.nominalVdd), 2)});
+    }
+    for (Volt v : {0.70_V, 0.80_V}) {
+        t.addRow({Table::num(v.value(), 2), Table::sci(frm.rate(v)),
+                  Table::num(frm.rate(v) *
+                                 static_cast<double>(kTestChipBits),
+                             1),
+                  Table::num(lat.normalized(v, tech.nominalVdd), 2)});
+    }
+    bench::emit("Fig. 7: measured-fit bit failure rate and access "
+                "latency vs Vdd",
+                t, opts);
+
+    Table lm({"quantity", "value"});
+    lm.addRow({"V at first expected fail (4 Mbit)",
+               Table::num(frm.firstErrorVoltage(kTestChipBits).value(), 3) +
+                   " V"});
+    lm.addRow({"fail rate at 0.44 V (Fig. 2 anchor)",
+               Table::sci(frm.rate(0.44_V))});
+    lm.addRow({"fail rate at 0.60 V (screening voltage)",
+               Table::sci(frm.rate(0.60_V))});
+    lm.addRow({"absolute access time at 0.8 V",
+               Table::num(lat.accessTime(0.80_V).value() * 1e9, 2) +
+                   " ns"});
+    lm.addRow({"absolute access time at 0.4 V",
+               Table::num(lat.accessTime(0.40_V).value() * 1e9, 2) +
+                   " ns"});
+    bench::emit("Fig. 7: landmarks", lm, opts);
+    return 0;
+}

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Fig. 8 reproduction: peak boosted voltage for the four programmable
+ * levels of the standard configuration driving a 32 Kbit macro, for
+ * low supplies (left panel, 0.34-0.5 V) and high supplies (right
+ * panel, 0.5-0.8 V, reported as boost delta Vb).
+ */
+
+#include "bench_util.hpp"
+#include "circuit/booster.hpp"
+#include "common/logging.hpp"
+
+using namespace vboost;
+
+int
+main(int argc, char **argv)
+{
+    const auto opts = bench::BenchOptions::parse(argc, argv);
+    setQuiet(!opts.paper);
+
+    const auto tech = circuit::TechnologyParams::default14nm();
+    // Fig. 8 is for a single 32 Kbit macro with its own column.
+    circuit::BoosterBank bank(circuit::BoosterDesign::standardConfig(),
+                              tech.macroArrayCap + tech.fixedParasiticCap,
+                              tech);
+
+    Table low({"Vdd (V)", "Vddv1 (V)", "Vddv2 (V)", "Vddv3 (V)",
+               "Vddv4 (V)"});
+    for (Volt v : bench::vlvGrid()) {
+        std::vector<std::string> row{Table::num(v.value(), 2)};
+        for (int level = 1; level <= 4; ++level)
+            row.push_back(
+                Table::num(bank.boostedVoltage(v, level).value(), 3));
+        low.addRow(row);
+    }
+    bench::emit("Fig. 8 (left): boosted voltage at very low Vdd", low,
+                opts);
+
+    Table high({"Vdd (V)", "Vb1 (mV)", "Vb2 (mV)", "Vb3 (mV)",
+                "Vb4 (mV)", "peak boost ratio"});
+    for (Volt v : bench::highGrid()) {
+        std::vector<std::string> row{Table::num(v.value(), 2)};
+        for (int level = 1; level <= 4; ++level)
+            row.push_back(Table::num(
+                bank.boostDelta(v, level).value() * 1e3, 0));
+        row.push_back(
+            Table::pct(bank.boostDelta(v, 4).value() / v.value()));
+        high.addRow(row);
+    }
+    bench::emit("Fig. 8 (right): boost delta Vb at high Vdd", high, opts);
+    return 0;
+}

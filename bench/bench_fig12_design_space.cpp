@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Fig. 12 reproduction: the boost-enabled accelerator design space.
+ * Sweeps the two architectural parameters of Sec. 6.1 — Ops_ratio
+ * (memory accesses per compute op) and Energy_ratio (memory access
+ * energy per compute-op energy at equal voltage) — and prints the
+ * ratio of boosted-configuration energy to the LDO-based dual-supply
+ * configuration, for an SRAM boosted from Vdd = 0.4 V to
+ * Vddv ~ 0.6 V. Values below 1 mean boosting wins.
+ */
+
+#include "bench_util.hpp"
+#include "common/logging.hpp"
+#include "core/context.hpp"
+#include "energy/supply_config.hpp"
+
+using namespace vboost;
+
+int
+main(int argc, char **argv)
+{
+    const auto opts = bench::BenchOptions::parse(argc, argv);
+    setQuiet(!opts.paper);
+
+    const std::vector<double> ops_ratios{0.01, 0.02, 0.05, 0.1, 0.2,
+                                         0.5,  0.75, 1.0,  2.0};
+    const std::vector<double> energy_ratios{0.25, 0.5, 1.0, 2.0, 4.0,
+                                            8.0};
+    const Volt vdd{0.40};
+
+    Table t({"Ops_ratio \\ Energy_ratio", "0.25", "0.5", "1", "2", "4",
+             "8"});
+    double best = 1.0;
+    for (double ops : ops_ratios) {
+        std::vector<std::string> row{Table::num(ops, 2)};
+        for (double er : energy_ratios) {
+            // Energy_ratio is swept by scaling the compute-op
+            // capacitance relative to the memory-access capacitance
+            // (paper: "energy of a single compute operation was varied
+            // as a fraction of energy per access of an SRAM bank").
+            auto ctx = core::SimContext::standard();
+            const double mux_levels = 4.0; // 16 banks
+            const Farad mem_cap =
+                ctx.tech.bankAccessCap + ctx.tech.bankMuxCap * mux_levels;
+            ctx.tech.peOpCap = Farad(mem_cap.value() / er);
+            energy::SupplyConfigurator sc(ctx.tech, ctx.design, 16);
+
+            const energy::Workload w{
+                static_cast<std::uint64_t>(ops * 1e6),
+                static_cast<std::uint64_t>(1e6)};
+            const Volt vddv = sc.boostedVoltage(vdd, 4);
+            const double ratio =
+                sc.boostedDynamic(w, vdd, 4).total().value() /
+                sc.dualSupplyDynamic(w, vddv, vdd).total().value();
+            best = std::min(best, ratio);
+            row.push_back(Table::num(ratio, 3));
+        }
+        t.addRow(row);
+    }
+    bench::emit("Fig. 12: boosted / dual-supply dynamic energy ratio "
+                "(Vdd 0.4 V -> Vddv4; <1 means boosting wins)",
+                t, opts);
+
+    Table s({"headline", "value", "paper"});
+    s.addRow({"max savings in the swept space", Table::pct(1.0 - best),
+              "up to 32%"});
+    bench::emit("Fig. 12: headline", s, opts);
+    return 0;
+}

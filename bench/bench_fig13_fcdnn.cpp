@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Fig. 13 + Table 2 reproduction: analysis of the fully connected
+ * MNIST DNN under programmable boosting.
+ *
+ *  (a) dynamic energy: boosted vs single supply at the same Vddv;
+ *  (b) dynamic energy: boosted vs dual supply (LDO);
+ *  (c) inference accuracy vs voltage per Table-2 configuration;
+ *  (d) leakage energy per cycle for boost / single / dual.
+ *
+ * All energies are normalized to the single-supply chip energy at
+ * 0.5 V, as in the paper. Activity comes from the DANA FC dataflow
+ * model; inputs and intermediate data are boosted to the minimum
+ * level whose Vddv exceeds 0.44 V (Table 2 footnote).
+ */
+
+#include <map>
+
+#include "accel/dataflow.hpp"
+#include "bench_util.hpp"
+#include "common/logging.hpp"
+#include "common/stats.hpp"
+#include "core/context.hpp"
+#include "core/tradeoff.hpp"
+#include "dnn/zoo.hpp"
+#include "energy/supply_config.hpp"
+#include "fi/experiment.hpp"
+#include "sram/failure_model.hpp"
+
+using namespace vboost;
+
+int
+main(int argc, char **argv)
+{
+    const auto opts = bench::BenchOptions::parse(argc, argv);
+    setQuiet(!opts.paper);
+
+    const auto ctx = core::SimContext::standard();
+    const sram::FailureRateModel frm(ctx.failure);
+    energy::SupplyConfigurator sc(ctx.tech, ctx.design, 16);
+    core::TradeoffExplorer explorer(ctx, 16);
+
+    // DANA FC activity for one inference of the 784-256-256-256-32 net.
+    const accel::DanaFcModel dana;
+    const auto layer_act =
+        dana.networkActivity(dnn::mnistFcLayerSizes());
+    const auto total_act = accel::totalActivity(layer_act);
+
+    // Table 2.
+    const auto configs = core::BoostConfiguration::table2(4, 4);
+    Table t2({"Config", "Weights-L1", "Weights-L2", "Weights-L3",
+              "Weights-L4"});
+    for (const auto &c : configs) {
+        t2.addRow({c.name, "Vddv" + std::to_string(c.layerLevels[0]),
+                   "Vddv" + std::to_string(c.layerLevels[1]),
+                   "Vddv" + std::to_string(c.layerLevels[2]),
+                   "Vddv" + std::to_string(c.layerLevels[3])});
+    }
+    bench::emit("Table 2: boost level per layer per configuration", t2,
+                opts);
+
+    // Accuracy harness.
+    auto net = bench::trainedMnistFc(opts);
+    Rng rng(8);
+    auto scratch = dnn::buildMnistFc(rng);
+    const auto test = bench::mnistTestSet(opts);
+    fi::ExperimentConfig fcfg;
+    fcfg.numMaps = opts.maps(8);
+    fcfg.maxTestSamples = opts.samples(400);
+    fi::FaultInjectionRunner runner(net, scratch, test, fcfg);
+    const double baseline = runner.baselineAccuracy();
+
+    // Normalization: single-supply chip dynamic energy at 0.5 V.
+    const energy::Workload workload{total_act.totalAccesses(),
+                                    total_act.macs};
+    const double norm =
+        sc.singleSupplyDynamic(workload, 0.50_V).total().value();
+    const Hertz clock = 50.0_MHz;
+    const double leak_norm =
+        sc.singleSupplyLeakagePerCycle(0.50_V, clock).value();
+
+    Table ta({"Vdd (V)", "config", "Vddv max (V)", "boost dyn (norm)",
+              "single dyn (norm)", "savings vs single"});
+    Table tb({"Vdd (V)", "config", "boost dyn (norm)",
+              "dual dyn (norm)", "savings vs dual"});
+    Table tc({"Vdd (V)", "config", "accuracy", "within 2% of baseline"});
+    Table td({"Vdd (V)", "boost leak/cyc (norm)",
+              "single leak/cyc (norm)", "dual leak/cyc (norm)",
+              "boost vs dual savings"});
+
+    RunningStats dual_savings, leak_savings;
+    for (Volt vdd : bench::vlvGrid()) {
+        // Input/intermediate data boost level (Table 2 footnote).
+        const auto input_level_opt =
+            explorer.minimalLevelReaching(vdd, 0.44_V);
+        const int input_level = input_level_opt ? *input_level_opt : 4;
+
+        for (const auto &c : configs) {
+            const Volt vddv_max = sc.boostedVoltage(vdd, c.maxLevel());
+
+            // Partition accesses by boost level: each layer's weight
+            // stream at its level; inputs/psums at the input level.
+            std::vector<std::pair<std::uint64_t, int>> by_level;
+            std::uint64_t other_accesses = 0;
+            for (std::size_t l = 0; l < layer_act.size(); ++l) {
+                by_level.emplace_back(layer_act[l].weightAccesses,
+                                      c.layerLevels[l]);
+                other_accesses += layer_act[l].inputAccesses +
+                                  layer_act[l].psumAccesses;
+            }
+            by_level.emplace_back(other_accesses, input_level);
+
+            const double boost =
+                sc.boostedDynamicMulti(by_level, total_act.macs, vdd)
+                    .total()
+                    .value() /
+                norm;
+            const double single =
+                sc.singleSupplyDynamic(workload, vddv_max)
+                    .total()
+                    .value() /
+                norm;
+            const double dual =
+                sc.dualSupplyDynamic(workload, vddv_max, vdd)
+                    .total()
+                    .value() /
+                norm;
+
+            ta.addRow({Table::num(vdd.value(), 2), c.name,
+                       Table::num(vddv_max.value(), 3),
+                       Table::num(boost, 3), Table::num(single, 3),
+                       Table::pct(1.0 - boost / single)});
+            tb.addRow({Table::num(vdd.value(), 2), c.name,
+                       Table::num(boost, 3), Table::num(dual, 3),
+                       Table::pct(1.0 - boost / dual)});
+            dual_savings.add(1.0 - boost / dual);
+
+            // Accuracy under the per-layer failure probabilities.
+            std::vector<double> fail_by_layer;
+            for (int level : c.layerLevels) {
+                fail_by_layer.push_back(
+                    frm.rate(sc.boostedVoltage(vdd, level)));
+            }
+            const auto acc = runner.runPerLayer(fail_by_layer);
+            tc.addRow({Table::num(vdd.value(), 2), c.name,
+                       Table::pct(acc.meanAccuracy),
+                       acc.meanAccuracy >= baseline - 0.02 ? "yes"
+                                                           : "no"});
+        }
+
+        // Leakage panel (d): dual/single held at the Vddv4 target.
+        const Volt vddv4 = sc.boostedVoltage(vdd, 4);
+        const double lb =
+            sc.boostedLeakagePerCycle(vdd, clock).value() / leak_norm;
+        const double ls =
+            sc.singleSupplyLeakagePerCycle(vddv4, clock).value() /
+            leak_norm;
+        const double ld =
+            sc.dualSupplyLeakagePerCycle(vddv4, vdd, clock).value() /
+            leak_norm;
+        td.addRow({Table::num(vdd.value(), 2), Table::num(lb, 3),
+                   Table::num(ls, 3), Table::num(ld, 3),
+                   Table::pct(1.0 - lb / ld)});
+        leak_savings.add(1.0 - lb / ld);
+    }
+
+    bench::emit("Fig. 13(a): boost vs single supply dynamic energy", ta,
+                opts);
+    bench::emit("Fig. 13(b): boost vs dual supply dynamic energy", tb,
+                opts);
+    bench::emit("Fig. 13(c): inference accuracy per configuration "
+                "(baseline " + Table::pct(baseline) + ")",
+                tc, opts);
+    bench::emit("Fig. 13(d): leakage energy per cycle at 50 MHz", td,
+                opts);
+
+    Table s({"headline", "value", "paper"});
+    s.addRow({"mean dynamic savings vs dual (all configs/voltages)",
+              Table::pct(dual_savings.mean()), "overall savings"});
+    s.addRow({"mean leakage savings vs dual (0.34-0.5 V)",
+              Table::pct(leak_savings.mean()), "32%"});
+    bench::emit("Fig. 13: headlines", s, opts);
+    return 0;
+}

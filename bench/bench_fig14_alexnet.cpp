@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Fig. 14 + Table 3 reproduction: AlexNet's five convolution layers
+ * under the Eyeriss Row-Stationary dataflow with a 128 KB global
+ * buffer. Top panel: inference accuracy vs supply voltage for the
+ * unboosted baseline and each boost level (accuracy measured by
+ * Monte-Carlo fault injection on the trained conv net). Bottom panel:
+ * per-layer dynamic energy of boosted vs dual-supply configurations.
+ */
+
+#include "accel/dataflow.hpp"
+#include "bench_util.hpp"
+#include "common/logging.hpp"
+#include "common/stats.hpp"
+#include "core/context.hpp"
+#include "dnn/zoo.hpp"
+#include "energy/supply_config.hpp"
+#include "fi/accuracy_curve.hpp"
+#include "sram/failure_model.hpp"
+
+using namespace vboost;
+
+int
+main(int argc, char **argv)
+{
+    const auto opts = bench::BenchOptions::parse(argc, argv);
+    setQuiet(!opts.paper);
+
+    const auto ctx = core::SimContext::standard();
+    const sram::FailureRateModel frm(ctx.failure);
+    energy::SupplyConfigurator sc(ctx.tech, ctx.design, 16);
+
+    // Table 3: workload characteristics.
+    const accel::EyerissRsModel rs;
+    const auto conv_dims = dnn::alexNetImageNetConvDims();
+    const auto layer_act = rs.networkActivity(conv_dims);
+    const auto total = accel::totalActivity(layer_act);
+    {
+        const accel::DanaFcModel dana;
+        const auto fc_total = accel::totalActivity(
+            dana.networkActivity(dnn::mnistFcLayerSizes()));
+        Table t3({"Workload", "Dataflow", "Type", "SRAMAcc/MAC Ops"});
+        t3.addRow({"MNIST", "DANA", "4 Fully Connected Layers",
+                   Table::pct(fc_total.accessRatio())});
+        t3.addRow({"AlexNet for CIFAR-10", "Eyeriss Row Stationary",
+                   "5 Conv layers", Table::pct(total.accessRatio(), 2)});
+        bench::emit("Table 3: workload characteristics", t3, opts);
+    }
+
+    // Accuracy curve of the trained 5-conv network.
+    auto net = bench::trainedAlexNet(opts);
+    Rng rng(8);
+    auto scratch = dnn::buildAlexNetCifar(rng);
+    const auto test = bench::cifarTestSet(opts);
+    fi::ExperimentConfig fcfg;
+    fcfg.numMaps = opts.maps(4);
+    fcfg.maxTestSamples = opts.samples(200);
+    fi::FaultInjectionRunner runner(net, scratch, test, fcfg);
+    const auto curve = fi::AccuracyCurve::sample(
+        runner, fi::InjectionSpec::allWeights(), 1e-5, 0.3,
+        opts.paper ? 12 : 8);
+
+    Table acc({"Vdd (V)", "unboosted", "Vddv1", "Vddv2", "Vddv3",
+               "Vddv4"});
+    for (Volt vdd : bench::vlvGrid()) {
+        std::vector<std::string> row{Table::num(vdd.value(), 2)};
+        for (int level = 0; level <= 4; ++level) {
+            const Volt vddv = sc.boostedVoltage(vdd, level);
+            row.push_back(Table::pct(curve.at(frm.rate(vddv))));
+        }
+        acc.addRow(row);
+    }
+    bench::emit("Fig. 14 (top): AlexNet accuracy vs Vdd per boost level "
+                "(fault-free " + Table::pct(curve.faultFree()) + ")",
+                acc, opts);
+
+    // Dynamic energy, boosted vs dual, per conv layer and per level.
+    const Volt vdd{0.40};
+    Table e({"layer", "MACs (M)", "GB acc (M)", "level",
+             "boost dyn (uJ)", "dual dyn (uJ)", "savings"});
+    for (std::size_t l = 0; l < layer_act.size(); ++l) {
+        for (int level = 1; level <= 4; ++level) {
+            const energy::Workload w{layer_act[l].totalAccesses(),
+                                     layer_act[l].macs};
+            const Volt vddv = sc.boostedVoltage(vdd, level);
+            const double boost =
+                sc.boostedDynamic(w, vdd, level).total().value();
+            const double dual =
+                sc.dualSupplyDynamic(w, vddv, vdd).total().value();
+            e.addRow({"conv" + std::to_string(l + 1),
+                      Table::num(static_cast<double>(layer_act[l].macs) /
+                                     1e6,
+                                 1),
+                      Table::num(static_cast<double>(
+                                     layer_act[l].totalAccesses()) /
+                                     1e6,
+                                 2),
+                      std::to_string(level),
+                      Table::num(boost * 1e6, 2),
+                      Table::num(dual * 1e6, 2),
+                      Table::pct(1.0 - boost / dual)});
+        }
+    }
+    bench::emit("Fig. 14 (bottom): per-layer dynamic energy at "
+                "Vdd = 0.40 V, boost vs dual supply",
+                e, opts);
+
+    // Headlines across all voltages and levels.
+    RunningStats all_levels;
+    double vddv4_total = 0;
+    const energy::Workload w{total.totalAccesses(), total.macs};
+    for (Volt v : bench::vlvGrid()) {
+        for (int level = 1; level <= 4; ++level) {
+            const Volt vddv = sc.boostedVoltage(v, level);
+            const double boost =
+                sc.boostedDynamic(w, v, level).total().value();
+            const double dual =
+                sc.dualSupplyDynamic(w, vddv, v).total().value();
+            const double saving = 1.0 - boost / dual;
+            all_levels.add(saving);
+            if (level == 4)
+                vddv4_total += saving;
+        }
+    }
+    Table s({"headline", "value", "paper"});
+    s.addRow({"mean savings vs dual at Vddv4 (0.34-0.5 V)",
+              Table::pct(vddv4_total /
+                         static_cast<double>(bench::vlvGrid().size())),
+              "26%"});
+    s.addRow({"mean savings vs dual across all boost levels",
+              Table::pct(all_levels.mean()), "19%"});
+    bench::emit("Fig. 14: headlines", s, opts);
+    return 0;
+}

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Fig. 15 reproduction: iso-accuracy energy comparison for AlexNet.
+ * For each supply voltage in 0.34-0.46 V, the explorer picks the
+ * minimum boost level whose boosted SRAM voltage still meets the
+ * target accuracy (within 2% of peak), then compares the dynamic
+ * energy of that boosted operating point against (i) the single-supply
+ * design, which must run the whole chip at the lowest voltage meeting
+ * the target (~0.48 V), and (ii) the LDO dual-supply design at the
+ * same memory voltage.
+ */
+
+#include "accel/dataflow.hpp"
+#include "bench_util.hpp"
+#include "common/logging.hpp"
+#include "common/stats.hpp"
+#include "core/context.hpp"
+#include "core/tradeoff.hpp"
+#include "dnn/zoo.hpp"
+#include "fi/accuracy_curve.hpp"
+#include "sram/failure_model.hpp"
+
+using namespace vboost;
+
+int
+main(int argc, char **argv)
+{
+    const auto opts = bench::BenchOptions::parse(argc, argv);
+    setQuiet(!opts.paper);
+
+    const auto ctx = core::SimContext::standard();
+    const sram::FailureRateModel frm(ctx.failure);
+    core::TradeoffExplorer explorer(ctx, 16);
+    const auto &sc = explorer.supply();
+
+    const accel::EyerissRsModel rs;
+    const auto total = accel::totalActivity(
+        rs.networkActivity(dnn::alexNetImageNetConvDims()));
+    const energy::Workload workload{total.totalAccesses(), total.macs};
+
+    // Accuracy oracle from the trained conv net.
+    auto net = bench::trainedAlexNet(opts);
+    Rng rng(8);
+    auto scratch = dnn::buildAlexNetCifar(rng);
+    const auto test = bench::cifarTestSet(opts);
+    fi::ExperimentConfig fcfg;
+    fcfg.numMaps = opts.maps(4);
+    fcfg.maxTestSamples = opts.samples(200);
+    fi::FaultInjectionRunner runner(net, scratch, test, fcfg);
+    const auto curve = fi::AccuracyCurve::sample(
+        runner, fi::InjectionSpec::allWeights(), 1e-5, 0.3,
+        opts.paper ? 12 : 8);
+    const double target = curve.faultFree() - 0.02;
+    const auto oracle = [&](Volt vddv) {
+        return curve.at(frm.rate(vddv));
+    };
+
+    // Single-supply reference: lowest voltage meeting the target.
+    Volt v_single{0.0};
+    for (double v = 0.40; v <= 0.62; v += 0.005) {
+        if (oracle(Volt(v)) >= target) {
+            v_single = Volt(v);
+            break;
+        }
+    }
+    if (v_single == Volt(0.0))
+        fatal("no single-supply voltage meets the accuracy target");
+    const double single_energy =
+        sc.singleSupplyDynamic(workload, v_single).total().value();
+
+    Table t({"Vdd (V)", "chosen level", "Vddv (V)", "accuracy",
+             "boost dyn (uJ)", "dual dyn (uJ)", "savings vs dual",
+             "savings vs single@" + Table::num(v_single.value(), 2)});
+    RunningStats dual_savings, single_savings;
+    for (Volt vdd : {0.34_V, 0.38_V, 0.40_V, 0.42_V, 0.44_V, 0.46_V}) {
+        const auto op =
+            explorer.isoAccuracyPoint(vdd, target, oracle, workload);
+        if (!op) {
+            t.addRow({Table::num(vdd.value(), 2), "-", "-", "-", "-",
+                      "-", "-", "target unreachable"});
+            continue;
+        }
+        const double sv_dual =
+            1.0 - op->boostedEnergy.value() / op->dualEnergy.value();
+        const double sv_single =
+            1.0 - op->boostedEnergy.value() / single_energy;
+        dual_savings.add(sv_dual);
+        single_savings.add(sv_single);
+        t.addRow({Table::num(vdd.value(), 2),
+                  std::to_string(op->level),
+                  Table::num(op->vddv.value(), 3),
+                  Table::pct(op->accuracy),
+                  Table::num(op->boostedEnergy.value() * 1e6, 2),
+                  Table::num(op->dualEnergy.value() * 1e6, 2),
+                  Table::pct(sv_dual), Table::pct(sv_single)});
+    }
+    bench::emit("Fig. 15: iso-accuracy operating points (target " +
+                    Table::pct(target) + ")",
+                t, opts);
+
+    Table s({"headline", "value", "paper"});
+    s.addRow({"single-supply voltage meeting target",
+              Table::num(v_single.value(), 2) + " V", "0.48 V"});
+    s.addRow({"mean savings vs single supply",
+              Table::pct(single_savings.mean()), "30%"});
+    s.addRow({"mean savings vs dual supply",
+              Table::pct(dual_savings.mean()), "17%"});
+    bench::emit("Fig. 15: headlines", s, opts);
+    return 0;
+}

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * The paper's headline numbers in one place (abstract + Sec. 6):
+ *  - up to 26% / avg 17% savings vs dual supply (AlexNet conv);
+ *  - 30% savings vs the single supply that meets the same accuracy;
+ *  - 32% leakage energy savings vs dual supply;
+ *  - ~6% booster leakage overhead;
+ *  - up to 50% peak boost; 0.0039 mm^2 booster area per macro.
+ */
+
+#include "accel/dante.hpp"
+#include "accel/dataflow.hpp"
+#include "bench_util.hpp"
+#include "common/logging.hpp"
+#include "common/stats.hpp"
+#include "core/context.hpp"
+#include "core/tradeoff.hpp"
+#include "dnn/zoo.hpp"
+#include "fi/accuracy_curve.hpp"
+#include "sram/failure_model.hpp"
+
+using namespace vboost;
+
+int
+main(int argc, char **argv)
+{
+    const auto opts = bench::BenchOptions::parse(argc, argv);
+    setQuiet(!opts.paper);
+
+    const auto ctx = core::SimContext::standard();
+    const sram::FailureRateModel frm(ctx.failure);
+    core::TradeoffExplorer explorer(ctx, 16);
+    const auto &sc = explorer.supply();
+    const Hertz clock = 50.0_MHz;
+
+    const accel::EyerissRsModel rs;
+    const auto total = accel::totalActivity(
+        rs.networkActivity(dnn::alexNetImageNetConvDims()));
+    const energy::Workload w{total.totalAccesses(), total.macs};
+
+    // Dynamic savings vs dual across the VLV range.
+    RunningStats vddv4_savings, all_savings;
+    for (Volt vdd : bench::vlvGrid()) {
+        for (int level = 1; level <= 4; ++level) {
+            const Volt vddv = sc.boostedVoltage(vdd, level);
+            const double boost =
+                sc.boostedDynamic(w, vdd, level).total().value();
+            const double dual =
+                sc.dualSupplyDynamic(w, vddv, vdd).total().value();
+            const double saving = 1.0 - boost / dual;
+            all_savings.add(saving);
+            if (level == 4)
+                vddv4_savings.add(saving);
+        }
+    }
+
+    // Iso-accuracy savings vs the single supply meeting the target.
+    auto net = bench::trainedAlexNet(opts);
+    Rng rng(8);
+    auto scratch = dnn::buildAlexNetCifar(rng);
+    const auto test = bench::cifarTestSet(opts);
+    fi::ExperimentConfig fcfg;
+    fcfg.numMaps = opts.maps(4);
+    fcfg.maxTestSamples = opts.samples(200);
+    fi::FaultInjectionRunner runner(net, scratch, test, fcfg);
+    const auto curve = fi::AccuracyCurve::sample(
+        runner, fi::InjectionSpec::allWeights(), 1e-5, 0.3,
+        opts.paper ? 12 : 8);
+    const double target = curve.faultFree() - 0.02;
+    const auto oracle = [&](Volt vddv) {
+        return curve.at(frm.rate(vddv));
+    };
+    Volt v_single{0.60};
+    for (double v = 0.40; v <= 0.62; v += 0.005) {
+        if (oracle(Volt(v)) >= target) {
+            v_single = Volt(v);
+            break;
+        }
+    }
+    const double single_energy =
+        sc.singleSupplyDynamic(w, v_single).total().value();
+    RunningStats single_savings, dual_iso_savings;
+    for (Volt vdd : {0.34_V, 0.38_V, 0.40_V, 0.42_V, 0.44_V, 0.46_V}) {
+        const auto op = explorer.isoAccuracyPoint(vdd, target, oracle, w);
+        if (!op)
+            continue;
+        single_savings.add(1.0 -
+                           op->boostedEnergy.value() / single_energy);
+        dual_iso_savings.add(1.0 - op->boostedEnergy.value() /
+                                       op->dualEnergy.value());
+    }
+
+    // Leakage savings and booster overhead for the 36-macro chip.
+    energy::SupplyConfigurator sc18(ctx.tech, ctx.design, 18);
+    RunningStats leak_savings;
+    for (Volt vdd : bench::vlvGrid()) {
+        const Volt vddv4 = sc18.boostedVoltage(vdd, 4);
+        leak_savings.add(
+            1.0 - sc18.boostedLeakagePerCycle(vdd, clock).value() /
+                      sc18.dualSupplyLeakagePerCycle(vddv4, vdd, clock)
+                          .value());
+    }
+    const circuit::EnergyModel em(ctx.tech);
+    const double chip_leak =
+        (em.sramLeakage(0.40_V, 36) + em.peLeakage(0.40_V)).value();
+    const double bc_leak =
+        sc18.booster().leakagePower(0.40_V).value() * 18;
+
+    accel::DanteChip chip(accel::DanteConfig::fromTable1(), ctx.tech,
+                          ctx.failure);
+
+    Table t({"headline", "measured", "paper"});
+    t.addRow({"AlexNet dynamic savings vs dual at Vddv4",
+              Table::pct(vddv4_savings.mean()) + " (max " +
+                  Table::pct(vddv4_savings.max()) + ")",
+              "26% (on average)"});
+    t.addRow({"AlexNet dynamic savings vs dual, all levels",
+              Table::pct(all_savings.mean()), "19%"});
+    t.addRow({"iso-accuracy savings vs single supply",
+              Table::pct(single_savings.mean()), "30%"});
+    t.addRow({"iso-accuracy savings vs dual supply",
+              Table::pct(dual_iso_savings.mean()), "17%"});
+    t.addRow({"leakage savings vs dual (0.34-0.5 V)",
+              Table::pct(leak_savings.mean()), "32%"});
+    t.addRow({"booster leakage overhead",
+              Table::pct(bc_leak / chip_leak), "6%"});
+    t.addRow({"peak boost ratio at 0.8 V",
+              Table::pct(sc.booster().boostDelta(0.80_V, 4).value() /
+                         0.8),
+              "up to 50%"});
+    t.addRow({"booster area per macro",
+              Table::num(chip.boosterArea().value() / 1e6 / 36, 4) +
+                  " mm^2",
+              "0.0039 mm^2"});
+    bench::emit("Headline numbers vs the paper", t, opts);
+    return 0;
+}

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Google-benchmark micro-benchmarks of the simulator's hot paths:
+ * fault-map evaluation, buffer corruption, the GEMM kernel, the
+ * booster solver, bank reads through the faulty path, and a full FC
+ * inference. These quantify simulator throughput (not chip
+ * performance) so users can size their Monte-Carlo budgets.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "circuit/booster.hpp"
+#include "core/context.hpp"
+#include "dnn/tensor.hpp"
+#include "dnn/zoo.hpp"
+#include "sram/fault_map.hpp"
+#include "sram/sram_bank.hpp"
+
+namespace {
+
+using namespace vboost;
+
+void
+BM_FaultMapQuery(benchmark::State &state)
+{
+    sram::VulnerabilityMap map(1, 0);
+    std::uint64_t cell = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(map.isFaulty(cell++, 0.01));
+    }
+}
+BENCHMARK(BM_FaultMapQuery);
+
+void
+BM_CorruptWords(benchmark::State &state)
+{
+    sram::VulnerabilityMap map(1, 0);
+    Rng rng(2);
+    std::vector<std::int16_t> words(
+        static_cast<std::size_t>(state.range(0)), 0x1234);
+    for (auto _ : state) {
+        auto copy = words;
+        benchmark::DoNotOptimize(
+            sram::corruptWords(copy, map, 0, {0.01, 0.5}, rng));
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0) * 16);
+}
+BENCHMARK(BM_CorruptWords)->Arg(1024)->Arg(65536);
+
+void
+BM_Gemm(benchmark::State &state)
+{
+    const int n = static_cast<int>(state.range(0));
+    Rng rng(3);
+    const auto a =
+        dnn::Tensor::randn({n, n}, rng, 1.0);
+    const auto b =
+        dnn::Tensor::randn({n, n}, rng, 1.0);
+    dnn::Tensor c({n, n});
+    for (auto _ : state) {
+        dnn::gemm(a.data(), b.data(), c.data(), n, n, n);
+        benchmark::DoNotOptimize(c.data());
+    }
+    state.SetItemsProcessed(state.iterations() * 2ll * n * n * n);
+}
+BENCHMARK(BM_Gemm)->Arg(64)->Arg(256);
+
+void
+BM_BoosterSolve(benchmark::State &state)
+{
+    const auto tech = circuit::TechnologyParams::default14nm();
+    circuit::BoosterBank bank(
+        circuit::BoosterDesign::standardConfig().scaled(2),
+        tech.macroArrayCap * 2 + tech.fixedParasiticCap, tech);
+    double v = 0.34;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(bank.boostedVoltage(Volt(v), 4));
+        v = v < 0.8 ? v + 1e-4 : 0.34;
+    }
+}
+BENCHMARK(BM_BoosterSolve);
+
+void
+BM_BankFaultyRead(benchmark::State &state)
+{
+    const auto tech = circuit::TechnologyParams::default14nm();
+    sram::SramBank bank(0, circuit::BoosterDesign::standardConfig(),
+                        tech, sram::FailureRateModel{}, 16);
+    bank.setBoostLevel(2);
+    sram::VulnerabilityMap map(1, 0);
+    Rng rng(4);
+    std::uint32_t addr = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            bank.read(addr, Volt(0.42), map, rng));
+        addr = (addr + 1) % sram::SramBank::kWords;
+    }
+}
+BENCHMARK(BM_BankFaultyRead);
+
+void
+BM_FcInference(benchmark::State &state)
+{
+    Rng rng(5);
+    auto net = dnn::buildMnistFc(rng);
+    const auto x = dnn::Tensor::randn({8, 784}, rng, 1.0);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(net.forward(x));
+    }
+    state.SetItemsProcessed(state.iterations() * 8 * 339968);
+}
+BENCHMARK(BM_FcInference);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Table 1 reproduction: the Dante chip configuration, printed from the
+ * live chip model (so the numbers are what the simulator actually
+ * uses), plus derived quantities: total macro count, booster area per
+ * macro, and chip leakage across the operating range.
+ */
+
+#include "accel/dante.hpp"
+#include "bench_util.hpp"
+#include "common/logging.hpp"
+#include "core/context.hpp"
+
+using namespace vboost;
+
+int
+main(int argc, char **argv)
+{
+    const auto opts = bench::BenchOptions::parse(argc, argv);
+    setQuiet(!opts.paper);
+
+    const auto ctx = core::SimContext::standard();
+    accel::DanteChip chip(accel::DanteConfig::fromTable1(), ctx.tech,
+                          ctx.failure);
+    const auto &cfg = chip.config();
+
+    Table t({"parameter", "value"});
+    t.addRow({"Chip dimensions",
+              Table::num(cfg.chipArea.value() / 1e6, 2) +
+                  " mm^2 (2.05 mm x 1.13 mm, 14 nm)"});
+    t.addRow({"Weight memory",
+              std::to_string(cfg.weightBytes() / 1024) + " KB (" +
+                  std::to_string(cfg.weightBanks) + " banks)"});
+    t.addRow({"Input memory",
+              std::to_string(cfg.inputBytes() / 1024) + " KB (" +
+                  std::to_string(cfg.inputBanks) + " banks)"});
+    t.addRow({"SRAM macros", std::to_string(cfg.totalMacros()) +
+                                 " x 4 KB (512 x 64 bit)"});
+    t.addRow({"Target frequency",
+              Table::num(cfg.frequencyAt(0.80_V).value() / 1e6, 0) +
+                  " MHz at 0.8 V / " +
+                  Table::num(cfg.frequencyAt(0.50_V).value() / 1e6, 0) +
+                  " MHz at <= 0.5 V"});
+    t.addRow({"Target voltage range",
+              Table::num(cfg.vMin.value(), 2) + " V to " +
+                  Table::num(cfg.vMax.value(), 2) + " V"});
+    t.addRow({"Booster configuration",
+              "programmable, " + std::to_string(cfg.boostLevels) +
+                  " levels per bank"});
+    t.addRow({"Booster area",
+              Table::num(chip.boosterArea().value() / 1e6 /
+                             cfg.totalMacros(),
+                         4) +
+                  " mm^2 per SRAM macro"});
+    t.addRow({"MIM capacitance", "40 pF per SRAM macro"});
+    bench::emit("Table 1: Dante configuration (from the chip model)", t,
+                opts);
+
+    Table l({"Vdd (V)", "chip leakage (uW)", "frequency (MHz)"});
+    for (Volt v : {0.34_V, 0.40_V, 0.50_V, 0.65_V, 0.80_V}) {
+        l.addRow({Table::num(v.value(), 2),
+                  Table::num(chip.leakagePower(v).value() * 1e6, 1),
+                  Table::num(cfg.frequencyAt(v).value() / 1e6, 0)});
+    }
+    bench::emit("Derived: leakage and frequency across the range", l,
+                opts);
+    return 0;
+}

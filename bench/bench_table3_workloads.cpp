@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Table 3 reproduction: workload characteristics (dataflow, type and
+ * SRAM-access-per-MAC ratio) for the MNIST FC-DNN under the DANA
+ * dataflow and AlexNet's conv stack under Eyeriss Row Stationary, with
+ * the per-layer breakdown behind the totals.
+ */
+
+#include "accel/dataflow.hpp"
+#include "bench_util.hpp"
+#include "common/logging.hpp"
+#include "dnn/zoo.hpp"
+
+using namespace vboost;
+
+int
+main(int argc, char **argv)
+{
+    const auto opts = bench::BenchOptions::parse(argc, argv);
+    setQuiet(!opts.paper);
+
+    const accel::DanaFcModel dana;
+    const accel::EyerissRsModel rs;
+    const auto fc_layers =
+        dana.networkActivity(dnn::mnistFcLayerSizes());
+    const auto conv_layers =
+        rs.networkActivity(dnn::alexNetImageNetConvDims());
+    const auto fc_total = accel::totalActivity(fc_layers);
+    const auto conv_total = accel::totalActivity(conv_layers);
+
+    Table t({"Workload", "Dataflow", "Type", "SRAMAcc/MAC Ops",
+             "paper"});
+    t.addRow({"MNIST", "DANA", "4 Fully Connected Layers",
+              Table::pct(fc_total.accessRatio()), "75%"});
+    t.addRow({"AlexNet for CIFAR-10", "Eyeriss Row Stationary",
+              "5 Conv layers", Table::pct(conv_total.accessRatio(), 2),
+              "1.67%"});
+    bench::emit("Table 3: workload characteristics", t, opts);
+
+    Table fc({"FC layer", "MACs", "weight acc", "input acc", "psum acc",
+              "ratio"});
+    const auto sizes = dnn::mnistFcLayerSizes();
+    for (std::size_t l = 0; l < fc_layers.size(); ++l) {
+        fc.addRow({std::to_string(sizes[l]) + "x" +
+                       std::to_string(sizes[l + 1]),
+                   std::to_string(fc_layers[l].macs),
+                   std::to_string(fc_layers[l].weightAccesses),
+                   std::to_string(fc_layers[l].inputAccesses),
+                   std::to_string(fc_layers[l].psumAccesses),
+                   Table::pct(fc_layers[l].accessRatio())});
+    }
+    bench::emit("Table 3 detail: DANA FC per-layer activity", fc, opts);
+
+    Table cv({"conv layer", "MACs (M)", "ifmap acc (M)",
+              "filter acc (M)", "psum acc (M)", "ratio"});
+    for (std::size_t l = 0; l < conv_layers.size(); ++l) {
+        const auto &a = conv_layers[l];
+        cv.addRow({"conv" + std::to_string(l + 1),
+                   Table::num(static_cast<double>(a.macs) / 1e6, 1),
+                   Table::num(static_cast<double>(a.inputAccesses) / 1e6,
+                              2),
+                   Table::num(static_cast<double>(a.weightAccesses) /
+                                  1e6,
+                              2),
+                   Table::num(static_cast<double>(a.psumAccesses) / 1e6,
+                              2),
+                   Table::pct(a.accessRatio(), 2)});
+    }
+    bench::emit("Table 3 detail: Eyeriss RS per-layer global-buffer "
+                "activity",
+                cv, opts);
+    return 0;
+}

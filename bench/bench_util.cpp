@@ -1,0 +1,132 @@
+#include "bench_util.hpp"
+
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+
+#include "common/logging.hpp"
+#include "dnn/quantize.hpp"
+#include "dnn/serialize.hpp"
+#include "dnn/trainer.hpp"
+#include "dnn/zoo.hpp"
+
+namespace vboost::bench {
+
+BenchOptions
+BenchOptions::parse(int argc, char **argv)
+{
+    BenchOptions opts;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--paper") == 0) {
+            opts.paper = true;
+        } else if (std::strcmp(argv[i], "--csv") == 0 && i + 1 < argc) {
+            opts.csvPath = argv[++i];
+        } else if (std::strcmp(argv[i], "--cache") == 0 && i + 1 < argc) {
+            opts.cacheDir = argv[++i];
+        } else if (std::strcmp(argv[i], "--help") == 0) {
+            std::cout << "options: [--paper] [--csv <path|->] "
+                         "[--cache <dir>]\n";
+            std::exit(0);
+        } else {
+            fatal("unknown bench option: ", argv[i]);
+        }
+    }
+    return opts;
+}
+
+void
+emit(const std::string &title, const Table &table, const BenchOptions &opts)
+{
+    std::cout << "\n== " << title << " ==\n";
+    table.print(std::cout);
+    if (opts.csvPath == "-") {
+        table.printCsv(std::cout);
+    } else if (!opts.csvPath.empty()) {
+        std::ofstream out(opts.csvPath, std::ios::app);
+        out << "# " << title << '\n';
+        table.printCsv(out);
+    }
+}
+
+namespace {
+
+/** Train (or load) a model and clip it for int16 deployment. */
+dnn::Network
+cachedModel(const BenchOptions &opts, const std::string &name,
+            dnn::Network net, const dnn::Dataset &train_set,
+            const dnn::TrainConfig &cfg)
+{
+    std::filesystem::create_directories(opts.cacheDir);
+    const std::string path = opts.cacheDir + "/" + name + ".bin";
+    if (loadParameters(net, path))
+        return net;
+    inform("training ", name, " (cached at ", path, ")");
+    dnn::SgdTrainer trainer(cfg);
+    Rng rng(2024);
+    trainer.train(net, train_set, rng);
+    dnn::clipParameters(net, 0.5f);
+    saveParameters(net, path);
+    return net;
+}
+
+} // namespace
+
+dnn::Network
+trainedMnistFc(const BenchOptions &opts)
+{
+    Rng rng(7);
+    auto net = dnn::buildMnistFc(rng);
+    const auto train = dnn::makeSyntheticMnist(4000, 1);
+    dnn::TrainConfig cfg;
+    cfg.epochs = 6;
+    return cachedModel(opts, "mnist_fc", std::move(net), train, cfg);
+}
+
+dnn::Dataset
+mnistTestSet(const BenchOptions &opts)
+{
+    return dnn::makeSyntheticMnist(
+        static_cast<int>(opts.samples(1000)), 2);
+}
+
+dnn::Network
+trainedAlexNet(const BenchOptions &opts)
+{
+    Rng rng(7);
+    auto net = dnn::buildAlexNetCifar(rng);
+    const auto train =
+        dnn::makeSyntheticCifar(opts.paper ? 3000 : 1500, 1);
+    dnn::TrainConfig cfg;
+    cfg.epochs = 3;
+    cfg.learningRate = 0.05;
+    return cachedModel(opts, "alexnet_cifar", std::move(net), train, cfg);
+}
+
+dnn::Dataset
+cifarTestSet(const BenchOptions &opts)
+{
+    return dnn::makeSyntheticCifar(
+        static_cast<int>(opts.samples(300)), 2);
+}
+
+std::vector<Volt>
+vlvGrid()
+{
+    return {0.34_V, 0.38_V, 0.42_V, 0.46_V, 0.50_V};
+}
+
+std::vector<Volt>
+wideGrid()
+{
+    return {0.34_V, 0.36_V, 0.38_V, 0.40_V, 0.42_V, 0.44_V,
+            0.46_V, 0.48_V, 0.50_V, 0.55_V, 0.60_V};
+}
+
+std::vector<Volt>
+highGrid()
+{
+    return {0.50_V, 0.55_V, 0.60_V, 0.65_V, 0.70_V, 0.75_V, 0.80_V};
+}
+
+} // namespace vboost::bench

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Shared infrastructure for the figure/table benches: command-line
+ * options (--paper scales the Monte-Carlo effort up to the paper's
+ * settings, --csv dumps machine-readable output), cached trained
+ * models (train once, reuse across benches via a parameter file in
+ * ./bench_cache), and the standard voltage grids of the evaluation.
+ */
+
+#ifndef VBOOST_BENCH_BENCH_UTIL_HPP
+#define VBOOST_BENCH_BENCH_UTIL_HPP
+
+#include <string>
+#include <vector>
+
+#include "common/table.hpp"
+#include "common/units.hpp"
+#include "dnn/dataset.hpp"
+#include "dnn/network.hpp"
+
+namespace vboost::bench {
+
+/** Parsed bench options. */
+struct BenchOptions
+{
+    /** Paper-scale Monte Carlo (100 maps, full test sets). */
+    bool paper = false;
+    /** Optional CSV output path ("-" = stdout after the table). */
+    std::string csvPath;
+    /** Cache directory for trained model parameters. */
+    std::string cacheDir = "bench_cache";
+
+    /** Parse argv; recognizes --paper, --csv <path>, --cache <dir>. */
+    static BenchOptions parse(int argc, char **argv);
+
+    /** Monte-Carlo fault maps to run (paper: 100). */
+    int maps(int fast_default = 10) const
+    { return paper ? 100 : fast_default; }
+
+    /** Test samples to evaluate (paper: 5000 for MNIST). */
+    std::size_t samples(std::size_t fast_default = 400) const
+    { return paper ? 5000 : fast_default; }
+};
+
+/** Print a titled table, and CSV when requested. */
+void emit(const std::string &title, const Table &table,
+          const BenchOptions &opts);
+
+/**
+ * The paper's FC-DNN (784-256-256-256-32) trained on synthetic MNIST
+ * and clipped for deployment; cached under opts.cacheDir.
+ */
+dnn::Network trainedMnistFc(const BenchOptions &opts);
+
+/** Held-out synthetic MNIST test set. */
+dnn::Dataset mnistTestSet(const BenchOptions &opts);
+
+/** The 5-conv AlexNet-for-CIFAR, trained and clipped; cached. */
+dnn::Network trainedAlexNet(const BenchOptions &opts);
+
+/** Held-out synthetic CIFAR test set. */
+dnn::Dataset cifarTestSet(const BenchOptions &opts);
+
+/** VLV supply grid 0.34-0.50 V (the paper's Figs. 13-15 x-axis). */
+std::vector<Volt> vlvGrid();
+
+/** Wide grid 0.34-0.60 V for the BER/accuracy curves (Figs. 1, 2, 7). */
+std::vector<Volt> wideGrid();
+
+/** High-voltage grid 0.5-0.8 V (Figs. 8 right, 9). */
+std::vector<Volt> highGrid();
+
+} // namespace vboost::bench
+
+#endif // VBOOST_BENCH_BENCH_UTIL_HPP

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Quickstart: the smallest useful tour of the vboost API.
+ *
+ * Builds the paper's standard 4-level booster for one SRAM bank,
+ * asks it for boosted voltages and per-event energies, converts
+ * voltages to bit failure rates with the calibrated failure model,
+ * and compares the three supply configurations (single / boosted /
+ * dual-LDO) on a toy workload using the paper's energy equations.
+ *
+ * Build & run:  ./build/examples/quickstart
+ */
+
+#include <iostream>
+
+#include "core/context.hpp"
+#include "energy/supply_config.hpp"
+#include "sram/failure_model.hpp"
+
+using namespace vboost;
+
+int
+main()
+{
+    // One bundle of technology constants, failure-rate calibration and
+    // the standard booster design (4 cells x 64 inverters + 10 pF MIM
+    // per macro).
+    const auto ctx = core::SimContext::standard();
+
+    // A 16-bank (128 KB) boosted memory, as in the Dante weight memory.
+    energy::SupplyConfigurator supply(ctx.tech, ctx.design, 16);
+    const sram::FailureRateModel failures(ctx.failure);
+
+    const Volt vdd{0.40}; // very-low-voltage chip supply
+
+    std::cout << "Boost levels at Vdd = " << vdd.value() << " V:\n";
+    for (int level = 0; level <= supply.levels(); ++level) {
+        const Volt vddv = supply.boostedVoltage(vdd, level);
+        std::cout << "  level " << level << ": Vddv = " << vddv.value()
+                  << " V, bit failure rate = " << failures.rate(vddv)
+                  << ", boost energy/access = "
+                  << supply.booster().boostEventEnergy(vdd, level).value() *
+                         1e15
+                  << " fJ\n";
+    }
+
+    // A compute-dominated workload (AlexNet-like: 1.7 memory accesses
+    // per 100 MACs).
+    const energy::Workload workload{17000, 1000000};
+    const Volt vddv4 = supply.boostedVoltage(vdd, 4);
+
+    const auto single = supply.singleSupplyDynamic(workload, vddv4);
+    const auto boosted = supply.boostedDynamic(workload, vdd, 4);
+    const auto dual = supply.dualSupplyDynamic(workload, vddv4, vdd);
+
+    std::cout << "\nDynamic energy for 1M MACs (memory reliable at "
+              << vddv4.value() << " V):\n";
+    std::cout << "  single supply @ Vddv : "
+              << single.total().value() * 1e9 << " nJ\n";
+    std::cout << "  dual supply (LDO)    : "
+              << dual.total().value() * 1e9 << " nJ\n";
+    std::cout << "  boosted (this paper) : "
+              << boosted.total().value() * 1e9 << " nJ  ("
+              << (1.0 - boosted.total() / dual.total()) * 100.0
+              << "% below dual)\n";
+
+    // Leakage per cycle at the paper's 50 MHz VLV clock.
+    const Hertz clock = 50.0_MHz;
+    std::cout << "\nLeakage energy per cycle:\n";
+    std::cout << "  single @ Vddv : "
+              << supply.singleSupplyLeakagePerCycle(vddv4, clock).value() *
+                     1e15
+              << " fJ\n";
+    std::cout << "  dual          : "
+              << supply.dualSupplyLeakagePerCycle(vddv4, vdd, clock)
+                         .value() *
+                     1e15
+              << " fJ\n";
+    std::cout << "  boosted       : "
+              << supply.boostedLeakagePerCycle(vdd, clock).value() * 1e15
+              << " fJ\n";
+    return 0;
+}

@@ -1,0 +1,133 @@
+#include "accel/dataflow.hpp"
+
+#include "common/logging.hpp"
+
+namespace vboost::accel {
+
+namespace {
+
+std::uint64_t
+ceilDiv(std::uint64_t a, std::uint64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+} // namespace
+
+double
+LayerActivity::accessRatio() const
+{
+    if (macs == 0)
+        return 0.0;
+    return static_cast<double>(totalAccesses()) / static_cast<double>(macs);
+}
+
+LayerActivity &
+LayerActivity::operator+=(const LayerActivity &o)
+{
+    macs += o.macs;
+    weightAccesses += o.weightAccesses;
+    inputAccesses += o.inputAccesses;
+    psumAccesses += o.psumAccesses;
+    return *this;
+}
+
+DanaFcModel::DanaFcModel(int elems_per_access)
+    : elemsPerAccess_(elems_per_access)
+{
+    if (elems_per_access < 1)
+        fatal("DanaFcModel: elems_per_access must be >= 1");
+}
+
+LayerActivity
+DanaFcModel::layerActivity(int in_features, int out_features) const
+{
+    if (in_features <= 0 || out_features <= 0)
+        fatal("DanaFcModel: layer dimensions must be positive");
+    const auto in = static_cast<std::uint64_t>(in_features);
+    const auto out = static_cast<std::uint64_t>(out_features);
+    const auto e = static_cast<std::uint64_t>(elemsPerAccess_);
+
+    LayerActivity a;
+    a.macs = in * out;
+    // Weights stream once per inference, packed e elements per access.
+    a.weightAccesses = ceilDiv(in * out, e);
+    // Each input element is fetched and broadcast to the e-wide PE
+    // group once per output group (no cross-group input reuse in the
+    // DANA dataflow).
+    a.inputAccesses = in * ceilDiv(out, e);
+    // Partial sums spill/restore once per e MACs (one packed psum
+    // access per accumulation step of the e-wide group).
+    a.psumAccesses = ceilDiv(in * out, e);
+    return a;
+}
+
+std::vector<LayerActivity>
+DanaFcModel::networkActivity(const std::vector<int> &layer_sizes) const
+{
+    if (layer_sizes.size() < 2)
+        fatal("DanaFcModel: at least two layer sizes required");
+    std::vector<LayerActivity> out;
+    for (std::size_t i = 0; i + 1 < layer_sizes.size(); ++i)
+        out.push_back(layerActivity(layer_sizes[i], layer_sizes[i + 1]));
+    return out;
+}
+
+EyerissRsModel::EyerissRsModel(RsArrayConfig cfg) : cfg_(cfg)
+{
+    if (cfg_.peCols < 1 || cfg_.outChannelsPerPass < 1 ||
+        cfg_.inChannelsPerPass < 1) {
+        fatal("EyerissRsModel: array geometry must be positive");
+    }
+}
+
+LayerActivity
+EyerissRsModel::layerActivity(const dnn::ConvLayerDims &dims) const
+{
+    LayerActivity a;
+    a.macs = dims.macs();
+
+    // Pass structure of the RS dataflow:
+    //  - p_oc: passes over output channels; the whole ifmap is re-read
+    //    from the global buffer once per pass.
+    const auto p_oc = ceilDiv(static_cast<std::uint64_t>(dims.outChannels),
+                              static_cast<std::uint64_t>(
+                                  cfg_.outChannelsPerPass));
+    //  - p_h: ofmap-row strips per layer; filters are re-read from the
+    //    global buffer once per strip.
+    const auto p_h = ceilDiv(static_cast<std::uint64_t>(dims.outHeight),
+                             static_cast<std::uint64_t>(cfg_.peCols));
+    //  - p_ic: input-channel tiles; psums spill to the global buffer
+    //    and are read back between consecutive tiles.
+    const auto p_ic = ceilDiv(static_cast<std::uint64_t>(dims.inChannels),
+                              static_cast<std::uint64_t>(
+                                  cfg_.inChannelsPerPass));
+
+    a.inputAccesses = dims.inputs() * p_oc;
+    a.weightAccesses = dims.weights() * p_h;
+    // Write once per tile, read back for all but the first tile.
+    a.psumAccesses = dims.outputs() * (2 * p_ic - 1);
+    return a;
+}
+
+std::vector<LayerActivity>
+EyerissRsModel::networkActivity(
+    const std::vector<dnn::ConvLayerDims> &layers) const
+{
+    std::vector<LayerActivity> out;
+    out.reserve(layers.size());
+    for (const auto &l : layers)
+        out.push_back(layerActivity(l));
+    return out;
+}
+
+LayerActivity
+totalActivity(const std::vector<LayerActivity> &layers)
+{
+    LayerActivity total;
+    for (const auto &l : layers)
+        total += l;
+    return total;
+}
+
+} // namespace vboost::accel

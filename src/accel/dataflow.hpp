@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Dataflow activity models: the SRAM-access and MAC counts that feed
+ * the paper's energy equations (Sec. 5.2, Table 3).
+ *
+ * - DanaFcModel: the DANA fully connected dataflow (paper ref [14]).
+ *   Operands stream through the 64-bit SRAM ports at 4 int16 elements
+ *   per access with no cross-output reuse of fetched weights; weights,
+ *   inputs and partial sums each contribute ~0.25 accesses per MAC,
+ *   reproducing the Table-3 SRAMAcc/MAC ratio of 75% for the MNIST
+ *   FC-DNN.
+ *
+ * - EyerissRsModel: the Eyeriss Row-Stationary dataflow (paper refs
+ *   [17, 18]). Global-buffer traffic is computed from the RS pass
+ *   structure (output-channel passes, ofmap-row strips, input-channel
+ *   tiles); with the default array geometry the AlexNet conv stack
+ *   lands at the Table-3 ratio of ~1.67%.
+ */
+
+#ifndef VBOOST_ACCEL_DATAFLOW_HPP
+#define VBOOST_ACCEL_DATAFLOW_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "dnn/zoo.hpp"
+
+namespace vboost::accel {
+
+/** Activity of one layer under some dataflow. */
+struct LayerActivity
+{
+    /** Multiply-accumulate operations. */
+    std::uint64_t macs = 0;
+    /** On-chip SRAM accesses for weights (reads). */
+    std::uint64_t weightAccesses = 0;
+    /** On-chip SRAM accesses for input activations. */
+    std::uint64_t inputAccesses = 0;
+    /** On-chip SRAM accesses for partial sums / outputs. */
+    std::uint64_t psumAccesses = 0;
+
+    /** Total SRAM accesses. */
+    std::uint64_t totalAccesses() const
+    { return weightAccesses + inputAccesses + psumAccesses; }
+
+    /** SRAMAcc / MAC ratio (Table 3). */
+    double accessRatio() const;
+
+    LayerActivity &operator+=(const LayerActivity &o);
+};
+
+/** DANA-style fully connected dataflow activity model. */
+class DanaFcModel
+{
+  public:
+    /** @param elems_per_access int16 elements per 64-bit SRAM access. */
+    explicit DanaFcModel(int elems_per_access = 4);
+
+    /** Activity of one FC layer [in x out] for a single inference. */
+    LayerActivity layerActivity(int in_features, int out_features) const;
+
+    /** Activity of a full FC network given its layer sizes
+     *  (e.g. {784, 256, 256, 256, 32}). */
+    std::vector<LayerActivity>
+    networkActivity(const std::vector<int> &layer_sizes) const;
+
+  private:
+    int elemsPerAccess_;
+};
+
+/** Geometry of the Row-Stationary PE array / tiling. */
+struct RsArrayConfig
+{
+    /** PE columns: ofmap rows computed per strip pass. */
+    int peCols = 14;
+    /** Output channels computed per pass over the ifmap. */
+    int outChannelsPerPass = 32;
+    /** Input channels accumulated in the PE array per psum pass. */
+    int inChannelsPerPass = 16;
+};
+
+/** Eyeriss Row-Stationary global-buffer activity model. */
+class EyerissRsModel
+{
+  public:
+    explicit EyerissRsModel(RsArrayConfig cfg = {});
+
+    /** Global-buffer activity of one conv layer, single inference. */
+    LayerActivity layerActivity(const dnn::ConvLayerDims &dims) const;
+
+    /** Per-layer activity for a conv stack. */
+    std::vector<LayerActivity>
+    networkActivity(const std::vector<dnn::ConvLayerDims> &layers) const;
+
+    const RsArrayConfig &config() const { return cfg_; }
+
+  private:
+    RsArrayConfig cfg_;
+};
+
+/** Sum a per-layer activity vector. */
+LayerActivity totalActivity(const std::vector<LayerActivity> &layers);
+
+} // namespace vboost::accel
+
+#endif // VBOOST_ACCEL_DATAFLOW_HPP

@@ -1,0 +1,118 @@
+#include "accel/perf_model.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+
+namespace vboost::accel {
+
+PerformanceModel::PerformanceModel(const core::SimContext &ctx,
+                                   int num_banks, PerfConfig cfg)
+    : supply_(ctx.tech, ctx.design, num_banks), latency_(ctx.tech),
+      cfg_(cfg), numBanks_(num_banks)
+{
+    if (cfg_.numPes < 1 || cfg_.memPorts < 1)
+        fatal("PerformanceModel: resources must be positive");
+}
+
+Hertz
+PerformanceModel::logicFrequency(Volt v) const
+{
+    const Volt knee{0.5};
+    const Volt vmax{0.8};
+    if (v <= knee)
+        return cfg_.logicFreqLow;
+    const double t =
+        std::min(1.0, (v.value() - knee.value()) /
+                          (vmax.value() - knee.value()));
+    return Hertz(cfg_.logicFreqLow.value() +
+                 t * (cfg_.logicFreqAtNominal.value() -
+                      cfg_.logicFreqLow.value()));
+}
+
+Hertz
+PerformanceModel::maxClock(Volt vdd, int level, SupplyMode mode) const
+{
+    // Logic runs at vdd in Boosted/Dual mode; in Single mode the
+    // shared rail is at the boosted target voltage.
+    const Volt vddv = supply_.boostedVoltage(vdd, level);
+    const Volt logic_v = mode == SupplyMode::Single ? vddv : vdd;
+    const Hertz logic_f = logicFrequency(logic_v);
+
+    // The SRAM must complete an access within a cycle. In Boosted and
+    // Dual modes the array runs at vddv; the periphery stays at the
+    // logic rail for array-level boosting.
+    Second access{0.0};
+    switch (mode) {
+      case SupplyMode::Single:
+        access = latency_.accessTime(vddv);
+        break;
+      case SupplyMode::Boosted:
+        access = latency_.accessTime(vddv, logic_v);
+        break;
+      case SupplyMode::Dual:
+        access = latency_.accessTime(vddv, vddv);
+        break;
+    }
+    const Hertz mem_f(1.0 / access.value());
+    return mem_f < logic_f ? mem_f : logic_f;
+}
+
+PerfResult
+PerformanceModel::evaluate(const LayerActivity &activity, Volt vdd,
+                           int level, SupplyMode mode) const
+{
+    if (level < 0 || level > supply_.levels())
+        fatal("PerformanceModel::evaluate: level out of range");
+    if (activity.macs == 0)
+        fatal("PerformanceModel::evaluate: empty workload");
+
+    PerfResult r;
+    const Volt vddv = supply_.boostedVoltage(vdd, level);
+    const Hertz logic_f = logicFrequency(
+        mode == SupplyMode::Single ? vddv : vdd);
+    r.clock = maxClock(vdd, level, mode);
+    r.memoryLimited = r.clock < logic_f;
+
+    // Cycles: PEs and memory ports operate concurrently; the slower
+    // stream dominates.
+    const std::uint64_t compute_cycles =
+        (activity.macs + static_cast<std::uint64_t>(cfg_.numPes) - 1) /
+        static_cast<std::uint64_t>(cfg_.numPes);
+    const std::uint64_t memory_cycles =
+        (activity.totalAccesses() +
+         static_cast<std::uint64_t>(cfg_.memPorts) - 1) /
+        static_cast<std::uint64_t>(cfg_.memPorts);
+    r.cycles = std::max(compute_cycles, memory_cycles);
+    r.runtime = Second(static_cast<double>(r.cycles) / r.clock.value());
+
+    const energy::Workload w{activity.totalAccesses(), activity.macs};
+    Joule leak_per_cycle{0.0};
+    switch (mode) {
+      case SupplyMode::Single:
+        r.dynamicEnergy = supply_.singleSupplyDynamic(w, vddv).total();
+        leak_per_cycle =
+            supply_.singleSupplyLeakagePerCycle(vddv, r.clock);
+        break;
+      case SupplyMode::Boosted:
+        r.dynamicEnergy = supply_.boostedDynamic(w, vdd, level).total();
+        leak_per_cycle = supply_.boostedLeakagePerCycle(vdd, r.clock);
+        break;
+      case SupplyMode::Dual:
+        r.dynamicEnergy =
+            supply_.dualSupplyDynamic(w, vddv, vdd).total();
+        leak_per_cycle =
+            supply_.dualSupplyLeakagePerCycle(vddv, vdd, r.clock);
+        break;
+    }
+    r.leakageEnergy = leak_per_cycle * static_cast<double>(r.cycles);
+    r.totalEnergy = r.dynamicEnergy + r.leakageEnergy;
+    r.power = power(r.totalEnergy, r.runtime);
+    r.gmacsPerSecond = static_cast<double>(activity.macs) /
+                       r.runtime.value() / 1e9;
+    r.gopsPerWatt = 2.0 * static_cast<double>(activity.macs) /
+                    r.totalEnergy.value() / 1e9;
+    return r;
+}
+
+} // namespace vboost::accel

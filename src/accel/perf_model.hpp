@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Throughput / energy-efficiency model: the "operations per second
+ * per watt" view the paper's introduction motivates. Combines the
+ * dataflow activity counts, the supply-configuration energy equations,
+ * the leakage model and the latency model into end-to-end runtime,
+ * power and GOPS/W for a workload at an operating point — including
+ * the SRAM-latency clock ceiling of Sec. 3.3.2 (at high voltages the
+ * unboosted SRAM access limits single-cycle operation; boosting the
+ * array raises the achievable clock).
+ */
+
+#ifndef VBOOST_ACCEL_PERF_MODEL_HPP
+#define VBOOST_ACCEL_PERF_MODEL_HPP
+
+#include "accel/dataflow.hpp"
+#include "circuit/latency.hpp"
+#include "core/context.hpp"
+#include "energy/supply_config.hpp"
+
+namespace vboost::accel {
+
+/** How the chip's rails are provisioned. */
+enum class SupplyMode
+{
+    /** One rail for logic and SRAM (at the memory-reliable voltage). */
+    Single,
+    /** Logic at Vdd, SRAM boosted per access (this paper). */
+    Boosted,
+    /** SRAM rail at Vddv, logic rail LDO-derived at Vdd. */
+    Dual,
+};
+
+/** Execution-resource description. */
+struct PerfConfig
+{
+    /** Parallel multiply-accumulate units. */
+    int numPes = 8;
+    /** Concurrent SRAM ports (accesses per cycle). */
+    int memPorts = 2;
+    /** Logic frequency at the nominal 0.8 V point. */
+    Hertz logicFreqAtNominal{330e6};
+    /** Logic frequency at and below 0.5 V (Table 1). */
+    Hertz logicFreqLow{50e6};
+};
+
+/** One evaluated operating point. */
+struct PerfResult
+{
+    /** Clock actually used (logic limit vs SRAM-access limit). */
+    Hertz clock{0.0};
+    /** True when the SRAM access time, not the logic, set the clock. */
+    bool memoryLimited = false;
+    /** Total cycles for the workload. */
+    std::uint64_t cycles = 0;
+    /** Wall-clock runtime. */
+    Second runtime{0.0};
+    /** Dynamic energy (paper Eqs. 2/3/6). */
+    Joule dynamicEnergy{0.0};
+    /** Leakage energy over the runtime (Eqs. 4/7 x cycles). */
+    Joule leakageEnergy{0.0};
+    /** Total energy. */
+    Joule totalEnergy{0.0};
+    /** Average power. */
+    Watt power{0.0};
+    /** Throughput in giga-MACs per second. */
+    double gmacsPerSecond = 0.0;
+    /** Energy efficiency in GOPS/W (2 ops per MAC). */
+    double gopsPerWatt = 0.0;
+};
+
+/** End-to-end performance/efficiency evaluator. */
+class PerformanceModel
+{
+  public:
+    /**
+     * @param ctx shared study configuration.
+     * @param num_banks banks in the on-chip memory.
+     * @param cfg execution resources.
+     */
+    PerformanceModel(const core::SimContext &ctx, int num_banks,
+                     PerfConfig cfg = {});
+
+    /**
+     * Evaluate a workload at an operating point.
+     *
+     * @param activity total activity (MACs + SRAM accesses).
+     * @param vdd logic supply (Single mode: the shared rail).
+     * @param level boost level (Boosted mode) or the level whose Vddv
+     *        sets the SRAM rail (Single/Dual modes); level 0 means
+     *        everything at vdd.
+     * @param mode supply provisioning.
+     */
+    PerfResult evaluate(const LayerActivity &activity, Volt vdd,
+                        int level, SupplyMode mode) const;
+
+    /**
+     * Maximum clock at an operating point: the logic frequency curve
+     * capped by the (possibly boosted) SRAM access time. Boosting
+     * raises this ceiling at high voltages (Sec. 3.3.2).
+     */
+    Hertz maxClock(Volt vdd, int level, SupplyMode mode) const;
+
+    const energy::SupplyConfigurator &supply() const { return supply_; }
+
+  private:
+    /** Logic frequency scaling (Table-1 anchors, linear between). */
+    Hertz logicFrequency(Volt v) const;
+
+    energy::SupplyConfigurator supply_;
+    circuit::LatencyModel latency_;
+    PerfConfig cfg_;
+    int numBanks_;
+};
+
+} // namespace vboost::accel
+
+#endif // VBOOST_ACCEL_PERF_MODEL_HPP

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * The programmable SRAM supply booster (paper Sec. 3): booster cells
+ * made of boost inverters plus a per-cell MIM capacitor, assembled into
+ * a per-bank booster with P programmable levels. The steady-state
+ * boosted voltage follows the charge-share relation of paper Eq. (1):
+ *
+ *     Vb = Vdd * Cb / (Cb + Cmem + Cp)
+ *
+ * where Cb is the enabled boost capacitance, Cmem the memory power-grid
+ * capacitance and Cp the parasitic load on the boosted node.
+ */
+
+#ifndef VBOOST_CIRCUIT_BOOSTER_HPP
+#define VBOOST_CIRCUIT_BOOSTER_HPP
+
+#include <vector>
+
+#include "circuit/tech.hpp"
+#include "common/units.hpp"
+
+namespace vboost::circuit {
+
+/** Physical composition of one booster cell (one programmable step). */
+struct BoosterCellSpec
+{
+    /** Number of boost inverters in the cell. */
+    int numInverters = 64;
+    /** MIM capacitance wired in parallel with the cell's inverters. */
+    Farad mimCap{10.0e-12};
+};
+
+/**
+ * A complete booster design: an ordered column of booster cells.
+ * Enabling the first `level` cells yields boost level `level`; level 0
+ * means boosting disabled (output pinned at Vdd through the pFETs).
+ */
+class BoosterDesign
+{
+  public:
+    /** Build from an explicit cell list. @pre non-empty. */
+    explicit BoosterDesign(std::vector<BoosterCellSpec> cells);
+
+    /**
+     * The paper's *standard* configuration (Sec. 3.2): 4 booster cells,
+     * each with 64 boost inverters and a 10 pF MIM capacitor (40 pF MIM
+     * per macro total, Table 1).
+     */
+    static BoosterDesign standardConfig();
+
+    /** Uniform design: `levels` identical cells. */
+    static BoosterDesign uniform(int levels, int inv_per_cell, Farad mim);
+
+    /**
+     * A boost-inverter-only design (no MIM capacitor), as in the prior
+     * work the paper compares against in Fig. 6 (noMIMBoost-A/B).
+     */
+    static BoosterDesign inverterOnly(int total_inverters, int levels = 1);
+
+    /**
+     * Replicate the design `copies` times per level: a bank spanning N
+     * macros carries N booster columns ganged under one BIC, so each
+     * level contributes N cells' worth of boost capacitance.
+     */
+    BoosterDesign scaled(int copies) const;
+
+    /** Number of programmable levels P. */
+    int levels() const { return static_cast<int>(cells_.size()); }
+
+    /** Boost capacitance Cb with the first `level` cells enabled. */
+    Farad boostCap(int level, const TechnologyParams &tech) const;
+
+    /** Inverters enabled at `level`. */
+    int enabledInverters(int level) const;
+
+    /** Total inverters across all cells. */
+    int totalInverters() const;
+
+    /** Total MIM capacitance across the first `level` cells. */
+    Farad enabledMim(int level) const;
+
+    /** Parasitic load all cells place on the boosted node (all cells
+     *  load the node whether enabled or not). */
+    Farad parasiticLoad(const TechnologyParams &tech) const;
+
+    /** Silicon area of the booster column (inverters + buffers + MIM
+     *  buffers; the MIM plates are free in upper metal). */
+    Area area(const TechnologyParams &tech) const;
+
+    /** Access to the cell list. */
+    const std::vector<BoosterCellSpec> &cells() const { return cells_; }
+
+  private:
+    std::vector<BoosterCellSpec> cells_;
+};
+
+/**
+ * A booster bound to one SRAM bank's power grid: solves the boosted
+ * voltage, per-event energy, leakage and area for that binding.
+ */
+class BoosterBank
+{
+  public:
+    /**
+     * @param design booster composition.
+     * @param load_cap memory-side load (Cmem + fixed parasitics): use
+     *        macroArrayCap (+ macroPeriphCap for macro-level boosting)
+     *        + fixedParasiticCap, times the number of macros on the
+     *        boosted rail.
+     * @param tech technology constants.
+     */
+    BoosterBank(BoosterDesign design, Farad load_cap,
+                const TechnologyParams &tech);
+
+    /** Number of programmable levels P. */
+    int levels() const { return design_.levels(); }
+
+    /**
+     * Boost delta Vb at the given supply and level (paper Eq. 1).
+     * Level 0 returns 0 V. @pre 0 <= level <= levels().
+     */
+    Volt boostDelta(Volt vdd, int level) const;
+
+    /** Boosted supply Vddv = Vdd + Vb. */
+    Volt boostedVoltage(Volt vdd, int level) const;
+
+    /**
+     * Energy dissipated by the booster circuit for one boost event
+     * (one read or write at the given level): drive energy of the
+     * enabled inverters and MIM buffers plus the resistive share of the
+     * charge-shuffle, per DESIGN.md Sec. 4. This is the E(BC, Vdd) term
+     * of paper Eq. (3). Level 0 costs nothing.
+     */
+    Joule boostEventEnergy(Volt vdd, int level) const;
+
+    /** Leakage power of the booster column + BIC at supply vdd. */
+    Watt leakagePower(Volt vdd) const;
+
+    /** Silicon area (booster column + BIC). */
+    Area area() const;
+
+    /** The memory-side load this booster drives. */
+    Farad loadCap() const { return loadCap_; }
+
+    /** The underlying design. */
+    const BoosterDesign &design() const { return design_; }
+
+  private:
+    BoosterDesign design_;
+    Farad loadCap_;
+    TechnologyParams tech_;
+};
+
+} // namespace vboost::circuit
+
+#endif // VBOOST_CIRCUIT_BOOSTER_HPP

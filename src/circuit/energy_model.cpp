@@ -1,0 +1,61 @@
+#include "circuit/energy_model.hpp"
+
+#include <cmath>
+
+#include "common/logging.hpp"
+
+namespace vboost::circuit {
+
+EnergyModel::EnergyModel(const TechnologyParams &tech) : tech_(tech) {}
+
+Joule
+EnergyModel::sramAccessEnergy(Volt v, int num_banks) const
+{
+    if (num_banks < 1)
+        fatal("EnergyModel::sramAccessEnergy: num_banks must be >= 1");
+    if (v <= Volt(0.0))
+        fatal("EnergyModel::sramAccessEnergy: voltage must be positive");
+    // Output mux / routing depth grows with log2(banks).
+    const double mux_levels = std::log2(static_cast<double>(num_banks));
+    const Farad c_eff = tech_.bankAccessCap + tech_.bankMuxCap * mux_levels;
+    return switchingEnergy(c_eff, v);
+}
+
+Joule
+EnergyModel::peOpEnergy(Volt v) const
+{
+    if (v <= Volt(0.0))
+        fatal("EnergyModel::peOpEnergy: voltage must be positive");
+    return switchingEnergy(tech_.peOpCap, v);
+}
+
+double
+EnergyModel::leakageScale(Volt v) const
+{
+    return std::exp((v.value() - tech_.leakageVref.value()) /
+                    tech_.leakageSlope.value());
+}
+
+Watt
+EnergyModel::sramLeakage(Volt v, int num_macros) const
+{
+    if (num_macros < 0)
+        fatal("EnergyModel::sramLeakage: negative macro count");
+    return tech_.sramLeakPerMacroAtVref * (leakageScale(v) * num_macros);
+}
+
+Watt
+EnergyModel::peLeakage(Volt v) const
+{
+    return tech_.peLeakAtVref * leakageScale(v);
+}
+
+Joule
+EnergyModel::leakagePerCycle(Watt p, Hertz clock) const
+{
+    if (clock <= Hertz(0.0))
+        fatal("EnergyModel::leakagePerCycle: clock must be positive");
+    return energyFromPower(p, period(clock));
+}
+
+} // namespace vboost::circuit

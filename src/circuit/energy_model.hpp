@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Per-event dynamic energy and per-component leakage models: the
+ * Spectre/Joules stand-in feeding the paper's energy equations
+ * (2)-(4), (6)-(7). Dynamic events cost E = C_eff * V^2 with effective
+ * capacitances from TechnologyParams; leakage follows an exponential
+ * voltage dependence P(V) = Pref * exp((V - Vref)/Vslope).
+ */
+
+#ifndef VBOOST_CIRCUIT_ENERGY_MODEL_HPP
+#define VBOOST_CIRCUIT_ENERGY_MODEL_HPP
+
+#include "circuit/tech.hpp"
+#include "common/units.hpp"
+
+namespace vboost::circuit {
+
+/** Dynamic-energy and leakage primitives for SRAM banks and PEs. */
+class EnergyModel
+{
+  public:
+    explicit EnergyModel(const TechnologyParams &tech);
+
+    /**
+     * Energy of one access to a banked on-chip memory at array voltage
+     * v. Includes the per-access output-mux/routing cost, which grows
+     * logarithmically with the number of banks (paper Sec. 5.2: "the
+     * energy cost of banked SRAM access also includes the multiplexer
+     * cost").
+     *
+     * @param v voltage on the accessed bank's array.
+     * @param num_banks banks in the memory (>= 1).
+     */
+    Joule sramAccessEnergy(Volt v, int num_banks = 1) const;
+
+    /** Energy of one processing-element operation (MAC + activation
+     *  share) at logic voltage v. */
+    Joule peOpEnergy(Volt v) const;
+
+    /** Leakage power of `num_macros` 4 KB SRAM macros at voltage v. */
+    Watt sramLeakage(Volt v, int num_macros) const;
+
+    /** Leakage power of the PE/control logic at voltage v. */
+    Watt peLeakage(Volt v) const;
+
+    /** Exponential leakage scale factor exp((v - Vref)/Vslope). */
+    double leakageScale(Volt v) const;
+
+    /** Leakage energy per clock cycle for a given power (LE = P/f). */
+    Joule leakagePerCycle(Watt p, Hertz clock) const;
+
+    /** The underlying technology constants. */
+    const TechnologyParams &tech() const { return tech_; }
+
+  private:
+    TechnologyParams tech_;
+};
+
+} // namespace vboost::circuit
+
+#endif // VBOOST_CIRCUIT_ENERGY_MODEL_HPP

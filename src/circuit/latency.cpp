@@ -1,0 +1,57 @@
+#include "circuit/latency.hpp"
+
+#include <cmath>
+
+#include "common/logging.hpp"
+
+namespace vboost::circuit {
+
+LatencyModel::LatencyModel(const TechnologyParams &tech,
+                           double array_fraction)
+    : tech_(tech), arrayFraction_(array_fraction)
+{
+    if (array_fraction <= 0.0 || array_fraction >= 1.0)
+        fatal("LatencyModel: array_fraction must be in (0,1), got ",
+              array_fraction);
+    // Anchor: accessTime(nominalVdd) == accessTimeAtNominal.
+    kNorm_ = 1.0;
+    kNorm_ = tech_.accessTimeAtNominal.value() / rawDelay(tech_.nominalVdd);
+}
+
+double
+LatencyModel::rawDelay(Volt v) const
+{
+    const double vt = tech_.thresholdVoltage.value();
+    if (v.value() <= vt) {
+        fatal("LatencyModel: supply ", v.value(),
+              " V at or below threshold ", vt, " V; no functional access");
+    }
+    return kNorm_ * v.value() / std::pow(v.value() - vt, tech_.alphaPower);
+}
+
+Second
+LatencyModel::accessTime(Volt v) const
+{
+    return Second(rawDelay(v));
+}
+
+Second
+LatencyModel::accessTime(Volt v_array, Volt v_periph) const
+{
+    return Second(arrayFraction_ * rawDelay(v_array) +
+                  (1.0 - arrayFraction_) * rawDelay(v_periph));
+}
+
+double
+LatencyModel::normalized(Volt v, Volt vdd) const
+{
+    return accessTime(v) / accessTime(vdd);
+}
+
+double
+LatencyModel::normalized(Volt v_array, Volt v_periph, Volt vdd) const
+{
+    return accessTime(v_array, v_periph) / accessTime(vdd);
+}
+
+} // namespace vboost::circuit

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * SRAM access-latency model vs supply voltage. Stands in for the
+ * Spectre simulations behind the paper's Fig. 7 (bottom) and Fig. 9:
+ * an alpha-power-law gate delay t(V) = K * V / (V - Vt)^alpha, plus a
+ * two-segment access path (peripheral logic + cell array) so that
+ * array-only and macro-level boosting (Sec. 3.3.2) can be compared.
+ */
+
+#ifndef VBOOST_CIRCUIT_LATENCY_HPP
+#define VBOOST_CIRCUIT_LATENCY_HPP
+
+#include "circuit/tech.hpp"
+#include "common/units.hpp"
+
+namespace vboost::circuit {
+
+/** Alpha-power-law SRAM access latency model. */
+class LatencyModel
+{
+  public:
+    /**
+     * @param tech technology constants (Vt, alpha, nominal anchor).
+     * @param array_fraction fraction of the unboosted access delay
+     *        attributable to the cell array (wordline/bitline/sense);
+     *        the remainder is peripheral logic (decoders, drivers).
+     */
+    explicit LatencyModel(const TechnologyParams &tech,
+                          double array_fraction = 0.6);
+
+    /**
+     * Absolute access time with the whole macro at voltage v.
+     * Diverges as v approaches Vt; v must exceed Vt.
+     */
+    Second accessTime(Volt v) const;
+
+    /**
+     * Access time with the array at `v_array` and the peripheral logic
+     * at `v_periph` (array-level boosting keeps the periphery at Vdd).
+     */
+    Second accessTime(Volt v_array, Volt v_periph) const;
+
+    /** Access time normalized to the unboosted macro at `vdd`. */
+    double normalized(Volt v, Volt vdd) const;
+
+    /** Split-rail access time normalized to the unboosted macro. */
+    double normalized(Volt v_array, Volt v_periph, Volt vdd) const;
+
+    /** Fraction of delay in the array segment. */
+    double arrayFraction() const { return arrayFraction_; }
+
+  private:
+    /** Unit-K alpha-power delay at voltage v. */
+    double rawDelay(Volt v) const;
+
+    TechnologyParams tech_;
+    double arrayFraction_;
+    double kNorm_; // scales rawDelay to accessTimeAtNominal
+};
+
+} // namespace vboost::circuit
+
+#endif // VBOOST_CIRCUIT_LATENCY_HPP

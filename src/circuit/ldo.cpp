@@ -1,0 +1,38 @@
+#include "circuit/ldo.hpp"
+
+#include "common/logging.hpp"
+
+namespace vboost::circuit {
+
+LdoRegulator::LdoRegulator(double current_efficiency)
+    : etaI_(current_efficiency)
+{
+    if (etaI_ <= 0.0 || etaI_ > 1.0)
+        fatal("LdoRegulator: current efficiency must be in (0,1], got ",
+              etaI_);
+}
+
+double
+LdoRegulator::efficiency(Volt vout, Volt vin) const
+{
+    if (vout <= Volt(0.0) || vin <= Volt(0.0))
+        fatal("LdoRegulator::efficiency: voltages must be positive");
+    if (vout > vin)
+        fatal("LdoRegulator::efficiency: vout (", vout.value(),
+              " V) exceeds vin (", vin.value(), " V)");
+    return (vout / vin) * etaI_;
+}
+
+Joule
+LdoRegulator::inputEnergy(Joule load_energy, Volt vout, Volt vin) const
+{
+    return load_energy / efficiency(vout, vin);
+}
+
+Watt
+LdoRegulator::inputPower(Watt load_power, Volt vout, Volt vin) const
+{
+    return load_power / efficiency(vout, vin);
+}
+
+} // namespace vboost::circuit

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Low Drop-Out (LDO) linear regulator model for the dual-supply
+ * baseline (paper Sec. 5.2). An LDO derives a lower logic voltage Vl
+ * from the higher memory supply Vh; its overall efficiency follows
+ * paper Eq. (5): eta = (Vl / Vh) * eta_i, with current efficiency
+ * eta_i ~ 99% for state-of-the-art digital LDOs.
+ */
+
+#ifndef VBOOST_CIRCUIT_LDO_HPP
+#define VBOOST_CIRCUIT_LDO_HPP
+
+#include "common/units.hpp"
+
+namespace vboost::circuit {
+
+/** Analytic LDO efficiency/energy model. */
+class LdoRegulator
+{
+  public:
+    /** @param current_efficiency eta_i in (0, 1]. Default 0.99. */
+    explicit LdoRegulator(double current_efficiency = 0.99);
+
+    /**
+     * Overall efficiency for regulating vin down to vout
+     * (paper Eq. 5). @pre 0 < vout <= vin.
+     */
+    double efficiency(Volt vout, Volt vin) const;
+
+    /**
+     * Energy drawn from the input supply to deliver `load_energy` at
+     * the output: E_in = E_load / eta.
+     */
+    Joule inputEnergy(Joule load_energy, Volt vout, Volt vin) const;
+
+    /** Input power to deliver `load_power` at the output. */
+    Watt inputPower(Watt load_power, Volt vout, Volt vin) const;
+
+    /** The current-efficiency parameter eta_i. */
+    double currentEfficiency() const { return etaI_; }
+
+  private:
+    double etaI_;
+};
+
+} // namespace vboost::circuit
+
+#endif // VBOOST_CIRCUIT_LDO_HPP

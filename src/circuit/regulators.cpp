@@ -1,0 +1,83 @@
+#include "circuit/regulators.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hpp"
+
+namespace vboost::circuit {
+
+namespace {
+
+void
+checkOperatingPoint(Volt vout, Volt vin)
+{
+    if (vout <= Volt(0.0) || vin <= Volt(0.0))
+        fatal("Regulator: voltages must be positive");
+    if (vout > vin)
+        fatal("Regulator: vout (", vout.value(), " V) exceeds vin (",
+              vin.value(), " V)");
+}
+
+} // namespace
+
+Joule
+Regulator::inputEnergy(Joule load, Volt vout, Volt vin) const
+{
+    return load / efficiency(vout, vin);
+}
+
+BuckConverter::BuckConverter(double peak_efficiency)
+    : peakEff_(peak_efficiency)
+{
+    if (peakEff_ <= 0.0 || peakEff_ > 1.0)
+        fatal("BuckConverter: peak efficiency must be in (0,1]");
+}
+
+double
+BuckConverter::efficiency(Volt vout, Volt vin) const
+{
+    checkOperatingPoint(vout, vin);
+    // Mild droop at extreme conversion ratios (switching losses
+    // dominate when the duty cycle is small).
+    const double d = vout / vin;
+    return peakEff_ * (0.9 + 0.1 * d);
+}
+
+SwitchedCapacitorConverter::SwitchedCapacitorConverter(
+    double peak_efficiency, std::vector<double> ratios)
+    : peakEff_(peak_efficiency), ratios_(std::move(ratios))
+{
+    if (peakEff_ <= 0.0 || peakEff_ > 1.0)
+        fatal("SwitchedCapacitorConverter: peak efficiency in (0,1]");
+    if (ratios_.empty())
+        fatal("SwitchedCapacitorConverter: at least one ratio");
+    std::sort(ratios_.begin(), ratios_.end());
+    for (double r : ratios_) {
+        if (r <= 0.0 || r > 1.0)
+            fatal("SwitchedCapacitorConverter: ratios must be in (0,1]");
+    }
+}
+
+double
+SwitchedCapacitorConverter::efficiency(Volt vout, Volt vin) const
+{
+    checkOperatingPoint(vout, vin);
+    const double d = vout / vin;
+    // Intrinsic SC loss: the output can only sit *below* a supported
+    // ratio r, with efficiency (d / r) * peak — equivalent to an LDO
+    // from the ratio's ideal output. Choose the best ratio >= d.
+    double best = 0.0;
+    for (double r : ratios_) {
+        if (r + 1e-12 >= d)
+            best = std::max(best, d / r * peakEff_);
+    }
+    if (best == 0.0) {
+        // d above the largest ratio: unreachable operating point;
+        // model as the top ratio driven into dropout.
+        best = peakEff_ * ratios_.back() / d;
+    }
+    return std::min(best, peakEff_);
+}
+
+} // namespace vboost::circuit

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * The dual-rail regulator alternatives the paper's introduction
+ * surveys and dismisses one by one:
+ *
+ *  - buck converters: up to ~90% efficiency but need off-chip
+ *    inductors (packaging cost, integration limits) [ref 2];
+ *  - fully on-chip switched-capacitor converters: limited to < 80%
+ *    efficiency without deep-trench capacitors, and efficient only
+ *    near their discrete conversion ratios [refs 3-5];
+ *  - LDOs: fully integrated and fine-grained but with efficiency
+ *    proportional to Vout/Vin (circuit/ldo.hpp implements these).
+ *
+ * These models feed the regulator-landscape bench that positions the
+ * paper's boosting against every conventional dual-rail option.
+ */
+
+#ifndef VBOOST_CIRCUIT_REGULATORS_HPP
+#define VBOOST_CIRCUIT_REGULATORS_HPP
+
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace vboost::circuit {
+
+/** Common interface of the dual-rail regulator models. */
+class Regulator
+{
+  public:
+    virtual ~Regulator() = default;
+
+    /** Conversion efficiency for vin -> vout. @pre 0 < vout <= vin. */
+    virtual double efficiency(Volt vout, Volt vin) const = 0;
+
+    /** True when the regulator needs off-chip components. */
+    virtual bool requiresOffChip() const = 0;
+
+    /** Display name. */
+    virtual std::string name() const = 0;
+
+    /** Input energy to deliver `load` at the output. */
+    Joule inputEnergy(Joule load, Volt vout, Volt vin) const;
+};
+
+/**
+ * Inductive buck converter: high, weakly ratio-dependent efficiency,
+ * but inductors live off chip.
+ */
+class BuckConverter : public Regulator
+{
+  public:
+    /** @param peak_efficiency peak efficiency (default 0.90). */
+    explicit BuckConverter(double peak_efficiency = 0.90);
+
+    double efficiency(Volt vout, Volt vin) const override;
+    bool requiresOffChip() const override { return true; }
+    std::string name() const override { return "buck (off-chip L)"; }
+
+  private:
+    double peakEff_;
+};
+
+/**
+ * Fully integrated switched-capacitor converter: efficiency peaks at
+ * its discrete conversion ratios (1/3, 1/2, 2/3, 1) and degrades
+ * linearly with the distance to the nearest ratio (the classic SC
+ * "intrinsic charge-sharing loss"), capped below 80% on a standard
+ * process.
+ */
+class SwitchedCapacitorConverter : public Regulator
+{
+  public:
+    /**
+     * @param peak_efficiency efficiency at an exact ratio (default
+     *        0.78, "< 80%" per the paper's survey).
+     * @param ratios supported conversion ratios.
+     */
+    explicit SwitchedCapacitorConverter(
+        double peak_efficiency = 0.78,
+        std::vector<double> ratios = {1.0 / 3.0, 0.5, 2.0 / 3.0, 1.0});
+
+    double efficiency(Volt vout, Volt vin) const override;
+    bool requiresOffChip() const override { return false; }
+    std::string name() const override { return "switched-capacitor"; }
+
+    /** The supported conversion ratios. */
+    const std::vector<double> &ratios() const { return ratios_; }
+
+  private:
+    double peakEff_;
+    std::vector<double> ratios_;
+};
+
+} // namespace vboost::circuit
+
+#endif // VBOOST_CIRCUIT_REGULATORS_HPP

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Technology parameters for the 14nm-like process model.
+ *
+ * The paper's circuit numbers come from Cadence Spectre/Joules runs on
+ * IBM's 14nm bulk-FinFET node; we do not have those tools, so every
+ * component model in this library (booster, SRAM, PE, leakage, delay)
+ * is an analytic stand-in parameterized by the constants below. Each
+ * constant is calibrated against an anchor the paper states explicitly
+ * (peak boost ~50%, ~50 mV level steps near 0.4 V, 40 pF MIM per macro,
+ * booster area 0.0039 mm^2 per macro, booster leakage ~6% overhead).
+ * DESIGN.md Sec. 4 records the calibration; EXPERIMENTS.md records the
+ * resulting paper-vs-measured shapes.
+ */
+
+#ifndef VBOOST_CIRCUIT_TECH_HPP
+#define VBOOST_CIRCUIT_TECH_HPP
+
+#include "common/units.hpp"
+
+namespace vboost::circuit {
+
+/** Process/design constants consumed by every circuit-level model. */
+struct TechnologyParams
+{
+    // ---- Transistor / delay (alpha-power law) ----
+    /** Effective threshold voltage of the critical SRAM access path. */
+    Volt thresholdVoltage{0.28};
+    /** Velocity-saturation exponent in the alpha-power delay law. */
+    double alphaPower = 1.15;
+    /** Delay scale: absolute access time at the 0.8 V nominal point. */
+    Second accessTimeAtNominal{1.1e-9};
+    /** Nominal supply used to normalize delay/energy curves. */
+    Volt nominalVdd{0.8};
+
+    // ---- Booster component capacitances ----
+    /** Gate-drain coupling capacitance contributed by one boost
+     *  inverter to the boost capacitance Cb (paper Eq. 1). */
+    Farad invCoupleCap{0.53e-15};
+    /** Parasitic drain capacitance one boost inverter adds to the
+     *  boosted node (loads the boost; the Cp term of Eq. 1). */
+    Farad invParasiticCap{0.2e-15};
+    /** Input/buffer capacitance switched per boost event per inverter
+     *  (fully dissipated each event). */
+    Farad invDriveCap{1.0e-15};
+    /** Drive capacitance of the buffer chain for one booster cell's MIM
+     *  capacitor (fully dissipated each event). */
+    Farad mimBufferDriveCap{90.0e-15};
+    /** Fraction of the charge-shared boost energy Cb*Vb*Vdd dissipated
+     *  resistively per event; the remainder is recovered when the
+     *  boosted node relaxes back to Vdd through the pFET. */
+    double chargeShareLossFactor = 0.02;
+    /** Boost-drive swing efficiency: the coupling swing saturates as
+     *  eff(V) = 1 - exp(-(V - boostDriveOffset)/boostDriveScale), so
+     *  boost is slightly sub-linear at very low supplies (weak drive
+     *  near threshold) and approaches the full Eq.-1 value at nominal
+     *  voltage. Matches Fig. 8's superlinear peak-boost growth. */
+    Volt boostDriveOffset{0.05};
+    /** Scale of the boost-drive swing saturation. */
+    Volt boostDriveScale{0.13};
+
+    // ---- SRAM power-grid / access capacitances ----
+    /** Power-grid capacitance of one 32 Kbit (4 KB) macro's cell array:
+     *  the Cmem term of Eq. 1 for array-level boosting. */
+    Farad macroArrayCap{40.0e-12};
+    /** Additional load when the peripheral logic (decoders, sense amps)
+     *  shares the boosted rail (macro-level boosting, Sec. 3.3.2). */
+    Farad macroPeriphCap{12.0e-12};
+    /** Fixed routing parasitic on the boosted node. */
+    Farad fixedParasiticCap{1.0e-12};
+    /** Effective switched capacitance of one 64-bit access to a 64 Kbit
+     *  bank (2 macros), excluding routing. */
+    Farad bankAccessCap{1.2e-12};
+    /** Per-access output-mux / routing adder for a banked memory, per
+     *  doubling of bank count beyond one. */
+    Farad bankMuxCap{0.12e-12};
+
+    // ---- Processing element ----
+    /** Effective switched capacitance of one 16-bit MAC + activation
+     *  share (post-route, Cadence-Joules stand-in). */
+    Farad peOpCap{2.5e-12};
+
+    // ---- Leakage: P(V) = Pref * exp((V - Vref)/Vslope) ----
+    /** Reference voltage at which leakage powers below are specified. */
+    Volt leakageVref{0.5};
+    /** Exponential slope of total leakage vs supply voltage. */
+    Volt leakageSlope{0.38};
+    /** Leakage of one 4 KB SRAM macro at the reference voltage. */
+    Watt sramLeakPerMacroAtVref{2.0e-6};
+    /** Leakage of the PE + control logic at the reference voltage. */
+    Watt peLeakAtVref{20.0e-6};
+    /** Leakage of one macro's booster circuit (cells + BIC) at Vref. */
+    Watt boosterLeakPerMacroAtVref{0.15e-6};
+
+    // ---- Areas (square microns) ----
+    /** One boost inverter plus its share of input buffering. */
+    Area invArea{5.5};
+    /** Buffer chain for one booster cell's MIM capacitor. The MIM plate
+     *  itself lives in upper metal above the macro: zero silicon area
+     *  (Sec. 3.2.2). */
+    Area mimBufferArea{768.0 * 5.5};
+    /** Boost Input Control block, per bank. */
+    Area bicArea{700.0};
+
+    /** Default 14nm-like parameter set used throughout the benches. */
+    static TechnologyParams default14nm() { return TechnologyParams{}; }
+};
+
+} // namespace vboost::circuit
+
+#endif // VBOOST_CIRCUIT_TECH_HPP

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * First-order transient simulator for the boosted supply node Vddv.
+ * Stands in for the Cadence Spectre runs behind the paper's Fig. 4
+ * waveforms: on a boost event the node charge-shares to Vdd + Vb within
+ * a fast RC; when the boost input falls the pFET restores the node to
+ * Vdd. Configuration-bit changes mid-run reproduce the four-step
+ * programmable waveform of Fig. 4.
+ */
+
+#ifndef VBOOST_CIRCUIT_TRANSIENT_HPP
+#define VBOOST_CIRCUIT_TRANSIENT_HPP
+
+#include <vector>
+
+#include "circuit/bic.hpp"
+#include "circuit/booster.hpp"
+#include "common/units.hpp"
+
+namespace vboost::circuit {
+
+/** One sampled point of a transient run. */
+struct WaveformSample
+{
+    Second time{0.0};
+    Volt vddv{0.0};
+    bool boostAsserted = false;
+    int level = 0;
+};
+
+/**
+ * Event-driven RC step simulator for the Vddv node of one bank.
+ * Drive it with a clock pattern and configuration changes; it records
+ * the node voltage at a fixed sample interval.
+ */
+class TransientSim
+{
+  public:
+    /**
+     * @param booster the bank's booster (provides Vb per level).
+     * @param vdd chip supply.
+     * @param boost_tau time constant of the boost rise (charge share
+     *        through the boost buffers).
+     * @param restore_tau time constant of the pFET restore to Vdd.
+     * @param sample_interval waveform sampling period.
+     */
+    TransientSim(const BoosterBank &booster, Volt vdd,
+                 Second boost_tau = Second(80e-12),
+                 Second restore_tau = Second(120e-12),
+                 Second sample_interval = Second(100e-12));
+
+    /** Program the configuration bits (takes effect immediately). */
+    void setConfig(std::uint32_t bits);
+
+    /** Program a boost level (first `level` cells enabled). */
+    void setLevel(int level);
+
+    /**
+     * Advance the simulation with the given control inputs held for a
+     * duration. Samples are appended to the waveform.
+     *
+     * @param cen active-low access enable (false = access).
+     * @param boost_clk boost clock phase.
+     * @param duration how long the inputs are held.
+     */
+    void run(bool cen, bool boost_clk, Second duration);
+
+    /**
+     * Convenience: simulate `cycles` full access cycles at the given
+     * clock frequency (CEN low; Boost_clk high for the first half of
+     * each cycle, low for the second half).
+     */
+    void runAccessCycles(int cycles, Hertz clock);
+
+    /** Current node voltage. */
+    Volt vddv() const { return vddv_; }
+
+    /** Elapsed simulated time. */
+    Second now() const { return now_; }
+
+    /** Sampled waveform so far. */
+    const std::vector<WaveformSample> &waveform() const { return wave_; }
+
+    /** Number of boost (rising Boost_in) events so far. */
+    int boostEvents() const { return boostEvents_; }
+
+  private:
+    void step(Second dt, Volt target);
+    void sampleIfDue();
+
+    const BoosterBank &booster_;
+    BoostInputControl bic_;
+    Volt vdd_;
+    Second boostTau_;
+    Second restoreTau_;
+    Second sampleInterval_;
+    Volt vddv_;
+    Second now_{0.0};
+    Second nextSample_{0.0};
+    bool lastAsserted_ = false;
+    int boostEvents_ = 0;
+    std::vector<WaveformSample> wave_;
+};
+
+} // namespace vboost::circuit
+
+#endif // VBOOST_CIRCUIT_TRANSIENT_HPP

@@ -1,0 +1,39 @@
+#include "common/logging.hpp"
+
+#include <atomic>
+
+namespace vboost {
+
+namespace {
+
+std::atomic<bool> quietFlag{false};
+
+} // namespace
+
+void
+setQuiet(bool quiet)
+{
+    quietFlag.store(quiet, std::memory_order_relaxed);
+}
+
+bool
+isQuiet()
+{
+    return quietFlag.load(std::memory_order_relaxed);
+}
+
+namespace detail {
+
+void
+emit(const char *tag, const std::string &msg)
+{
+    // panic/fatal always print; warn/inform respect the quiet flag.
+    const bool is_error =
+        std::string_view(tag) == "panic" || std::string_view(tag) == "fatal";
+    if (!is_error && isQuiet())
+        return;
+    std::cerr << tag << ": " << msg << std::endl;
+}
+
+} // namespace detail
+} // namespace vboost

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Status and error reporting in the gem5 style: panic() for internal
+ * invariant violations, fatal() for user errors, warn()/inform() for
+ * non-fatal conditions. All functions accept a stream of arguments that
+ * are formatted with operator<<.
+ */
+
+#ifndef VBOOST_COMMON_LOGGING_HPP
+#define VBOOST_COMMON_LOGGING_HPP
+
+#include <iostream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace vboost {
+
+/** Exception thrown by panic(): an internal simulator bug. */
+class PanicError : public std::logic_error
+{
+  public:
+    explicit PanicError(const std::string &msg) : std::logic_error(msg) {}
+};
+
+/** Exception thrown by fatal(): a user/configuration error. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg) : std::runtime_error(msg) {}
+};
+
+namespace detail {
+
+/** Concatenate a pack of arguments using ostream formatting. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream oss;
+    (oss << ... << std::forward<Args>(args));
+    return oss.str();
+}
+
+/** Emit a tagged message on stderr. */
+void emit(const char *tag, const std::string &msg);
+
+} // namespace detail
+
+/**
+ * Report an internal invariant violation. Something that should never
+ * happen regardless of user input. Throws PanicError so tests can assert
+ * on misuse of the library.
+ */
+template <typename... Args>
+[[noreturn]] void
+panic(Args &&...args)
+{
+    std::string msg = detail::concat(std::forward<Args>(args)...);
+    detail::emit("panic", msg);
+    throw PanicError(msg);
+}
+
+/**
+ * Report a condition that prevents continuing and is the caller's fault
+ * (bad configuration, out-of-range request). Throws FatalError.
+ */
+template <typename... Args>
+[[noreturn]] void
+fatal(Args &&...args)
+{
+    std::string msg = detail::concat(std::forward<Args>(args)...);
+    detail::emit("fatal", msg);
+    throw FatalError(msg);
+}
+
+/** Report suspicious but survivable behaviour. */
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    detail::emit("warn", detail::concat(std::forward<Args>(args)...));
+}
+
+/** Report normal operating status. */
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    detail::emit("info", detail::concat(std::forward<Args>(args)...));
+}
+
+/** Globally silence warn()/inform() (used by benches for clean tables). */
+void setQuiet(bool quiet);
+
+/** @return true if warn()/inform() are currently silenced. */
+bool isQuiet();
+
+} // namespace vboost
+
+#endif // VBOOST_COMMON_LOGGING_HPP

@@ -1,0 +1,145 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hpp"
+
+namespace vboost {
+
+void
+RunningStats::add(double x)
+{
+    if (n_ == 0) {
+        min_ = max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+}
+
+double
+RunningStats::mean() const
+{
+    if (n_ == 0)
+        panic("RunningStats::mean on empty accumulator");
+    return mean_;
+}
+
+double
+RunningStats::variance() const
+{
+    if (n_ < 2)
+        return 0.0;
+    return m2_ / static_cast<double>(n_ - 1);
+}
+
+double
+RunningStats::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+double
+RunningStats::min() const
+{
+    if (n_ == 0)
+        panic("RunningStats::min on empty accumulator");
+    return min_;
+}
+
+double
+RunningStats::max() const
+{
+    if (n_ == 0)
+        panic("RunningStats::max on empty accumulator");
+    return max_;
+}
+
+double
+RunningStats::stderrOfMean() const
+{
+    if (n_ == 0)
+        panic("RunningStats::stderrOfMean on empty accumulator");
+    return stddev() / std::sqrt(static_cast<double>(n_));
+}
+
+void
+RunningStats::merge(const RunningStats &other)
+{
+    if (other.n_ == 0)
+        return;
+    if (n_ == 0) {
+        *this = other;
+        return;
+    }
+    // Chan et al. parallel combination of moments.
+    const double na = static_cast<double>(n_);
+    const double nb = static_cast<double>(other.n_);
+    const double delta = other.mean_ - mean_;
+    const double n = na + nb;
+    mean_ += delta * nb / n;
+    m2_ += other.m2_ + delta * delta * na * nb / n;
+    n_ += other.n_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+}
+
+double
+percentile(std::vector<double> samples, double p)
+{
+    if (samples.empty())
+        fatal("percentile: empty sample set");
+    if (p < 0.0 || p > 100.0)
+        fatal("percentile: p must be in [0,100], got ", p);
+    std::sort(samples.begin(), samples.end());
+    if (samples.size() == 1)
+        return samples.front();
+    const double rank = p / 100.0 * static_cast<double>(samples.size() - 1);
+    const auto lo = static_cast<std::size_t>(rank);
+    const auto hi = std::min(lo + 1, samples.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return samples[lo] * (1.0 - frac) + samples[hi] * frac;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0)
+{
+    if (bins == 0)
+        fatal("Histogram: bins must be > 0");
+    if (!(hi > lo))
+        fatal("Histogram: hi must exceed lo");
+}
+
+void
+Histogram::add(double x)
+{
+    const double t = (x - lo_) / (hi_ - lo_);
+    auto idx = static_cast<long>(t * static_cast<double>(counts_.size()));
+    idx = std::clamp<long>(idx, 0, static_cast<long>(counts_.size()) - 1);
+    ++counts_[static_cast<std::size_t>(idx)];
+    ++total_;
+}
+
+std::size_t
+Histogram::binCount(std::size_t i) const
+{
+    if (i >= counts_.size())
+        panic("Histogram::binCount: bin ", i, " out of range");
+    return counts_[i];
+}
+
+double
+Histogram::binLow(std::size_t i) const
+{
+    if (i >= counts_.size())
+        panic("Histogram::binLow: bin ", i, " out of range");
+    return lo_ + (hi_ - lo_) * static_cast<double>(i) /
+                     static_cast<double>(counts_.size());
+}
+
+} // namespace vboost

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Small statistics toolkit for Monte-Carlo experiments: numerically
+ * stable running moments (Welford), percentile summaries, and a
+ * fixed-bin histogram used to report fault-map and accuracy spreads.
+ */
+
+#ifndef VBOOST_COMMON_STATS_HPP
+#define VBOOST_COMMON_STATS_HPP
+
+#include <cstddef>
+#include <vector>
+
+namespace vboost {
+
+/** Streaming mean / variance / extrema via Welford's algorithm. */
+class RunningStats
+{
+  public:
+    /** Accumulate one sample. */
+    void add(double x);
+
+    /** Number of samples accumulated. */
+    std::size_t count() const { return n_; }
+
+    /** Sample mean. @pre count() > 0. */
+    double mean() const;
+
+    /** Unbiased sample variance. Returns 0 when count() < 2. */
+    double variance() const;
+
+    /** Unbiased sample standard deviation. */
+    double stddev() const;
+
+    /** Smallest sample. @pre count() > 0. */
+    double min() const;
+
+    /** Largest sample. @pre count() > 0. */
+    double max() const;
+
+    /** Standard error of the mean (stddev / sqrt(n)). */
+    double stderrOfMean() const;
+
+    /** Merge another accumulator into this one (parallel reduction). */
+    void merge(const RunningStats &other);
+
+  private:
+    std::size_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/**
+ * Percentile of a sample set using linear interpolation between order
+ * statistics. The input is copied and sorted.
+ *
+ * @param samples sample values (non-empty).
+ * @param p percentile in [0, 100].
+ */
+double percentile(std::vector<double> samples, double p);
+
+/** Fixed-width-bin histogram over [lo, hi); out-of-range samples clamp. */
+class Histogram
+{
+  public:
+    /** @pre bins > 0 and hi > lo. */
+    Histogram(double lo, double hi, std::size_t bins);
+
+    /** Accumulate one sample (clamped into the range). */
+    void add(double x);
+
+    /** Count in bin i. */
+    std::size_t binCount(std::size_t i) const;
+
+    /** Lower edge of bin i. */
+    double binLow(std::size_t i) const;
+
+    /** Number of bins. */
+    std::size_t bins() const { return counts_.size(); }
+
+    /** Total samples accumulated. */
+    std::size_t total() const { return total_; }
+
+  private:
+    double lo_, hi_;
+    std::vector<std::size_t> counts_;
+    std::size_t total_ = 0;
+};
+
+} // namespace vboost
+
+#endif // VBOOST_COMMON_STATS_HPP

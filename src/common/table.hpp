@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Result presentation for the bench harness: an ASCII table with
+ * aligned columns (what the benches print to the terminal) and a CSV
+ * writer (what they optionally dump for plotting). Both take rows of
+ * heterogeneous cells that are formatted up front.
+ */
+
+#ifndef VBOOST_COMMON_TABLE_HPP
+#define VBOOST_COMMON_TABLE_HPP
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace vboost {
+
+/** Column-aligned ASCII table builder. */
+class Table
+{
+  public:
+    /** Create a table with the given column headers. */
+    explicit Table(std::vector<std::string> headers);
+
+    /** Append a row; must have exactly as many cells as headers. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Format a double with the given precision (helper for cells). */
+    static std::string num(double v, int precision = 4);
+
+    /** Format a double in scientific notation. */
+    static std::string sci(double v, int precision = 3);
+
+    /** Format a percentage (value 0.17 -> "17.0%"). */
+    static std::string pct(double fraction, int precision = 1);
+
+    /** Render as an aligned ASCII table. */
+    void print(std::ostream &os) const;
+
+    /** Render as CSV (headers + rows). */
+    void printCsv(std::ostream &os) const;
+
+    /** Number of data rows. */
+    std::size_t rows() const { return rows_.size(); }
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace vboost
+
+#endif // VBOOST_COMMON_TABLE_HPP

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Strongly-typed SI quantities for the circuit and energy models. Each
+ * quantity is a tagged double; cross-unit products that the models need
+ * (E = C V^2, P = E / t, Q = C V) are provided as free functions so
+ * dimension errors are caught at compile time.
+ *
+ * Values are stored in base SI units (volts, joules, farads, seconds,
+ * watts, hertz). User-defined literals give the natural magnitudes used
+ * throughout the paper: 0.4_V, 10.0_pF, 50.0_MHz, 1.2_pJ.
+ */
+
+#ifndef VBOOST_COMMON_UNITS_HPP
+#define VBOOST_COMMON_UNITS_HPP
+
+#include <compare>
+
+namespace vboost {
+
+/** Tagged scalar quantity. Tag types are empty structs, one per unit. */
+template <typename Tag>
+class Quantity
+{
+  public:
+    constexpr Quantity() : value_(0.0) {}
+    constexpr explicit Quantity(double v) : value_(v) {}
+
+    /** Magnitude in base SI units. */
+    constexpr double value() const { return value_; }
+
+    constexpr Quantity operator+(Quantity o) const
+    { return Quantity(value_ + o.value_); }
+    constexpr Quantity operator-(Quantity o) const
+    { return Quantity(value_ - o.value_); }
+    constexpr Quantity operator-() const { return Quantity(-value_); }
+    constexpr Quantity operator*(double s) const
+    { return Quantity(value_ * s); }
+    constexpr Quantity operator/(double s) const
+    { return Quantity(value_ / s); }
+
+    /** Ratio of like quantities is dimensionless. */
+    constexpr double operator/(Quantity o) const { return value_ / o.value_; }
+
+    constexpr Quantity &operator+=(Quantity o)
+    { value_ += o.value_; return *this; }
+    constexpr Quantity &operator-=(Quantity o)
+    { value_ -= o.value_; return *this; }
+    constexpr Quantity &operator*=(double s) { value_ *= s; return *this; }
+
+    constexpr auto operator<=>(const Quantity &) const = default;
+
+  private:
+    double value_;
+};
+
+template <typename Tag>
+constexpr Quantity<Tag>
+operator*(double s, Quantity<Tag> q)
+{
+    return q * s;
+}
+
+namespace unit_tags {
+struct VoltTag {};
+struct JouleTag {};
+struct FaradTag {};
+struct SecondTag {};
+struct WattTag {};
+struct HertzTag {};
+struct CoulombTag {};
+struct SquareMicronTag {};
+} // namespace unit_tags
+
+using Volt = Quantity<unit_tags::VoltTag>;
+using Joule = Quantity<unit_tags::JouleTag>;
+using Farad = Quantity<unit_tags::FaradTag>;
+using Second = Quantity<unit_tags::SecondTag>;
+using Watt = Quantity<unit_tags::WattTag>;
+using Hertz = Quantity<unit_tags::HertzTag>;
+using Coulomb = Quantity<unit_tags::CoulombTag>;
+/** Silicon area, stored in square microns (the only non-SI base here). */
+using Area = Quantity<unit_tags::SquareMicronTag>;
+
+/** Switching energy of capacitance c across voltage v: E = c v^2. */
+constexpr Joule
+switchingEnergy(Farad c, Volt v)
+{
+    return Joule(c.value() * v.value() * v.value());
+}
+
+/** Charge on capacitance c at voltage v: Q = c v. */
+constexpr Coulomb
+charge(Farad c, Volt v)
+{
+    return Coulomb(c.value() * v.value());
+}
+
+/** Average power from energy per period: P = E / t. */
+constexpr Watt
+power(Joule e, Second t)
+{
+    return Watt(e.value() / t.value());
+}
+
+/** Energy from power over a duration: E = P t. */
+constexpr Joule
+energyFromPower(Watt p, Second t)
+{
+    return Joule(p.value() * t.value());
+}
+
+/** Clock period of a frequency. */
+constexpr Second
+period(Hertz f)
+{
+    return Second(1.0 / f.value());
+}
+
+inline namespace literals {
+
+constexpr Volt operator""_V(long double v)
+{ return Volt(static_cast<double>(v)); }
+constexpr Volt operator""_mV(long double v)
+{ return Volt(static_cast<double>(v) * 1e-3); }
+constexpr Joule operator""_J(long double v)
+{ return Joule(static_cast<double>(v)); }
+constexpr Joule operator""_pJ(long double v)
+{ return Joule(static_cast<double>(v) * 1e-12); }
+constexpr Joule operator""_fJ(long double v)
+{ return Joule(static_cast<double>(v) * 1e-15); }
+constexpr Farad operator""_F(long double v)
+{ return Farad(static_cast<double>(v)); }
+constexpr Farad operator""_pF(long double v)
+{ return Farad(static_cast<double>(v) * 1e-12); }
+constexpr Farad operator""_fF(long double v)
+{ return Farad(static_cast<double>(v) * 1e-15); }
+constexpr Second operator""_s(long double v)
+{ return Second(static_cast<double>(v)); }
+constexpr Second operator""_ns(long double v)
+{ return Second(static_cast<double>(v) * 1e-9); }
+constexpr Second operator""_ps(long double v)
+{ return Second(static_cast<double>(v) * 1e-12); }
+constexpr Watt operator""_W(long double v)
+{ return Watt(static_cast<double>(v)); }
+constexpr Watt operator""_uW(long double v)
+{ return Watt(static_cast<double>(v) * 1e-6); }
+constexpr Watt operator""_nW(long double v)
+{ return Watt(static_cast<double>(v) * 1e-9); }
+constexpr Hertz operator""_Hz(long double v)
+{ return Hertz(static_cast<double>(v)); }
+constexpr Hertz operator""_MHz(long double v)
+{ return Hertz(static_cast<double>(v) * 1e6); }
+constexpr Hertz operator""_GHz(long double v)
+{ return Hertz(static_cast<double>(v) * 1e9); }
+constexpr Area operator""_um2(long double v)
+{ return Area(static_cast<double>(v)); }
+constexpr Area operator""_mm2(long double v)
+{ return Area(static_cast<double>(v) * 1e6); }
+
+} // namespace literals
+
+} // namespace vboost
+
+#endif // VBOOST_COMMON_UNITS_HPP

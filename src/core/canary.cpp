@@ -1,0 +1,59 @@
+#include "core/canary.hpp"
+
+#include "common/logging.hpp"
+
+namespace vboost::core {
+
+namespace {
+
+/** Canary cells live far above any data region in the cell space. */
+constexpr std::uint64_t kCanaryCellBase = 1ull << 40;
+
+} // namespace
+
+CanaryController::CanaryController(const SimContext &ctx, int num_banks,
+                                   int canaries_per_bank, Volt margin)
+    : supply_(ctx.tech, ctx.design, num_banks), failure_(ctx.failure),
+      canaries_(canaries_per_bank), margin_(margin)
+{
+    if (canaries_per_bank < 1)
+        fatal("CanaryController: at least one canary cell required");
+    if (margin < Volt(0.0))
+        fatal("CanaryController: margin must be non-negative");
+}
+
+int
+CanaryController::observedFailures(Volt vdd, int level,
+                                   const sram::VulnerabilityMap &map) const
+{
+    const Volt vddv = supply_.boostedVoltage(vdd, level);
+    // A canary at Vddv behaves like a real cell at Vddv - margin.
+    const double f = failure_.rate(vddv - margin_);
+    int failures = 0;
+    for (int c = 0; c < canaries_; ++c) {
+        if (map.isFaulty(kCanaryCellBase + static_cast<std::uint64_t>(c),
+                         f)) {
+            ++failures;
+        }
+    }
+    return failures;
+}
+
+std::optional<int>
+CanaryController::chooseLevel(Volt vdd,
+                              const sram::VulnerabilityMap &map) const
+{
+    for (int level = 0; level <= supply_.levels(); ++level) {
+        if (observedFailures(vdd, level, map) == 0)
+            return level;
+    }
+    return std::nullopt;
+}
+
+double
+CanaryController::arrayFailProbAt(Volt vdd, int level) const
+{
+    return failure_.rate(supply_.boostedVoltage(vdd, level));
+}
+
+} // namespace vboost::core

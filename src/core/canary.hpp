@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Canary-based runtime boost control. The paper's related work [22]
+ * deploys in-situ canary circuits to detect approaching SRAM failure
+ * at runtime; combined with this paper's per-bank programmable
+ * booster, canaries close the loop: each bank carries a column of
+ * canary cells engineered to fail at a voltage *margin above* the
+ * real array cells, and the controller raises the bank's boost level
+ * until no canary fails — guaranteeing the array itself operates with
+ * margin, without any offline voltage characterization.
+ */
+
+#ifndef VBOOST_CORE_CANARY_HPP
+#define VBOOST_CORE_CANARY_HPP
+
+#include <optional>
+
+#include "core/context.hpp"
+#include "energy/supply_config.hpp"
+#include "sram/fault_map.hpp"
+
+namespace vboost::core {
+
+/** Runtime boost-level controller driven by canary cells. */
+class CanaryController
+{
+  public:
+    /**
+     * @param ctx study configuration (booster + failure model).
+     * @param num_banks banks in the controlled memory.
+     * @param canaries_per_bank canary cells sampled per decision.
+     * @param margin canary weakening: a canary at effective voltage V
+     *        fails like a real cell at V - margin.
+     */
+    CanaryController(const SimContext &ctx, int num_banks,
+                     int canaries_per_bank = 64, Volt margin = Volt(0.03));
+
+    /**
+     * Number of canary failures observed at (vdd, level) under one
+     * vulnerability map. Canary cells live in a dedicated region of
+     * the map's cell space, disjoint from data cells.
+     */
+    int observedFailures(Volt vdd, int level,
+                         const sram::VulnerabilityMap &map) const;
+
+    /**
+     * The controller's decision: the minimal boost level at which no
+     * canary fails. nullopt when even the top level leaves failing
+     * canaries (the supply is too low to guarantee margin).
+     */
+    std::optional<int> chooseLevel(Volt vdd,
+                                   const sram::VulnerabilityMap &map) const;
+
+    /**
+     * Expected failure probability of the *data* array at the chosen
+     * level (what the canary margin actually buys).
+     */
+    double arrayFailProbAt(Volt vdd, int level) const;
+
+    /** The canary weakening margin. */
+    Volt margin() const { return margin_; }
+
+    /** Canary cells sampled per decision. */
+    int canaries() const { return canaries_; }
+
+  private:
+    energy::SupplyConfigurator supply_;
+    sram::FailureRateModel failure_;
+    int canaries_;
+    Volt margin_;
+};
+
+} // namespace vboost::core
+
+#endif // VBOOST_CORE_CANARY_HPP

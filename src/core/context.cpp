@@ -1,0 +1,64 @@
+#include "core/context.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+
+namespace vboost::core {
+
+SimContext
+SimContext::standard()
+{
+    return SimContext{circuit::TechnologyParams::default14nm(),
+                      sram::FailureRateParams{},
+                      circuit::BoosterDesign::standardConfig()};
+}
+
+int
+BoostConfiguration::maxLevel() const
+{
+    if (layerLevels.empty())
+        return 0;
+    return *std::max_element(layerLevels.begin(), layerLevels.end());
+}
+
+std::vector<BoostConfiguration>
+BoostConfiguration::table2(int num_layers, int levels)
+{
+    if (num_layers < 1 || levels < 1)
+        fatal("BoostConfiguration::table2: invalid dimensions");
+
+    std::vector<BoostConfiguration> out;
+    const auto n = static_cast<std::size_t>(num_layers);
+    for (int p = 1; p <= levels; ++p) {
+        BoostConfiguration c;
+        c.name = "Boost_Vddv" + std::to_string(p);
+        c.layerLevels.assign(n, p);
+        out.push_back(std::move(c));
+    }
+    // Boost_diff1: increasing boost with layer depth; the deepest
+    // layer (closest to the output) gets the highest level.
+    {
+        BoostConfiguration c;
+        c.name = "Boost_diff1";
+        for (int l = 0; l < num_layers; ++l) {
+            const int level = levels - (num_layers - 1 - l);
+            c.layerLevels.push_back(std::clamp(level, 1, levels));
+        }
+        out.push_back(std::move(c));
+    }
+    // Boost_diff2: decreasing boost with depth; the first layer gets
+    // the highest level.
+    {
+        BoostConfiguration c;
+        c.name = "Boost_diff2";
+        for (int l = 0; l < num_layers; ++l) {
+            const int level = levels - l;
+            c.layerLevels.push_back(std::clamp(level, 1, levels));
+        }
+        out.push_back(std::move(c));
+    }
+    return out;
+}
+
+} // namespace vboost::core

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Top-level simulation context: one bundle of the technology,
+ * failure-rate and booster-design choices shared by a whole study, and
+ * the Table-2 boost configurations of the paper's FC-DNN evaluation.
+ */
+
+#ifndef VBOOST_CORE_CONTEXT_HPP
+#define VBOOST_CORE_CONTEXT_HPP
+
+#include <string>
+#include <vector>
+
+#include "circuit/booster.hpp"
+#include "circuit/tech.hpp"
+#include "sram/failure_model.hpp"
+
+namespace vboost::core {
+
+/** Shared configuration for a simulation study. */
+struct SimContext
+{
+    circuit::TechnologyParams tech;
+    sram::FailureRateParams failure;
+    circuit::BoosterDesign design;
+
+    /** The paper's standard setup: default 14nm parameters, the
+     *  calibrated failure fit, and the 4-level standard booster. */
+    static SimContext standard();
+};
+
+/**
+ * A named per-layer boost assignment (paper Table 2): which boost
+ * level each weight layer uses, plus the input-memory level.
+ */
+struct BoostConfiguration
+{
+    std::string name;
+    /** Boost level per weight layer, in layer order. */
+    std::vector<int> layerLevels;
+    /** Boost level for the input memory. */
+    int inputLevel = 1;
+
+    /** Highest level used by any weight layer. */
+    int maxLevel() const;
+
+    /**
+     * The paper's Table 2 for a network with `num_layers` weight
+     * layers and `levels` programmable levels: uniform configurations
+     * Boost_Vddv1..Boost_VddvP, plus Boost_diff1 (deeper layers boosted
+     * higher) and Boost_diff2 (first layer boosted highest).
+     */
+    static std::vector<BoostConfiguration> table2(int num_layers,
+                                                  int levels);
+};
+
+} // namespace vboost::core
+
+#endif // VBOOST_CORE_CONTEXT_HPP

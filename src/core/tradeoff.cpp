@@ -1,0 +1,64 @@
+#include "core/tradeoff.hpp"
+
+#include "common/logging.hpp"
+
+namespace vboost::core {
+
+TradeoffExplorer::TradeoffExplorer(const SimContext &ctx, int num_banks)
+    : supply_(ctx.tech, ctx.design, num_banks)
+{
+}
+
+Volt
+TradeoffExplorer::boostedVoltage(Volt vdd, int level) const
+{
+    return supply_.boostedVoltage(vdd, level);
+}
+
+std::optional<int>
+TradeoffExplorer::minimalLevelForAccuracy(Volt vdd, double target,
+                                          const AccuracyFn &accuracy) const
+{
+    if (!accuracy)
+        fatal("TradeoffExplorer: accuracy function required");
+    for (int level = 0; level <= levels(); ++level) {
+        if (accuracy(supply_.boostedVoltage(vdd, level)) >= target)
+            return level;
+    }
+    return std::nullopt;
+}
+
+std::optional<int>
+TradeoffExplorer::minimalLevelReaching(Volt vdd, Volt v_target) const
+{
+    for (int level = 0; level <= levels(); ++level) {
+        if (supply_.boostedVoltage(vdd, level) >= v_target)
+            return level;
+    }
+    return std::nullopt;
+}
+
+std::optional<OperatingPoint>
+TradeoffExplorer::isoAccuracyPoint(Volt vdd, double target,
+                                   const AccuracyFn &accuracy,
+                                   const energy::Workload &workload) const
+{
+    const auto level = minimalLevelForAccuracy(vdd, target, accuracy);
+    if (!level)
+        return std::nullopt;
+
+    OperatingPoint op;
+    op.vdd = vdd;
+    op.level = *level;
+    op.vddv = supply_.boostedVoltage(vdd, *level);
+    op.accuracy = accuracy(op.vddv);
+    op.boostedEnergy =
+        supply_.boostedDynamic(workload, vdd, *level).total();
+    // The "equivalent comparison point" of Sec. 2: an LDO-based dual
+    // rail with the memory held at the same Vddv and logic at Vdd.
+    op.dualEnergy =
+        supply_.dualSupplyDynamic(workload, op.vddv, vdd).total();
+    return op;
+}
+
+} // namespace vboost::core

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * The iso-accuracy controller behind the paper's Fig. 15: given a
+ * target accuracy, choose — per supply voltage — the cheapest boost
+ * level whose boosted SRAM voltage still meets the target, then
+ * compare the resulting dynamic energy against the single-supply and
+ * dual-supply (LDO) alternatives. Also the Table-2 footnote helper:
+ * the minimum level whose Vddv clears a reliability threshold.
+ */
+
+#ifndef VBOOST_CORE_TRADEOFF_HPP
+#define VBOOST_CORE_TRADEOFF_HPP
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "core/context.hpp"
+#include "energy/supply_config.hpp"
+
+namespace vboost::core {
+
+/** One chosen operating point of the iso-accuracy study. */
+struct OperatingPoint
+{
+    Volt vdd{0.0};
+    /** Chosen boost level (0 = no boost needed). */
+    int level = 0;
+    /** Boosted SRAM voltage at that level. */
+    Volt vddv{0.0};
+    /** Accuracy achieved at vddv. */
+    double accuracy = 0.0;
+    /** Dynamic energy of the boosted configuration. */
+    Joule boostedEnergy{0.0};
+    /** Dynamic energy of the equivalent dual-supply configuration
+     *  (SRAM at vddv, logic at vdd through an LDO). */
+    Joule dualEnergy{0.0};
+};
+
+/** Explores boost levels against an accuracy target. */
+class TradeoffExplorer
+{
+  public:
+    /** Returns accuracy when all weight accesses happen at the given
+     *  SRAM voltage. */
+    using AccuracyFn = std::function<double(Volt vddv)>;
+
+    /**
+     * @param ctx shared study configuration.
+     * @param num_banks banks in the boosted memory.
+     */
+    TradeoffExplorer(const SimContext &ctx, int num_banks);
+
+    /** Boosted voltage at (vdd, level). */
+    Volt boostedVoltage(Volt vdd, int level) const;
+
+    /** Number of programmable levels. */
+    int levels() const { return supply_.levels(); }
+
+    /**
+     * Smallest level (possibly 0) whose accuracy at the boosted
+     * voltage meets `target`; nullopt when even the highest level
+     * falls short.
+     */
+    std::optional<int> minimalLevelForAccuracy(
+        Volt vdd, double target, const AccuracyFn &accuracy) const;
+
+    /**
+     * Table-2 footnote: the smallest level whose boosted voltage
+     * reaches at least `v_target` ("Inputs are boosted to the minimum
+     * level such that Vddv_i > 0.44 V"); nullopt if unreachable.
+     */
+    std::optional<int> minimalLevelReaching(Volt vdd,
+                                            Volt v_target) const;
+
+    /**
+     * Full iso-accuracy operating point for one supply voltage:
+     * chooses the minimal adequate level and evaluates the boosted
+     * and dual-supply dynamic energies for the workload.
+     */
+    std::optional<OperatingPoint> isoAccuracyPoint(
+        Volt vdd, double target, const AccuracyFn &accuracy,
+        const energy::Workload &workload) const;
+
+    /** The underlying supply configurator. */
+    const energy::SupplyConfigurator &supply() const { return supply_; }
+
+  private:
+    energy::SupplyConfigurator supply_;
+};
+
+} // namespace vboost::core
+
+#endif // VBOOST_CORE_TRADEOFF_HPP

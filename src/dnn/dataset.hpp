@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Classification datasets and the synthetic generators that stand in
+ * for MNIST and CIFAR-10 (we have no network access to the originals;
+ * see DESIGN.md Sec. 1). Each synthetic class is a procedurally drawn
+ * prototype; samples add per-image jitter (translation, noise, pixel
+ * dropout) so the task is learnable but not trivial, and a trained
+ * network's accuracy degrades under weight corruption the same way the
+ * paper's Fig. 2/14 curves do.
+ */
+
+#ifndef VBOOST_DNN_DATASET_HPP
+#define VBOOST_DNN_DATASET_HPP
+
+#include <vector>
+
+#include "dnn/tensor.hpp"
+
+namespace vboost::dnn {
+
+/** A labeled image set. Images are [N, features] (flat, FC networks)
+ *  or [N, C, H, W] (conv networks). */
+struct Dataset
+{
+    Tensor images;
+    std::vector<int> labels;
+
+    /** Sample count. */
+    std::size_t size() const { return labels.size(); }
+
+    /** Copy rows [begin, begin+count) into a contiguous batch. */
+    Dataset slice(std::size_t begin, std::size_t count) const;
+
+    /** Gather the given row indices into a new dataset. */
+    Dataset gather(const std::vector<std::size_t> &indices) const;
+};
+
+/** Generation knobs for the synthetic sets. */
+struct SyntheticConfig
+{
+    /** Number of classes. */
+    int classes = 10;
+    /** Per-pixel additive Gaussian noise sigma. */
+    double noiseSigma = 0.12;
+    /** Maximum |translation| in pixels along each axis. */
+    int maxShift = 2;
+    /** Probability a pixel is dropped to zero. */
+    double dropoutProb = 0.03;
+};
+
+/**
+ * Synthetic MNIST stand-in: 28x28 single-channel digit-like glyphs,
+ * flat rows of 784 features in [0, 1].
+ *
+ * @param n number of samples.
+ * @param seed deterministic generation seed; use different seeds for
+ *        train and test splits.
+ * @param cfg jitter configuration.
+ */
+Dataset makeSyntheticMnist(int n, std::uint64_t seed,
+                           const SyntheticConfig &cfg = {});
+
+/**
+ * Synthetic CIFAR-10 stand-in: 32x32x3 textured class prototypes,
+ * NCHW tensors in [0, 1].
+ */
+Dataset makeSyntheticCifar(int n, std::uint64_t seed,
+                           const SyntheticConfig &cfg = {});
+
+} // namespace vboost::dnn
+
+#endif // VBOOST_DNN_DATASET_HPP

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Layer interface of the from-scratch DNN engine. Layers own their
+ * parameters and gradients and cache whatever the backward pass needs.
+ * Parameter tensors are exposed with names and a weight/bias tag so
+ * the fault-injection harness can target "the weights of layer k"
+ * exactly as the paper does (Sec. 2, Fig. 2).
+ */
+
+#ifndef VBOOST_DNN_LAYER_HPP
+#define VBOOST_DNN_LAYER_HPP
+
+#include <string>
+#include <vector>
+
+#include "dnn/tensor.hpp"
+
+namespace vboost::dnn {
+
+/** A named reference to one parameter tensor and its gradient. */
+struct ParamRef
+{
+    /** Parameter value (owned by the layer). */
+    Tensor *value = nullptr;
+    /** Accumulated gradient (owned by the layer). */
+    Tensor *grad = nullptr;
+    /** Diagnostic name like "fc1.weight". */
+    std::string name;
+    /** True for multiplicative weights, false for biases. The paper's
+     *  experiments inject faults into weights. */
+    bool isWeight = false;
+};
+
+/** Abstract differentiable layer. */
+class Layer
+{
+  public:
+    virtual ~Layer() = default;
+
+    /**
+     * Forward pass.
+     * @param x input batch.
+     * @param train when true, cache activations for backward().
+     */
+    virtual Tensor forward(const Tensor &x, bool train) = 0;
+
+    /**
+     * Backward pass: consume dL/d(output), accumulate parameter
+     * gradients, return dL/d(input). Only valid after forward(train).
+     */
+    virtual Tensor backward(const Tensor &grad_out) = 0;
+
+    /** Parameter references (empty for stateless layers). */
+    virtual std::vector<ParamRef> params() { return {}; }
+
+    /** Layer name for diagnostics and injection targeting. */
+    virtual std::string name() const = 0;
+
+    /** Zero all parameter gradients. */
+    void zeroGrads();
+};
+
+} // namespace vboost::dnn
+
+#endif // VBOOST_DNN_LAYER_HPP

@@ -1,0 +1,359 @@
+#include "dnn/layers.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "common/logging.hpp"
+
+namespace vboost::dnn {
+
+void
+Layer::zeroGrads()
+{
+    for (auto &p : params())
+        p.grad->fill(0.0f);
+}
+
+// ---------------------------------------------------------------- Dense
+
+Dense::Dense(int in, int out, Rng &rng, std::string layer_name)
+    : in_(in), out_(out), name_(std::move(layer_name)),
+      w_(Tensor::randn({in, out}, rng, std::sqrt(2.0 / in))),
+      b_(Tensor::zeros({out})),
+      wGrad_(Tensor::zeros({in, out})),
+      bGrad_(Tensor::zeros({out}))
+{
+    if (in <= 0 || out <= 0)
+        fatal("Dense ", name_, ": dimensions must be positive");
+}
+
+Tensor
+Dense::forward(const Tensor &x, bool train)
+{
+    if (x.rank() != 2 || x.dim(1) != in_)
+        fatal("Dense ", name_, ": expected [B, ", in_, "], got ",
+              x.shapeString());
+    const int batch = x.dim(0);
+    Tensor y({batch, out_});
+    gemm(x.data(), w_.data(), y.data(), batch, in_, out_);
+    for (int i = 0; i < batch; ++i)
+        for (int j = 0; j < out_; ++j)
+            y.at(i, j) += b_[static_cast<std::size_t>(j)];
+    if (train)
+        cachedInput_ = x;
+    return y;
+}
+
+Tensor
+Dense::backward(const Tensor &grad_out)
+{
+    if (cachedInput_.numel() == 0)
+        panic("Dense ", name_, ": backward without cached forward");
+    const int batch = grad_out.dim(0);
+    // dW += x^T g ; db += sum_rows g ; dx = g W^T.
+    gemmTransA(cachedInput_.data(), grad_out.data(), wGrad_.data(), in_,
+               batch, out_, /*accumulate=*/true);
+    for (int i = 0; i < batch; ++i)
+        for (int j = 0; j < out_; ++j)
+            bGrad_[static_cast<std::size_t>(j)] += grad_out.at(i, j);
+    Tensor dx({batch, in_});
+    gemmTransB(grad_out.data(), w_.data(), dx.data(), batch, out_, in_);
+    return dx;
+}
+
+std::vector<ParamRef>
+Dense::params()
+{
+    return {{&w_, &wGrad_, name_ + ".weight", true},
+            {&b_, &bGrad_, name_ + ".bias", false}};
+}
+
+// --------------------------------------------------------------- Conv2d
+
+Conv2d::Conv2d(int in_ch, int out_ch, int kernel, int pad, Rng &rng,
+               std::string layer_name)
+    : inCh_(in_ch), outCh_(out_ch), k_(kernel), pad_(pad),
+      name_(std::move(layer_name)),
+      w_(Tensor::randn({out_ch, in_ch * kernel * kernel}, rng,
+                       std::sqrt(2.0 / (in_ch * kernel * kernel)))),
+      b_(Tensor::zeros({out_ch})),
+      wGrad_(Tensor::zeros({out_ch, in_ch * kernel * kernel})),
+      bGrad_(Tensor::zeros({out_ch}))
+{
+    if (in_ch <= 0 || out_ch <= 0 || kernel <= 0 || pad < 0)
+        fatal("Conv2d ", name_, ": invalid geometry");
+}
+
+void
+Conv2d::im2col(const Tensor &x, int n, std::vector<float> &cols, int h,
+               int w) const
+{
+    // cols is [inCh*k*k, h*w]; output spatial size equals input
+    // (stride 1, pad preserves size only if pad == (k-1)/2, but the
+    // general formula is used by the caller).
+    const int out_h = h + 2 * pad_ - k_ + 1;
+    const int out_w = w + 2 * pad_ - k_ + 1;
+    const std::size_t spatial =
+        static_cast<std::size_t>(out_h) * static_cast<std::size_t>(out_w);
+    std::size_t row = 0;
+    for (int c = 0; c < inCh_; ++c) {
+        for (int ki = 0; ki < k_; ++ki) {
+            for (int kj = 0; kj < k_; ++kj, ++row) {
+                float *dst = cols.data() + row * spatial;
+                std::size_t idx = 0;
+                for (int oi = 0; oi < out_h; ++oi) {
+                    const int ii = oi + ki - pad_;
+                    for (int oj = 0; oj < out_w; ++oj, ++idx) {
+                        const int jj = oj + kj - pad_;
+                        dst[idx] =
+                            (ii >= 0 && ii < h && jj >= 0 && jj < w)
+                                ? x.at(n, c, ii, jj)
+                                : 0.0f;
+                    }
+                }
+            }
+        }
+    }
+}
+
+void
+Conv2d::col2im(const std::vector<float> &cols, Tensor &dx, int n, int h,
+               int w) const
+{
+    const int out_h = h + 2 * pad_ - k_ + 1;
+    const int out_w = w + 2 * pad_ - k_ + 1;
+    const std::size_t spatial =
+        static_cast<std::size_t>(out_h) * static_cast<std::size_t>(out_w);
+    std::size_t row = 0;
+    for (int c = 0; c < inCh_; ++c) {
+        for (int ki = 0; ki < k_; ++ki) {
+            for (int kj = 0; kj < k_; ++kj, ++row) {
+                const float *src = cols.data() + row * spatial;
+                std::size_t idx = 0;
+                for (int oi = 0; oi < out_h; ++oi) {
+                    const int ii = oi + ki - pad_;
+                    for (int oj = 0; oj < out_w; ++oj, ++idx) {
+                        const int jj = oj + kj - pad_;
+                        if (ii >= 0 && ii < h && jj >= 0 && jj < w)
+                            dx.at(n, c, ii, jj) += src[idx];
+                    }
+                }
+            }
+        }
+    }
+}
+
+Tensor
+Conv2d::forward(const Tensor &x, bool train)
+{
+    if (x.rank() != 4 || x.dim(1) != inCh_)
+        fatal("Conv2d ", name_, ": expected NCHW with C=", inCh_, ", got ",
+              x.shapeString());
+    const int batch = x.dim(0), h = x.dim(2), w = x.dim(3);
+    const int out_h = h + 2 * pad_ - k_ + 1;
+    const int out_w = w + 2 * pad_ - k_ + 1;
+    if (out_h <= 0 || out_w <= 0)
+        fatal("Conv2d ", name_, ": kernel larger than padded input");
+
+    Tensor y({batch, outCh_, out_h, out_w});
+    const int patch = inCh_ * k_ * k_;
+    const std::size_t spatial =
+        static_cast<std::size_t>(out_h) * static_cast<std::size_t>(out_w);
+    std::vector<float> cols(static_cast<std::size_t>(patch) * spatial);
+    for (int n = 0; n < batch; ++n) {
+        im2col(x, n, cols, h, w);
+        // y[n] = W [outCh, patch] * cols [patch, spatial].
+        float *ydst = y.data() +
+            static_cast<std::size_t>(n) * outCh_ * spatial;
+        gemm(w_.data(), cols.data(), ydst, outCh_, patch,
+             static_cast<int>(spatial));
+        for (int oc = 0; oc < outCh_; ++oc) {
+            float *chan = ydst + static_cast<std::size_t>(oc) * spatial;
+            const float bias = b_[static_cast<std::size_t>(oc)];
+            for (std::size_t i = 0; i < spatial; ++i)
+                chan[i] += bias;
+        }
+    }
+    if (train)
+        cachedInput_ = x;
+    return y;
+}
+
+Tensor
+Conv2d::backward(const Tensor &grad_out)
+{
+    if (cachedInput_.numel() == 0)
+        panic("Conv2d ", name_, ": backward without cached forward");
+    const Tensor &x = cachedInput_;
+    const int batch = x.dim(0), h = x.dim(2), w = x.dim(3);
+    const int out_h = grad_out.dim(2), out_w = grad_out.dim(3);
+    const int patch = inCh_ * k_ * k_;
+    const std::size_t spatial =
+        static_cast<std::size_t>(out_h) * static_cast<std::size_t>(out_w);
+
+    Tensor dx({batch, inCh_, h, w});
+    std::vector<float> cols(static_cast<std::size_t>(patch) * spatial);
+    std::vector<float> dcols(static_cast<std::size_t>(patch) * spatial);
+    for (int n = 0; n < batch; ++n) {
+        const float *g = grad_out.data() +
+            static_cast<std::size_t>(n) * outCh_ * spatial;
+        // dW += g [outCh, spatial] * cols^T [spatial, patch].
+        im2col(x, n, cols, h, w);
+        gemmTransB(g, cols.data(), wGrad_.data(), outCh_,
+                   static_cast<int>(spatial), patch, /*accumulate=*/true);
+        // db += row sums of g.
+        for (int oc = 0; oc < outCh_; ++oc) {
+            const float *chan = g + static_cast<std::size_t>(oc) * spatial;
+            float acc = 0.0f;
+            for (std::size_t i = 0; i < spatial; ++i)
+                acc += chan[i];
+            bGrad_[static_cast<std::size_t>(oc)] += acc;
+        }
+        // dcols = W^T [patch, outCh] * g [outCh, spatial].
+        gemmTransA(w_.data(), g, dcols.data(), patch, outCh_,
+                   static_cast<int>(spatial));
+        col2im(dcols, dx, n, h, w);
+    }
+    return dx;
+}
+
+std::vector<ParamRef>
+Conv2d::params()
+{
+    return {{&w_, &wGrad_, name_ + ".weight", true},
+            {&b_, &bGrad_, name_ + ".bias", false}};
+}
+
+// ------------------------------------------------------------ MaxPool2d
+
+MaxPool2d::MaxPool2d(std::string layer_name) : name_(std::move(layer_name))
+{
+}
+
+Tensor
+MaxPool2d::forward(const Tensor &x, bool train)
+{
+    if (x.rank() != 4)
+        fatal("MaxPool2d ", name_, ": expected NCHW, got ",
+              x.shapeString());
+    const int batch = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
+    if (h % 2 != 0 || w % 2 != 0)
+        fatal("MaxPool2d ", name_, ": odd spatial size ", h, "x", w);
+    const int oh = h / 2, ow = w / 2;
+    Tensor y({batch, c, oh, ow});
+    if (train) {
+        argmax_.assign(y.numel(), 0);
+        inShape_ = x.shape();
+    }
+    std::size_t oidx = 0;
+    for (int n = 0; n < batch; ++n) {
+        for (int ch = 0; ch < c; ++ch) {
+            for (int i = 0; i < oh; ++i) {
+                for (int j = 0; j < ow; ++j, ++oidx) {
+                    float best = x.at(n, ch, 2 * i, 2 * j);
+                    int best_di = 0, best_dj = 0;
+                    for (int di = 0; di < 2; ++di) {
+                        for (int dj = 0; dj < 2; ++dj) {
+                            const float v =
+                                x.at(n, ch, 2 * i + di, 2 * j + dj);
+                            if (v > best) {
+                                best = v;
+                                best_di = di;
+                                best_dj = dj;
+                            }
+                        }
+                    }
+                    y[oidx] = best;
+                    if (train)
+                        argmax_[oidx] = best_di * 2 + best_dj;
+                }
+            }
+        }
+    }
+    return y;
+}
+
+Tensor
+MaxPool2d::backward(const Tensor &grad_out)
+{
+    if (inShape_.empty())
+        panic("MaxPool2d ", name_, ": backward without cached forward");
+    Tensor dx(inShape_);
+    const int batch = inShape_[0], c = inShape_[1];
+    const int oh = inShape_[2] / 2, ow = inShape_[3] / 2;
+    std::size_t oidx = 0;
+    for (int n = 0; n < batch; ++n) {
+        for (int ch = 0; ch < c; ++ch) {
+            for (int i = 0; i < oh; ++i) {
+                for (int j = 0; j < ow; ++j, ++oidx) {
+                    const int di = argmax_[oidx] / 2;
+                    const int dj = argmax_[oidx] % 2;
+                    dx.at(n, ch, 2 * i + di, 2 * j + dj) += grad_out[oidx];
+                }
+            }
+        }
+    }
+    return dx;
+}
+
+// ----------------------------------------------------------------- Relu
+
+Relu::Relu(std::string layer_name) : name_(std::move(layer_name)) {}
+
+Tensor
+Relu::forward(const Tensor &x, bool train)
+{
+    Tensor y = x;
+    if (train)
+        mask_.assign(x.numel(), false);
+    for (std::size_t i = 0; i < y.numel(); ++i) {
+        if (y[i] > 0.0f) {
+            if (train)
+                mask_[i] = true;
+        } else {
+            y[i] = 0.0f;
+        }
+    }
+    return y;
+}
+
+Tensor
+Relu::backward(const Tensor &grad_out)
+{
+    if (mask_.size() != grad_out.numel())
+        panic("Relu ", name_, ": backward shape mismatch");
+    Tensor dx = grad_out;
+    for (std::size_t i = 0; i < dx.numel(); ++i) {
+        if (!mask_[i])
+            dx[i] = 0.0f;
+    }
+    return dx;
+}
+
+// -------------------------------------------------------------- Flatten
+
+Flatten::Flatten(std::string layer_name) : name_(std::move(layer_name)) {}
+
+Tensor
+Flatten::forward(const Tensor &x, bool train)
+{
+    if (x.rank() < 2)
+        fatal("Flatten ", name_, ": expected rank >= 2");
+    if (train)
+        inShape_ = x.shape();
+    int features = 1;
+    for (int d = 1; d < x.rank(); ++d)
+        features *= x.dim(d);
+    return x.reshaped({x.dim(0), features});
+}
+
+Tensor
+Flatten::backward(const Tensor &grad_out)
+{
+    if (inShape_.empty())
+        panic("Flatten ", name_, ": backward without cached forward");
+    return grad_out.reshaped(inShape_);
+}
+
+} // namespace vboost::dnn

@@ -1,0 +1,107 @@
+#include "dnn/prune.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/logging.hpp"
+
+namespace vboost::dnn {
+
+PruneReport
+magnitudePrune(Network &net, double sparsity)
+{
+    if (sparsity < 0.0 || sparsity >= 1.0)
+        fatal("magnitudePrune: sparsity must be in [0,1), got ",
+              sparsity);
+
+    PruneReport report;
+    for (auto &p : net.weightParams()) {
+        Tensor &w = *p.value;
+        report.totalWeights += w.numel();
+        if (sparsity == 0.0)
+            continue;
+
+        // Per-layer threshold at the requested magnitude quantile.
+        std::vector<float> mags(w.numel());
+        for (std::size_t i = 0; i < w.numel(); ++i)
+            mags[i] = std::fabs(w[i]);
+        const auto k = static_cast<std::size_t>(
+            sparsity * static_cast<double>(w.numel()));
+        if (k == 0)
+            continue;
+        std::nth_element(mags.begin(),
+                         mags.begin() + static_cast<long>(k - 1),
+                         mags.end());
+        const float threshold = mags[k - 1];
+
+        std::size_t zeroed = 0;
+        for (std::size_t i = 0; i < w.numel(); ++i) {
+            // Zero at most k elements so ties at the threshold don't
+            // overshoot the requested sparsity.
+            if (zeroed < k && std::fabs(w[i]) <= threshold) {
+                w[i] = 0.0f;
+                ++zeroed;
+            }
+        }
+        report.zeroedWeights += zeroed;
+    }
+    return report;
+}
+
+std::uint64_t
+nonzeroWeights(Network &net)
+{
+    std::uint64_t nz = 0;
+    for (auto &p : net.weightParams()) {
+        const Tensor &w = *p.value;
+        for (std::size_t i = 0; i < w.numel(); ++i)
+            nz += w[i] != 0.0f;
+    }
+    return nz;
+}
+
+std::uint64_t
+denseWeightBytes(Network &net)
+{
+    std::uint64_t elems = 0;
+    for (auto &p : net.weightParams())
+        elems += p.value->numel();
+    return elems * 2;
+}
+
+std::uint64_t
+compressedWeightBytes(Network &net, int index_bits)
+{
+    if (index_bits < 1 || index_bits > 32)
+        fatal("compressedWeightBytes: index_bits must be in [1,32]");
+
+    std::uint64_t bits = 0;
+    for (auto &p : net.weightParams()) {
+        const Tensor &w = *p.value;
+        std::uint64_t nz = 0;
+        for (std::size_t i = 0; i < w.numel(); ++i)
+            nz += w[i] != 0.0f;
+        // Zero-run lengths longer than 2^index_bits - 1 need filler
+        // entries (as in Deep Compression); approximate by the
+        // expected filler count for a uniform distribution of zeros.
+        const double zero_frac =
+            1.0 - static_cast<double>(nz) /
+                      static_cast<double>(std::max<std::size_t>(
+                          w.numel(), 1));
+        const double max_run = std::pow(2.0, index_bits) - 1.0;
+        const double fillers =
+            zero_frac >= 1.0
+                ? 0.0
+                : static_cast<double>(w.numel()) * zero_frac / max_run;
+        const double entries = static_cast<double>(nz) + fillers;
+        bits += static_cast<std::uint64_t>(
+            entries * (16.0 + static_cast<double>(index_bits)));
+        // Row pointers: one 32-bit offset per output row.
+        const int rows = w.rank() >= 2 ? w.dim(w.rank() - 1) : 1;
+        bits += static_cast<std::uint64_t>(rows) * 32ull;
+    }
+    return (bits + 7) / 8;
+}
+
+} // namespace vboost::dnn

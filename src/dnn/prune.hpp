@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Magnitude pruning and compressed-storage estimation: the Deep
+ * Compression tie-in of the paper's Sec. 6.3 ("Deep Compression
+ * reduces the total size of AlexNet from 240MB to 6.9MB such that it
+ * can entirely fit in an on-chip SRAM. This makes our work
+ * indispensable to the application of Deep Compression at very low
+ * voltages."). Pruned-and-packed weights live entirely in the boosted
+ * on-chip memory, so every weight access enjoys the boosted
+ * reliability and no DRAM traffic remains.
+ */
+
+#ifndef VBOOST_DNN_PRUNE_HPP
+#define VBOOST_DNN_PRUNE_HPP
+
+#include <cstdint>
+
+#include "dnn/network.hpp"
+
+namespace vboost::dnn {
+
+/** Result of a pruning pass. */
+struct PruneReport
+{
+    /** Total weight parameters considered. */
+    std::uint64_t totalWeights = 0;
+    /** Weights set to zero. */
+    std::uint64_t zeroedWeights = 0;
+
+    /** Achieved sparsity. */
+    double
+    sparsity() const
+    {
+        return totalWeights == 0
+                   ? 0.0
+                   : static_cast<double>(zeroedWeights) /
+                         static_cast<double>(totalWeights);
+    }
+};
+
+/**
+ * Zero out the smallest-magnitude fraction of each weight tensor
+ * (per-layer magnitude pruning, the first stage of Deep Compression).
+ * Biases are untouched.
+ *
+ * @param net network to prune in place.
+ * @param sparsity fraction of each weight tensor to zero, in [0, 1).
+ */
+PruneReport magnitudePrune(Network &net, double sparsity);
+
+/** Number of non-zero weight parameters. */
+std::uint64_t nonzeroWeights(Network &net);
+
+/** Uncompressed int16 weight storage in bytes. */
+std::uint64_t denseWeightBytes(Network &net);
+
+/**
+ * Compressed weight storage in bytes under a CSR-style sparse format:
+ * 16 bits per non-zero value plus `index_bits` per non-zero for the
+ * run-length-coded position (Deep Compression uses 4-bit relative
+ * indices), plus one 32-bit row pointer per output row.
+ */
+std::uint64_t compressedWeightBytes(Network &net, int index_bits = 4);
+
+} // namespace vboost::dnn
+
+#endif // VBOOST_DNN_PRUNE_HPP

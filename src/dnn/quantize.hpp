@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Post-training int16 quantization: how network parameters and inputs
+ * are laid out as the 16-bit words the accelerator stores in SRAM.
+ * The fault-injection path quantizes a tensor, flips bits in the raw
+ * words according to a fault map, and dequantizes the corrupted words
+ * back (paper Sec. 5.1: "The fault map thus generated, is overlaid
+ * with the SRAM array to obtain a new corrupted set of weights and
+ * activations used for inference").
+ */
+
+#ifndef VBOOST_DNN_QUANTIZE_HPP
+#define VBOOST_DNN_QUANTIZE_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "common/fixed_point.hpp"
+#include "dnn/network.hpp"
+#include "dnn/tensor.hpp"
+
+namespace vboost::dnn {
+
+/**
+ * Pick the Q-format for a tensor: the largest number of fractional
+ * bits whose range covers the tensor's max |value| — no unused
+ * headroom bits, since a fault in a never-used top bit would be a
+ * disproportionately large perturbation.
+ */
+FixedPointCodec chooseCodec(const Tensor &t);
+
+/** A tensor quantized to raw int16 storage words plus its codec. */
+struct QuantizedTensor
+{
+    std::vector<std::int16_t> words;
+    FixedPointCodec codec;
+    std::vector<int> shape;
+
+    /** Element count. */
+    std::size_t size() const { return words.size(); }
+};
+
+/** Quantize a float tensor into int16 storage words. */
+QuantizedTensor quantize(const Tensor &t);
+
+/** Quantize with an explicit codec (shared-format scenarios). */
+QuantizedTensor quantize(const Tensor &t, const FixedPointCodec &codec);
+
+/** Dequantize storage words back to a float tensor. */
+Tensor dequantize(const QuantizedTensor &q);
+
+/**
+ * Round-trip a tensor through its int16 storage format without
+ * faults: what the accelerator computes with under error-free SRAM.
+ */
+Tensor quantizeRoundTrip(const Tensor &t);
+
+/**
+ * Deployment step: clamp every parameter to [-limit, limit] before
+ * quantization, as a fixed-point accelerator toolchain does when
+ * mapping a float model onto a bounded Q-format. Keeps the storage
+ * format free of rarely-used headroom bits whose faults would be
+ * disproportionately damaging.
+ */
+void clipParameters(Network &net, float limit);
+
+} // namespace vboost::dnn
+
+#endif // VBOOST_DNN_QUANTIZE_HPP

@@ -1,0 +1,80 @@
+#include "dnn/serialize.hpp"
+
+#include <cstdint>
+#include <fstream>
+
+#include "common/logging.hpp"
+
+namespace vboost::dnn {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x56424e31; // "VBN1"
+
+} // namespace
+
+void
+saveParameters(Network &net, const std::string &path)
+{
+    std::ofstream out(path, std::ios::binary);
+    if (!out)
+        fatal("saveParameters: cannot open ", path, " for writing");
+
+    auto params = net.params();
+    const auto count = static_cast<std::uint32_t>(params.size());
+    out.write(reinterpret_cast<const char *>(&kMagic), sizeof(kMagic));
+    out.write(reinterpret_cast<const char *>(&count), sizeof(count));
+    for (auto &p : params) {
+        const auto rank = static_cast<std::uint32_t>(p.value->rank());
+        out.write(reinterpret_cast<const char *>(&rank), sizeof(rank));
+        for (int d = 0; d < p.value->rank(); ++d) {
+            const auto dim = static_cast<std::uint32_t>(p.value->dim(d));
+            out.write(reinterpret_cast<const char *>(&dim), sizeof(dim));
+        }
+        out.write(reinterpret_cast<const char *>(p.value->data()),
+                  static_cast<std::streamsize>(p.value->numel() *
+                                               sizeof(float)));
+    }
+    if (!out)
+        fatal("saveParameters: write to ", path, " failed");
+}
+
+bool
+loadParameters(Network &net, const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return false;
+
+    std::uint32_t magic = 0, count = 0;
+    in.read(reinterpret_cast<char *>(&magic), sizeof(magic));
+    in.read(reinterpret_cast<char *>(&count), sizeof(count));
+    if (!in || magic != kMagic)
+        fatal("loadParameters: ", path, " is not a parameter file");
+
+    auto params = net.params();
+    if (count != params.size())
+        fatal("loadParameters: ", path, " has ", count,
+              " parameters; network expects ", params.size());
+
+    for (auto &p : params) {
+        std::uint32_t rank = 0;
+        in.read(reinterpret_cast<char *>(&rank), sizeof(rank));
+        if (!in || rank != static_cast<std::uint32_t>(p.value->rank()))
+            fatal("loadParameters: rank mismatch at ", p.name);
+        for (int d = 0; d < p.value->rank(); ++d) {
+            std::uint32_t dim = 0;
+            in.read(reinterpret_cast<char *>(&dim), sizeof(dim));
+            if (!in || dim != static_cast<std::uint32_t>(p.value->dim(d)))
+                fatal("loadParameters: shape mismatch at ", p.name);
+        }
+        in.read(reinterpret_cast<char *>(p.value->data()),
+                static_cast<std::streamsize>(p.value->numel() *
+                                             sizeof(float)));
+        if (!in)
+            fatal("loadParameters: truncated data at ", p.name);
+    }
+    return true;
+}
+
+} // namespace vboost::dnn

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Flat binary serialization of network parameters, so benches and
+ * examples can train once and reuse the model across runs. The format
+ * is a magic/version header followed by each parameter tensor's shape
+ * and float data, in network parameter order; loading validates the
+ * structure against the destination network.
+ */
+
+#ifndef VBOOST_DNN_SERIALIZE_HPP
+#define VBOOST_DNN_SERIALIZE_HPP
+
+#include <string>
+
+#include "dnn/network.hpp"
+
+namespace vboost::dnn {
+
+/** Write all parameters of `net` to `path`. Throws FatalError on I/O
+ *  failure. */
+void saveParameters(Network &net, const std::string &path);
+
+/**
+ * Load parameters from `path` into `net`.
+ *
+ * @return true on success; false if the file does not exist. Throws
+ *         FatalError if the file exists but does not match the
+ *         network's structure.
+ */
+bool loadParameters(Network &net, const std::string &path);
+
+} // namespace vboost::dnn
+
+#endif // VBOOST_DNN_SERIALIZE_HPP

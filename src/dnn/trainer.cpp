@@ -1,0 +1,126 @@
+#include "dnn/trainer.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/logging.hpp"
+
+namespace vboost::dnn {
+
+SgdTrainer::SgdTrainer(TrainConfig cfg) : cfg_(cfg)
+{
+    if (cfg_.epochs < 1 || cfg_.batchSize < 1)
+        fatal("SgdTrainer: epochs and batch size must be positive");
+    if (cfg_.learningRate <= 0.0)
+        fatal("SgdTrainer: learning rate must be positive");
+    if (cfg_.momentum < 0.0 || cfg_.momentum >= 1.0)
+        fatal("SgdTrainer: momentum must be in [0,1)");
+}
+
+std::vector<EpochStats>
+SgdTrainer::train(Network &net, const Dataset &train_set, Rng &rng)
+{
+    if (train_set.size() == 0)
+        fatal("SgdTrainer::train: empty training set");
+
+    auto params = net.params();
+    std::vector<Tensor> velocity;
+    velocity.reserve(params.size());
+    for (auto &p : params)
+        velocity.push_back(Tensor::zeros(p.value->shape()));
+
+    SoftmaxCrossEntropy loss_fn;
+    std::vector<std::size_t> order(train_set.size());
+    std::iota(order.begin(), order.end(), 0);
+
+    std::vector<EpochStats> stats;
+    double lr = cfg_.learningRate;
+    for (int epoch = 0; epoch < cfg_.epochs; ++epoch) {
+        // Fisher-Yates shuffle with our deterministic generator.
+        for (std::size_t i = order.size(); i > 1; --i) {
+            const std::size_t j = rng.uniformInt(i);
+            std::swap(order[i - 1], order[j]);
+        }
+
+        double loss_sum = 0.0;
+        std::size_t correct = 0, seen = 0, batches = 0;
+        for (std::size_t start = 0; start < order.size();
+             start += static_cast<std::size_t>(cfg_.batchSize)) {
+            const std::size_t count =
+                std::min(static_cast<std::size_t>(cfg_.batchSize),
+                         order.size() - start);
+            std::vector<std::size_t> idx(order.begin() +
+                                             static_cast<long>(start),
+                                         order.begin() +
+                                             static_cast<long>(start +
+                                                               count));
+            Dataset batch = train_set.gather(idx);
+
+            net.zeroGrads();
+            Tensor logits = batch.images;
+            logits = net.forward(logits, /*train=*/true);
+            Tensor grad;
+            loss_sum += loss_fn.lossAndGrad(logits, batch.labels, grad);
+            ++batches;
+            net.backward(grad);
+
+            // Track train accuracy from the logits already computed.
+            for (int i = 0; i < logits.dim(0); ++i) {
+                int best = 0;
+                for (int j = 1; j < logits.dim(1); ++j) {
+                    if (logits.at(i, j) > logits.at(i, best))
+                        best = j;
+                }
+                correct += best == batch.labels[static_cast<std::size_t>(i)];
+                ++seen;
+            }
+
+            for (std::size_t p = 0; p < params.size(); ++p) {
+                Tensor &v = velocity[p];
+                Tensor &value = *params[p].value;
+                const Tensor &grad_p = *params[p].grad;
+                for (std::size_t e = 0; e < value.numel(); ++e) {
+                    v[e] = static_cast<float>(cfg_.momentum * v[e] -
+                                              lr * grad_p[e]);
+                    value[e] += v[e];
+                }
+            }
+        }
+
+        EpochStats es;
+        es.meanLoss = loss_sum / static_cast<double>(batches);
+        es.trainAccuracy =
+            static_cast<double>(correct) / static_cast<double>(seen);
+        stats.push_back(es);
+        if (cfg_.verbose) {
+            inform("epoch ", epoch + 1, "/", cfg_.epochs, ": loss=",
+                   es.meanLoss, " train_acc=", es.trainAccuracy);
+        }
+        lr *= cfg_.lrDecay;
+    }
+    return stats;
+}
+
+double
+SgdTrainer::evaluate(Network &net, const Dataset &test_set,
+                     std::size_t max_samples)
+{
+    std::size_t n = test_set.size();
+    if (max_samples > 0)
+        n = std::min(n, max_samples);
+    if (n == 0)
+        fatal("SgdTrainer::evaluate: empty test set");
+
+    constexpr std::size_t kEvalBatch = 128;
+    std::size_t correct = 0;
+    for (std::size_t start = 0; start < n; start += kEvalBatch) {
+        const std::size_t count = std::min(kEvalBatch, n - start);
+        Dataset batch = test_set.slice(start, count);
+        const auto pred = net.predict(batch.images);
+        for (std::size_t i = 0; i < count; ++i)
+            correct += pred[i] == batch.labels[i];
+    }
+    return static_cast<double>(correct) / static_cast<double>(n);
+}
+
+} // namespace vboost::dnn

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Minibatch SGD trainer with momentum for the from-scratch DNN engine.
+ * Training happens at full float precision; quantization to the
+ * accelerator's int16 storage format is a separate post-training step
+ * (see dnn/quantize.hpp), matching the paper's flow where networks are
+ * trained offline and deployed to the accelerator's SRAM.
+ */
+
+#ifndef VBOOST_DNN_TRAINER_HPP
+#define VBOOST_DNN_TRAINER_HPP
+
+#include "dnn/dataset.hpp"
+#include "dnn/network.hpp"
+
+namespace vboost::dnn {
+
+/** Trainer configuration. */
+struct TrainConfig
+{
+    int epochs = 6;
+    int batchSize = 64;
+    double learningRate = 0.1;
+    double momentum = 0.9;
+    /** Learning-rate decay multiplier applied after each epoch. */
+    double lrDecay = 0.85;
+    /** Print per-epoch progress via inform(). */
+    bool verbose = false;
+};
+
+/** Per-epoch training record. */
+struct EpochStats
+{
+    double meanLoss = 0.0;
+    double trainAccuracy = 0.0;
+};
+
+/** Minibatch SGD with classical momentum. */
+class SgdTrainer
+{
+  public:
+    explicit SgdTrainer(TrainConfig cfg = {});
+
+    /**
+     * Train the network in place.
+     *
+     * @param net network to train.
+     * @param train_set training data.
+     * @param rng shuffling randomness.
+     * @return per-epoch loss/accuracy.
+     */
+    std::vector<EpochStats> train(Network &net, const Dataset &train_set,
+                                  Rng &rng);
+
+    /**
+     * Top-1 accuracy of `net` on `test_set`, evaluated in batches.
+     *
+     * @param max_samples cap on evaluated samples (0 = all).
+     */
+    static double evaluate(Network &net, const Dataset &test_set,
+                           std::size_t max_samples = 0);
+
+    const TrainConfig &config() const { return cfg_; }
+
+  private:
+    TrainConfig cfg_;
+};
+
+} // namespace vboost::dnn
+
+#endif // VBOOST_DNN_TRAINER_HPP

@@ -1,0 +1,112 @@
+#include "dnn/zoo.hpp"
+
+#include "dnn/layers.hpp"
+
+namespace vboost::dnn {
+
+std::uint64_t
+ConvLayerDims::macs() const
+{
+    return weights() * static_cast<std::uint64_t>(outHeight) *
+           static_cast<std::uint64_t>(outWidth);
+}
+
+std::uint64_t
+ConvLayerDims::weights() const
+{
+    return static_cast<std::uint64_t>(outChannels) *
+           static_cast<std::uint64_t>(inChannels) *
+           static_cast<std::uint64_t>(kernel) *
+           static_cast<std::uint64_t>(kernel);
+}
+
+std::uint64_t
+ConvLayerDims::inputs() const
+{
+    return static_cast<std::uint64_t>(inChannels) *
+           static_cast<std::uint64_t>(inHeight) *
+           static_cast<std::uint64_t>(inWidth);
+}
+
+std::uint64_t
+ConvLayerDims::outputs() const
+{
+    return static_cast<std::uint64_t>(outChannels) *
+           static_cast<std::uint64_t>(outHeight) *
+           static_cast<std::uint64_t>(outWidth);
+}
+
+std::vector<int>
+mnistFcLayerSizes()
+{
+    return {784, 256, 256, 256, 32};
+}
+
+Network
+buildMnistFc(Rng &rng)
+{
+    const auto sizes = mnistFcLayerSizes();
+    Network net;
+    for (std::size_t i = 0; i + 1 < sizes.size(); ++i) {
+        const std::string name = "fc" + std::to_string(i + 1);
+        net.addLayer<Dense>(sizes[i], sizes[i + 1], rng, name);
+        if (i + 2 < sizes.size())
+            net.addLayer<Relu>(name + ".relu");
+    }
+    return net;
+}
+
+Network
+buildAlexNetCifar(Rng &rng)
+{
+    // 5 conv layers as in AlexNet-for-CIFAR (paper ref [16]), with
+    // channel counts scaled for single-core training speed. Spatial
+    // plan: 32 -> pool -> 16 -> pool -> 8 (conv3, conv4) -> conv5 ->
+    // pool -> 4.
+    Network net;
+    net.addLayer<Conv2d>(3, 16, 5, 2, rng, "conv1");
+    net.addLayer<Relu>("conv1.relu");
+    net.addLayer<MaxPool2d>("pool1");
+    net.addLayer<Conv2d>(16, 24, 5, 2, rng, "conv2");
+    net.addLayer<Relu>("conv2.relu");
+    net.addLayer<MaxPool2d>("pool2");
+    net.addLayer<Conv2d>(24, 32, 3, 1, rng, "conv3");
+    net.addLayer<Relu>("conv3.relu");
+    net.addLayer<Conv2d>(32, 32, 3, 1, rng, "conv4");
+    net.addLayer<Relu>("conv4.relu");
+    net.addLayer<Conv2d>(32, 48, 3, 1, rng, "conv5");
+    net.addLayer<Relu>("conv5.relu");
+    net.addLayer<MaxPool2d>("pool5");
+    net.addLayer<Flatten>("flatten");
+    net.addLayer<Dense>(48 * 4 * 4, 10, rng, "fc6");
+    return net;
+}
+
+std::vector<ConvLayerDims>
+alexNetCifarConvDims()
+{
+    return {
+        {3, 16, 5, 32, 32, 32, 32},
+        {16, 24, 5, 16, 16, 16, 16},
+        {24, 32, 3, 8, 8, 8, 8},
+        {32, 32, 3, 8, 8, 8, 8},
+        {32, 48, 3, 8, 8, 8, 8},
+    };
+}
+
+std::vector<ConvLayerDims>
+alexNetImageNetConvDims()
+{
+    // Standard AlexNet conv geometry (paper ref [9]); grouped layers
+    // use the per-group input channel count so weights() and macs()
+    // match the published totals.
+    return {
+        {3, 96, 11, 227, 227, 55, 55},
+        {48, 256, 5, 27, 27, 27, 27},
+        {256, 384, 3, 13, 13, 13, 13},
+        {192, 384, 3, 13, 13, 13, 13},
+        {192, 256, 3, 13, 13, 13, 13},
+    };
+}
+
+} // namespace vboost::dnn

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Model zoo: the two network topologies the paper evaluates.
+ *
+ * - buildMnistFc(): the Minerva-style fully connected DNN the paper
+ *   uses for the MNIST study (Sec. 2): 4 weight layers of size
+ *   784 x 256 x 256 x 256 x 32 with ReLU between hidden layers. The
+ *   32-wide output layer uses the first 10 outputs as digit classes
+ *   (the remaining outputs are architectural padding, as in Minerva).
+ *
+ * - buildAlexNetCifar(): AlexNet-for-CIFAR-10 with 5 convolution
+ *   layers (Sec. 6.3 / ref [16]), scaled so it trains in about a
+ *   minute on one CPU core while keeping the 5-conv-layer structure
+ *   the Eyeriss Row-Stationary activity model consumes.
+ */
+
+#ifndef VBOOST_DNN_ZOO_HPP
+#define VBOOST_DNN_ZOO_HPP
+
+#include "dnn/network.hpp"
+
+namespace vboost::dnn {
+
+/** Layer dimensions of a convolution layer, for dataflow models. */
+struct ConvLayerDims
+{
+    int inChannels = 0;
+    int outChannels = 0;
+    int kernel = 0;
+    int inHeight = 0;
+    int inWidth = 0;
+    int outHeight = 0;
+    int outWidth = 0;
+
+    /** Multiply-accumulate operations in this layer (one image). */
+    std::uint64_t macs() const;
+    /** Filter weight count. */
+    std::uint64_t weights() const;
+    /** Input activation count. */
+    std::uint64_t inputs() const;
+    /** Output activation count. */
+    std::uint64_t outputs() const;
+};
+
+/** The paper's FC-DNN: 784-256-256-256-32, ReLU activations. */
+Network buildMnistFc(Rng &rng);
+
+/** Hidden-layer sizes of the FC-DNN, for documentation/tests. */
+std::vector<int> mnistFcLayerSizes();
+
+/** 5-conv-layer AlexNet for 32x32x3 CIFAR-style inputs. */
+Network buildAlexNetCifar(Rng &rng);
+
+/** Conv layer geometry of buildAlexNetCifar(), in order conv1..conv5. */
+std::vector<ConvLayerDims> alexNetCifarConvDims();
+
+/**
+ * Conv layer geometry of the *full* AlexNet of the paper's ref [9]
+ * (224x224 ImageNet input, 5 conv layers). Used by the Eyeriss-RS
+ * activity model to reproduce the Table-3 access ratios at the
+ * paper's scale even though the trainable network above is smaller.
+ */
+std::vector<ConvLayerDims> alexNetImageNetConvDims();
+
+} // namespace vboost::dnn
+
+#endif // VBOOST_DNN_ZOO_HPP

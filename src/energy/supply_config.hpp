@@ -1,0 +1,127 @@
+/**
+ * @file
+ * The three power-supply configurations the paper compares (Sec. 5.2)
+ * and their energy equations:
+ *
+ * - Single supply (Eq. 2, 4): logic and SRAM share one rail at Vddv.
+ * - Boosted (Eq. 3, 4): one chip rail at Vdd; only SRAM accesses are
+ *   boosted to Vddv(level) by the per-bank booster, paying E(BC, Vdd)
+ *   per access; idle SRAM leaks at Vdd.
+ * - Dual supply (Eq. 6, 7): SRAM held at Vh, logic at Vl derived from
+ *   Vh through an LDO with efficiency eta = (Vl/Vh) * eta_i (Eq. 5).
+ */
+
+#ifndef VBOOST_ENERGY_SUPPLY_CONFIG_HPP
+#define VBOOST_ENERGY_SUPPLY_CONFIG_HPP
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "circuit/booster.hpp"
+#include "circuit/energy_model.hpp"
+#include "circuit/ldo.hpp"
+
+namespace vboost::energy {
+
+/** Activity summary of a workload at one operating point. */
+struct Workload
+{
+    /** SRAM accesses (SRAMAcc in the paper's equations). */
+    std::uint64_t sramAccesses = 0;
+    /** Compute (multiply-accumulate) operations (NC). */
+    std::uint64_t computeOps = 0;
+};
+
+/** Dynamic-energy breakdown of one configuration evaluation. */
+struct EnergyBreakdown
+{
+    /** SRAM array access energy. */
+    Joule sram{0.0};
+    /** Processing-element energy (at the logic rail). */
+    Joule pe{0.0};
+    /** Booster circuit energy (boosted configuration only). */
+    Joule booster{0.0};
+    /** Energy burned in the LDO (dual-supply configuration only). */
+    Joule ldoLoss{0.0};
+
+    /** Total dynamic energy. */
+    Joule total() const { return sram + pe + booster + ldoLoss; }
+};
+
+/**
+ * Evaluates the paper's energy equations for a chip with a banked,
+ * boost-enabled memory of a given size.
+ */
+class SupplyConfigurator
+{
+  public:
+    /**
+     * @param tech technology constants.
+     * @param design per-bank booster design.
+     * @param num_banks banks in the on-chip memory (access mux depth
+     *        and leakage scale with this).
+     */
+    SupplyConfigurator(const circuit::TechnologyParams &tech,
+                       const circuit::BoosterDesign &design, int num_banks);
+
+    /** Boosted SRAM voltage for a chip supply and level. */
+    Volt boostedVoltage(Volt vdd, int level) const;
+
+    /** Number of programmable boost levels. */
+    int levels() const { return booster_.levels(); }
+
+    /** Eq. (2): single shared rail at v. */
+    EnergyBreakdown singleSupplyDynamic(const Workload &w, Volt v) const;
+
+    /** Eq. (3) with one uniform boost level for all accesses. */
+    EnergyBreakdown boostedDynamic(const Workload &w, Volt vdd,
+                                   int level) const;
+
+    /**
+     * Eq. (3) general form: accesses partitioned by boost level
+     * (application-controlled spatial/temporal programmability).
+     *
+     * @param accesses_by_level (access count, boost level) pairs.
+     * @param compute_ops NC.
+     * @param vdd chip supply.
+     */
+    EnergyBreakdown boostedDynamicMulti(
+        const std::vector<std::pair<std::uint64_t, int>> &accesses_by_level,
+        std::uint64_t compute_ops, Volt vdd) const;
+
+    /** Eq. (6): SRAM at vh, logic at vl out of an LDO fed from vh. */
+    EnergyBreakdown dualSupplyDynamic(const Workload &w, Volt vh,
+                                      Volt vl) const;
+
+    /** Eq. (4) specialization: single rail leakage energy per cycle. */
+    Joule singleSupplyLeakagePerCycle(Volt v, Hertz f) const;
+
+    /** Eq. (4): boosted config leakage per cycle — everything idles at
+     *  Vdd; the booster column adds its own leakage. */
+    Joule boostedLeakagePerCycle(Volt vdd, Hertz f) const;
+
+    /** Eq. (7): dual supply leakage per cycle — SRAM leaks at Vh and
+     *  the logic leakage is paid through the LDO. */
+    Joule dualSupplyLeakagePerCycle(Volt vh, Volt vl, Hertz f) const;
+
+    /** The booster model in use. */
+    const circuit::BoosterBank &booster() const { return booster_; }
+
+    /** The LDO model in use. */
+    const circuit::LdoRegulator &ldo() const { return ldo_; }
+
+    /** The per-event energy model in use. */
+    const circuit::EnergyModel &energyModel() const { return energy_; }
+
+  private:
+    circuit::EnergyModel energy_;
+    circuit::BoosterBank booster_;
+    circuit::LdoRegulator ldo_;
+    int numBanks_;
+    int numMacros_;
+};
+
+} // namespace vboost::energy
+
+#endif // VBOOST_ENERGY_SUPPLY_CONFIG_HPP

@@ -1,0 +1,69 @@
+#include "fi/accuracy_curve.hpp"
+
+#include <cmath>
+
+#include "common/logging.hpp"
+
+namespace vboost::fi {
+
+AccuracyCurve
+AccuracyCurve::sample(FaultInjectionRunner &runner,
+                      const InjectionSpec &spec, double f_min, double f_max,
+                      int points)
+{
+    if (points < 2)
+        fatal("AccuracyCurve::sample: at least two points required");
+    if (f_min <= 0.0 || f_max <= f_min)
+        fatal("AccuracyCurve::sample: need 0 < f_min < f_max");
+
+    std::vector<double> fs, accs;
+    const double log_min = std::log(f_min), log_max = std::log(f_max);
+    for (int i = 0; i < points; ++i) {
+        const double f = std::exp(log_min + (log_max - log_min) * i /
+                                                (points - 1));
+        fs.push_back(f);
+        accs.push_back(runner.run(f, spec).meanAccuracy);
+    }
+    return AccuracyCurve(std::move(fs), std::move(accs),
+                         runner.baselineAccuracy());
+}
+
+AccuracyCurve::AccuracyCurve(std::vector<double> fail_probs,
+                             std::vector<double> accuracies,
+                             double fault_free_accuracy)
+    : failProbs_(std::move(fail_probs)), accuracies_(std::move(accuracies)),
+      faultFree_(fault_free_accuracy)
+{
+    if (failProbs_.size() != accuracies_.size() || failProbs_.size() < 2)
+        fatal("AccuracyCurve: need >= 2 matching samples");
+    for (std::size_t i = 0; i < failProbs_.size(); ++i) {
+        if (failProbs_[i] <= 0.0)
+            fatal("AccuracyCurve: failure probabilities must be positive");
+        if (i > 0 && failProbs_[i] <= failProbs_[i - 1])
+            fatal("AccuracyCurve: failure probabilities must increase");
+    }
+}
+
+double
+AccuracyCurve::at(double fail_prob) const
+{
+    if (fail_prob <= failProbs_.front())
+        return fail_prob <= 0.0 ? faultFree_
+                                : std::max(accuracies_.front(), faultFree_ -
+                                           (faultFree_ -
+                                            accuracies_.front()) *
+                                               fail_prob /
+                                               failProbs_.front());
+    if (fail_prob >= failProbs_.back())
+        return accuracies_.back();
+    // Log-linear interpolation between bracketing samples.
+    std::size_t hi = 1;
+    while (failProbs_[hi] < fail_prob)
+        ++hi;
+    const std::size_t lo = hi - 1;
+    const double t = (std::log(fail_prob) - std::log(failProbs_[lo])) /
+                     (std::log(failProbs_[hi]) - std::log(failProbs_[lo]));
+    return accuracies_[lo] + t * (accuracies_[hi] - accuracies_[lo]);
+}
+
+} // namespace vboost::fi

@@ -1,0 +1,156 @@
+#include "fi/experiment.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+#include "dnn/quantize.hpp"
+#include "dnn/trainer.hpp"
+
+namespace vboost::fi {
+
+FaultInjectionRunner::FaultInjectionRunner(dnn::Network &net,
+                                           dnn::Network &scratch,
+                                           const dnn::Dataset &test_set,
+                                           ExperimentConfig cfg)
+    : net_(net), scratch_(scratch), cfg_(cfg)
+{
+    if (cfg_.numMaps < 1)
+        fatal("FaultInjectionRunner: at least one fault map required");
+    if (test_set.size() == 0)
+        fatal("FaultInjectionRunner: empty test set");
+    std::size_t n = test_set.size();
+    if (cfg_.maxTestSamples > 0 && cfg_.maxTestSamples < n)
+        n = cfg_.maxTestSamples;
+    evalSet_ = test_set.slice(0, n);
+}
+
+double
+FaultInjectionRunner::baselineAccuracy()
+{
+    // Quantization round trip with no faults: the accelerator's
+    // error-free ceiling (what "maximum accuracy" means in Fig. 2).
+    sram::VulnerabilityMap map(cfg_.seed, 0);
+    Rng rng(cfg_.seed);
+    InjectionSpec spec;
+    spec.injectWeights = true;
+    corruptNetwork(scratch_, net_, map, /*fail_prob=*/0.0, spec,
+                   cfg_.layout, rng);
+    return dnn::SgdTrainer::evaluate(scratch_, evalSet_, 0);
+}
+
+AccuracyPoint
+FaultInjectionRunner::run(double fail_prob, const InjectionSpec &spec)
+{
+    RunningStats acc;
+    RunningStats flips;
+    for (int m = 0; m < cfg_.numMaps; ++m) {
+        const sram::VulnerabilityMap map(cfg_.seed,
+                                         static_cast<std::uint64_t>(m));
+        Rng rng = Rng(cfg_.seed).split(1000 +
+                                       static_cast<std::uint64_t>(m));
+        std::uint64_t flipped = corruptNetwork(
+            scratch_, net_, map, fail_prob, spec, cfg_.layout, rng);
+
+        double a;
+        if (spec.injectInputs) {
+            dnn::Tensor corrupted = corruptInputs(
+                evalSet_.images, map, fail_prob, spec.flipProb,
+                cfg_.layout, rng);
+            a = scratch_.accuracy(corrupted, evalSet_.labels);
+        } else {
+            a = dnn::SgdTrainer::evaluate(scratch_, evalSet_, 0);
+        }
+        acc.add(a);
+        flips.add(static_cast<double>(flipped));
+    }
+
+    AccuracyPoint p;
+    p.failProb = fail_prob;
+    p.meanAccuracy = acc.mean();
+    p.stddevAccuracy = acc.stddev();
+    p.minAccuracy = acc.min();
+    p.maxAccuracy = acc.max();
+    p.meanBitFlips = flips.mean();
+    return p;
+}
+
+AccuracyPoint
+FaultInjectionRunner::runPerLayer(const std::vector<double> &fail_by_layer,
+                                  double flip_prob)
+{
+    RunningStats acc;
+    RunningStats flips;
+    for (int m = 0; m < cfg_.numMaps; ++m) {
+        const sram::VulnerabilityMap map(cfg_.seed,
+                                         static_cast<std::uint64_t>(m));
+        Rng rng = Rng(cfg_.seed).split(2000 +
+                                       static_cast<std::uint64_t>(m));
+        const auto flipped = corruptNetworkPerLayer(
+            scratch_, net_, map, fail_by_layer, flip_prob, cfg_.layout,
+            rng);
+        acc.add(dnn::SgdTrainer::evaluate(scratch_, evalSet_, 0));
+        flips.add(static_cast<double>(flipped));
+    }
+    AccuracyPoint p;
+    double max_f = 0.0;
+    for (double f : fail_by_layer)
+        max_f = std::max(max_f, f);
+    p.failProb = max_f;
+    p.meanAccuracy = acc.mean();
+    p.stddevAccuracy = acc.stddev();
+    p.minAccuracy = acc.min();
+    p.maxAccuracy = acc.max();
+    p.meanBitFlips = flips.mean();
+    return p;
+}
+
+AccuracyPoint
+FaultInjectionRunner::runWithEcc(double fail_prob, double flip_prob,
+                                 sram::EccStats *stats)
+{
+    RunningStats acc;
+    RunningStats flips;
+    for (int m = 0; m < cfg_.numMaps; ++m) {
+        const sram::VulnerabilityMap map(cfg_.seed,
+                                         static_cast<std::uint64_t>(m));
+        Rng rng = Rng(cfg_.seed).split(3000 +
+                                       static_cast<std::uint64_t>(m));
+        const auto flipped =
+            corruptNetworkEcc(scratch_, net_, map, fail_prob, flip_prob,
+                              cfg_.layout, rng, stats);
+        acc.add(dnn::SgdTrainer::evaluate(scratch_, evalSet_, 0));
+        flips.add(static_cast<double>(flipped));
+    }
+    AccuracyPoint p;
+    p.failProb = fail_prob;
+    p.meanAccuracy = acc.mean();
+    p.stddevAccuracy = acc.stddev();
+    p.minAccuracy = acc.min();
+    p.maxAccuracy = acc.max();
+    p.meanBitFlips = flips.mean();
+    return p;
+}
+
+AccuracyPoint
+FaultInjectionRunner::runAtVoltage(Volt v,
+                                   const sram::FailureRateModel &model,
+                                   const InjectionSpec &spec)
+{
+    AccuracyPoint p = run(model.rate(v), spec);
+    p.voltage = v;
+    return p;
+}
+
+std::vector<AccuracyPoint>
+FaultInjectionRunner::sweepVoltage(const std::vector<Volt> &voltages,
+                                   const sram::FailureRateModel &model,
+                                   const InjectionSpec &spec)
+{
+    std::vector<AccuracyPoint> out;
+    out.reserve(voltages.size());
+    for (Volt v : voltages)
+        out.push_back(runAtVoltage(v, model, spec));
+    return out;
+}
+
+} // namespace vboost::fi

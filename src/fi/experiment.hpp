@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Monte-Carlo accuracy experiments (paper Sec. 5.1): for each
+ * operating point, generate N independent fault maps, corrupt the
+ * network/inputs under each, evaluate inference accuracy on the test
+ * set, and report the mean (the paper averages 100 maps). The voltage
+ * sweep variant converts voltages to failure probabilities through a
+ * FailureRateModel first — exactly the pipeline of Fig. 11.
+ */
+
+#ifndef VBOOST_FI_EXPERIMENT_HPP
+#define VBOOST_FI_EXPERIMENT_HPP
+
+#include <vector>
+
+#include "common/stats.hpp"
+#include "dnn/dataset.hpp"
+#include "dnn/network.hpp"
+#include "fi/injector.hpp"
+#include "sram/failure_model.hpp"
+
+namespace vboost::fi {
+
+/** Monte-Carlo experiment configuration. */
+struct ExperimentConfig
+{
+    /** Independent fault maps per operating point (paper: 100). */
+    int numMaps = 20;
+    /** Base seed; map m uses VulnerabilityMap(seed, m). */
+    std::uint64_t seed = 42;
+    /** Test samples evaluated per map (0 = whole test set). */
+    std::size_t maxTestSamples = 400;
+    /** Cell layout of the modeled memories. */
+    MemoryLayout layout;
+};
+
+/** Accuracy statistics at one operating point. */
+struct AccuracyPoint
+{
+    /** Supply voltage (0 when swept by failure probability). */
+    Volt voltage{0.0};
+    /** Bit failure probability applied. */
+    double failProb = 0.0;
+    /** Mean accuracy across fault maps. */
+    double meanAccuracy = 0.0;
+    /** Stddev of accuracy across fault maps. */
+    double stddevAccuracy = 0.0;
+    /** Worst map. */
+    double minAccuracy = 0.0;
+    /** Best map. */
+    double maxAccuracy = 0.0;
+    /** Mean bit flips applied per map. */
+    double meanBitFlips = 0.0;
+};
+
+/**
+ * Runs Monte-Carlo fault-injection accuracy experiments on a trained
+ * network. The network is cloned internally; the caller's instance is
+ * never modified.
+ */
+class FaultInjectionRunner
+{
+  public:
+    /**
+     * @param net trained network (used as the golden parameter
+     *        source; must outlive the runner).
+     * @param scratch a structurally identical network instance that
+     *        receives corrupted parameters (build it with the same
+     *        zoo function; must outlive the runner).
+     * @param test_set evaluation data.
+     * @param cfg Monte-Carlo configuration.
+     */
+    FaultInjectionRunner(dnn::Network &net, dnn::Network &scratch,
+                         const dnn::Dataset &test_set,
+                         ExperimentConfig cfg = {});
+
+    /** Accuracy with fault-free int16 quantization (the ceiling). */
+    double baselineAccuracy();
+
+    /** Monte-Carlo accuracy at one bit failure probability. */
+    AccuracyPoint run(double fail_prob, const InjectionSpec &spec);
+
+    /**
+     * Monte-Carlo accuracy with a distinct failure probability per
+     * weight layer (differential boost configurations of Table 2).
+     */
+    AccuracyPoint runPerLayer(const std::vector<double> &fail_by_layer,
+                              double flip_prob = 0.5);
+
+    /**
+     * Monte-Carlo accuracy with SECDED ECC protecting the weight
+     * storage (the ECC-vs-boosting ablation). Aggregated decode
+     * statistics are returned through `stats` when non-null.
+     */
+    AccuracyPoint runWithEcc(double fail_prob, double flip_prob = 0.5,
+                             sram::EccStats *stats = nullptr);
+
+    /** Accuracy at a supply voltage (failure prob from the model). */
+    AccuracyPoint runAtVoltage(Volt v, const sram::FailureRateModel &model,
+                               const InjectionSpec &spec);
+
+    /** Sweep a list of voltages. */
+    std::vector<AccuracyPoint>
+    sweepVoltage(const std::vector<Volt> &voltages,
+                 const sram::FailureRateModel &model,
+                 const InjectionSpec &spec);
+
+    const ExperimentConfig &config() const { return cfg_; }
+
+  private:
+    dnn::Network &net_;
+    dnn::Network &scratch_;
+    dnn::Dataset evalSet_;
+    ExperimentConfig cfg_;
+};
+
+} // namespace vboost::fi
+
+#endif // VBOOST_FI_EXPERIMENT_HPP

@@ -1,0 +1,208 @@
+#include "fi/injector.hpp"
+
+#include "common/logging.hpp"
+#include "dnn/quantize.hpp"
+
+namespace vboost::fi {
+
+namespace {
+
+/**
+ * Corrupt 16-bit words whose bits live at
+ * region_base + ((start_bit + k) mod region_bits) in the cell space:
+ * staged tiles wrap around the physical memory.
+ */
+std::uint64_t
+corruptWrapped(std::vector<std::int16_t> &words,
+               const sram::VulnerabilityMap &map, std::uint64_t region_base,
+               std::uint64_t region_bits, std::uint64_t start_bit,
+               sram::FaultParams params, Rng &rng)
+{
+    if (params.failProb <= 0.0 || params.flipProb <= 0.0)
+        return 0;
+    std::uint64_t flipped = 0;
+    std::uint64_t bit = start_bit % region_bits;
+    for (auto &word : words) {
+        auto raw = static_cast<std::uint16_t>(word);
+        for (int b = 0; b < 16; ++b) {
+            const std::uint64_t cell = region_base + bit;
+            if (map.isFaulty(cell, params.failProb) &&
+                rng.bernoulli(params.flipProb)) {
+                raw ^= static_cast<std::uint16_t>(1u << b);
+                ++flipped;
+            }
+            if (++bit == region_bits)
+                bit = 0;
+        }
+        word = static_cast<std::int16_t>(raw);
+    }
+    return flipped;
+}
+
+} // namespace
+
+std::uint64_t
+corruptNetwork(dnn::Network &dst, dnn::Network &src,
+               const sram::VulnerabilityMap &map, double fail_prob,
+               const InjectionSpec &spec, const MemoryLayout &layout,
+               Rng &rng)
+{
+    dst.copyParamsFrom(src);
+
+    auto src_weights = src.weightParams();
+    auto dst_weights = dst.weightParams();
+    if (src_weights.size() != dst_weights.size())
+        fatal("corruptNetwork: network structure mismatch");
+    if (spec.onlyLayer >= static_cast<int>(src_weights.size()))
+        fatal("corruptNetwork: layer index ", spec.onlyLayer,
+              " out of range (", src_weights.size(), " weight layers)");
+
+    if (!spec.injectWeights || fail_prob <= 0.0)
+        return 0;
+
+    std::uint64_t flipped = 0;
+    std::uint64_t bit_cursor = 0;
+    for (std::size_t l = 0; l < src_weights.size(); ++l) {
+        auto q = dnn::quantize(*src_weights[l].value);
+        const std::uint64_t layer_bits = q.words.size() * 16ull;
+        const bool targeted =
+            spec.onlyLayer < 0 || spec.onlyLayer == static_cast<int>(l);
+        if (targeted) {
+            flipped += corruptWrapped(q.words, map, 0,
+                                      layout.weightRegionBits, bit_cursor,
+                                      {fail_prob, spec.flipProb}, rng);
+        }
+        // All layers round-trip quantization (the accelerator computes
+        // on int16 storage either way); only targeted layers get
+        // faults.
+        *dst_weights[l].value = dnn::dequantize(q);
+        bit_cursor += layer_bits;
+    }
+    return flipped;
+}
+
+std::uint64_t
+corruptNetworkPerLayer(dnn::Network &dst, dnn::Network &src,
+                       const sram::VulnerabilityMap &map,
+                       const std::vector<double> &fail_prob_by_layer,
+                       double flip_prob, const MemoryLayout &layout,
+                       Rng &rng)
+{
+    dst.copyParamsFrom(src);
+    auto src_weights = src.weightParams();
+    auto dst_weights = dst.weightParams();
+    if (fail_prob_by_layer.size() != src_weights.size())
+        fatal("corruptNetworkPerLayer: expected ", src_weights.size(),
+              " per-layer probabilities, got ", fail_prob_by_layer.size());
+
+    std::uint64_t flipped = 0;
+    std::uint64_t bit_cursor = 0;
+    for (std::size_t l = 0; l < src_weights.size(); ++l) {
+        auto q = dnn::quantize(*src_weights[l].value);
+        const std::uint64_t layer_bits = q.words.size() * 16ull;
+        flipped += corruptWrapped(q.words, map, 0, layout.weightRegionBits,
+                                  bit_cursor,
+                                  {fail_prob_by_layer[l], flip_prob}, rng);
+        *dst_weights[l].value = dnn::dequantize(q);
+        bit_cursor += layer_bits;
+    }
+    return flipped;
+}
+
+std::uint64_t
+corruptNetworkEcc(dnn::Network &dst, dnn::Network &src,
+                  const sram::VulnerabilityMap &map, double fail_prob,
+                  double flip_prob, const MemoryLayout &layout, Rng &rng,
+                  sram::EccStats *stats)
+{
+    dst.copyParamsFrom(src);
+    auto src_weights = src.weightParams();
+    auto dst_weights = dst.weightParams();
+
+    std::uint64_t flipped = 0;
+    std::uint64_t bit_cursor = 0;   // data-bit cursor (weight region)
+    std::uint64_t check_cursor = 0; // check-bit cursor (parity region)
+    for (std::size_t l = 0; l < src_weights.size(); ++l) {
+        auto q = dnn::quantize(*src_weights[l].value);
+        // Process 64-bit groups of four int16 words; the tail group is
+        // zero-padded (as a real ECC memory would pad the row).
+        for (std::size_t g = 0; g < q.words.size(); g += 4) {
+            std::uint64_t word = 0;
+            for (std::size_t k = 0; k < 4 && g + k < q.words.size(); ++k)
+                word |= static_cast<std::uint64_t>(
+                            static_cast<std::uint16_t>(q.words[g + k]))
+                        << (16 * k);
+            std::uint8_t check = sram::SecdedCodec::encode(word);
+
+            // Corrupt the 64 data cells.
+            for (int b = 0; b < 64; ++b) {
+                const std::uint64_t cell =
+                    (bit_cursor + static_cast<std::uint64_t>(b)) %
+                    layout.weightRegionBits;
+                if (map.isFaulty(cell, fail_prob) &&
+                    rng.bernoulli(flip_prob)) {
+                    word ^= 1ull << b;
+                    ++flipped;
+                }
+            }
+            // Corrupt the 8 check cells (their own region).
+            for (int b = 0; b < 8; ++b) {
+                const std::uint64_t cell =
+                    layout.parityRegionBase() +
+                    (check_cursor + static_cast<std::uint64_t>(b)) %
+                        layout.parityRegionBits();
+                if (map.isFaulty(cell, fail_prob) &&
+                    rng.bernoulli(flip_prob)) {
+                    check = static_cast<std::uint8_t>(check ^ (1u << b));
+                    ++flipped;
+                }
+            }
+            bit_cursor += 64;
+            check_cursor += 8;
+
+            const auto decoded = sram::SecdedCodec::decode(word, check);
+            if (stats)
+                stats->record(decoded.outcome);
+            for (std::size_t k = 0; k < 4 && g + k < q.words.size(); ++k)
+                q.words[g + k] = static_cast<std::int16_t>(
+                    static_cast<std::uint16_t>(decoded.data >> (16 * k)));
+        }
+        *dst_weights[l].value = dnn::dequantize(q);
+    }
+    return flipped;
+}
+
+dnn::Tensor
+corruptInputs(const dnn::Tensor &images, const sram::VulnerabilityMap &map,
+              double fail_prob, double flip_prob,
+              const MemoryLayout &layout, Rng &rng)
+{
+    auto q = dnn::quantize(images);
+    if (fail_prob > 0.0) {
+        // Each image is staged through the same physical input memory:
+        // image i's bits start where a fresh staging would place them
+        // (offset 0 of the region), so all images see the same cells.
+        const int batch = images.dim(0);
+        const std::size_t per_image = images.numel() /
+                                      static_cast<std::size_t>(batch);
+        for (int i = 0; i < batch; ++i) {
+            std::vector<std::int16_t> row(
+                q.words.begin() + static_cast<long>(per_image *
+                                                    static_cast<std::size_t>(
+                                                        i)),
+                q.words.begin() + static_cast<long>(per_image *
+                                                    static_cast<std::size_t>(
+                                                        i + 1)));
+            corruptWrapped(row, map, layout.inputRegionBase(),
+                           layout.inputRegionBits, 0,
+                           {fail_prob, flip_prob}, rng);
+            std::copy(row.begin(), row.end(),
+                      q.words.begin() + static_cast<long>(
+                                            per_image *
+                                            static_cast<std::size_t>(i)));
+        }
+    }
+    return dnn::dequantize(q);
+}
+
+} // namespace vboost::fi

@@ -1,0 +1,158 @@
+#include "sram/ecc.hpp"
+
+#include <bit>
+
+namespace vboost::sram {
+
+namespace {
+
+/** Is codeword position p (1-based) a Hamming check position? */
+constexpr bool
+isCheckPos(int p)
+{
+    return (p & (p - 1)) == 0; // power of two
+}
+
+/** Number of codeword positions used (1..71 holds 64 data + 7 check). */
+constexpr int kPositions = 71;
+
+/**
+ * Scatter 64 data bits into codeword positions 1..71, skipping the
+ * seven power-of-two check positions. Returns a 72-bit value whose
+ * bit p (p >= 1) is codeword position p; check positions are zero.
+ */
+std::uint64_t
+scatterLow(std::uint64_t data, std::uint64_t &high)
+{
+    // Positions 1..63 fit in the low word (bit index == position);
+    // positions 64..71 go into `high` (bit index == position - 64).
+    std::uint64_t low = 0;
+    high = 0;
+    int bit = 0;
+    for (int p = 1; p <= kPositions; ++p) {
+        if (isCheckPos(p))
+            continue;
+        const std::uint64_t v = (data >> bit) & 1ull;
+        if (p < 64)
+            low |= v << p;
+        else
+            high |= v << (p - 64);
+        ++bit;
+    }
+    return low;
+}
+
+/** Gather the 64 data bits back out of the codeword. */
+std::uint64_t
+gather(std::uint64_t low, std::uint64_t high)
+{
+    std::uint64_t data = 0;
+    int bit = 0;
+    for (int p = 1; p <= kPositions; ++p) {
+        if (isCheckPos(p))
+            continue;
+        const std::uint64_t v =
+            p < 64 ? (low >> p) & 1ull : (high >> (p - 64)) & 1ull;
+        data |= v << bit;
+        ++bit;
+    }
+    return data;
+}
+
+/** XOR of the positions of all set bits: the Hamming syndrome. */
+int
+syndromeOf(std::uint64_t low, std::uint64_t high)
+{
+    int s = 0;
+    for (int p = 1; p < 64; ++p) {
+        if ((low >> p) & 1ull)
+            s ^= p;
+    }
+    for (int p = 64; p <= kPositions; ++p) {
+        if ((high >> (p - 64)) & 1ull)
+            s ^= p;
+    }
+    return s;
+}
+
+/** Parity (number of set bits mod 2) of the whole codeword. */
+int
+parityOf(std::uint64_t low, std::uint64_t high)
+{
+    return (std::popcount(low) + std::popcount(high)) & 1;
+}
+
+} // namespace
+
+std::uint8_t
+SecdedCodec::encode(std::uint64_t data)
+{
+    std::uint64_t high;
+    std::uint64_t low = scatterLow(data, high);
+
+    // Choose the 7 check bits so the syndrome of the full codeword is
+    // zero: each check bit at position 2^i absorbs bit i of the
+    // data-only syndrome.
+    const int s = syndromeOf(low, high);
+    std::uint8_t check = 0;
+    for (int i = 0; i < 7; ++i) {
+        if ((s >> i) & 1) {
+            check |= static_cast<std::uint8_t>(1u << i);
+            const int p = 1 << i;
+            if (p < 64)
+                low |= 1ull << p;
+            else
+                high |= 1ull << (p - 64);
+        }
+    }
+    // Eighth bit: overall parity of the 71-bit codeword (even parity).
+    if (parityOf(low, high))
+        check |= 0x80;
+    return check;
+}
+
+EccDecodeResult
+SecdedCodec::decode(std::uint64_t data, std::uint8_t check)
+{
+    std::uint64_t high;
+    std::uint64_t low = scatterLow(data, high);
+    for (int i = 0; i < 7; ++i) {
+        if ((check >> i) & 1) {
+            const int p = 1 << i;
+            if (p < 64)
+                low |= 1ull << p;
+            else
+                high |= 1ull << (p - 64);
+        }
+    }
+
+    const int s = syndromeOf(low, high);
+    const int stored_parity = (check >> 7) & 1;
+    const int parity_ok = parityOf(low, high) == stored_parity;
+
+    EccDecodeResult result;
+    if (s == 0 && parity_ok) {
+        result.data = data;
+        result.outcome = EccOutcome::Clean;
+        return result;
+    }
+    if (!parity_ok) {
+        // Odd number of errors; assume one and correct it. s == 0
+        // means the overall parity bit itself flipped.
+        if (s >= 1 && s <= kPositions) {
+            if (s < 64)
+                low ^= 1ull << s;
+            else
+                high ^= 1ull << (s - 64);
+        }
+        result.data = gather(low, high);
+        result.outcome = EccOutcome::Corrected;
+        return result;
+    }
+    // Syndrome non-zero with even parity: double error detected.
+    result.data = data;
+    result.outcome = EccOutcome::DetectedUncorrectable;
+    return result;
+}
+
+} // namespace vboost::sram

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * SECDED Hamming(72, 64) error-correcting code: the conventional
+ * alternative to supply boosting for low-voltage SRAM (the paper's
+ * related work [36] uses ECC + redundancy to limit Vmin-induced yield
+ * loss). One 64-bit data word is protected by 8 check bits (7 Hamming
+ * syndrome bits + 1 overall parity), correcting any single bit error
+ * and detecting any double bit error per codeword — including errors
+ * in the check bits themselves, which occupy (faulty) SRAM cells like
+ * any other bit.
+ *
+ * Used by the fault-injection harness and the ECC-vs-boosting ablation
+ * bench to quantify where ECC stops helping: at VLV failure rates the
+ * per-word multi-bit error probability grows quadratically and SECDED
+ * collapses, while boosting keeps lowering the raw bit error rate.
+ */
+
+#ifndef VBOOST_SRAM_ECC_HPP
+#define VBOOST_SRAM_ECC_HPP
+
+#include <cstdint>
+
+namespace vboost::sram {
+
+/** Outcome of decoding one codeword. */
+enum class EccOutcome
+{
+    /** No error detected. */
+    Clean,
+    /** Single-bit error corrected (possibly in a check bit). */
+    Corrected,
+    /** Double-bit error detected but not correctable; the decoder
+     *  returns the uncorrected data bits. */
+    DetectedUncorrectable,
+};
+
+/** Decode result: data plus what the decoder observed. */
+struct EccDecodeResult
+{
+    std::uint64_t data = 0;
+    EccOutcome outcome = EccOutcome::Clean;
+};
+
+/** Running decode statistics for an experiment. */
+struct EccStats
+{
+    std::uint64_t words = 0;
+    std::uint64_t corrected = 0;
+    std::uint64_t detectedUncorrectable = 0;
+
+    void
+    record(EccOutcome outcome)
+    {
+        ++words;
+        if (outcome == EccOutcome::Corrected)
+            ++corrected;
+        else if (outcome == EccOutcome::DetectedUncorrectable)
+            ++detectedUncorrectable;
+    }
+};
+
+/** Hamming(72, 64) SECDED codec. Stateless; all methods are static. */
+class SecdedCodec
+{
+  public:
+    /** Check bits per 64-bit data word (7 syndrome + 1 parity). */
+    static constexpr int kCheckBits = 8;
+    /** Total codeword size in bits. */
+    static constexpr int kCodewordBits = 72;
+
+    /** Compute the 8 check bits for a data word. */
+    static std::uint8_t encode(std::uint64_t data);
+
+    /**
+     * Decode a (possibly corrupted) codeword.
+     *
+     * @param data the 64 stored data bits as read.
+     * @param check the 8 stored check bits as read.
+     * @return corrected data and the decode outcome. Triple and higher
+     *         errors may alias to Clean or Corrected (inherent SECDED
+     *         limitation, faithfully modeled).
+     */
+    static EccDecodeResult decode(std::uint64_t data, std::uint8_t check);
+
+    /** Storage overhead of the code (check bits / data bits). */
+    static constexpr double
+    storageOverhead()
+    {
+        return static_cast<double>(kCheckBits) / 64.0;
+    }
+};
+
+} // namespace vboost::sram
+
+#endif // VBOOST_SRAM_ECC_HPP

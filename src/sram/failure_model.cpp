@@ -1,0 +1,56 @@
+#include "sram/failure_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hpp"
+
+namespace vboost::sram {
+
+FailureRateModel::FailureRateModel(FailureRateParams params)
+    : params_(params)
+{
+    if (params_.rateAtAnchor <= 0.0 || params_.rateAtAnchor > 1.0)
+        fatal("FailureRateModel: anchor rate must be in (0,1]");
+    if (params_.slopePerVolt <= 0.0)
+        fatal("FailureRateModel: slope must be positive");
+    if (params_.maxRate <= 0.0 || params_.maxRate > 1.0)
+        fatal("FailureRateModel: maxRate must be in (0,1]");
+}
+
+double
+FailureRateModel::rate(Volt v) const
+{
+    if (v < params_.dataRetentionVoltage)
+        return params_.maxRate;
+    const double f = params_.rateAtAnchor *
+        std::exp(-params_.slopePerVolt *
+                 (v.value() - params_.anchorVoltage.value()));
+    return std::clamp(f, 0.0, params_.maxRate);
+}
+
+Volt
+FailureRateModel::voltageForRate(double target) const
+{
+    if (target <= 0.0 || target > params_.maxRate)
+        fatal("FailureRateModel::voltageForRate: target ", target,
+              " outside (0,", params_.maxRate, "]");
+    // Invert F = F0 * exp(-k (v - v0)).
+    const double v = params_.anchorVoltage.value() -
+        std::log(target / params_.rateAtAnchor) / params_.slopePerVolt;
+    return Volt(std::max(v, params_.dataRetentionVoltage.value()));
+}
+
+Volt
+FailureRateModel::firstErrorVoltage(std::uint64_t bits) const
+{
+    if (bits == 0)
+        fatal("FailureRateModel::firstErrorVoltage: empty array");
+    // Expected fail count F(v) * bits == 1.
+    const double target = 1.0 / static_cast<double>(bits);
+    if (target > params_.maxRate)
+        return dataRetentionVoltage();
+    return voltageForRate(target);
+}
+
+} // namespace vboost::sram

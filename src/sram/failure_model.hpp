@@ -1,0 +1,77 @@
+/**
+ * @file
+ * SRAM bit-failure rate vs supply voltage (paper Sec. 5.1, Fig. 7 top).
+ * The paper measures bit fails across dies on a 4 Mbit 14nm test chip
+ * and fits the per-voltage failure probability to an exponential; we
+ * implement that fit directly:
+ *
+ *     F(v) = F_anchor * exp(-k * (v - v_anchor)),  clamped to [0, Fmax]
+ *
+ * calibrated so F(0.44 V) ~ 1.4e-2 (the rate quoted with Fig. 2) and
+ * F(0.6 V) is negligible (macros screened for zero fails at 0.6 V).
+ */
+
+#ifndef VBOOST_SRAM_FAILURE_MODEL_HPP
+#define VBOOST_SRAM_FAILURE_MODEL_HPP
+
+#include <cstdint>
+
+#include "common/units.hpp"
+
+namespace vboost::sram {
+
+/** Calibration of the exponential failure-rate fit. */
+struct FailureRateParams
+{
+    /** Failure probability at the anchor voltage. */
+    double rateAtAnchor = 1.4e-2;
+    /** Anchor voltage for the fit. */
+    Volt anchorVoltage{0.44};
+    /** Exponential slope k (per volt). */
+    double slopePerVolt = 75.0;
+    /** Saturation: a cell is a coin flip at best. */
+    double maxRate = 0.5;
+    /**
+     * Minimum voltage at which a cell retains its stored value at all
+     * (V_data-retention in Fig. 1); below this every read is garbage.
+     */
+    Volt dataRetentionVoltage{0.30};
+};
+
+/** Exponential bit-failure-rate model with landmark helpers. */
+class FailureRateModel
+{
+  public:
+    explicit FailureRateModel(FailureRateParams params = {});
+
+    /** Bit failure probability at supply voltage v. */
+    double rate(Volt v) const;
+
+    /**
+     * Inverse of rate(): the voltage at which the failure probability
+     * equals `target` (on the exponential segment).
+     * @pre 0 < target <= maxRate.
+     */
+    Volt voltageForRate(double target) const;
+
+    /**
+     * V_1st-error landmark (Fig. 1): the highest voltage at which an
+     * array of `bits` cells is expected to contain at least one faulty
+     * cell (expected fail count crosses 1).
+     */
+    Volt firstErrorVoltage(std::uint64_t bits) const;
+
+    /** V_data-retention landmark. */
+    Volt dataRetentionVoltage() const
+    { return params_.dataRetentionVoltage; }
+
+    /** The calibration in use. */
+    const FailureRateParams &params() const { return params_; }
+
+  private:
+    FailureRateParams params_;
+};
+
+} // namespace vboost::sram
+
+#endif // VBOOST_SRAM_FAILURE_MODEL_HPP

@@ -1,0 +1,158 @@
+#include "sram/fault_map.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hpp"
+
+namespace vboost::sram {
+
+namespace {
+
+/** Stateless 64-bit mix (SplitMix64 finalizer). */
+std::uint64_t
+mix64(std::uint64_t z)
+{
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+/** Hash a cell id under a stream key to a raw 64-bit value. */
+std::uint64_t
+cellHash(std::uint64_t stream_key, std::uint64_t cell)
+{
+    return mix64(stream_key ^ (cell * 0x9e3779b97f4a7c15ull));
+}
+
+/** Convert a fail probability to a 64-bit comparison threshold. */
+std::uint64_t
+probThreshold(double fail_prob)
+{
+    if (fail_prob <= 0.0)
+        return 0;
+    if (fail_prob >= 1.0)
+        return ~0ull;
+    return static_cast<std::uint64_t>(fail_prob * 0x1.0p64);
+}
+
+} // namespace
+
+VulnerabilityMap::VulnerabilityMap(std::uint64_t seed,
+                                   std::uint64_t map_index)
+    : seed_(seed), mapIndex_(map_index)
+{
+    streamKey_ = mix64(seed ^ mix64(map_index + 0x5851f42d4c957f2dull));
+}
+
+double
+VulnerabilityMap::cellUniform(std::uint64_t cell) const
+{
+    return (cellHash(streamKey_, cell) >> 11) * 0x1.0p-53;
+}
+
+bool
+VulnerabilityMap::isFaulty(std::uint64_t cell, double fail_prob) const
+{
+    return cellHash(streamKey_, cell) < probThreshold(fail_prob);
+}
+
+double
+VulnerabilityMap::vulnerability(std::uint64_t cell) const
+{
+    // Cell is faulty iff u < F(v) iff Phi^-1(1-u) >= Phi^-1(1-F(v)),
+    // so x = Phi^-1(1-u) is the N(0,1) vulnerability of the paper's
+    // model. Clamp u away from the endpoints for a finite quantile.
+    double u = cellUniform(cell);
+    u = std::min(std::max(u, 1e-15), 1.0 - 1e-15);
+    return inverseNormalCdf(1.0 - u);
+}
+
+std::vector<std::uint64_t>
+VulnerabilityMap::faultyCells(std::uint64_t num_cells,
+                              double fail_prob) const
+{
+    std::vector<std::uint64_t> out;
+    const std::uint64_t thr = probThreshold(fail_prob);
+    for (std::uint64_t c = 0; c < num_cells; ++c) {
+        if (cellHash(streamKey_, c) < thr)
+            out.push_back(c);
+    }
+    return out;
+}
+
+std::uint64_t
+VulnerabilityMap::countFaulty(std::uint64_t num_cells,
+                              double fail_prob) const
+{
+    std::uint64_t n = 0;
+    const std::uint64_t thr = probThreshold(fail_prob);
+    for (std::uint64_t c = 0; c < num_cells; ++c)
+        n += cellHash(streamKey_, c) < thr;
+    return n;
+}
+
+double
+VulnerabilityMap::minUniform(std::uint64_t num_cells) const
+{
+    if (num_cells == 0)
+        fatal("VulnerabilityMap::minUniform: empty cell range");
+    std::uint64_t min_hash = ~0ull;
+    for (std::uint64_t c = 0; c < num_cells; ++c)
+        min_hash = std::min(min_hash, cellHash(streamKey_, c));
+    return (min_hash >> 11) * 0x1.0p-53;
+}
+
+std::uint64_t
+corruptWords(std::span<std::int16_t> words, const VulnerabilityMap &map,
+             std::uint64_t base_cell, FaultParams params, Rng &rng)
+{
+    if (params.failProb < 0.0 || params.failProb > 1.0 ||
+        params.flipProb < 0.0 || params.flipProb > 1.0) {
+        fatal("corruptWords: probabilities must be in [0,1]");
+    }
+    if (params.failProb == 0.0 || params.flipProb == 0.0)
+        return 0;
+
+    std::uint64_t flipped = 0;
+    std::uint64_t cell = base_cell;
+    for (auto &word : words) {
+        auto bits = static_cast<std::uint16_t>(word);
+        for (int b = 0; b < 16; ++b, ++cell) {
+            if (map.isFaulty(cell, params.failProb) &&
+                rng.bernoulli(params.flipProb)) {
+                bits ^= static_cast<std::uint16_t>(1u << b);
+                ++flipped;
+            }
+        }
+        word = static_cast<std::int16_t>(bits);
+    }
+    return flipped;
+}
+
+std::uint64_t
+corruptWords64(std::span<std::uint64_t> words, const VulnerabilityMap &map,
+               std::uint64_t base_cell, FaultParams params, Rng &rng)
+{
+    if (params.failProb < 0.0 || params.failProb > 1.0 ||
+        params.flipProb < 0.0 || params.flipProb > 1.0) {
+        fatal("corruptWords64: probabilities must be in [0,1]");
+    }
+    if (params.failProb == 0.0 || params.flipProb == 0.0)
+        return 0;
+
+    std::uint64_t flipped = 0;
+    std::uint64_t cell = base_cell;
+    for (auto &word : words) {
+        for (int b = 0; b < 64; ++b, ++cell) {
+            if (map.isFaulty(cell, params.failProb) &&
+                rng.bernoulli(params.flipProb)) {
+                word ^= 1ull << b;
+                ++flipped;
+            }
+        }
+    }
+    return flipped;
+}
+
+} // namespace vboost::sram

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Per-bitcell vulnerability and fault maps (paper Sec. 5.1, Fig. 11).
+ *
+ * The paper models inter-cell Vt variation by giving each bitcell a
+ * vulnerability drawn from N(0,1): at supply voltage v the cell is
+ * *faulty* iff its draw x satisfies P(X >= x1) = F(v), i.e.
+ * x >= Phi^-1(1 - F(v)). A faulty cell manifests a bit flip on any
+ * given read with probability p (0.5 by default). Fault maps are
+ * *inclusive*: every cell faulty at voltage V2 is also faulty at any
+ * V1 < V2.
+ *
+ * Implementation: the N(0,1) draw for cell c in Monte-Carlo map m is
+ * derived from a counter-based hash of (seed, m, c), so maps need no
+ * storage, are reproducible, and inclusivity across voltages holds by
+ * construction (the draw is fixed; only the threshold moves).
+ */
+
+#ifndef VBOOST_SRAM_FAULT_MAP_HPP
+#define VBOOST_SRAM_FAULT_MAP_HPP
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace vboost::sram {
+
+/**
+ * Deterministic per-cell vulnerability for one Monte-Carlo fault map.
+ * Cheap to copy; all methods are const and thread-safe.
+ */
+class VulnerabilityMap
+{
+  public:
+    /**
+     * @param seed experiment seed shared across maps.
+     * @param map_index Monte-Carlo map number.
+     */
+    VulnerabilityMap(std::uint64_t seed, std::uint64_t map_index);
+
+    /**
+     * Is cell `cell` faulty when the bit failure probability is
+     * `fail_prob`? Monotone in fail_prob (inclusivity).
+     */
+    bool isFaulty(std::uint64_t cell, double fail_prob) const;
+
+    /** The cell's N(0,1) vulnerability draw (diagnostics/tests). */
+    double vulnerability(std::uint64_t cell) const;
+
+    /** Enumerate faulty cells in [0, num_cells) at fail_prob. */
+    std::vector<std::uint64_t>
+    faultyCells(std::uint64_t num_cells, double fail_prob) const;
+
+    /** Count faulty cells in [0, num_cells) at fail_prob. */
+    std::uint64_t
+    countFaulty(std::uint64_t num_cells, double fail_prob) const;
+
+    /**
+     * Smallest uniform draw among cells [0, num_cells): the map's most
+     * vulnerable cell. A fail probability above this value makes at
+     * least one cell faulty; at or below it the array is error-free.
+     * Used by the yield analyzer to compute exact per-die V_min.
+     */
+    double minUniform(std::uint64_t num_cells) const;
+
+    std::uint64_t seed() const { return seed_; }
+    std::uint64_t mapIndex() const { return mapIndex_; }
+
+  private:
+    /** Counter-based hash of the cell id to a uniform in [0,1). */
+    double cellUniform(std::uint64_t cell) const;
+
+    std::uint64_t seed_;
+    std::uint64_t mapIndex_;
+    std::uint64_t streamKey_;
+};
+
+/** Read-manifestation parameters for fault injection. */
+struct FaultParams
+{
+    /** Bit failure probability F(v) at the operating voltage. */
+    double failProb = 0.0;
+    /** Probability a faulty cell flips on a given read (paper: 0.5). */
+    double flipProb = 0.5;
+};
+
+/**
+ * Corrupt a buffer of 16-bit words in place, as one read of the whole
+ * buffer through a faulty SRAM: each bit whose cell is faulty in `map`
+ * flips with probability flipProb.
+ *
+ * @param words buffer to corrupt (bit i of word w is cell
+ *        base_cell + 16*w + i).
+ * @param map vulnerability map.
+ * @param base_cell cell index of the buffer's first bit in the global
+ *        SRAM cell space.
+ * @param params failure/flip probabilities.
+ * @param rng randomness for the per-read flip decisions.
+ * @return number of bits flipped.
+ */
+std::uint64_t corruptWords(std::span<std::int16_t> words,
+                           const VulnerabilityMap &map,
+                           std::uint64_t base_cell, FaultParams params,
+                           Rng &rng);
+
+/** As corruptWords, for a span of 64-bit words. */
+std::uint64_t corruptWords64(std::span<std::uint64_t> words,
+                             const VulnerabilityMap &map,
+                             std::uint64_t base_cell, FaultParams params,
+                             Rng &rng);
+
+} // namespace vboost::sram
+
+#endif // VBOOST_SRAM_FAULT_MAP_HPP

@@ -1,0 +1,60 @@
+#include "sram/sram_macro.hpp"
+
+#include "common/logging.hpp"
+
+namespace vboost::sram {
+
+SramMacro::SramMacro(std::uint64_t cell_base)
+    : cellBase_(cell_base), data_(kWords, 0)
+{
+}
+
+void
+SramMacro::checkAddr(std::uint32_t addr) const
+{
+    if (addr >= kWords)
+        fatal("SramMacro: address ", addr, " out of range [0,", kWords, ")");
+}
+
+void
+SramMacro::write(std::uint32_t addr, std::uint64_t data)
+{
+    checkAddr(addr);
+    data_[addr] = data;
+}
+
+std::uint64_t
+SramMacro::read(std::uint32_t addr, const VulnerabilityMap &map,
+                FaultParams params, Rng &rng) const
+{
+    checkAddr(addr);
+    std::uint64_t word = data_[addr];
+    if (params.failProb <= 0.0 || params.flipProb <= 0.0)
+        return word;
+    const std::uint64_t base = cellIndex(addr, 0);
+    for (std::uint32_t b = 0; b < kWordBits; ++b) {
+        if (map.isFaulty(base + b, params.failProb) &&
+            rng.bernoulli(params.flipProb)) {
+            word ^= 1ull << b;
+        }
+    }
+    return word;
+}
+
+std::uint64_t
+SramMacro::peek(std::uint32_t addr) const
+{
+    checkAddr(addr);
+    return data_[addr];
+}
+
+std::uint64_t
+SramMacro::cellIndex(std::uint32_t addr, std::uint32_t bit) const
+{
+    checkAddr(addr);
+    if (bit >= kWordBits)
+        fatal("SramMacro::cellIndex: bit ", bit, " out of range");
+    return cellBase_ + static_cast<std::uint64_t>(addr) * kWordBits + bit;
+}
+
+} // namespace vboost::sram

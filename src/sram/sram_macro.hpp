@@ -1,0 +1,71 @@
+/**
+ * @file
+ * One compiler-generated SRAM macro: 512 words x 64 bits (4 KB), the
+ * building block of the Dante chip's 144 KB on-chip memory (paper
+ * Sec. 4, Table 1). The macro stores data exactly; fault manifestation
+ * happens on the read path, where each faulty bitcell (per the active
+ * vulnerability map and the failure probability at the effective array
+ * voltage) flips with probability p.
+ */
+
+#ifndef VBOOST_SRAM_SRAM_MACRO_HPP
+#define VBOOST_SRAM_SRAM_MACRO_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "sram/fault_map.hpp"
+
+namespace vboost::sram {
+
+/** A 512 x 64-bit SRAM macro with a faulty read path. */
+class SramMacro
+{
+  public:
+    /** Words per macro (512 x 64 bit = 4 KB). */
+    static constexpr std::uint32_t kWords = 512;
+    /** Bits per word. */
+    static constexpr std::uint32_t kWordBits = 64;
+    /** Bitcells per macro (32 Kbit). */
+    static constexpr std::uint64_t kBits =
+        static_cast<std::uint64_t>(kWords) * kWordBits;
+
+    /**
+     * @param cell_base index of this macro's first bitcell in the
+     *        global cell space (gives every macro distinct cells in
+     *        the shared vulnerability map).
+     */
+    explicit SramMacro(std::uint64_t cell_base = 0);
+
+    /** Store a word. Writes are modeled as reliable; low-voltage
+     *  failures manifest on the read path (paper Sec. 5.1). */
+    void write(std::uint32_t addr, std::uint64_t data);
+
+    /**
+     * Read a word through the faulty read path: each bit whose cell is
+     * faulty under (`map`, `params.failProb`) flips with probability
+     * `params.flipProb`.
+     */
+    std::uint64_t read(std::uint32_t addr, const VulnerabilityMap &map,
+                       FaultParams params, Rng &rng) const;
+
+    /** Fault-free debug read (does not touch the fault model). */
+    std::uint64_t peek(std::uint32_t addr) const;
+
+    /** Global cell index of bit `bit` of word `addr`. */
+    std::uint64_t cellIndex(std::uint32_t addr, std::uint32_t bit) const;
+
+    /** This macro's first global cell index. */
+    std::uint64_t cellBase() const { return cellBase_; }
+
+  private:
+    void checkAddr(std::uint32_t addr) const;
+
+    std::uint64_t cellBase_;
+    std::vector<std::uint64_t> data_;
+};
+
+} // namespace vboost::sram
+
+#endif // VBOOST_SRAM_SRAM_MACRO_HPP

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Array-level V_min and yield analysis. The paper's introduction frames
+ * the whole problem through yield: "at such low voltages, SRAMs do not
+ * function reliably due to bit cell variability and yield challenges",
+ * and its failure data is "measured across multiple die" (Sec. 5.1).
+ * This module turns the bit-level failure fit into array/die-level
+ * statements:
+ *
+ *  - P(array of N bits is error-free at voltage v) = (1 - F(v))^N;
+ *  - the die V_min distribution (lowest voltage at which the die's
+ *    array is still error-free), sampled across Monte-Carlo dies;
+ *  - yield vs voltage curves with and without boosting, showing how a
+ *    boost level shifts the entire V_min distribution down.
+ */
+
+#ifndef VBOOST_SRAM_YIELD_HPP
+#define VBOOST_SRAM_YIELD_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "sram/failure_model.hpp"
+#include "sram/fault_map.hpp"
+
+namespace vboost::sram {
+
+/** Summary of a sampled die V_min distribution. */
+struct VminDistribution
+{
+    /** Sampled per-die V_min values (volts), sorted ascending. */
+    std::vector<double> samples;
+
+    /** Mean die V_min. */
+    double mean() const;
+    /** Percentile (0-100) of the distribution. */
+    double percentile(double p) const;
+};
+
+/** Array-level yield evaluator on top of the failure-rate fit. */
+class YieldAnalyzer
+{
+  public:
+    /**
+     * @param model bit-failure-rate calibration.
+     * @param array_bits bitcells per die under analysis.
+     */
+    YieldAnalyzer(const FailureRateModel &model, std::uint64_t array_bits);
+
+    /** Analytic probability the whole array is error-free at v. */
+    double errorFreeProbability(Volt v) const;
+
+    /**
+     * Analytic yield at voltage v when up to `max_faulty_bits` faulty
+     * cells are tolerable (e.g. repaired by redundancy or absorbed by
+     * the application): P(#faults <= k), Poisson approximation of the
+     * binomial (exact enough for F(v) << 1 and large arrays).
+     */
+    double yieldWithTolerance(Volt v, std::uint64_t max_faulty_bits) const;
+
+    /**
+     * Analytic voltage at which the error-free yield crosses `target`
+     * (e.g. 0.99): the "V_min for yield" landmark.
+     */
+    Volt vminForYield(double target) const;
+
+    /**
+     * Monte-Carlo die V_min distribution: each die is one
+     * vulnerability map; its V_min is the lowest grid voltage at which
+     * the die has zero faulty cells. Uses a per-die bisection over the
+     * analytic inverse, then verifies against the map's worst cell, so
+     * it is exact for the hash-based vulnerability model.
+     *
+     * @param dies number of Monte-Carlo dies.
+     * @param seed experiment seed.
+     */
+    VminDistribution sampleVmin(int dies, std::uint64_t seed) const;
+
+    /** The array size under analysis. */
+    std::uint64_t arrayBits() const { return arrayBits_; }
+
+  private:
+    FailureRateModel model_;
+    std::uint64_t arrayBits_;
+};
+
+} // namespace vboost::sram
+
+#endif // VBOOST_SRAM_YIELD_HPP

@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Tests for the programmable booster: design composition, the Eq.-1
+ * boosted-voltage solver, per-event energy, leakage and area, plus
+ * property sweeps for monotonicity in level and supply voltage.
+ */
+
+#include <gtest/gtest.h>
+
+#include "circuit/booster.hpp"
+#include "common/logging.hpp"
+
+namespace vboost::circuit {
+namespace {
+
+TechnologyParams tech = TechnologyParams::default14nm();
+
+Farad
+macroLoad()
+{
+    return tech.macroArrayCap + tech.fixedParasiticCap;
+}
+
+TEST(BoosterDesign, StandardConfigMatchesPaper)
+{
+    const auto d = BoosterDesign::standardConfig();
+    EXPECT_EQ(d.levels(), 4);
+    EXPECT_EQ(d.totalInverters(), 256);
+    // Table 1: 40 pF of MIM capacitance per macro.
+    EXPECT_NEAR(d.enabledMim(4).value(), 40e-12, 1e-15);
+}
+
+TEST(BoosterDesign, BoostCapGrowsWithLevel)
+{
+    const auto d = BoosterDesign::standardConfig();
+    Farad prev{0.0};
+    for (int level = 1; level <= 4; ++level) {
+        const Farad cb = d.boostCap(level, tech);
+        EXPECT_GT(cb, prev);
+        prev = cb;
+    }
+    EXPECT_EQ(d.boostCap(0, tech).value(), 0.0);
+}
+
+TEST(BoosterDesign, ScaledMultipliesCapsAndInverters)
+{
+    const auto d = BoosterDesign::standardConfig().scaled(2);
+    EXPECT_EQ(d.levels(), 4);
+    EXPECT_EQ(d.totalInverters(), 512);
+    EXPECT_NEAR(d.enabledMim(4).value(), 80e-12, 1e-15);
+}
+
+TEST(BoosterDesign, InverterOnlyHasNoMim)
+{
+    const auto d = BoosterDesign::inverterOnly(1024);
+    EXPECT_EQ(d.levels(), 1);
+    EXPECT_EQ(d.enabledMim(1).value(), 0.0);
+    EXPECT_EQ(d.totalInverters(), 1024);
+}
+
+TEST(BoosterDesign, RejectsInvalidConstruction)
+{
+    EXPECT_THROW(BoosterDesign({}), FatalError);
+    EXPECT_THROW(BoosterDesign::uniform(0, 64, Farad(1e-12)), FatalError);
+    EXPECT_THROW(BoosterDesign::inverterOnly(100, 3), FatalError);
+    EXPECT_THROW(BoosterDesign::standardConfig().scaled(0), FatalError);
+}
+
+TEST(BoosterDesign, AreaCountsSharedMimBufferOnce)
+{
+    // Fig. 6 anchor: MIMBoost-A (256 inv + MIM buffers) has the same
+    // area as noMIMBoost-A (1024 inverters).
+    const auto mim_a = BoosterDesign::standardConfig();
+    const auto nomim_a = BoosterDesign::inverterOnly(1024);
+    EXPECT_NEAR(mim_a.area(tech).value(), nomim_a.area(tech).value(),
+                1e-9);
+}
+
+TEST(BoosterBank, Level0IsUnboosted)
+{
+    BoosterBank bank(BoosterDesign::standardConfig(), macroLoad(), tech);
+    EXPECT_EQ(bank.boostDelta(0.4_V, 0).value(), 0.0);
+    EXPECT_EQ(bank.boostedVoltage(0.4_V, 0).value(), 0.4);
+    EXPECT_EQ(bank.boostEventEnergy(0.4_V, 0).value(), 0.0);
+}
+
+TEST(BoosterBank, PeakBoostNearFiftyPercent)
+{
+    // Paper: "capable of achieving up to 50% peak boost".
+    BoosterBank bank(BoosterDesign::standardConfig(), macroLoad(), tech);
+    const double ratio = bank.boostDelta(0.8_V, 4).value() / 0.8;
+    EXPECT_GT(ratio, 0.42);
+    EXPECT_LT(ratio, 0.52);
+}
+
+TEST(BoosterBank, LevelStepsNearFiftyMillivolts)
+{
+    // Fig. 4: "increments of the order of 50 mV" near 0.4 V.
+    BoosterBank bank(BoosterDesign::standardConfig(), macroLoad(), tech);
+    for (int level = 1; level <= 4; ++level) {
+        const double step = (bank.boostedVoltage(0.4_V, level) -
+                             bank.boostedVoltage(0.4_V, level - 1))
+                                .value();
+        EXPECT_GT(step, 0.02);
+        EXPECT_LT(step, 0.09);
+    }
+}
+
+TEST(BoosterBank, RejectsOutOfRangeLevels)
+{
+    BoosterBank bank(BoosterDesign::standardConfig(), macroLoad(), tech);
+    EXPECT_THROW(bank.boostDelta(0.4_V, -1), FatalError);
+    EXPECT_THROW(bank.boostDelta(0.4_V, 5), FatalError);
+    EXPECT_THROW(bank.boostEventEnergy(0.4_V, 5), FatalError);
+}
+
+TEST(BoosterBank, RejectsNonPositiveLoad)
+{
+    EXPECT_THROW(
+        BoosterBank(BoosterDesign::standardConfig(), Farad(0.0), tech),
+        FatalError);
+}
+
+TEST(BoosterBank, HigherLoadReducesBoost)
+{
+    // Sec. 3.3.2: boosting the peripherals (extra load) reduces Vb.
+    BoosterBank array_only(BoosterDesign::standardConfig(), macroLoad(),
+                           tech);
+    BoosterBank macro(BoosterDesign::standardConfig(),
+                      macroLoad() + tech.macroPeriphCap, tech);
+    EXPECT_GT(array_only.boostDelta(0.5_V, 4), macro.boostDelta(0.5_V, 4));
+}
+
+TEST(BoosterBank, EnergyGrowsWithLevelAndVoltage)
+{
+    BoosterBank bank(BoosterDesign::standardConfig(), macroLoad(), tech);
+    for (int level = 1; level < 4; ++level) {
+        EXPECT_LT(bank.boostEventEnergy(0.4_V, level),
+                  bank.boostEventEnergy(0.4_V, level + 1));
+    }
+    EXPECT_LT(bank.boostEventEnergy(0.34_V, 4),
+              bank.boostEventEnergy(0.46_V, 4));
+}
+
+TEST(BoosterBank, LeakageScalesWithVoltageAndSize)
+{
+    BoosterBank small(BoosterDesign::standardConfig(), macroLoad(), tech);
+    BoosterBank big(BoosterDesign::standardConfig().scaled(2),
+                    macroLoad() * 2, tech);
+    EXPECT_LT(small.leakagePower(0.4_V), small.leakagePower(0.5_V));
+    EXPECT_NEAR(big.leakagePower(0.4_V).value(),
+                2 * small.leakagePower(0.4_V).value(), 1e-12);
+}
+
+TEST(BoosterBank, AreaMatchesTable1PerMacro)
+{
+    // Table 1: booster area 0.0039 mm^2 per SRAM macro. The deployed
+    // unit is one bank column spanning two macros (with one shared MIM
+    // buffer chain and one BIC), so the per-macro figure is half of a
+    // bank column's area.
+    BoosterBank bank_column(BoosterDesign::standardConfig().scaled(2),
+                            macroLoad() * 2, tech);
+    const double mm2 = bank_column.area().value() / 1e6 / 2.0;
+    EXPECT_GT(mm2, 0.0030);
+    EXPECT_LT(mm2, 0.0050);
+}
+
+/** Property: boosted voltage is monotone in level at any supply. */
+class BoostMonotonicity : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(BoostMonotonicity, MonotoneInLevel)
+{
+    BoosterBank bank(BoosterDesign::standardConfig(), macroLoad(), tech);
+    const Volt vdd{GetParam()};
+    for (int level = 0; level < 4; ++level) {
+        EXPECT_LT(bank.boostedVoltage(vdd, level),
+                  bank.boostedVoltage(vdd, level + 1))
+            << "vdd=" << vdd.value() << " level=" << level;
+    }
+}
+
+TEST_P(BoostMonotonicity, PeakBoostGrowsWithVdd)
+{
+    // Fig. 8: "the peak boosted voltage increases monotonically with
+    // increasing supply voltage".
+    BoosterBank bank(BoosterDesign::standardConfig(), macroLoad(), tech);
+    const Volt vdd{GetParam()};
+    const Volt higher = vdd + 0.02_V;
+    EXPECT_LT(bank.boostDelta(vdd, 4), bank.boostDelta(higher, 4));
+}
+
+INSTANTIATE_TEST_SUITE_P(SupplySweep, BoostMonotonicity,
+                         ::testing::Values(0.34, 0.38, 0.42, 0.46, 0.5,
+                                           0.6, 0.7, 0.8));
+
+} // namespace
+} // namespace vboost::circuit

@@ -1,0 +1,270 @@
+/**
+ * @file
+ * Tests for the BIC block, transient waveform simulator, LDO, latency
+ * model and the per-event energy/leakage models.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuit/bic.hpp"
+#include "circuit/energy_model.hpp"
+#include "circuit/latency.hpp"
+#include "circuit/ldo.hpp"
+#include "circuit/transient.hpp"
+#include "common/logging.hpp"
+
+namespace vboost::circuit {
+namespace {
+
+TechnologyParams tech = TechnologyParams::default14nm();
+
+// ----------------------------------------------------------------- BIC
+
+TEST(Bic, ConfigBitsEnableCells)
+{
+    BoostInputControl bic(4);
+    bic.setConfig(0b1111);
+    EXPECT_EQ(bic.enabledLevel(), 4);
+    bic.setConfig(0b0101);
+    EXPECT_EQ(bic.enabledLevel(), 2);
+    bic.setConfig(0xFFFFFFFF); // bits above P masked off
+    EXPECT_EQ(bic.config(), 0b1111u);
+}
+
+TEST(Bic, SetLevelEnablesPrefix)
+{
+    BoostInputControl bic(4);
+    bic.setLevel(3);
+    EXPECT_EQ(bic.config(), 0b0111u);
+    bic.setLevel(0);
+    EXPECT_EQ(bic.config(), 0u);
+    EXPECT_THROW(bic.setLevel(5), FatalError);
+}
+
+TEST(Bic, DisabledCellInputStaysHigh)
+{
+    BoostInputControl bic(4);
+    bic.setConfig(0b0011);
+    const auto idle = bic.boostInputs(/*cen=*/true, /*boost_clk=*/true);
+    // Enabled cells rest low at idle; disabled cells rest high.
+    EXPECT_FALSE(idle[0]);
+    EXPECT_FALSE(idle[1]);
+    EXPECT_TRUE(idle[2]);
+    EXPECT_TRUE(idle[3]);
+}
+
+TEST(Bic, BoostRequiresAccessAndClockHigh)
+{
+    BoostInputControl bic(4);
+    bic.setLevel(4);
+    EXPECT_FALSE(bic.boostActive(/*cen=*/true, /*boost_clk=*/true));
+    EXPECT_FALSE(bic.boostActive(/*cen=*/false, /*boost_clk=*/false));
+    EXPECT_TRUE(bic.boostActive(/*cen=*/false, /*boost_clk=*/true));
+    const auto active = bic.boostInputs(false, true);
+    for (bool b : active)
+        EXPECT_TRUE(b); // all enabled inputs swing high: boost event
+}
+
+TEST(Bic, NoBoostWhenAllDisabled)
+{
+    BoostInputControl bic(4);
+    bic.setLevel(0);
+    EXPECT_FALSE(bic.boostActive(false, true));
+}
+
+TEST(Bic, RejectsBadCellCount)
+{
+    EXPECT_THROW(BoostInputControl(0), FatalError);
+    EXPECT_THROW(BoostInputControl(33), FatalError);
+}
+
+// ------------------------------------------------------------ transient
+
+TEST(Transient, BoostRisesTowardTargetWithinCycle)
+{
+    BoosterBank booster(BoosterDesign::standardConfig(),
+                        tech.macroArrayCap + tech.fixedParasiticCap, tech);
+    TransientSim sim(booster, 0.4_V);
+    sim.setLevel(4);
+    // One access cycle at 50 MHz: half period of 10 ns >> boost tau.
+    sim.runAccessCycles(1, 50.0_MHz);
+    const Volt target = booster.boostedVoltage(0.4_V, 4);
+    // After the full cycle (boost then restore) the node is back at Vdd.
+    EXPECT_NEAR(sim.vddv().value(), 0.4, 0.01);
+    // Mid-cycle the waveform must have reached near the boosted target.
+    double peak = 0.0;
+    for (const auto &s : sim.waveform())
+        peak = std::max(peak, s.vddv.value());
+    EXPECT_NEAR(peak, target.value(), 0.01);
+    EXPECT_EQ(sim.boostEvents(), 1);
+}
+
+TEST(Transient, FourProgrammableLevelsProduceFourPlateaus)
+{
+    // Fig. 4: four distinct Vddv plateaus as config bits change.
+    BoosterBank booster(BoosterDesign::standardConfig(),
+                        tech.macroArrayCap + tech.fixedParasiticCap, tech);
+    TransientSim sim(booster, 0.4_V);
+    std::vector<double> peaks;
+    for (int level = 1; level <= 4; ++level) {
+        sim.setLevel(level);
+        const std::size_t before = sim.waveform().size();
+        sim.runAccessCycles(1, 50.0_MHz);
+        double peak = 0.0;
+        for (std::size_t i = before; i < sim.waveform().size(); ++i)
+            peak = std::max(peak, sim.waveform()[i].vddv.value());
+        peaks.push_back(peak);
+    }
+    for (std::size_t i = 1; i < peaks.size(); ++i)
+        EXPECT_GT(peaks[i], peaks[i - 1] + 0.01);
+    EXPECT_EQ(sim.boostEvents(), 4);
+}
+
+TEST(Transient, NoBoostWithoutAccess)
+{
+    BoosterBank booster(BoosterDesign::standardConfig(),
+                        tech.macroArrayCap + tech.fixedParasiticCap, tech);
+    TransientSim sim(booster, 0.4_V);
+    sim.setLevel(4);
+    sim.run(/*cen=*/true, /*boost_clk=*/true, Second(50e-9));
+    for (const auto &s : sim.waveform())
+        EXPECT_NEAR(s.vddv.value(), 0.4, 1e-6);
+    EXPECT_EQ(sim.boostEvents(), 0);
+}
+
+TEST(Transient, RejectsBadParameters)
+{
+    BoosterBank booster(BoosterDesign::standardConfig(),
+                        tech.macroArrayCap + tech.fixedParasiticCap, tech);
+    EXPECT_THROW(TransientSim(booster, Volt(0.0)), FatalError);
+    EXPECT_THROW(TransientSim(booster, 0.4_V, Second(0.0)), FatalError);
+}
+
+// ----------------------------------------------------------------- LDO
+
+TEST(Ldo, EfficiencyIsVoltageRatioTimesEtaI)
+{
+    LdoRegulator ldo(0.99);
+    // Paper Eq. (5).
+    EXPECT_NEAR(ldo.efficiency(0.4_V, 0.6_V), 0.4 / 0.6 * 0.99, 1e-12);
+    EXPECT_NEAR(ldo.efficiency(0.5_V, 0.5_V), 0.99, 1e-12);
+}
+
+TEST(Ldo, InputEnergyInflatedByEfficiency)
+{
+    LdoRegulator ldo;
+    const Joule in = ldo.inputEnergy(1.0_pJ, 0.4_V, 0.6_V);
+    EXPECT_NEAR(in.value(), 1e-12 / (0.4 / 0.6 * 0.99), 1e-18);
+    EXPECT_GT(in.value(), 1e-12);
+}
+
+TEST(Ldo, RejectsInvalidOperatingPoints)
+{
+    LdoRegulator ldo;
+    EXPECT_THROW(ldo.efficiency(0.7_V, 0.6_V), FatalError);
+    EXPECT_THROW(ldo.efficiency(Volt(0.0), 0.6_V), FatalError);
+    EXPECT_THROW(LdoRegulator(0.0), FatalError);
+    EXPECT_THROW(LdoRegulator(1.1), FatalError);
+}
+
+TEST(Ldo, EfficiencyDropsWithLargerVoltageGap)
+{
+    // Sec. 2: "LDOs ... suffer from decreasing efficiency when the
+    // difference between SRAM and logic voltage increases".
+    LdoRegulator ldo;
+    EXPECT_GT(ldo.efficiency(0.5_V, 0.6_V), ldo.efficiency(0.4_V, 0.6_V));
+}
+
+// -------------------------------------------------------------- latency
+
+TEST(Latency, AnchoredAtNominal)
+{
+    LatencyModel lat(tech);
+    EXPECT_NEAR(lat.accessTime(tech.nominalVdd).value(),
+                tech.accessTimeAtNominal.value(), 1e-15);
+    EXPECT_DOUBLE_EQ(lat.normalized(tech.nominalVdd, tech.nominalVdd), 1.0);
+}
+
+TEST(Latency, DelayGrowsAsVoltageDrops)
+{
+    LatencyModel lat(tech);
+    EXPECT_GT(lat.accessTime(0.4_V), lat.accessTime(0.5_V));
+    EXPECT_GT(lat.accessTime(0.5_V), lat.accessTime(0.8_V));
+}
+
+TEST(Latency, BoostingReducesAccessTime)
+{
+    LatencyModel lat(tech);
+    // Array-only boosting speeds up only the array fraction.
+    const double array_only = lat.normalized(0.7_V, 0.5_V, 0.5_V);
+    // Macro-level boosting speeds up the whole path.
+    const double macro = lat.normalized(0.7_V, 0.5_V);
+    EXPECT_LT(macro, array_only);
+    EXPECT_LT(array_only, 1.0);
+}
+
+TEST(Latency, RejectsSubThresholdSupply)
+{
+    LatencyModel lat(tech);
+    EXPECT_THROW(lat.accessTime(0.28_V), FatalError);
+    EXPECT_THROW(LatencyModel(tech, 0.0), FatalError);
+    EXPECT_THROW(LatencyModel(tech, 1.0), FatalError);
+}
+
+// --------------------------------------------------------------- energy
+
+TEST(EnergyModel, AccessEnergyIsCV2WithMuxCost)
+{
+    EnergyModel em(tech);
+    const double single = em.sramAccessEnergy(0.5_V, 1).value();
+    EXPECT_NEAR(single, tech.bankAccessCap.value() * 0.25, 1e-18);
+    // Sec. 5.2: banked access includes the multiplexer cost.
+    EXPECT_GT(em.sramAccessEnergy(0.5_V, 16), em.sramAccessEnergy(0.5_V, 1));
+}
+
+TEST(EnergyModel, EnergyQuadraticInVoltage)
+{
+    EnergyModel em(tech);
+    const double e1 = em.peOpEnergy(0.4_V).value();
+    const double e2 = em.peOpEnergy(0.8_V).value();
+    EXPECT_NEAR(e2 / e1, 4.0, 1e-9);
+}
+
+TEST(EnergyModel, LeakageExponentialInVoltage)
+{
+    EnergyModel em(tech);
+    const double s1 = em.leakageScale(0.4_V);
+    const double s2 = em.leakageScale(0.4_V + tech.leakageSlope);
+    EXPECT_NEAR(s2 / s1, std::exp(1.0), 1e-9);
+    EXPECT_DOUBLE_EQ(em.leakageScale(tech.leakageVref), 1.0);
+}
+
+TEST(EnergyModel, LeakagePerCycleDividesByFrequency)
+{
+    EnergyModel em(tech);
+    const Watt p = em.peLeakage(0.4_V);
+    EXPECT_NEAR(em.leakagePerCycle(p, 50.0_MHz).value(),
+                p.value() / 50e6, 1e-24);
+    EXPECT_THROW(em.leakagePerCycle(p, Hertz(0.0)), FatalError);
+}
+
+TEST(EnergyModel, SramLeakageScalesWithMacroCount)
+{
+    EnergyModel em(tech);
+    EXPECT_NEAR(em.sramLeakage(0.5_V, 36).value(),
+                36 * tech.sramLeakPerMacroAtVref.value(), 1e-12);
+    EXPECT_THROW(em.sramLeakage(0.5_V, -1), FatalError);
+}
+
+TEST(EnergyModel, RejectsNonPositiveVoltage)
+{
+    EnergyModel em(tech);
+    EXPECT_THROW(em.sramAccessEnergy(Volt(0.0), 1), FatalError);
+    EXPECT_THROW(em.peOpEnergy(Volt(-0.1)), FatalError);
+    EXPECT_THROW(em.sramAccessEnergy(0.5_V, 0), FatalError);
+}
+
+} // namespace
+} // namespace vboost::circuit

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Tests for the core facade: SimContext, the Table-2 boost
+ * configurations, and the iso-accuracy TradeoffExplorer behind
+ * Fig. 15.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hpp"
+#include "core/context.hpp"
+#include "core/tradeoff.hpp"
+
+namespace vboost::core {
+namespace {
+
+TEST(SimContext, StandardBundleIsConsistent)
+{
+    const auto ctx = SimContext::standard();
+    EXPECT_EQ(ctx.design.levels(), 4);
+    EXPECT_NEAR(ctx.failure.rateAtAnchor, 1.4e-2, 1e-6);
+    EXPECT_GT(ctx.tech.peOpCap.value(), 0.0);
+}
+
+TEST(BoostConfiguration, Table2HasUniformAndDifferentialRows)
+{
+    // Table 2: Boost_Vddv1..4 plus Boost_diff1 and Boost_diff2 for a
+    // 4-layer network with 4 levels.
+    const auto configs = BoostConfiguration::table2(4, 4);
+    ASSERT_EQ(configs.size(), 6u);
+    EXPECT_EQ(configs[0].name, "Boost_Vddv1");
+    EXPECT_EQ(configs[0].layerLevels, (std::vector<int>{1, 1, 1, 1}));
+    EXPECT_EQ(configs[3].name, "Boost_Vddv4");
+    EXPECT_EQ(configs[3].layerLevels, (std::vector<int>{4, 4, 4, 4}));
+    // diff1: deepest layer boosted highest.
+    EXPECT_EQ(configs[4].name, "Boost_diff1");
+    EXPECT_EQ(configs[4].layerLevels, (std::vector<int>{1, 2, 3, 4}));
+    // diff2: first layer boosted highest.
+    EXPECT_EQ(configs[5].name, "Boost_diff2");
+    EXPECT_EQ(configs[5].layerLevels, (std::vector<int>{4, 3, 2, 1}));
+    EXPECT_EQ(configs[5].maxLevel(), 4);
+}
+
+TEST(BoostConfiguration, Table2ClampsForDeepNetworks)
+{
+    const auto configs = BoostConfiguration::table2(6, 4);
+    for (int level : configs[4].layerLevels) {
+        EXPECT_GE(level, 1);
+        EXPECT_LE(level, 4);
+    }
+    EXPECT_THROW(BoostConfiguration::table2(0, 4), FatalError);
+}
+
+class TradeoffTest : public ::testing::Test
+{
+  protected:
+    TradeoffTest() : ctx_(SimContext::standard()), ex_(ctx_, 16) {}
+
+    SimContext ctx_;
+    TradeoffExplorer ex_;
+};
+
+TEST_F(TradeoffTest, MinimalLevelReachingTargetVoltage)
+{
+    // Table 2 footnote: inputs boosted to the minimum level with
+    // Vddv > 0.44 V.
+    const auto at_040 = ex_.minimalLevelReaching(0.40_V, 0.44_V);
+    ASSERT_TRUE(at_040.has_value());
+    EXPECT_GE(ex_.boostedVoltage(0.40_V, *at_040), 0.44_V);
+    if (*at_040 > 0) {
+        EXPECT_LT(ex_.boostedVoltage(0.40_V, *at_040 - 1), 0.44_V);
+    }
+    // Already above target: level 0 suffices.
+    EXPECT_EQ(ex_.minimalLevelReaching(0.5_V, 0.44_V), 0);
+    // Unreachable target.
+    EXPECT_FALSE(ex_.minimalLevelReaching(0.34_V, 0.8_V).has_value());
+}
+
+TEST_F(TradeoffTest, MinimalLevelForAccuracyUsesOracle)
+{
+    // Synthetic oracle: accuracy 0.99 above 0.5 V, 0.5 below.
+    const auto oracle = [](Volt vddv) {
+        return vddv >= 0.5_V ? 0.99 : 0.5;
+    };
+    const auto level = ex_.minimalLevelForAccuracy(0.4_V, 0.97, oracle);
+    ASSERT_TRUE(level.has_value());
+    EXPECT_GE(ex_.boostedVoltage(0.4_V, *level), 0.5_V);
+    // Impossible target.
+    EXPECT_FALSE(
+        ex_.minimalLevelForAccuracy(0.4_V, 1.01, oracle).has_value());
+    EXPECT_THROW(ex_.minimalLevelForAccuracy(0.4_V, 0.9, nullptr),
+                 FatalError);
+}
+
+TEST_F(TradeoffTest, IsoAccuracyPointComparesBoostAndDual)
+{
+    const auto oracle = [](Volt vddv) {
+        return vddv >= 0.5_V ? 0.99 : 0.5;
+    };
+    const energy::Workload conv{17000, 1000000}; // compute-dominated
+    const auto op = ex_.isoAccuracyPoint(0.4_V, 0.97, oracle, conv);
+    ASSERT_TRUE(op.has_value());
+    EXPECT_GE(op->accuracy, 0.97);
+    EXPECT_GT(op->level, 0);
+    EXPECT_GE(op->vddv, 0.5_V);
+    // Fig. 15 headline: boosting beats the dual-rail equivalent for a
+    // compute-dominated workload.
+    EXPECT_LT(op->boostedEnergy.value(), op->dualEnergy.value());
+}
+
+TEST_F(TradeoffTest, HigherTargetNeedsHigherLevel)
+{
+    // Graded oracle: accuracy improves with boosted voltage.
+    const auto oracle = [](Volt vddv) {
+        return std::min(1.0, 0.5 + vddv.value());
+    };
+    const energy::Workload w{1000, 10000};
+    const auto low = ex_.isoAccuracyPoint(0.4_V, 0.92, oracle, w);
+    const auto high = ex_.isoAccuracyPoint(0.4_V, 1.0, oracle, w);
+    ASSERT_TRUE(low.has_value());
+    ASSERT_TRUE(high.has_value());
+    EXPECT_LE(low->level, high->level);
+    EXPECT_LE(low->boostedEnergy.value(), high->boostedEnergy.value());
+}
+
+} // namespace
+} // namespace vboost::core

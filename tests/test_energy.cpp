@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Tests for the supply-configuration energy equations (paper Eqs. 2-7)
+ * and the qualitative claims of Sec. 6.1 (Fig. 12 design space).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hpp"
+#include "core/context.hpp"
+#include "energy/supply_config.hpp"
+
+namespace vboost::energy {
+namespace {
+
+class SupplyTest : public ::testing::Test
+{
+  protected:
+    SupplyTest()
+        : ctx_(core::SimContext::standard()),
+          sc_(ctx_.tech, ctx_.design, 16)
+    {
+    }
+
+    core::SimContext ctx_;
+    SupplyConfigurator sc_;
+};
+
+TEST_F(SupplyTest, SingleSupplyImplementsEq2)
+{
+    const Workload w{1000, 5000};
+    const auto e = sc_.singleSupplyDynamic(w, 0.5_V);
+    const auto &em = sc_.energyModel();
+    EXPECT_NEAR(e.sram.value(),
+                1000 * em.sramAccessEnergy(0.5_V, 16).value(), 1e-18);
+    EXPECT_NEAR(e.pe.value(), 5000 * em.peOpEnergy(0.5_V).value(), 1e-18);
+    EXPECT_EQ(e.booster.value(), 0.0);
+    EXPECT_EQ(e.ldoLoss.value(), 0.0);
+    EXPECT_NEAR(e.total().value(), e.sram.value() + e.pe.value(), 1e-20);
+}
+
+TEST_F(SupplyTest, BoostedImplementsEq3)
+{
+    const Workload w{1000, 5000};
+    const auto e = sc_.boostedDynamic(w, 0.4_V, 3);
+    const Volt vddv = sc_.boostedVoltage(0.4_V, 3);
+    const auto &em = sc_.energyModel();
+    EXPECT_NEAR(e.sram.value(),
+                1000 * em.sramAccessEnergy(vddv, 16).value(), 1e-18);
+    EXPECT_NEAR(e.booster.value(),
+                1000 * sc_.booster().boostEventEnergy(0.4_V, 3).value(),
+                1e-18);
+    EXPECT_NEAR(e.pe.value(), 5000 * em.peOpEnergy(0.4_V).value(), 1e-18);
+}
+
+TEST_F(SupplyTest, BoostedMultiPartitionsAccesses)
+{
+    // Eq. (3) general form: two regions at different levels must sum.
+    const auto multi =
+        sc_.boostedDynamicMulti({{600, 4}, {400, 1}}, 5000, 0.4_V);
+    const auto a = sc_.boostedDynamic({600, 0}, 0.4_V, 4);
+    const auto b = sc_.boostedDynamic({400, 5000}, 0.4_V, 1);
+    EXPECT_NEAR(multi.total().value(), a.total().value() + b.total().value(),
+                1e-18);
+}
+
+TEST_F(SupplyTest, DualSupplyImplementsEq6)
+{
+    const Workload w{1000, 5000};
+    const auto e = sc_.dualSupplyDynamic(w, 0.6_V, 0.4_V);
+    const auto &em = sc_.energyModel();
+    const double eta = sc_.ldo().efficiency(0.4_V, 0.6_V);
+    EXPECT_NEAR(e.sram.value(),
+                1000 * em.sramAccessEnergy(0.6_V, 16).value(), 1e-18);
+    const double pe_load = 5000 * em.peOpEnergy(0.4_V).value();
+    EXPECT_NEAR(e.pe.value(), pe_load, 1e-18);
+    EXPECT_NEAR(e.ldoLoss.value(), pe_load / eta - pe_load, 1e-18);
+}
+
+TEST_F(SupplyTest, LeakageEquations)
+{
+    const Hertz f = 50.0_MHz;
+    // Eq. (4) boosted: everything idles at Vdd.
+    const double boosted = sc_.boostedLeakagePerCycle(0.4_V, f).value();
+    // Eq. (7) dual: SRAM at Vh + PE through the LDO.
+    const double dual =
+        sc_.dualSupplyLeakagePerCycle(0.6_V, 0.4_V, f).value();
+    const double single = sc_.singleSupplyLeakagePerCycle(0.6_V, f).value();
+    // Boosted leaks least: SRAM stays at the low rail (Sec. 6.2).
+    EXPECT_LT(boosted, dual);
+    EXPECT_LT(dual, single);
+}
+
+TEST_F(SupplyTest, BoosterLeakageOverheadIsSmall)
+{
+    // Sec. 6.2: "the booster circuit results in only 6% overhead".
+    const Hertz f = 50.0_MHz;
+    SupplyConfigurator sc18(ctx_.tech, ctx_.design, 18);
+    const double with_bc = sc18.boostedLeakagePerCycle(0.4_V, f).value();
+    const auto &em = sc18.energyModel();
+    const double without_bc =
+        em.leakagePerCycle(em.sramLeakage(0.4_V, 36) + em.peLeakage(0.4_V),
+                           f)
+            .value();
+    const double overhead = with_bc / without_bc - 1.0;
+    EXPECT_GT(overhead, 0.02);
+    EXPECT_LT(overhead, 0.10);
+}
+
+TEST_F(SupplyTest, BoostBeatsDualForComputeDominatedWorkloads)
+{
+    // Fig. 12: boosting wins at low Ops_ratio (AlexNet-like).
+    const Workload conv{17, 1000}; // 1.7% access ratio
+    const auto boost = sc_.boostedDynamic(conv, 0.4_V, 4);
+    const Volt vddv = sc_.boostedVoltage(0.4_V, 4);
+    const auto dual = sc_.dualSupplyDynamic(conv, vddv, 0.4_V);
+    EXPECT_LT(boost.total().value(), dual.total().value());
+}
+
+TEST_F(SupplyTest, DualCanWinAtVeryHighMemoryActivity)
+{
+    // Sec. 6.2: "dual supply can only be advantageous in cases where
+    // the level of boost is low and the memory activity is very high".
+    const Workload mem_bound{3000, 1000}; // 3 accesses per MAC
+    const auto boost = sc_.boostedDynamic(mem_bound, 0.4_V, 4);
+    const Volt vddv = sc_.boostedVoltage(0.4_V, 4);
+    const auto dual = sc_.dualSupplyDynamic(mem_bound, vddv, 0.4_V);
+    EXPECT_GT(boost.total().value(), dual.total().value() * 0.95);
+}
+
+TEST_F(SupplyTest, SingleSupplyAtVddvCostsMoreThanBoosting)
+{
+    // Fig. 13(a): most savings come from logic staying at Vdd.
+    const Workload w{255000, 340000}; // MNIST-like
+    const Volt vdd{0.4};
+    for (int level = 1; level <= 4; ++level) {
+        const Volt vddv = sc_.boostedVoltage(vdd, level);
+        EXPECT_LT(sc_.boostedDynamic(w, vdd, level).total().value(),
+                  sc_.singleSupplyDynamic(w, vddv).total().value())
+            << "level " << level;
+    }
+}
+
+TEST_F(SupplyTest, RejectsBadConstruction)
+{
+    EXPECT_THROW(SupplyConfigurator(ctx_.tech, ctx_.design, 0),
+                 FatalError);
+}
+
+/**
+ * Property (Fig. 12 surface): the boosted/dual energy ratio grows
+ * with the memory-access share, crossing 1 somewhere in between.
+ */
+class DesignSpaceSweep : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(DesignSpaceSweep, RatioMonotoneInOpsRatio)
+{
+    auto ctx = core::SimContext::standard();
+    SupplyConfigurator sc(ctx.tech, ctx.design, 16);
+    const double ops_ratio = GetParam();
+    const auto mk = [&](double r) {
+        return Workload{static_cast<std::uint64_t>(1e6 * r),
+                        static_cast<std::uint64_t>(1e6)};
+    };
+    const Volt vdd{0.4};
+    const Volt vddv = sc.boostedVoltage(vdd, 4);
+    auto ratio = [&](const Workload &w) {
+        return sc.boostedDynamic(w, vdd, 4).total().value() /
+               sc.dualSupplyDynamic(w, vddv, vdd).total().value();
+    };
+    EXPECT_LT(ratio(mk(ops_ratio)), ratio(mk(ops_ratio * 2)));
+}
+
+INSTANTIATE_TEST_SUITE_P(OpsRatios, DesignSpaceSweep,
+                         ::testing::Values(0.01, 0.05, 0.2, 0.5, 1.0));
+
+} // namespace
+} // namespace vboost::energy

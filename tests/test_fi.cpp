@@ -1,0 +1,289 @@
+/**
+ * @file
+ * Tests for the fault-injection harness: injector targeting, flip
+ * accounting, Monte-Carlo experiment statistics, the accuracy-curve
+ * interpolator, and the core monotone degradation property.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hpp"
+#include "dnn/dataset.hpp"
+#include "dnn/layers.hpp"
+#include "dnn/quantize.hpp"
+#include "dnn/trainer.hpp"
+#include "fi/accuracy_curve.hpp"
+#include "fi/experiment.hpp"
+
+namespace vboost::fi {
+namespace {
+
+/** Small trainable network shared by the harness tests. */
+dnn::Network
+smallNet(std::uint64_t seed)
+{
+    Rng rng(seed);
+    dnn::Network net;
+    net.addLayer<dnn::Dense>(16, 24, rng, "fc1");
+    net.addLayer<dnn::Relu>("r1");
+    net.addLayer<dnn::Dense>(24, 24, rng, "fc2");
+    net.addLayer<dnn::Relu>("r2");
+    net.addLayer<dnn::Dense>(24, 4, rng, "fc3");
+    return net;
+}
+
+/** Tiny 4-class dataset of separable Gaussian blobs in 16-D. */
+dnn::Dataset
+blobs(int n, std::uint64_t seed)
+{
+    Rng rng(seed);
+    dnn::Dataset ds;
+    ds.images = dnn::Tensor({n, 16});
+    ds.labels.resize(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+        const int cls = static_cast<int>(rng.uniformInt(4));
+        ds.labels[static_cast<std::size_t>(i)] = cls;
+        for (int j = 0; j < 16; ++j) {
+            const double center = (j % 4 == cls) ? 1.0 : 0.0;
+            ds.images.at(i, j) =
+                static_cast<float>(rng.normal(center, 0.15));
+        }
+    }
+    return ds;
+}
+
+class FiTest : public ::testing::Test
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        net_ = new dnn::Network(smallNet(1));
+        train_ = new dnn::Dataset(blobs(600, 11));
+        test_ = new dnn::Dataset(blobs(300, 12));
+        dnn::TrainConfig cfg;
+        cfg.epochs = 8;
+        dnn::SgdTrainer trainer(cfg);
+        Rng rng(2);
+        trainer.train(*net_, *train_, rng);
+        dnn::clipParameters(*net_, 0.5f);
+    }
+
+    static void
+    TearDownTestSuite()
+    {
+        delete net_;
+        delete train_;
+        delete test_;
+        net_ = nullptr;
+        train_ = nullptr;
+        test_ = nullptr;
+    }
+
+    static dnn::Network *net_;
+    static dnn::Dataset *train_;
+    static dnn::Dataset *test_;
+};
+
+dnn::Network *FiTest::net_ = nullptr;
+dnn::Dataset *FiTest::train_ = nullptr;
+dnn::Dataset *FiTest::test_ = nullptr;
+
+TEST_F(FiTest, TrainedModelIsAccurate)
+{
+    EXPECT_GT(dnn::SgdTrainer::evaluate(*net_, *test_, 0), 0.95);
+}
+
+TEST_F(FiTest, CorruptNetworkZeroProbIsQuantizationOnly)
+{
+    auto scratch = smallNet(2);
+    sram::VulnerabilityMap map(3, 0);
+    Rng rng(4);
+    const auto flips = corruptNetwork(scratch, *net_, map, 0.0,
+                                      InjectionSpec::allWeights(),
+                                      MemoryLayout{}, rng);
+    EXPECT_EQ(flips, 0u);
+    // Accuracy unchanged by quantization round trip on this model.
+    EXPECT_GT(dnn::SgdTrainer::evaluate(scratch, *test_, 0), 0.95);
+}
+
+TEST_F(FiTest, FlipCountTracksFailProb)
+{
+    auto scratch = smallNet(2);
+    sram::VulnerabilityMap map(3, 0);
+    Rng rng(4);
+    std::uint64_t bits = 0;
+    for (auto &w : net_->weightParams())
+        bits += w.value->numel() * 16;
+    const double f = 0.02;
+    const auto flips = corruptNetwork(scratch, *net_, map, f,
+                                      InjectionSpec::allWeights(),
+                                      MemoryLayout{}, rng);
+    const double expected = static_cast<double>(bits) * f * 0.5;
+    EXPECT_NEAR(static_cast<double>(flips), expected, expected * 0.25);
+}
+
+TEST_F(FiTest, SingleLayerInjectionOnlyTouchesThatLayer)
+{
+    auto scratch = smallNet(2);
+    sram::VulnerabilityMap map(3, 0);
+    Rng rng(4);
+    corruptNetwork(scratch, *net_, map, 0.2,
+                   InjectionSpec::singleLayer(1), MemoryLayout{}, rng);
+
+    auto src_w = net_->weightParams();
+    auto dst_w = scratch.weightParams();
+    // Layer 1 corrupted...
+    const auto clean1 = dnn::quantizeRoundTrip(*src_w[1].value);
+    bool changed = false;
+    for (std::size_t i = 0; i < dst_w[1].value->numel(); ++i)
+        changed = changed || (*dst_w[1].value)[i] != clean1[i];
+    EXPECT_TRUE(changed);
+    // ...layers 0 and 2 exactly equal their quantized round trip.
+    for (std::size_t l : {std::size_t{0}, std::size_t{2}}) {
+        const auto clean = dnn::quantizeRoundTrip(*src_w[l].value);
+        for (std::size_t i = 0; i < clean.numel(); ++i)
+            ASSERT_EQ((*dst_w[l].value)[i], clean[i]) << "layer " << l;
+    }
+}
+
+TEST_F(FiTest, LayerIndexValidated)
+{
+    auto scratch = smallNet(2);
+    sram::VulnerabilityMap map(3, 0);
+    Rng rng(4);
+    EXPECT_THROW(corruptNetwork(scratch, *net_, map, 0.1,
+                                InjectionSpec::singleLayer(3),
+                                MemoryLayout{}, rng),
+                 FatalError);
+}
+
+TEST_F(FiTest, CorruptInputsPreservesShape)
+{
+    sram::VulnerabilityMap map(5, 0);
+    Rng rng(6);
+    const auto corrupted =
+        corruptInputs(test_->images, map, 0.05, 0.5, MemoryLayout{}, rng);
+    EXPECT_EQ(corrupted.shape(), test_->images.shape());
+    bool changed = false;
+    for (std::size_t i = 0; i < corrupted.numel() && !changed; ++i)
+        changed = corrupted[i] != test_->images[i];
+    EXPECT_TRUE(changed);
+}
+
+TEST_F(FiTest, RunnerStatisticsAreConsistent)
+{
+    auto scratch = smallNet(2);
+    ExperimentConfig cfg;
+    cfg.numMaps = 6;
+    cfg.maxTestSamples = 200;
+    FaultInjectionRunner runner(*net_, scratch, *test_, cfg);
+    const auto p = runner.run(0.02, InjectionSpec::allWeights());
+    EXPECT_GE(p.maxAccuracy, p.meanAccuracy);
+    EXPECT_LE(p.minAccuracy, p.meanAccuracy);
+    EXPECT_GE(p.stddevAccuracy, 0.0);
+    EXPECT_GT(p.meanBitFlips, 0.0);
+    EXPECT_DOUBLE_EQ(p.failProb, 0.02);
+}
+
+TEST_F(FiTest, AccuracyDegradesMonotonically)
+{
+    // The central invariant behind Fig. 2: higher bit failure
+    // probability can only hurt (up to Monte-Carlo noise).
+    auto scratch = smallNet(2);
+    ExperimentConfig cfg;
+    cfg.numMaps = 6;
+    cfg.maxTestSamples = 200;
+    FaultInjectionRunner runner(*net_, scratch, *test_, cfg);
+    const double a0 = runner.baselineAccuracy();
+    const double a1 =
+        runner.run(0.001, InjectionSpec::allWeights()).meanAccuracy;
+    const double a2 =
+        runner.run(0.03, InjectionSpec::allWeights()).meanAccuracy;
+    const double a3 =
+        runner.run(0.3, InjectionSpec::allWeights()).meanAccuracy;
+    EXPECT_GE(a0 + 0.02, a1);
+    EXPECT_GT(a1 + 0.05, a2);
+    EXPECT_GT(a2 + 0.05, a3);
+    EXPECT_LT(a3, 0.6); // heavy corruption ruins the model
+}
+
+TEST_F(FiTest, InputsAreMoreTolerantThanWeights)
+{
+    // Fig. 2: bit flips in inputs cost far less accuracy than the
+    // same rate in weights.
+    auto scratch = smallNet(2);
+    ExperimentConfig cfg;
+    cfg.numMaps = 6;
+    cfg.maxTestSamples = 200;
+    FaultInjectionRunner runner(*net_, scratch, *test_, cfg);
+    const double f = 0.02;
+    const double w =
+        runner.run(f, InjectionSpec::allWeights()).meanAccuracy;
+    const double in =
+        runner.run(f, InjectionSpec::inputsOnly()).meanAccuracy;
+    EXPECT_GT(in, w);
+}
+
+TEST_F(FiTest, VoltageSweepUsesFailureModel)
+{
+    auto scratch = smallNet(2);
+    ExperimentConfig cfg;
+    cfg.numMaps = 4;
+    cfg.maxTestSamples = 150;
+    FaultInjectionRunner runner(*net_, scratch, *test_, cfg);
+    sram::FailureRateModel model;
+    const auto points = runner.sweepVoltage({0.6_V, 0.44_V}, model,
+                                            InjectionSpec::allWeights());
+    ASSERT_EQ(points.size(), 2u);
+    EXPECT_DOUBLE_EQ(points[0].voltage.value(), 0.6);
+    EXPECT_NEAR(points[1].failProb, model.rate(0.44_V), 1e-12);
+    EXPECT_GE(points[0].meanAccuracy, points[1].meanAccuracy);
+}
+
+TEST_F(FiTest, RunnerValidatesConfig)
+{
+    auto scratch = smallNet(2);
+    ExperimentConfig cfg;
+    cfg.numMaps = 0;
+    EXPECT_THROW(FaultInjectionRunner(*net_, scratch, *test_, cfg),
+                 FatalError);
+}
+
+// ------------------------------------------------------- accuracy curve
+
+TEST(AccuracyCurve, InterpolatesLogLinearly)
+{
+    AccuracyCurve curve({1e-4, 1e-2}, {0.9, 0.5}, 0.95);
+    EXPECT_DOUBLE_EQ(curve.at(1e-4), 0.9);
+    EXPECT_DOUBLE_EQ(curve.at(1e-2), 0.5);
+    EXPECT_NEAR(curve.at(1e-3), 0.7, 1e-9); // halfway in log space
+    EXPECT_DOUBLE_EQ(curve.at(0.5), 0.5);   // clamps above
+    EXPECT_DOUBLE_EQ(curve.at(0.0), 0.95);  // fault-free below
+}
+
+TEST(AccuracyCurve, ValidatesSamples)
+{
+    EXPECT_THROW(AccuracyCurve({1e-3}, {0.9}, 1.0), FatalError);
+    EXPECT_THROW(AccuracyCurve({1e-3, 1e-4}, {0.9, 0.8}, 1.0),
+                 FatalError);
+    EXPECT_THROW(AccuracyCurve({0.0, 1e-3}, {0.9, 0.8}, 1.0), FatalError);
+    EXPECT_THROW(AccuracyCurve({1e-3, 1e-2}, {0.9}, 1.0), FatalError);
+}
+
+TEST_F(FiTest, SampledCurveIsUsableForIsoAccuracy)
+{
+    auto scratch = smallNet(2);
+    ExperimentConfig cfg;
+    cfg.numMaps = 4;
+    cfg.maxTestSamples = 150;
+    FaultInjectionRunner runner(*net_, scratch, *test_, cfg);
+    const auto curve = AccuracyCurve::sample(
+        runner, InjectionSpec::allWeights(), 1e-4, 0.2, 5);
+    EXPECT_GT(curve.faultFree(), 0.9);
+    // Query between samples without re-running Monte Carlo.
+    EXPECT_GE(curve.at(1e-4), curve.at(0.2) - 1e-9);
+}
+
+} // namespace
+} // namespace vboost::fi

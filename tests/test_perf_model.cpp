@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Tests for the throughput / energy-efficiency model: clock ceilings
+ * (logic- vs memory-limited), cycle accounting, energy composition,
+ * and the qualitative efficiency claims (boosting beats single and
+ * dual rails in GOPS/W at iso-reliability; boosting raises the
+ * high-voltage clock ceiling).
+ */
+
+#include <gtest/gtest.h>
+
+#include "accel/perf_model.hpp"
+#include "common/logging.hpp"
+
+namespace vboost::accel {
+namespace {
+
+class PerfTest : public ::testing::Test
+{
+  protected:
+    PerfTest()
+        : ctx_(core::SimContext::standard()), model_(ctx_, 16)
+    {
+    }
+
+    core::SimContext ctx_;
+    PerformanceModel model_;
+    /** AlexNet-like: compute dominated. */
+    LayerActivity conv_{1000000, 6000, 4000, 7000};
+    /** FC-like: memory heavy. */
+    LayerActivity fc_{340000, 85000, 85000, 85000};
+};
+
+TEST_F(PerfTest, CycleAccountingUsesTheSlowerStream)
+{
+    // Compute-dominated: cycles = macs / numPes (default 8 PEs).
+    const auto r = model_.evaluate(conv_, 0.40_V, 4,
+                                   SupplyMode::Boosted);
+    EXPECT_EQ(r.cycles, 1000000u / 8);
+    // Memory-heavy: 255000 accesses / 2 ports > 340000 / 8 MACs.
+    const auto rf = model_.evaluate(fc_, 0.40_V, 4,
+                                    SupplyMode::Boosted);
+    EXPECT_EQ(rf.cycles, 255000u / 2);
+}
+
+TEST_F(PerfTest, EnergyCompositionIsConsistent)
+{
+    const auto r = model_.evaluate(conv_, 0.40_V, 4,
+                                   SupplyMode::Boosted);
+    EXPECT_GT(r.dynamicEnergy.value(), 0.0);
+    EXPECT_GT(r.leakageEnergy.value(), 0.0);
+    EXPECT_NEAR(r.totalEnergy.value(),
+                r.dynamicEnergy.value() + r.leakageEnergy.value(),
+                1e-18);
+    EXPECT_NEAR(r.power.value(),
+                r.totalEnergy.value() / r.runtime.value(), 1e-9);
+    EXPECT_GT(r.gopsPerWatt, 0.0);
+    EXPECT_GT(r.gmacsPerSecond, 0.0);
+}
+
+TEST_F(PerfTest, VlvClockIsLogicLimited)
+{
+    // At 0.4 V the logic runs at the 50 MHz floor; SRAM access (~3 ns)
+    // is far faster than the 20 ns cycle.
+    const auto r = model_.evaluate(conv_, 0.40_V, 4,
+                                   SupplyMode::Boosted);
+    EXPECT_FALSE(r.memoryLimited);
+    EXPECT_NEAR(r.clock.value(), 50e6, 1.0);
+}
+
+TEST_F(PerfTest, PipelinedLogicIsMemoryLimitedUntilBoosted)
+{
+    // Sec. 3.3.2: "logic in a chip can be pipelined to drive up the
+    // operating frequency. However, SRAM access latencies do not
+    // scale proportionally." With a deeply pipelined logic target the
+    // unboosted SRAM caps the clock, and boosting lifts the ceiling.
+    PerfConfig pipelined;
+    pipelined.logicFreqAtNominal = Hertz(1.5e9);
+    PerformanceModel deep(ctx_, 16, pipelined);
+    const Hertz unboosted =
+        deep.maxClock(0.80_V, 0, SupplyMode::Boosted);
+    const Hertz boosted = deep.maxClock(0.80_V, 4, SupplyMode::Boosted);
+    EXPECT_LT(unboosted.value(), 1.5e9); // memory-limited
+    EXPECT_GT(boosted.value(), unboosted.value());
+}
+
+TEST_F(PerfTest, BoostedModeIsMostEfficientAtIsoReliability)
+{
+    // At iso memory voltage (Vddv4 from 0.4 V), boosted GOPS/W beats
+    // both alternatives for the compute-dominated workload.
+    const auto b = model_.evaluate(conv_, 0.40_V, 4,
+                                   SupplyMode::Boosted);
+    const auto s = model_.evaluate(conv_, 0.40_V, 4,
+                                   SupplyMode::Single);
+    const auto d = model_.evaluate(conv_, 0.40_V, 4, SupplyMode::Dual);
+    EXPECT_GT(b.gopsPerWatt, s.gopsPerWatt);
+    EXPECT_GT(b.gopsPerWatt, d.gopsPerWatt);
+}
+
+TEST_F(PerfTest, ValidatesInputs)
+{
+    EXPECT_THROW(model_.evaluate(conv_, 0.40_V, 9, SupplyMode::Boosted),
+                 FatalError);
+    LayerActivity empty;
+    EXPECT_THROW(model_.evaluate(empty, 0.40_V, 1, SupplyMode::Boosted),
+                 FatalError);
+    EXPECT_THROW(PerformanceModel(ctx_, 16, PerfConfig{0, 2}),
+                 FatalError);
+}
+
+/** Property: efficiency falls as the single-rail voltage rises. */
+class EfficiencySweep : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(EfficiencySweep, SingleRailEfficiencyDropsWithVoltage)
+{
+    auto ctx = core::SimContext::standard();
+    PerformanceModel model(ctx, 16);
+    LayerActivity act{1000000, 6000, 4000, 7000};
+    const Volt v{GetParam()};
+    const auto low = model.evaluate(act, v, 0, SupplyMode::Single);
+    const auto high =
+        model.evaluate(act, v + 0.1_V, 0, SupplyMode::Single);
+    EXPECT_GT(low.gopsPerWatt, high.gopsPerWatt);
+}
+
+INSTANTIATE_TEST_SUITE_P(Voltages, EfficiencySweep,
+                         ::testing::Values(0.45, 0.5, 0.55, 0.6, 0.65));
+
+} // namespace
+} // namespace vboost::accel

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Unit and statistical tests for the deterministic RNG and the
+ * inverse-normal CDF used by the fault model.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/logging.hpp"
+#include "common/rng.hpp"
+
+namespace vboost {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformRangeRespectsBounds)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        const double u = rng.uniform(-2.5, 3.5);
+        EXPECT_GE(u, -2.5);
+        EXPECT_LT(u, 3.5);
+    }
+}
+
+TEST(Rng, UniformMeanIsCentered)
+{
+    Rng rng(11);
+    double sum = 0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.uniform();
+    EXPECT_NEAR(sum / n, 0.5, 0.005);
+}
+
+TEST(Rng, UniformIntStaysInRange)
+{
+    Rng rng(3);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(rng.uniformInt(17), 17u);
+}
+
+TEST(Rng, UniformIntCoversAllValues)
+{
+    Rng rng(5);
+    std::array<int, 8> counts{};
+    for (int i = 0; i < 8000; ++i)
+        ++counts[rng.uniformInt(8)];
+    for (int c : counts)
+        EXPECT_GT(c, 800); // each bucket near 1000
+}
+
+TEST(Rng, UniformIntRejectsZero)
+{
+    Rng rng(1);
+    EXPECT_THROW(rng.uniformInt(0), PanicError);
+}
+
+TEST(Rng, NormalMomentsMatch)
+{
+    Rng rng(13);
+    double sum = 0, sq = 0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i) {
+        const double x = rng.normal();
+        sum += x;
+        sq += x * x;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.01);
+    EXPECT_NEAR(sq / n, 1.0, 0.02);
+}
+
+TEST(Rng, NormalScaleAndShift)
+{
+    Rng rng(17);
+    double sum = 0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.normal(5.0, 2.0);
+    EXPECT_NEAR(sum / n, 5.0, 0.05);
+}
+
+TEST(Rng, BernoulliFrequency)
+{
+    Rng rng(19);
+    int hits = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        hits += rng.bernoulli(0.3);
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, SplitStreamsAreIndependentAndReproducible)
+{
+    Rng base(42);
+    Rng s1 = base.split(1);
+    Rng s2 = base.split(2);
+    Rng s1b = Rng(42).split(1);
+    EXPECT_EQ(s1.next(), s1b.next());
+    EXPECT_NE(s1.next(), s2.next());
+}
+
+TEST(InverseNormalCdf, MatchesKnownQuantiles)
+{
+    EXPECT_NEAR(inverseNormalCdf(0.5), 0.0, 1e-9);
+    EXPECT_NEAR(inverseNormalCdf(0.975), 1.959964, 1e-4);
+    EXPECT_NEAR(inverseNormalCdf(0.025), -1.959964, 1e-4);
+    EXPECT_NEAR(inverseNormalCdf(0.841344746), 1.0, 1e-5);
+}
+
+TEST(InverseNormalCdf, RoundTripsThroughCdf)
+{
+    for (double p : {1e-6, 1e-3, 0.1, 0.5, 0.9, 0.999, 1.0 - 1e-6})
+        EXPECT_NEAR(normalCdf(inverseNormalCdf(p)), p, 1e-7);
+}
+
+TEST(InverseNormalCdf, RejectsEndpoints)
+{
+    EXPECT_THROW(inverseNormalCdf(0.0), FatalError);
+    EXPECT_THROW(inverseNormalCdf(1.0), FatalError);
+    EXPECT_THROW(inverseNormalCdf(-0.1), FatalError);
+}
+
+/** Property sweep: CDF/quantile consistency across magnitudes. */
+class InverseCdfSweep : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(InverseCdfSweep, TailSymmetry)
+{
+    const double p = GetParam();
+    EXPECT_NEAR(inverseNormalCdf(p), -inverseNormalCdf(1.0 - p), 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Tails, InverseCdfSweep,
+                         ::testing::Values(1e-9, 1e-7, 1e-5, 1e-3, 0.01,
+                                           0.1, 0.3, 0.49));
+
+} // namespace
+} // namespace vboost

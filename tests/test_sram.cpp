@@ -1,0 +1,510 @@
+/**
+ * @file
+ * Tests for the SRAM substrate: failure-rate model, vulnerability /
+ * fault maps (including the paper's inclusivity property), macro,
+ * bank and banked memory, with fault statistics checked against the
+ * analytic failure probabilities.
+ */
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+
+#include "circuit/booster.hpp"
+#include "common/logging.hpp"
+#include "sram/banked_memory.hpp"
+#include "sram/failure_model.hpp"
+#include "sram/fault_map.hpp"
+#include "sram/sram_bank.hpp"
+#include "sram/sram_macro.hpp"
+
+namespace vboost::sram {
+namespace {
+
+circuit::TechnologyParams tech =
+    circuit::TechnologyParams::default14nm();
+
+// -------------------------------------------------------- failure model
+
+TEST(FailureModel, AnchorAndMonotonicity)
+{
+    FailureRateModel m;
+    EXPECT_NEAR(m.rate(0.44_V), 1.4e-2, 1e-6);
+    // Exponential increase as voltage decreases (Fig. 7).
+    EXPECT_GT(m.rate(0.40_V), m.rate(0.44_V));
+    EXPECT_GT(m.rate(0.44_V), m.rate(0.50_V));
+    EXPECT_GT(m.rate(0.50_V), m.rate(0.60_V));
+}
+
+TEST(FailureModel, NegligibleAtScreeningVoltage)
+{
+    // Macros are screened for zero fails at 0.6 V.
+    FailureRateModel m;
+    EXPECT_LT(m.rate(0.60_V), 1e-6);
+}
+
+TEST(FailureModel, SaturatesBelowDataRetention)
+{
+    FailureRateModel m;
+    EXPECT_DOUBLE_EQ(m.rate(0.25_V), m.params().maxRate);
+    EXPECT_DOUBLE_EQ(m.rate(m.dataRetentionVoltage() - 0.01_V),
+                     m.params().maxRate);
+}
+
+TEST(FailureModel, VoltageForRateInvertsRate)
+{
+    FailureRateModel m;
+    for (double target : {1e-5, 1e-4, 1e-3, 1e-2, 0.1}) {
+        const Volt v = m.voltageForRate(target);
+        EXPECT_NEAR(m.rate(v), target, target * 1e-6);
+    }
+    EXPECT_THROW(m.voltageForRate(0.0), FatalError);
+    EXPECT_THROW(m.voltageForRate(0.9), FatalError);
+}
+
+TEST(FailureModel, FirstErrorVoltageScalesWithArraySize)
+{
+    FailureRateModel m;
+    // Bigger arrays see their first error at higher voltage (Fig. 1).
+    const Volt small = m.firstErrorVoltage(32 * 1024);
+    const Volt big = m.firstErrorVoltage(4ull * 1024 * 1024);
+    EXPECT_GT(big, small);
+    EXPECT_THROW(m.firstErrorVoltage(0), FatalError);
+}
+
+TEST(FailureModel, RejectsBadCalibration)
+{
+    FailureRateParams p;
+    p.rateAtAnchor = 0.0;
+    EXPECT_THROW(FailureRateModel{p}, FatalError);
+    p = FailureRateParams{};
+    p.slopePerVolt = -1;
+    EXPECT_THROW(FailureRateModel{p}, FatalError);
+}
+
+// ----------------------------------------------------------- fault maps
+
+TEST(VulnerabilityMap, DeterministicPerSeedAndMap)
+{
+    VulnerabilityMap a(1, 0), a2(1, 0), b(1, 1), c(2, 0);
+    int same_b = 0, same_c = 0;
+    for (std::uint64_t cell = 0; cell < 2000; ++cell) {
+        EXPECT_EQ(a.isFaulty(cell, 0.1), a2.isFaulty(cell, 0.1));
+        same_b += a.isFaulty(cell, 0.1) == b.isFaulty(cell, 0.1);
+        same_c += a.isFaulty(cell, 0.1) == c.isFaulty(cell, 0.1);
+    }
+    // Different maps/seeds must not be identical.
+    EXPECT_LT(same_b, 2000);
+    EXPECT_LT(same_c, 2000);
+}
+
+TEST(VulnerabilityMap, FaultFractionMatchesProbability)
+{
+    VulnerabilityMap map(42, 0);
+    const std::uint64_t n = 200000;
+    for (double f : {0.001, 0.01, 0.1}) {
+        const auto count = map.countFaulty(n, f);
+        EXPECT_NEAR(static_cast<double>(count) / n, f, 3 * f);
+        EXPECT_NEAR(static_cast<double>(count) / n, f,
+                    5 * std::sqrt(f / n) + f * 0.2);
+    }
+}
+
+TEST(VulnerabilityMap, InclusivityAcrossVoltages)
+{
+    // Paper Sec. 5.1: "failures present in a fault map at voltage V1
+    // will also include failures present at voltage V2, where V1 < V2"
+    // — i.e. the faulty set grows monotonically with fail probability.
+    VulnerabilityMap map(7, 3);
+    for (std::uint64_t cell = 0; cell < 50000; ++cell) {
+        if (map.isFaulty(cell, 0.01)) {
+            EXPECT_TRUE(map.isFaulty(cell, 0.05));
+        }
+        if (map.isFaulty(cell, 0.05)) {
+            EXPECT_TRUE(map.isFaulty(cell, 0.3));
+        }
+    }
+}
+
+TEST(VulnerabilityMap, EdgeProbabilities)
+{
+    VulnerabilityMap map(9, 0);
+    EXPECT_FALSE(map.isFaulty(123, 0.0));
+    EXPECT_TRUE(map.isFaulty(123, 1.0));
+}
+
+TEST(VulnerabilityMap, VulnerabilityConsistentWithFaultiness)
+{
+    // Cell faulty at fail prob F iff vulnerability >= Phi^-1(1-F).
+    VulnerabilityMap map(11, 2);
+    const double f = 0.02;
+    const double threshold = inverseNormalCdf(1.0 - f);
+    for (std::uint64_t cell = 0; cell < 20000; ++cell) {
+        EXPECT_EQ(map.isFaulty(cell, f),
+                  map.vulnerability(cell) >= threshold)
+            << "cell " << cell;
+    }
+}
+
+TEST(VulnerabilityMap, VulnerabilityIsStandardNormal)
+{
+    VulnerabilityMap map(13, 0);
+    double sum = 0, sq = 0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i) {
+        const double x = map.vulnerability(static_cast<std::uint64_t>(i));
+        sum += x;
+        sq += x * x;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.02);
+    EXPECT_NEAR(sq / n, 1.0, 0.03);
+}
+
+TEST(CorruptWords, FlipRateMatchesFailTimesFlipProb)
+{
+    VulnerabilityMap map(3, 1);
+    Rng rng(5);
+    std::vector<std::int16_t> words(20000, 0x5555);
+    const double fail = 0.05, flip = 0.5;
+    const auto flips =
+        corruptWords(words, map, 0, {fail, flip}, rng);
+    const double expected = 20000.0 * 16 * fail * flip;
+    EXPECT_NEAR(static_cast<double>(flips), expected, expected * 0.1);
+}
+
+TEST(CorruptWords, NoOpAtZeroProbability)
+{
+    VulnerabilityMap map(3, 1);
+    Rng rng(5);
+    std::vector<std::int16_t> words(100, 0x1234);
+    EXPECT_EQ(corruptWords(words, map, 0, {0.0, 0.5}, rng), 0u);
+    EXPECT_EQ(corruptWords(words, map, 0, {0.5, 0.0}, rng), 0u);
+    for (auto w : words)
+        EXPECT_EQ(w, 0x1234);
+}
+
+TEST(CorruptWords, RejectsBadProbabilities)
+{
+    VulnerabilityMap map(3, 1);
+    Rng rng(5);
+    std::vector<std::int16_t> words(4, 0);
+    EXPECT_THROW(corruptWords(words, map, 0, {1.5, 0.5}, rng),
+                 FatalError);
+    EXPECT_THROW(corruptWords(words, map, 0, {0.5, -0.1}, rng),
+                 FatalError);
+}
+
+TEST(CorruptWords64, FlipsTrackFaultyCells)
+{
+    VulnerabilityMap map(17, 4);
+    Rng rng(6);
+    std::vector<std::uint64_t> words(2000, 0);
+    const auto flips = corruptWords64(words, map, 0, {0.02, 1.0}, rng);
+    // With flip prob 1, every faulty cell flips: count set bits.
+    std::uint64_t set = 0;
+    for (auto w : words)
+        set += static_cast<std::uint64_t>(std::popcount(w));
+    EXPECT_EQ(set, flips);
+    EXPECT_EQ(flips, map.countFaulty(2000 * 64, 0.02));
+}
+
+// ---------------------------------------------------------------- macro
+
+TEST(SramMacro, WritePeekRoundTrip)
+{
+    SramMacro macro(0);
+    macro.write(0, 0xdeadbeefcafef00dull);
+    macro.write(511, 42);
+    EXPECT_EQ(macro.peek(0), 0xdeadbeefcafef00dull);
+    EXPECT_EQ(macro.peek(511), 42u);
+    EXPECT_THROW(macro.write(512, 0), FatalError);
+    EXPECT_THROW(macro.peek(512), FatalError);
+}
+
+TEST(SramMacro, FaultFreeReadIsExact)
+{
+    SramMacro macro(0);
+    macro.write(7, 0x123456789abcdef0ull);
+    VulnerabilityMap map(1, 0);
+    Rng rng(1);
+    EXPECT_EQ(macro.read(7, map, {0.0, 0.5}, rng),
+              0x123456789abcdef0ull);
+}
+
+TEST(SramMacro, FaultyReadFlipsOnlyFaultyCells)
+{
+    SramMacro macro(0);
+    macro.write(3, 0);
+    VulnerabilityMap map(1, 0);
+    Rng rng(1);
+    const std::uint64_t got = macro.read(3, map, {0.3, 1.0}, rng);
+    for (std::uint32_t b = 0; b < 64; ++b) {
+        const bool flipped = (got >> b) & 1;
+        EXPECT_EQ(flipped, map.isFaulty(macro.cellIndex(3, b), 0.3));
+    }
+}
+
+TEST(SramMacro, ReadIsNonDeterministicWithHalfFlipProb)
+{
+    // Paper Sec. 5.1: "When the faulty bitcell is read, the output is
+    // non-deterministic". Two reads of the same word should differ
+    // with a strong fault density.
+    SramMacro macro(0);
+    macro.write(0, 0);
+    VulnerabilityMap map(1, 0);
+    Rng rng(1);
+    int distinct = 0;
+    std::uint64_t prev = macro.read(0, map, {0.5, 0.5}, rng);
+    for (int i = 0; i < 20; ++i) {
+        const std::uint64_t cur = macro.read(0, map, {0.5, 0.5}, rng);
+        distinct += cur != prev;
+        prev = cur;
+    }
+    EXPECT_GT(distinct, 0);
+}
+
+TEST(SramMacro, CellIndexRespectsBase)
+{
+    SramMacro macro(1000);
+    EXPECT_EQ(macro.cellIndex(0, 0), 1000u);
+    EXPECT_EQ(macro.cellIndex(1, 3), 1000u + 64 + 3);
+    EXPECT_THROW(macro.cellIndex(0, 64), FatalError);
+}
+
+// ----------------------------------------------------------------- bank
+
+class SramBankTest : public ::testing::Test
+{
+  protected:
+    SramBankTest()
+        : bank_(0, circuit::BoosterDesign::standardConfig(), tech,
+                FailureRateModel{}, 16)
+    {
+    }
+
+    SramBank bank_;
+    VulnerabilityMap map_{1, 0};
+    Rng rng_{1};
+};
+
+TEST_F(SramBankTest, BoostLevelChangesEffectiveVoltage)
+{
+    bank_.setBoostLevel(0);
+    EXPECT_DOUBLE_EQ(bank_.effectiveVoltage(0.4_V).value(), 0.4);
+    bank_.setBoostLevel(4);
+    EXPECT_GT(bank_.effectiveVoltage(0.4_V).value(), 0.55);
+    // Boosting lowers the failure probability.
+    bank_.setBoostLevel(0);
+    const double f0 = bank_.failProbAt(0.4_V);
+    bank_.setBoostLevel(4);
+    EXPECT_LT(bank_.failProbAt(0.4_V), f0 / 10);
+}
+
+TEST_F(SramBankTest, CountersTrackAccessesAndBoosts)
+{
+    bank_.setBoostLevel(2);
+    bank_.write(0, 77, 0.4_V);
+    bank_.read(0, 0.4_V, map_, rng_);
+    bank_.read(0, 0.4_V, map_, rng_);
+    const auto &c = bank_.counters();
+    EXPECT_EQ(c.writes, 1u);
+    EXPECT_EQ(c.reads, 2u);
+    EXPECT_EQ(c.boostEvents, 3u);
+    EXPECT_GT(c.accessEnergy.value(), 0.0);
+    EXPECT_GT(c.boostEnergy.value(), 0.0);
+
+    bank_.setBoostLevel(0);
+    bank_.resetCounters();
+    bank_.read(0, 0.4_V, map_, rng_);
+    EXPECT_EQ(bank_.counters().boostEvents, 0u);
+    EXPECT_EQ(bank_.counters().boostEnergy.value(), 0.0);
+}
+
+TEST_F(SramBankTest, BoostedAccessCostsMoreEnergy)
+{
+    bank_.setBoostLevel(0);
+    bank_.write(0, 1, 0.4_V);
+    const double unboosted = bank_.counters().accessEnergy.value();
+    bank_.resetCounters();
+    bank_.setBoostLevel(4);
+    bank_.write(0, 1, 0.4_V);
+    const auto &c = bank_.counters();
+    EXPECT_GT(c.accessEnergy.value(), unboosted);
+}
+
+TEST_F(SramBankTest, HighVoltageReadsAreClean)
+{
+    bank_.setBoostLevel(4);
+    for (std::uint32_t a = 0; a < 64; ++a)
+        bank_.write(a, a * 0x0101010101010101ull, 0.6_V);
+    for (std::uint32_t a = 0; a < 64; ++a)
+        EXPECT_EQ(bank_.read(a, 0.6_V, map_, rng_),
+                  a * 0x0101010101010101ull);
+}
+
+TEST_F(SramBankTest, SpansTwoMacros)
+{
+    bank_.write(SramMacro::kWords, 123, 0.6_V); // first word of macro 2
+    EXPECT_EQ(bank_.peek(SramMacro::kWords), 123u);
+    EXPECT_THROW(bank_.peek(SramBank::kWords), FatalError);
+    // Macro cells are disjoint.
+    EXPECT_EQ(bank_.cellIndex(SramMacro::kWords), SramMacro::kBits);
+}
+
+TEST_F(SramBankTest, FlipProbValidation)
+{
+    EXPECT_THROW(bank_.setFlipProb(1.5), FatalError);
+    bank_.setFlipProb(0.25);
+    EXPECT_DOUBLE_EQ(bank_.flipProb(), 0.25);
+}
+
+TEST_F(SramBankTest, LeakageEvaluatedAtUnboostedSupply)
+{
+    // Leakage is independent of the boost level: idle SRAM stays at
+    // Vdd (the paper's key leakage saving).
+    bank_.setBoostLevel(0);
+    const double l0 = bank_.leakagePower(0.4_V).value();
+    bank_.setBoostLevel(4);
+    EXPECT_DOUBLE_EQ(bank_.leakagePower(0.4_V).value(), l0);
+}
+
+// -------------------------------------------------------- banked memory
+
+class BankedMemoryTest : public ::testing::Test
+{
+  protected:
+    BankedMemoryTest()
+        : mem_("weights", 16, circuit::BoosterDesign::standardConfig(),
+               tech, FailureRateModel{}, 0)
+    {
+    }
+
+    BankedMemory mem_;
+    VulnerabilityMap map_{1, 0};
+    Rng rng_{1};
+};
+
+TEST_F(BankedMemoryTest, GeometryMatchesDante)
+{
+    EXPECT_EQ(mem_.banks(), 16);
+    EXPECT_EQ(mem_.bytes(), 128u * 1024);
+    EXPECT_EQ(mem_.words(), 16u * 1024);
+}
+
+TEST_F(BankedMemoryTest, FlatAddressingRoutesToBanks)
+{
+    EXPECT_EQ(mem_.bankOf(0), 0);
+    EXPECT_EQ(mem_.bankOf(1023), 0);
+    EXPECT_EQ(mem_.bankOf(1024), 1);
+    EXPECT_EQ(mem_.bankOf(16 * 1024 - 1), 15);
+    EXPECT_THROW(mem_.bankOf(16 * 1024), FatalError);
+}
+
+TEST_F(BankedMemoryTest, PerBankBoostConfig)
+{
+    // Sec. 3.2: "different regions/banks of the SRAM can be boosted to
+    // target voltages independent of the other".
+    mem_.setBoostLevel(0, 4);
+    mem_.setBoostLevel(1, 1);
+    EXPECT_EQ(mem_.boostLevel(0), 4);
+    EXPECT_EQ(mem_.boostLevel(1), 1);
+    EXPECT_GT(mem_.bank(0).effectiveVoltage(0.4_V),
+              mem_.bank(1).effectiveVoltage(0.4_V));
+    mem_.setAllBoostLevels(2);
+    for (int b = 0; b < mem_.banks(); ++b)
+        EXPECT_EQ(mem_.boostLevel(b), 2);
+}
+
+TEST_F(BankedMemoryTest, Word16RoundTripCleanAtHighVoltage)
+{
+    mem_.setAllBoostLevels(0);
+    std::vector<std::int16_t> vals;
+    for (int i = 0; i < 1000; ++i)
+        vals.push_back(static_cast<std::int16_t>(i * 7 - 300));
+    mem_.writeWords16(13, vals, 0.6_V); // unaligned start
+    const auto got = mem_.readWords16(13, 1000, 0.6_V, map_, rng_);
+    EXPECT_EQ(got, vals);
+}
+
+TEST_F(BankedMemoryTest, Word16PartialWritePreservesNeighbors)
+{
+    mem_.setAllBoostLevels(0);
+    mem_.write(0, 0x1111222233334444ull, 0.6_V);
+    mem_.writeWords16(1, {std::int16_t(0x7777)}, 0.6_V);
+    EXPECT_EQ(mem_.peek(0), 0x1111222277774444ull);
+}
+
+TEST_F(BankedMemoryTest, AggregateCountersSumBanks)
+{
+    mem_.setAllBoostLevels(1);
+    mem_.write(0, 1, 0.4_V);        // bank 0
+    mem_.write(2048, 2, 0.4_V);     // bank 2
+    mem_.read(0, 0.4_V, map_, rng_);
+    const auto total = mem_.totalCounters();
+    EXPECT_EQ(total.writes, 2u);
+    EXPECT_EQ(total.reads, 1u);
+    EXPECT_EQ(total.boostEvents, 3u);
+    EXPECT_EQ(mem_.bankCounters(0).writes, 1u);
+    EXPECT_EQ(mem_.bankCounters(2).writes, 1u);
+    mem_.resetCounters();
+    EXPECT_EQ(mem_.totalCounters().writes, 0u);
+}
+
+TEST_F(BankedMemoryTest, CellRangesDisjointAcrossMemories)
+{
+    BankedMemory inputs("inputs", 2,
+                        circuit::BoosterDesign::standardConfig(), tech,
+                        FailureRateModel{},
+                        16ull * SramBank::kBits);
+    EXPECT_EQ(inputs.cellBase(), 16ull * SramBank::kBits);
+    EXPECT_EQ(inputs.cellIndex(0), 16ull * SramBank::kBits);
+    // Misaligned offset rejected.
+    EXPECT_THROW(BankedMemory("x", 1,
+                              circuit::BoosterDesign::standardConfig(),
+                              tech, FailureRateModel{}, 13),
+                 FatalError);
+}
+
+TEST_F(BankedMemoryTest, LeakageAndAreaAggregate)
+{
+    const double one_bank =
+        mem_.bank(0).leakagePower(0.4_V).value();
+    EXPECT_NEAR(mem_.leakagePower(0.4_V).value(), 16 * one_bank, 1e-12);
+    EXPECT_GT(mem_.boosterArea().value(), 0.0);
+}
+
+/** Property: measured bit-error rate through a bank tracks F(Vddv). */
+class BankErrorRateSweep : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(BankErrorRateSweep, ErrorRateTracksBoostedVoltage)
+{
+    const int level = GetParam();
+    SramBank bank(0, circuit::BoosterDesign::standardConfig(), tech,
+                  FailureRateModel{}, 1);
+    bank.setBoostLevel(level);
+    bank.setFlipProb(1.0); // deterministic manifestation for counting
+    VulnerabilityMap map(99, 0);
+    Rng rng(99);
+    const Volt vdd{0.42};
+    for (std::uint32_t a = 0; a < SramBank::kWords; ++a)
+        bank.write(a, 0, vdd);
+    std::uint64_t flipped = 0;
+    for (std::uint32_t a = 0; a < SramBank::kWords; ++a)
+        flipped += static_cast<std::uint64_t>(
+            std::popcount(bank.read(a, vdd, map, rng)));
+    const double measured =
+        static_cast<double>(flipped) / static_cast<double>(SramBank::kBits);
+    const double expected = bank.failProbAt(vdd);
+    EXPECT_NEAR(measured, expected,
+                5 * std::sqrt(expected / SramBank::kBits) + 0.1 * expected)
+        << "level " << level;
+}
+
+INSTANTIATE_TEST_SUITE_P(Levels, BankErrorRateSweep,
+                         ::testing::Values(0, 1, 2, 3));
+
+} // namespace
+} // namespace vboost::sram

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Tests for the tensor container and the three GEMM kernels, checked
+ * against a naive reference implementation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hpp"
+#include "dnn/tensor.hpp"
+
+namespace vboost::dnn {
+namespace {
+
+TEST(Tensor, ConstructionAndShape)
+{
+    Tensor t({3, 4});
+    EXPECT_EQ(t.rank(), 2);
+    EXPECT_EQ(t.dim(0), 3);
+    EXPECT_EQ(t.dim(1), 4);
+    EXPECT_EQ(t.numel(), 12u);
+    for (std::size_t i = 0; i < t.numel(); ++i)
+        EXPECT_EQ(t[i], 0.0f);
+    EXPECT_EQ(t.shapeString(), "[3, 4]");
+}
+
+TEST(Tensor, RejectsBadShapes)
+{
+    EXPECT_THROW(Tensor(std::vector<int>{}), FatalError);
+    EXPECT_THROW(Tensor({2, 0}), FatalError);
+    EXPECT_THROW(Tensor({-1}), FatalError);
+    EXPECT_THROW(Tensor({1, 1, 1, 1, 1}), FatalError);
+    Tensor t({2, 2});
+    EXPECT_THROW(t.dim(2), FatalError);
+}
+
+TEST(Tensor, At2dAndAt4dAreRowMajor)
+{
+    Tensor t({2, 3});
+    t.at(1, 2) = 7.0f;
+    EXPECT_EQ(t[5], 7.0f);
+
+    Tensor u({2, 3, 4, 5});
+    u.at(1, 2, 3, 4) = 9.0f;
+    EXPECT_EQ(u[((1 * 3 + 2) * 4 + 3) * 5 + 4], 9.0f);
+}
+
+TEST(Tensor, ReshapePreservesData)
+{
+    Tensor t({2, 6});
+    for (std::size_t i = 0; i < t.numel(); ++i)
+        t[i] = static_cast<float>(i);
+    const Tensor u = t.reshaped({3, 4});
+    for (std::size_t i = 0; i < u.numel(); ++i)
+        EXPECT_EQ(u[i], static_cast<float>(i));
+    EXPECT_THROW(t.reshaped({5, 5}), FatalError);
+}
+
+TEST(Tensor, RandnStatistics)
+{
+    Rng rng(3);
+    const Tensor t = Tensor::randn({100, 100}, rng, 0.5);
+    double sum = 0, sq = 0;
+    for (std::size_t i = 0; i < t.numel(); ++i) {
+        sum += t[i];
+        sq += t[i] * t[i];
+    }
+    EXPECT_NEAR(sum / t.numel(), 0.0, 0.02);
+    EXPECT_NEAR(sq / t.numel(), 0.25, 0.02);
+}
+
+TEST(Tensor, FillAndMaxAbs)
+{
+    Tensor t({4});
+    t.fill(-2.5f);
+    EXPECT_EQ(t.maxAbs(), 2.5f);
+    t[2] = 7.0f;
+    EXPECT_EQ(t.maxAbs(), 7.0f);
+}
+
+// ----------------------------------------------------------------- GEMM
+
+void
+naiveGemm(const std::vector<float> &a, const std::vector<float> &b,
+          std::vector<float> &c, int m, int k, int n)
+{
+    for (int i = 0; i < m; ++i)
+        for (int j = 0; j < n; ++j) {
+            float acc = 0;
+            for (int kk = 0; kk < k; ++kk)
+                acc += a[static_cast<std::size_t>(i) * k + kk] *
+                       b[static_cast<std::size_t>(kk) * n + j];
+            c[static_cast<std::size_t>(i) * n + j] = acc;
+        }
+}
+
+std::vector<float>
+randomVec(std::size_t n, Rng &rng)
+{
+    std::vector<float> v(n);
+    for (auto &x : v)
+        x = static_cast<float>(rng.normal());
+    return v;
+}
+
+class GemmSizes
+    : public ::testing::TestWithParam<std::tuple<int, int, int>>
+{
+};
+
+TEST_P(GemmSizes, MatchesNaiveReference)
+{
+    const auto [m, k, n] = GetParam();
+    Rng rng(1);
+    const auto a = randomVec(static_cast<std::size_t>(m) * k, rng);
+    const auto b = randomVec(static_cast<std::size_t>(k) * n, rng);
+    std::vector<float> c(static_cast<std::size_t>(m) * n),
+        ref(static_cast<std::size_t>(m) * n);
+    gemm(a.data(), b.data(), c.data(), m, k, n);
+    naiveGemm(a, b, ref, m, k, n);
+    for (std::size_t i = 0; i < c.size(); ++i)
+        EXPECT_NEAR(c[i], ref[i], 1e-4f * k);
+}
+
+TEST_P(GemmSizes, TransposedVariantsMatch)
+{
+    const auto [m, k, n] = GetParam();
+    Rng rng(2);
+    const auto a = randomVec(static_cast<std::size_t>(m) * k, rng);
+    const auto b = randomVec(static_cast<std::size_t>(k) * n, rng);
+    std::vector<float> ref(static_cast<std::size_t>(m) * n);
+    naiveGemm(a, b, ref, m, k, n);
+
+    // gemmTransA with A stored transposed [k x m].
+    std::vector<float> at(static_cast<std::size_t>(k) * m);
+    for (int i = 0; i < m; ++i)
+        for (int kk = 0; kk < k; ++kk)
+            at[static_cast<std::size_t>(kk) * m + i] =
+                a[static_cast<std::size_t>(i) * k + kk];
+    std::vector<float> c1(static_cast<std::size_t>(m) * n);
+    gemmTransA(at.data(), b.data(), c1.data(), m, k, n);
+    for (std::size_t i = 0; i < c1.size(); ++i)
+        EXPECT_NEAR(c1[i], ref[i], 1e-4f * k);
+
+    // gemmTransB with B stored transposed [n x k].
+    std::vector<float> bt(static_cast<std::size_t>(n) * k);
+    for (int kk = 0; kk < k; ++kk)
+        for (int j = 0; j < n; ++j)
+            bt[static_cast<std::size_t>(j) * k + kk] =
+                b[static_cast<std::size_t>(kk) * n + j];
+    std::vector<float> c2(static_cast<std::size_t>(m) * n);
+    gemmTransB(a.data(), bt.data(), c2.data(), m, k, n);
+    for (std::size_t i = 0; i < c2.size(); ++i)
+        EXPECT_NEAR(c2[i], ref[i], 1e-4f * k);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GemmSizes,
+    ::testing::Values(std::tuple{1, 1, 1}, std::tuple{3, 5, 7},
+                      std::tuple{16, 16, 16}, std::tuple{8, 1, 9},
+                      std::tuple{1, 32, 1}, std::tuple{17, 23, 29}));
+
+TEST(Gemm, AccumulateAddsToExisting)
+{
+    const float a[2] = {1, 2};
+    const float b[2] = {3, 4};
+    float c[1] = {10};
+    gemm(a, b, c, 1, 2, 1, /*accumulate=*/true);
+    EXPECT_FLOAT_EQ(c[0], 10 + 11);
+    gemm(a, b, c, 1, 2, 1, /*accumulate=*/false);
+    EXPECT_FLOAT_EQ(c[0], 11);
+}
+
+} // namespace
+} // namespace vboost::dnn

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Tests for the V_min / yield analyzer: analytic error-free
+ * probabilities, tolerance-based yield, the yield-V_min landmark, and
+ * the Monte-Carlo die V_min distribution's agreement with both the
+ * analytic model and the fault-map ground truth.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/logging.hpp"
+#include "sram/yield.hpp"
+
+namespace vboost::sram {
+namespace {
+
+constexpr std::uint64_t kArrayBits = 144ull * 1024 * 8; // Dante SRAM
+
+class YieldTest : public ::testing::Test
+{
+  protected:
+    YieldTest() : analyzer_(FailureRateModel{}, kArrayBits) {}
+
+    FailureRateModel model_;
+    YieldAnalyzer analyzer_;
+};
+
+TEST_F(YieldTest, ErrorFreeProbabilityMatchesClosedForm)
+{
+    for (double v : {0.50, 0.55, 0.60}) {
+        const double f = model_.rate(Volt(v));
+        const double expected =
+            std::exp(static_cast<double>(kArrayBits) * std::log1p(-f));
+        EXPECT_NEAR(analyzer_.errorFreeProbability(Volt(v)), expected,
+                    1e-12);
+    }
+    // Saturated failure rate: zero yield.
+    EXPECT_DOUBLE_EQ(analyzer_.errorFreeProbability(0.25_V), 0.0);
+}
+
+TEST_F(YieldTest, YieldMonotoneInVoltageAndTolerance)
+{
+    EXPECT_LT(analyzer_.errorFreeProbability(0.50_V),
+              analyzer_.errorFreeProbability(0.55_V));
+    EXPECT_LT(analyzer_.errorFreeProbability(0.55_V),
+              analyzer_.errorFreeProbability(0.62_V));
+    // Tolerating more faulty bits can only help.
+    const Volt v{0.52};
+    double prev = analyzer_.yieldWithTolerance(v, 0);
+    for (std::uint64_t k : {1ull, 4ull, 16ull, 64ull}) {
+        const double cur = analyzer_.yieldWithTolerance(v, k);
+        EXPECT_GE(cur, prev);
+        prev = cur;
+    }
+}
+
+TEST_F(YieldTest, ZeroToleranceMatchesErrorFree)
+{
+    // Poisson(λ) P(X=0) = e^-λ ~ (1-F)^N for small F.
+    const Volt v{0.55};
+    EXPECT_NEAR(analyzer_.yieldWithTolerance(v, 0),
+                analyzer_.errorFreeProbability(v), 1e-6);
+}
+
+TEST_F(YieldTest, VminForYieldInvertsTheCurve)
+{
+    for (double target : {0.5, 0.9, 0.99}) {
+        const Volt vmin = analyzer_.vminForYield(target);
+        EXPECT_NEAR(analyzer_.errorFreeProbability(vmin), target,
+                    0.01 * target);
+        // Above V_min, yield exceeds the target.
+        EXPECT_GT(analyzer_.errorFreeProbability(vmin + 0.02_V), target);
+    }
+    EXPECT_THROW(analyzer_.vminForYield(0.0), FatalError);
+    EXPECT_THROW(analyzer_.vminForYield(1.0), FatalError);
+}
+
+TEST_F(YieldTest, HigherYieldTargetNeedsHigherVoltage)
+{
+    EXPECT_LT(analyzer_.vminForYield(0.5), analyzer_.vminForYield(0.99));
+    // Bigger arrays need higher V_min for the same yield (Fig. 1's
+    // scaling message).
+    YieldAnalyzer big(model_, kArrayBits * 32);
+    EXPECT_GT(big.vminForYield(0.9), analyzer_.vminForYield(0.9));
+}
+
+TEST_F(YieldTest, SampledVminIsConsistentWithGroundTruth)
+{
+    // Small array so the exhaustive check is fast.
+    constexpr std::uint64_t bits = 32 * 1024;
+    YieldAnalyzer small(model_, bits);
+    const auto dist = small.sampleVmin(10, 77);
+    ASSERT_EQ(dist.samples.size(), 10u);
+    for (int d = 0; d < 10; ++d) {
+        const VulnerabilityMap map(77, static_cast<std::uint64_t>(d));
+        // The distribution is sorted, so re-derive this die's V_min.
+        const double u_min = map.minUniform(bits);
+        const double vmin =
+            model_.voltageForRate(std::max(u_min, 1e-300)).value();
+        // Just above V_min the die is clean; just below it is not.
+        EXPECT_EQ(map.countFaulty(bits, model_.rate(Volt(vmin + 1e-4))),
+                  0u)
+            << "die " << d;
+        EXPECT_GE(map.countFaulty(bits, model_.rate(Volt(vmin - 1e-3))),
+                  1u)
+            << "die " << d;
+    }
+}
+
+TEST_F(YieldTest, VminDistributionCentersOnAnalyticMedian)
+{
+    constexpr std::uint64_t bits = 64 * 1024;
+    YieldAnalyzer an(model_, bits);
+    const auto dist = an.sampleVmin(60, 5);
+    // Median die V_min ~ voltage where error-free probability = 0.5.
+    const double analytic = an.vminForYield(0.5).value();
+    EXPECT_NEAR(dist.percentile(50), analytic, 0.015);
+    EXPECT_LT(dist.percentile(10), dist.percentile(90));
+    EXPECT_GT(dist.mean(), 0.4);
+}
+
+TEST(VminDistributionMath, PercentileAndValidation)
+{
+    VminDistribution d;
+    EXPECT_THROW(d.mean(), FatalError);
+    d.samples = {0.5, 0.52, 0.54, 0.58};
+    EXPECT_DOUBLE_EQ(d.percentile(0), 0.5);
+    EXPECT_DOUBLE_EQ(d.percentile(100), 0.58);
+    EXPECT_NEAR(d.mean(), 0.535, 1e-12);
+    EXPECT_THROW(d.percentile(101), FatalError);
+}
+
+TEST(YieldAnalyzerValidation, RejectsEmptyArray)
+{
+    EXPECT_THROW(YieldAnalyzer(FailureRateModel{}, 0), FatalError);
+}
+
+} // namespace
+} // namespace vboost::sram
