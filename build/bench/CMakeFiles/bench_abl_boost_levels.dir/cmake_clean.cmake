@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_boost_levels.dir/bench_abl_boost_levels.cpp.o"
+  "CMakeFiles/bench_abl_boost_levels.dir/bench_abl_boost_levels.cpp.o.d"
+  "bench_abl_boost_levels"
+  "bench_abl_boost_levels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_boost_levels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_canary.dir/bench_abl_canary.cpp.o"
+  "CMakeFiles/bench_abl_canary.dir/bench_abl_canary.cpp.o.d"
+  "bench_abl_canary"
+  "bench_abl_canary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_canary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

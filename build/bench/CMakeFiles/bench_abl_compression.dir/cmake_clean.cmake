@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_compression.dir/bench_abl_compression.cpp.o"
+  "CMakeFiles/bench_abl_compression.dir/bench_abl_compression.cpp.o.d"
+  "bench_abl_compression"
+  "bench_abl_compression.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_compression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_ecc.dir/bench_abl_ecc.cpp.o"
+  "CMakeFiles/bench_abl_ecc.dir/bench_abl_ecc.cpp.o.d"
+  "bench_abl_ecc"
+  "bench_abl_ecc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_ecc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

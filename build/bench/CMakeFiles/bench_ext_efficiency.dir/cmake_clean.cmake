@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_efficiency.dir/bench_ext_efficiency.cpp.o"
+  "CMakeFiles/bench_ext_efficiency.dir/bench_ext_efficiency.cpp.o.d"
+  "bench_ext_efficiency"
+  "bench_ext_efficiency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_efficiency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_regulators.dir/bench_ext_regulators.cpp.o"
+  "CMakeFiles/bench_ext_regulators.dir/bench_ext_regulators.cpp.o.d"
+  "bench_ext_regulators"
+  "bench_ext_regulators.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_regulators.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

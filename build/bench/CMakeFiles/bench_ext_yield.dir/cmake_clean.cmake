@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_yield.dir/bench_ext_yield.cpp.o"
+  "CMakeFiles/bench_ext_yield.dir/bench_ext_yield.cpp.o.d"
+  "bench_ext_yield"
+  "bench_ext_yield.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_yield.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

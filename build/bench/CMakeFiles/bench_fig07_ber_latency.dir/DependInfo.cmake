@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig07_ber_latency.cpp" "bench/CMakeFiles/bench_fig07_ber_latency.dir/bench_fig07_ber_latency.cpp.o" "gcc" "bench/CMakeFiles/bench_fig07_ber_latency.dir/bench_fig07_ber_latency.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/vboost_bench_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/fi/CMakeFiles/vboost_fi.dir/DependInfo.cmake"
+  "/root/repo/build/src/accel/CMakeFiles/vboost_accel.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/vboost_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/vboost_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/dnn/CMakeFiles/vboost_dnn.dir/DependInfo.cmake"
+  "/root/repo/build/src/sram/CMakeFiles/vboost_sram.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuit/CMakeFiles/vboost_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/vboost_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

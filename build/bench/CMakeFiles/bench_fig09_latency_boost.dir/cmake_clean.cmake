@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig09_latency_boost.dir/bench_fig09_latency_boost.cpp.o"
+  "CMakeFiles/bench_fig09_latency_boost.dir/bench_fig09_latency_boost.cpp.o.d"
+  "bench_fig09_latency_boost"
+  "bench_fig09_latency_boost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_latency_boost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_fcdnn.dir/bench_fig13_fcdnn.cpp.o"
+  "CMakeFiles/bench_fig13_fcdnn.dir/bench_fig13_fcdnn.cpp.o.d"
+  "bench_fig13_fcdnn"
+  "bench_fig13_fcdnn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_fcdnn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_alexnet.dir/bench_fig14_alexnet.cpp.o"
+  "CMakeFiles/bench_fig14_alexnet.dir/bench_fig14_alexnet.cpp.o.d"
+  "bench_fig14_alexnet"
+  "bench_fig14_alexnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_alexnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

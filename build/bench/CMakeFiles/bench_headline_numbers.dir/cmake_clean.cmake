@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_headline_numbers.dir/bench_headline_numbers.cpp.o"
+  "CMakeFiles/bench_headline_numbers.dir/bench_headline_numbers.cpp.o.d"
+  "bench_headline_numbers"
+  "bench_headline_numbers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_headline_numbers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

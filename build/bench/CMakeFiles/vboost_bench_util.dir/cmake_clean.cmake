@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vboost_bench_util.dir/bench_util.cpp.o"
+  "CMakeFiles/vboost_bench_util.dir/bench_util.cpp.o.d"
+  "libvboost_bench_util.a"
+  "libvboost_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vboost_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alexnet_iso_accuracy.dir/alexnet_iso_accuracy.cpp.o"
+  "CMakeFiles/alexnet_iso_accuracy.dir/alexnet_iso_accuracy.cpp.o.d"
+  "alexnet_iso_accuracy"
+  "alexnet_iso_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alexnet_iso_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

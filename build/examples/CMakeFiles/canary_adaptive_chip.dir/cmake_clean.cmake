@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/canary_adaptive_chip.dir/canary_adaptive_chip.cpp.o"
+  "CMakeFiles/canary_adaptive_chip.dir/canary_adaptive_chip.cpp.o.d"
+  "canary_adaptive_chip"
+  "canary_adaptive_chip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/canary_adaptive_chip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

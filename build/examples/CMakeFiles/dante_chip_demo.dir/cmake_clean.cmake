@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dante_chip_demo.dir/dante_chip_demo.cpp.o"
+  "CMakeFiles/dante_chip_demo.dir/dante_chip_demo.cpp.o.d"
+  "dante_chip_demo"
+  "dante_chip_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dante_chip_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mnist_resilience.dir/mnist_resilience.cpp.o"
+  "CMakeFiles/mnist_resilience.dir/mnist_resilience.cpp.o.d"
+  "mnist_resilience"
+  "mnist_resilience.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mnist_resilience.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/accel/dante.cpp" "src/accel/CMakeFiles/vboost_accel.dir/dante.cpp.o" "gcc" "src/accel/CMakeFiles/vboost_accel.dir/dante.cpp.o.d"
+  "/root/repo/src/accel/dataflow.cpp" "src/accel/CMakeFiles/vboost_accel.dir/dataflow.cpp.o" "gcc" "src/accel/CMakeFiles/vboost_accel.dir/dataflow.cpp.o.d"
+  "/root/repo/src/accel/perf_model.cpp" "src/accel/CMakeFiles/vboost_accel.dir/perf_model.cpp.o" "gcc" "src/accel/CMakeFiles/vboost_accel.dir/perf_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vboost_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuit/CMakeFiles/vboost_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/sram/CMakeFiles/vboost_sram.dir/DependInfo.cmake"
+  "/root/repo/build/src/dnn/CMakeFiles/vboost_dnn.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/vboost_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/vboost_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vboost_accel.dir/dante.cpp.o"
+  "CMakeFiles/vboost_accel.dir/dante.cpp.o.d"
+  "CMakeFiles/vboost_accel.dir/dataflow.cpp.o"
+  "CMakeFiles/vboost_accel.dir/dataflow.cpp.o.d"
+  "CMakeFiles/vboost_accel.dir/perf_model.cpp.o"
+  "CMakeFiles/vboost_accel.dir/perf_model.cpp.o.d"
+  "libvboost_accel.a"
+  "libvboost_accel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vboost_accel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/circuit/bic.cpp" "src/circuit/CMakeFiles/vboost_circuit.dir/bic.cpp.o" "gcc" "src/circuit/CMakeFiles/vboost_circuit.dir/bic.cpp.o.d"
+  "/root/repo/src/circuit/booster.cpp" "src/circuit/CMakeFiles/vboost_circuit.dir/booster.cpp.o" "gcc" "src/circuit/CMakeFiles/vboost_circuit.dir/booster.cpp.o.d"
+  "/root/repo/src/circuit/energy_model.cpp" "src/circuit/CMakeFiles/vboost_circuit.dir/energy_model.cpp.o" "gcc" "src/circuit/CMakeFiles/vboost_circuit.dir/energy_model.cpp.o.d"
+  "/root/repo/src/circuit/latency.cpp" "src/circuit/CMakeFiles/vboost_circuit.dir/latency.cpp.o" "gcc" "src/circuit/CMakeFiles/vboost_circuit.dir/latency.cpp.o.d"
+  "/root/repo/src/circuit/ldo.cpp" "src/circuit/CMakeFiles/vboost_circuit.dir/ldo.cpp.o" "gcc" "src/circuit/CMakeFiles/vboost_circuit.dir/ldo.cpp.o.d"
+  "/root/repo/src/circuit/regulators.cpp" "src/circuit/CMakeFiles/vboost_circuit.dir/regulators.cpp.o" "gcc" "src/circuit/CMakeFiles/vboost_circuit.dir/regulators.cpp.o.d"
+  "/root/repo/src/circuit/transient.cpp" "src/circuit/CMakeFiles/vboost_circuit.dir/transient.cpp.o" "gcc" "src/circuit/CMakeFiles/vboost_circuit.dir/transient.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vboost_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vboost_circuit.dir/bic.cpp.o"
+  "CMakeFiles/vboost_circuit.dir/bic.cpp.o.d"
+  "CMakeFiles/vboost_circuit.dir/booster.cpp.o"
+  "CMakeFiles/vboost_circuit.dir/booster.cpp.o.d"
+  "CMakeFiles/vboost_circuit.dir/energy_model.cpp.o"
+  "CMakeFiles/vboost_circuit.dir/energy_model.cpp.o.d"
+  "CMakeFiles/vboost_circuit.dir/latency.cpp.o"
+  "CMakeFiles/vboost_circuit.dir/latency.cpp.o.d"
+  "CMakeFiles/vboost_circuit.dir/ldo.cpp.o"
+  "CMakeFiles/vboost_circuit.dir/ldo.cpp.o.d"
+  "CMakeFiles/vboost_circuit.dir/regulators.cpp.o"
+  "CMakeFiles/vboost_circuit.dir/regulators.cpp.o.d"
+  "CMakeFiles/vboost_circuit.dir/transient.cpp.o"
+  "CMakeFiles/vboost_circuit.dir/transient.cpp.o.d"
+  "libvboost_circuit.a"
+  "libvboost_circuit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vboost_circuit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libvboost_circuit.a"
+)

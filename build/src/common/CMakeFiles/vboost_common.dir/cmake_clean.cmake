@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vboost_common.dir/fixed_point.cpp.o"
+  "CMakeFiles/vboost_common.dir/fixed_point.cpp.o.d"
+  "CMakeFiles/vboost_common.dir/logging.cpp.o"
+  "CMakeFiles/vboost_common.dir/logging.cpp.o.d"
+  "CMakeFiles/vboost_common.dir/rng.cpp.o"
+  "CMakeFiles/vboost_common.dir/rng.cpp.o.d"
+  "CMakeFiles/vboost_common.dir/stats.cpp.o"
+  "CMakeFiles/vboost_common.dir/stats.cpp.o.d"
+  "CMakeFiles/vboost_common.dir/table.cpp.o"
+  "CMakeFiles/vboost_common.dir/table.cpp.o.d"
+  "libvboost_common.a"
+  "libvboost_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vboost_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

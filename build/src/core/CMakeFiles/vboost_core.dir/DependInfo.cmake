@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/canary.cpp" "src/core/CMakeFiles/vboost_core.dir/canary.cpp.o" "gcc" "src/core/CMakeFiles/vboost_core.dir/canary.cpp.o.d"
+  "/root/repo/src/core/context.cpp" "src/core/CMakeFiles/vboost_core.dir/context.cpp.o" "gcc" "src/core/CMakeFiles/vboost_core.dir/context.cpp.o.d"
+  "/root/repo/src/core/tradeoff.cpp" "src/core/CMakeFiles/vboost_core.dir/tradeoff.cpp.o" "gcc" "src/core/CMakeFiles/vboost_core.dir/tradeoff.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vboost_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuit/CMakeFiles/vboost_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/sram/CMakeFiles/vboost_sram.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/vboost_energy.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

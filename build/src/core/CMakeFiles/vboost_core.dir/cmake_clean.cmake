@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vboost_core.dir/canary.cpp.o"
+  "CMakeFiles/vboost_core.dir/canary.cpp.o.d"
+  "CMakeFiles/vboost_core.dir/context.cpp.o"
+  "CMakeFiles/vboost_core.dir/context.cpp.o.d"
+  "CMakeFiles/vboost_core.dir/tradeoff.cpp.o"
+  "CMakeFiles/vboost_core.dir/tradeoff.cpp.o.d"
+  "libvboost_core.a"
+  "libvboost_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vboost_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dnn/dataset.cpp" "src/dnn/CMakeFiles/vboost_dnn.dir/dataset.cpp.o" "gcc" "src/dnn/CMakeFiles/vboost_dnn.dir/dataset.cpp.o.d"
+  "/root/repo/src/dnn/layers.cpp" "src/dnn/CMakeFiles/vboost_dnn.dir/layers.cpp.o" "gcc" "src/dnn/CMakeFiles/vboost_dnn.dir/layers.cpp.o.d"
+  "/root/repo/src/dnn/network.cpp" "src/dnn/CMakeFiles/vboost_dnn.dir/network.cpp.o" "gcc" "src/dnn/CMakeFiles/vboost_dnn.dir/network.cpp.o.d"
+  "/root/repo/src/dnn/prune.cpp" "src/dnn/CMakeFiles/vboost_dnn.dir/prune.cpp.o" "gcc" "src/dnn/CMakeFiles/vboost_dnn.dir/prune.cpp.o.d"
+  "/root/repo/src/dnn/quantize.cpp" "src/dnn/CMakeFiles/vboost_dnn.dir/quantize.cpp.o" "gcc" "src/dnn/CMakeFiles/vboost_dnn.dir/quantize.cpp.o.d"
+  "/root/repo/src/dnn/serialize.cpp" "src/dnn/CMakeFiles/vboost_dnn.dir/serialize.cpp.o" "gcc" "src/dnn/CMakeFiles/vboost_dnn.dir/serialize.cpp.o.d"
+  "/root/repo/src/dnn/tensor.cpp" "src/dnn/CMakeFiles/vboost_dnn.dir/tensor.cpp.o" "gcc" "src/dnn/CMakeFiles/vboost_dnn.dir/tensor.cpp.o.d"
+  "/root/repo/src/dnn/trainer.cpp" "src/dnn/CMakeFiles/vboost_dnn.dir/trainer.cpp.o" "gcc" "src/dnn/CMakeFiles/vboost_dnn.dir/trainer.cpp.o.d"
+  "/root/repo/src/dnn/zoo.cpp" "src/dnn/CMakeFiles/vboost_dnn.dir/zoo.cpp.o" "gcc" "src/dnn/CMakeFiles/vboost_dnn.dir/zoo.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vboost_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vboost_dnn.dir/dataset.cpp.o"
+  "CMakeFiles/vboost_dnn.dir/dataset.cpp.o.d"
+  "CMakeFiles/vboost_dnn.dir/layers.cpp.o"
+  "CMakeFiles/vboost_dnn.dir/layers.cpp.o.d"
+  "CMakeFiles/vboost_dnn.dir/network.cpp.o"
+  "CMakeFiles/vboost_dnn.dir/network.cpp.o.d"
+  "CMakeFiles/vboost_dnn.dir/prune.cpp.o"
+  "CMakeFiles/vboost_dnn.dir/prune.cpp.o.d"
+  "CMakeFiles/vboost_dnn.dir/quantize.cpp.o"
+  "CMakeFiles/vboost_dnn.dir/quantize.cpp.o.d"
+  "CMakeFiles/vboost_dnn.dir/serialize.cpp.o"
+  "CMakeFiles/vboost_dnn.dir/serialize.cpp.o.d"
+  "CMakeFiles/vboost_dnn.dir/tensor.cpp.o"
+  "CMakeFiles/vboost_dnn.dir/tensor.cpp.o.d"
+  "CMakeFiles/vboost_dnn.dir/trainer.cpp.o"
+  "CMakeFiles/vboost_dnn.dir/trainer.cpp.o.d"
+  "CMakeFiles/vboost_dnn.dir/zoo.cpp.o"
+  "CMakeFiles/vboost_dnn.dir/zoo.cpp.o.d"
+  "libvboost_dnn.a"
+  "libvboost_dnn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vboost_dnn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

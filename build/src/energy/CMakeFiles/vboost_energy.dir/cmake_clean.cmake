@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vboost_energy.dir/supply_config.cpp.o"
+  "CMakeFiles/vboost_energy.dir/supply_config.cpp.o.d"
+  "libvboost_energy.a"
+  "libvboost_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vboost_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fi/accuracy_curve.cpp" "src/fi/CMakeFiles/vboost_fi.dir/accuracy_curve.cpp.o" "gcc" "src/fi/CMakeFiles/vboost_fi.dir/accuracy_curve.cpp.o.d"
+  "/root/repo/src/fi/experiment.cpp" "src/fi/CMakeFiles/vboost_fi.dir/experiment.cpp.o" "gcc" "src/fi/CMakeFiles/vboost_fi.dir/experiment.cpp.o.d"
+  "/root/repo/src/fi/fault_training.cpp" "src/fi/CMakeFiles/vboost_fi.dir/fault_training.cpp.o" "gcc" "src/fi/CMakeFiles/vboost_fi.dir/fault_training.cpp.o.d"
+  "/root/repo/src/fi/injector.cpp" "src/fi/CMakeFiles/vboost_fi.dir/injector.cpp.o" "gcc" "src/fi/CMakeFiles/vboost_fi.dir/injector.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vboost_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sram/CMakeFiles/vboost_sram.dir/DependInfo.cmake"
+  "/root/repo/build/src/dnn/CMakeFiles/vboost_dnn.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuit/CMakeFiles/vboost_circuit.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

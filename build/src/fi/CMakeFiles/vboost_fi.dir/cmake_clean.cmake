@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vboost_fi.dir/accuracy_curve.cpp.o"
+  "CMakeFiles/vboost_fi.dir/accuracy_curve.cpp.o.d"
+  "CMakeFiles/vboost_fi.dir/experiment.cpp.o"
+  "CMakeFiles/vboost_fi.dir/experiment.cpp.o.d"
+  "CMakeFiles/vboost_fi.dir/fault_training.cpp.o"
+  "CMakeFiles/vboost_fi.dir/fault_training.cpp.o.d"
+  "CMakeFiles/vboost_fi.dir/injector.cpp.o"
+  "CMakeFiles/vboost_fi.dir/injector.cpp.o.d"
+  "libvboost_fi.a"
+  "libvboost_fi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vboost_fi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sram/banked_memory.cpp" "src/sram/CMakeFiles/vboost_sram.dir/banked_memory.cpp.o" "gcc" "src/sram/CMakeFiles/vboost_sram.dir/banked_memory.cpp.o.d"
+  "/root/repo/src/sram/ecc.cpp" "src/sram/CMakeFiles/vboost_sram.dir/ecc.cpp.o" "gcc" "src/sram/CMakeFiles/vboost_sram.dir/ecc.cpp.o.d"
+  "/root/repo/src/sram/failure_model.cpp" "src/sram/CMakeFiles/vboost_sram.dir/failure_model.cpp.o" "gcc" "src/sram/CMakeFiles/vboost_sram.dir/failure_model.cpp.o.d"
+  "/root/repo/src/sram/fault_map.cpp" "src/sram/CMakeFiles/vboost_sram.dir/fault_map.cpp.o" "gcc" "src/sram/CMakeFiles/vboost_sram.dir/fault_map.cpp.o.d"
+  "/root/repo/src/sram/sram_bank.cpp" "src/sram/CMakeFiles/vboost_sram.dir/sram_bank.cpp.o" "gcc" "src/sram/CMakeFiles/vboost_sram.dir/sram_bank.cpp.o.d"
+  "/root/repo/src/sram/sram_macro.cpp" "src/sram/CMakeFiles/vboost_sram.dir/sram_macro.cpp.o" "gcc" "src/sram/CMakeFiles/vboost_sram.dir/sram_macro.cpp.o.d"
+  "/root/repo/src/sram/yield.cpp" "src/sram/CMakeFiles/vboost_sram.dir/yield.cpp.o" "gcc" "src/sram/CMakeFiles/vboost_sram.dir/yield.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vboost_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuit/CMakeFiles/vboost_circuit.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

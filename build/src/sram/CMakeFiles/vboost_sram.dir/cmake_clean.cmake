@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vboost_sram.dir/banked_memory.cpp.o"
+  "CMakeFiles/vboost_sram.dir/banked_memory.cpp.o.d"
+  "CMakeFiles/vboost_sram.dir/ecc.cpp.o"
+  "CMakeFiles/vboost_sram.dir/ecc.cpp.o.d"
+  "CMakeFiles/vboost_sram.dir/failure_model.cpp.o"
+  "CMakeFiles/vboost_sram.dir/failure_model.cpp.o.d"
+  "CMakeFiles/vboost_sram.dir/fault_map.cpp.o"
+  "CMakeFiles/vboost_sram.dir/fault_map.cpp.o.d"
+  "CMakeFiles/vboost_sram.dir/sram_bank.cpp.o"
+  "CMakeFiles/vboost_sram.dir/sram_bank.cpp.o.d"
+  "CMakeFiles/vboost_sram.dir/sram_macro.cpp.o"
+  "CMakeFiles/vboost_sram.dir/sram_macro.cpp.o.d"
+  "CMakeFiles/vboost_sram.dir/yield.cpp.o"
+  "CMakeFiles/vboost_sram.dir/yield.cpp.o.d"
+  "libvboost_sram.a"
+  "libvboost_sram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vboost_sram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,46 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_accel.cpp" "tests/CMakeFiles/vboost_tests.dir/test_accel.cpp.o" "gcc" "tests/CMakeFiles/vboost_tests.dir/test_accel.cpp.o.d"
+  "/root/repo/tests/test_booster.cpp" "tests/CMakeFiles/vboost_tests.dir/test_booster.cpp.o" "gcc" "tests/CMakeFiles/vboost_tests.dir/test_booster.cpp.o.d"
+  "/root/repo/tests/test_circuit.cpp" "tests/CMakeFiles/vboost_tests.dir/test_circuit.cpp.o" "gcc" "tests/CMakeFiles/vboost_tests.dir/test_circuit.cpp.o.d"
+  "/root/repo/tests/test_common.cpp" "tests/CMakeFiles/vboost_tests.dir/test_common.cpp.o" "gcc" "tests/CMakeFiles/vboost_tests.dir/test_common.cpp.o.d"
+  "/root/repo/tests/test_core.cpp" "tests/CMakeFiles/vboost_tests.dir/test_core.cpp.o" "gcc" "tests/CMakeFiles/vboost_tests.dir/test_core.cpp.o.d"
+  "/root/repo/tests/test_dante_generic.cpp" "tests/CMakeFiles/vboost_tests.dir/test_dante_generic.cpp.o" "gcc" "tests/CMakeFiles/vboost_tests.dir/test_dante_generic.cpp.o.d"
+  "/root/repo/tests/test_dnn.cpp" "tests/CMakeFiles/vboost_tests.dir/test_dnn.cpp.o" "gcc" "tests/CMakeFiles/vboost_tests.dir/test_dnn.cpp.o.d"
+  "/root/repo/tests/test_ecc.cpp" "tests/CMakeFiles/vboost_tests.dir/test_ecc.cpp.o" "gcc" "tests/CMakeFiles/vboost_tests.dir/test_ecc.cpp.o.d"
+  "/root/repo/tests/test_energy.cpp" "tests/CMakeFiles/vboost_tests.dir/test_energy.cpp.o" "gcc" "tests/CMakeFiles/vboost_tests.dir/test_energy.cpp.o.d"
+  "/root/repo/tests/test_extensions.cpp" "tests/CMakeFiles/vboost_tests.dir/test_extensions.cpp.o" "gcc" "tests/CMakeFiles/vboost_tests.dir/test_extensions.cpp.o.d"
+  "/root/repo/tests/test_fi.cpp" "tests/CMakeFiles/vboost_tests.dir/test_fi.cpp.o" "gcc" "tests/CMakeFiles/vboost_tests.dir/test_fi.cpp.o.d"
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/vboost_tests.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/vboost_tests.dir/test_integration.cpp.o.d"
+  "/root/repo/tests/test_layers.cpp" "tests/CMakeFiles/vboost_tests.dir/test_layers.cpp.o" "gcc" "tests/CMakeFiles/vboost_tests.dir/test_layers.cpp.o.d"
+  "/root/repo/tests/test_perf_model.cpp" "tests/CMakeFiles/vboost_tests.dir/test_perf_model.cpp.o" "gcc" "tests/CMakeFiles/vboost_tests.dir/test_perf_model.cpp.o.d"
+  "/root/repo/tests/test_properties.cpp" "tests/CMakeFiles/vboost_tests.dir/test_properties.cpp.o" "gcc" "tests/CMakeFiles/vboost_tests.dir/test_properties.cpp.o.d"
+  "/root/repo/tests/test_regulators.cpp" "tests/CMakeFiles/vboost_tests.dir/test_regulators.cpp.o" "gcc" "tests/CMakeFiles/vboost_tests.dir/test_regulators.cpp.o.d"
+  "/root/repo/tests/test_rng.cpp" "tests/CMakeFiles/vboost_tests.dir/test_rng.cpp.o" "gcc" "tests/CMakeFiles/vboost_tests.dir/test_rng.cpp.o.d"
+  "/root/repo/tests/test_sram.cpp" "tests/CMakeFiles/vboost_tests.dir/test_sram.cpp.o" "gcc" "tests/CMakeFiles/vboost_tests.dir/test_sram.cpp.o.d"
+  "/root/repo/tests/test_tensor.cpp" "tests/CMakeFiles/vboost_tests.dir/test_tensor.cpp.o" "gcc" "tests/CMakeFiles/vboost_tests.dir/test_tensor.cpp.o.d"
+  "/root/repo/tests/test_yield.cpp" "tests/CMakeFiles/vboost_tests.dir/test_yield.cpp.o" "gcc" "tests/CMakeFiles/vboost_tests.dir/test_yield.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/vboost_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/fi/CMakeFiles/vboost_fi.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/vboost_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/accel/CMakeFiles/vboost_accel.dir/DependInfo.cmake"
+  "/root/repo/build/src/dnn/CMakeFiles/vboost_dnn.dir/DependInfo.cmake"
+  "/root/repo/build/src/sram/CMakeFiles/vboost_sram.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuit/CMakeFiles/vboost_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/vboost_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
