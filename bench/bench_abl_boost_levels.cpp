@@ -38,13 +38,12 @@ main(int argc, char **argv)
     const energy::Workload w{total.totalAccesses(), total.macs};
 
     auto net = bench::trainedAlexNet(opts);
-    Rng rng(8);
-    auto scratch = dnn::buildAlexNetCifar(rng);
     const auto test = bench::cifarTestSet(opts);
     fi::ExperimentConfig fcfg;
     fcfg.numMaps = opts.maps(4);
     fcfg.maxTestSamples = opts.samples(200);
-    fi::FaultInjectionRunner runner(net, scratch, test, fcfg);
+    fcfg.numThreads = opts.threads;
+    fi::FaultInjectionRunner runner(net, test, fcfg);
     const auto curve = fi::AccuracyCurve::sample(
         runner, fi::InjectionSpec::allWeights(), 1e-5, 0.3, 8);
     const double target = curve.faultFree() - 0.02;

@@ -42,12 +42,11 @@ main(int argc, char **argv)
         const auto report = dnn::magnitudePrune(net, sparsity);
         const auto bytes = dnn::compressedWeightBytes(net);
 
-        Rng rng(8);
-        auto scratch = dnn::buildMnistFc(rng);
         fi::ExperimentConfig cfg;
         cfg.numMaps = opts.maps(6);
         cfg.maxTestSamples = opts.samples(400);
-        fi::FaultInjectionRunner runner(net, scratch, test, cfg);
+        cfg.numThreads = opts.threads;
+        fi::FaultInjectionRunner runner(net, test, cfg);
 
         const auto ctx = core::SimContext::standard();
         energy::SupplyConfigurator sc(ctx.tech, ctx.design, 16);

@@ -37,13 +37,12 @@ main(int argc, char **argv)
     core::TradeoffExplorer explorer(ctx, 16);
 
     auto net = bench::trainedMnistFc(opts);
-    Rng rng(8);
-    auto scratch = dnn::buildMnistFc(rng);
     const auto test = bench::mnistTestSet(opts);
     fi::ExperimentConfig cfg;
     cfg.numMaps = opts.maps(6);
     cfg.maxTestSamples = opts.samples(400);
-    fi::FaultInjectionRunner runner(net, scratch, test, cfg);
+    cfg.numThreads = opts.threads;
+    fi::FaultInjectionRunner runner(net, test, cfg);
 
     Table t({"Vdd (V)", "BER", "raw acc", "ECC acc",
              "ECC corrected/word", "ECC uncorrectable/word",

@@ -57,12 +57,10 @@ main(int argc, char **argv)
     fi::ExperimentConfig cfg;
     cfg.numMaps = opts.maps(8);
     cfg.maxTestSamples = opts.samples(400);
+    cfg.numThreads = opts.threads;
 
-    Rng rb(8), rh(9);
-    auto scratch_b = dnn::buildMnistFc(rb);
-    auto scratch_h = dnn::buildMnistFc(rh);
-    fi::FaultInjectionRunner run_b(baseline, scratch_b, test, cfg);
-    fi::FaultInjectionRunner run_h(hardened, scratch_h, test, cfg);
+    fi::FaultInjectionRunner run_b(baseline, test, cfg);
+    fi::FaultInjectionRunner run_h(hardened, test, cfg);
 
     Table t({"Vdd (V)", "BER", "standard training", "fault-aware",
              "gain"});

@@ -25,26 +25,29 @@ main(int argc, char **argv)
 
     const sram::FailureRateModel frm;
     auto net = bench::trainedMnistFc(opts);
-    Rng rng(8);
-    auto scratch = dnn::buildMnistFc(rng);
     const auto test = bench::mnistTestSet(opts);
     fi::ExperimentConfig cfg;
     cfg.numMaps = opts.maps(8);
     cfg.maxTestSamples = opts.samples(400);
-    fi::FaultInjectionRunner runner(net, scratch, test, cfg);
+    cfg.numThreads = opts.threads;
+    fi::FaultInjectionRunner runner(net, test, cfg);
+
+    // One parallel (voltage x map) sweep per flip probability.
+    const auto grid = bench::wideGrid();
+    std::vector<std::vector<fi::AccuracyPoint>> by_p;
+    for (double p : {0.25, 0.5, 1.0}) {
+        auto spec = fi::InjectionSpec::allWeights();
+        spec.flipProb = p;
+        by_p.push_back(runner.sweepVoltage(grid, frm, spec));
+    }
 
     Table t({"Vdd (V)", "BER", "acc (p=0.25)", "acc (p=0.5, paper)",
              "acc (p=1.0)"});
-    for (Volt v : bench::wideGrid()) {
-        std::vector<std::string> row{Table::num(v.value(), 2),
-                                     Table::sci(frm.rate(v))};
-        for (double p : {0.25, 0.5, 1.0}) {
-            auto spec = fi::InjectionSpec::allWeights();
-            spec.flipProb = p;
-            row.push_back(
-                Table::pct(runner.runAtVoltage(v, frm, spec)
-                               .meanAccuracy));
-        }
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+        std::vector<std::string> row{Table::num(grid[i].value(), 2),
+                                     Table::sci(frm.rate(grid[i]))};
+        for (const auto &points : by_p)
+            row.push_back(Table::pct(points[i].meanAccuracy));
         t.addRow(row);
     }
     bench::emit("Ablation: read flip probability p of faulty cells", t,

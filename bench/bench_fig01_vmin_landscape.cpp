@@ -31,13 +31,12 @@ main(int argc, char **argv)
     core::TradeoffExplorer explorer(ctx, 16);
 
     auto net = bench::trainedMnistFc(opts);
-    Rng rng(8);
-    auto scratch = dnn::buildMnistFc(rng);
     const auto test = bench::mnistTestSet(opts);
     fi::ExperimentConfig cfg;
     cfg.numMaps = opts.maps(8);
     cfg.maxTestSamples = opts.samples(400);
-    fi::FaultInjectionRunner runner(net, scratch, test, cfg);
+    cfg.numThreads = opts.threads;
+    fi::FaultInjectionRunner runner(net, test, cfg);
 
     const double peak = runner.baselineAccuracy();
     const double target = peak - 0.02;

@@ -8,7 +8,6 @@
 
 #include "bench_util.hpp"
 #include "common/logging.hpp"
-#include "dnn/zoo.hpp"
 #include "fi/experiment.hpp"
 #include "sram/failure_model.hpp"
 
@@ -22,33 +21,37 @@ main(int argc, char **argv)
 
     const sram::FailureRateModel frm;
     auto net = bench::trainedMnistFc(opts);
-    Rng rng(8);
-    auto scratch = dnn::buildMnistFc(rng);
     const auto test = bench::mnistTestSet(opts);
 
     fi::ExperimentConfig cfg;
     cfg.numMaps = opts.maps(8);
     cfg.maxTestSamples = opts.samples(400);
-    fi::FaultInjectionRunner runner(net, scratch, test, cfg);
+    cfg.numThreads = opts.threads;
+    fi::FaultInjectionRunner runner(net, test, cfg);
 
     const double baseline = runner.baselineAccuracy();
 
+    // Each curve is one voltage sweep: the runner parallelizes over
+    // the full (voltage x map) grid.
+    const auto grid = bench::wideGrid();
+    const auto all =
+        runner.sweepVoltage(grid, frm, fi::InjectionSpec::allWeights());
+    const auto inputs =
+        runner.sweepVoltage(grid, frm, fi::InjectionSpec::inputsOnly());
+    const auto l1 =
+        runner.sweepVoltage(grid, frm, fi::InjectionSpec::singleLayer(0));
+    const auto l4 =
+        runner.sweepVoltage(grid, frm, fi::InjectionSpec::singleLayer(3));
+
     Table t({"Vdd (V)", "bit error rate", "weights all layers",
              "inputs", "weights L1 only", "weights L4 only"});
-    for (Volt v : bench::wideGrid()) {
-        const auto all = runner.runAtVoltage(
-            v, frm, fi::InjectionSpec::allWeights());
-        const auto inputs = runner.runAtVoltage(
-            v, frm, fi::InjectionSpec::inputsOnly());
-        const auto l1 = runner.runAtVoltage(
-            v, frm, fi::InjectionSpec::singleLayer(0));
-        const auto l4 = runner.runAtVoltage(
-            v, frm, fi::InjectionSpec::singleLayer(3));
-        t.addRow({Table::num(v.value(), 2), Table::sci(all.failProb),
-                  Table::pct(all.meanAccuracy),
-                  Table::pct(inputs.meanAccuracy),
-                  Table::pct(l1.meanAccuracy),
-                  Table::pct(l4.meanAccuracy)});
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+        t.addRow({Table::num(grid[i].value(), 2),
+                  Table::sci(all[i].failProb),
+                  Table::pct(all[i].meanAccuracy),
+                  Table::pct(inputs[i].meanAccuracy),
+                  Table::pct(l1[i].meanAccuracy),
+                  Table::pct(l4[i].meanAccuracy)});
     }
     bench::emit("Fig. 2: accuracy vs Vdd per injection target "
                 "(baseline " + Table::pct(baseline) + ")",

@@ -61,13 +61,12 @@ main(int argc, char **argv)
 
     // Accuracy harness.
     auto net = bench::trainedMnistFc(opts);
-    Rng rng(8);
-    auto scratch = dnn::buildMnistFc(rng);
     const auto test = bench::mnistTestSet(opts);
     fi::ExperimentConfig fcfg;
     fcfg.numMaps = opts.maps(8);
     fcfg.maxTestSamples = opts.samples(400);
-    fi::FaultInjectionRunner runner(net, scratch, test, fcfg);
+    fcfg.numThreads = opts.threads;
+    fi::FaultInjectionRunner runner(net, test, fcfg);
     const double baseline = runner.baselineAccuracy();
 
     // Normalization: single-supply chip dynamic energy at 0.5 V.

@@ -56,13 +56,12 @@ main(int argc, char **argv)
 
     // Iso-accuracy savings vs the single supply meeting the target.
     auto net = bench::trainedAlexNet(opts);
-    Rng rng(8);
-    auto scratch = dnn::buildAlexNetCifar(rng);
     const auto test = bench::cifarTestSet(opts);
     fi::ExperimentConfig fcfg;
     fcfg.numMaps = opts.maps(4);
     fcfg.maxTestSamples = opts.samples(200);
-    fi::FaultInjectionRunner runner(net, scratch, test, fcfg);
+    fcfg.numThreads = opts.threads;
+    fi::FaultInjectionRunner runner(net, test, fcfg);
     const auto curve = fi::AccuracyCurve::sample(
         runner, fi::InjectionSpec::allWeights(), 1e-5, 0.3,
         opts.paper ? 12 : 8);

@@ -1,5 +1,6 @@
 #include "bench_util.hpp"
 
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
@@ -17,16 +18,25 @@ BenchOptions
 BenchOptions::parse(int argc, char **argv)
 {
     BenchOptions opts;
+    if (const char *env = std::getenv("VBOOST_BENCH_SMOKE"))
+        opts.smoke = std::strcmp(env, "0") != 0 && *env != '\0';
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--paper") == 0) {
             opts.paper = true;
+        } else if (std::strcmp(argv[i], "--smoke") == 0) {
+            opts.smoke = true;
+        } else if (std::strcmp(argv[i], "--threads") == 0 &&
+                   i + 1 < argc) {
+            opts.threads = std::atoi(argv[++i]);
+            if (opts.threads < 0)
+                fatal("--threads must be >= 0, got ", opts.threads);
         } else if (std::strcmp(argv[i], "--csv") == 0 && i + 1 < argc) {
             opts.csvPath = argv[++i];
         } else if (std::strcmp(argv[i], "--cache") == 0 && i + 1 < argc) {
             opts.cacheDir = argv[++i];
         } else if (std::strcmp(argv[i], "--help") == 0) {
-            std::cout << "options: [--paper] [--csv <path|->] "
-                         "[--cache <dir>]\n";
+            std::cout << "options: [--paper] [--smoke] [--threads <n>] "
+                         "[--csv <path|->] [--cache <dir>]\n";
             std::exit(0);
         } else {
             fatal("unknown bench option: ", argv[i]);

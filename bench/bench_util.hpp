@@ -25,21 +25,37 @@ struct BenchOptions
 {
     /** Paper-scale Monte Carlo (100 maps, full test sets). */
     bool paper = false;
+    /** CI smoke mode: shrink Monte-Carlo effort to seconds
+     *  (--smoke or VBOOST_BENCH_SMOKE=1). */
+    bool smoke = false;
+    /** Monte-Carlo worker threads (0 = all hardware threads). */
+    int threads = 0;
     /** Optional CSV output path ("-" = stdout after the table). */
     std::string csvPath;
     /** Cache directory for trained model parameters. */
     std::string cacheDir = "bench_cache";
 
-    /** Parse argv; recognizes --paper, --csv <path>, --cache <dir>. */
+    /** Parse argv; recognizes --paper, --smoke, --threads <n>,
+     *  --csv <path>, --cache <dir>; VBOOST_BENCH_SMOKE=1 in the
+     *  environment also enables smoke mode. */
     static BenchOptions parse(int argc, char **argv);
 
-    /** Monte-Carlo fault maps to run (paper: 100). */
+    /** Monte-Carlo fault maps to run (paper: 100, smoke: <= 2). */
     int maps(int fast_default = 10) const
-    { return paper ? 100 : fast_default; }
+    {
+        if (smoke)
+            return fast_default < 2 ? fast_default : 2;
+        return paper ? 100 : fast_default;
+    }
 
-    /** Test samples to evaluate (paper: 5000 for MNIST). */
+    /** Test samples to evaluate (paper: 5000 for MNIST,
+     *  smoke: <= 64). */
     std::size_t samples(std::size_t fast_default = 400) const
-    { return paper ? 5000 : fast_default; }
+    {
+        if (smoke)
+            return fast_default < 64 ? fast_default : 64;
+        return paper ? 5000 : fast_default;
+    }
 };
 
 /** Print a titled table, and CSV when requested. */

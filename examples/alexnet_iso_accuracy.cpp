@@ -76,11 +76,10 @@ main()
     dnn::clipParameters(net, 0.5f);
 
     // Accuracy-vs-failure-rate curve (sampled once, then interpolated).
-    auto scratch = makeNet(8);
     fi::ExperimentConfig cfg;
     cfg.numMaps = 6;
     cfg.maxTestSamples = 300;
-    fi::FaultInjectionRunner runner(net, scratch, test_set, cfg);
+    fi::FaultInjectionRunner runner(net, test_set, cfg);
     const auto curve = fi::AccuracyCurve::sample(
         runner, fi::InjectionSpec::allWeights(), 1e-5, 0.3, 7);
     const double target = curve.faultFree() - 0.02;

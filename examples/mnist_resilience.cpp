@@ -66,11 +66,11 @@ main()
     const sram::FailureRateModel failures(ctx.failure);
     core::TradeoffExplorer explorer(ctx, 16);
 
-    auto scratch = makeNet(8);
     fi::ExperimentConfig cfg;
     cfg.numMaps = 10;
     cfg.maxTestSamples = 400;
-    fi::FaultInjectionRunner runner(net, scratch, test_set, cfg);
+    cfg.numThreads = 0; // all hardware threads; results are identical
+    fi::FaultInjectionRunner runner(net, test_set, cfg);
 
     std::cout << "Vdd(V)  BER(unboosted)  acc(unboosted)  acc(Vddv4)\n";
     for (double v = 0.34; v <= 0.501; v += 0.02) {

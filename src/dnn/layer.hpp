@@ -10,6 +10,7 @@
 #ifndef VBOOST_DNN_LAYER_HPP
 #define VBOOST_DNN_LAYER_HPP
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -52,6 +53,12 @@ class Layer
 
     /** Parameter references (empty for stateless layers). */
     virtual std::vector<ParamRef> params() { return {}; }
+
+    /**
+     * Deep copy of this layer, parameters included. The fault-injection
+     * engine clones one scratch network per worker thread from it.
+     */
+    virtual std::unique_ptr<Layer> clone() const = 0;
 
     /** Layer name for diagnostics and injection targeting. */
     virtual std::string name() const = 0;

@@ -356,4 +356,36 @@ Flatten::backward(const Tensor &grad_out)
     return grad_out.reshaped(inShape_);
 }
 
+// ---------------------------------------------------------------- clone
+
+std::unique_ptr<Layer>
+Dense::clone() const
+{
+    return std::unique_ptr<Layer>(new Dense(*this));
+}
+
+std::unique_ptr<Layer>
+Conv2d::clone() const
+{
+    return std::unique_ptr<Layer>(new Conv2d(*this));
+}
+
+std::unique_ptr<Layer>
+MaxPool2d::clone() const
+{
+    return std::unique_ptr<Layer>(new MaxPool2d(*this));
+}
+
+std::unique_ptr<Layer>
+Relu::clone() const
+{
+    return std::unique_ptr<Layer>(new Relu(*this));
+}
+
+std::unique_ptr<Layer>
+Flatten::clone() const
+{
+    return std::unique_ptr<Layer>(new Flatten(*this));
+}
+
 } // namespace vboost::dnn

@@ -32,6 +32,7 @@ class Dense : public Layer
     Tensor backward(const Tensor &grad_out) override;
     std::vector<ParamRef> params() override;
     std::string name() const override { return name_; }
+    std::unique_ptr<Layer> clone() const override;
 
     int inFeatures() const { return in_; }
     int outFeatures() const { return out_; }
@@ -66,6 +67,7 @@ class Conv2d : public Layer
     Tensor backward(const Tensor &grad_out) override;
     std::vector<ParamRef> params() override;
     std::string name() const override { return name_; }
+    std::unique_ptr<Layer> clone() const override;
 
     int inChannels() const { return inCh_; }
     int outChannels() const { return outCh_; }
@@ -98,6 +100,7 @@ class MaxPool2d : public Layer
     Tensor forward(const Tensor &x, bool train) override;
     Tensor backward(const Tensor &grad_out) override;
     std::string name() const override { return name_; }
+    std::unique_ptr<Layer> clone() const override;
 
   private:
     std::string name_;
@@ -114,6 +117,7 @@ class Relu : public Layer
     Tensor forward(const Tensor &x, bool train) override;
     Tensor backward(const Tensor &grad_out) override;
     std::string name() const override { return name_; }
+    std::unique_ptr<Layer> clone() const override;
 
   private:
     std::string name_;
@@ -129,6 +133,7 @@ class Flatten : public Layer
     Tensor forward(const Tensor &x, bool train) override;
     Tensor backward(const Tensor &grad_out) override;
     std::string name() const override { return name_; }
+    std::unique_ptr<Layer> clone() const override;
 
   private:
     std::string name_;

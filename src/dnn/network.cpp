@@ -103,6 +103,16 @@ Network::copyParamsFrom(Network &other)
     }
 }
 
+Network
+Network::clone() const
+{
+    Network copy;
+    copy.layers_.reserve(layers_.size());
+    for (const auto &layer : layers_)
+        copy.layers_.push_back(layer->clone());
+    return copy;
+}
+
 double
 SoftmaxCrossEntropy::lossAndGrad(const Tensor &logits,
                                  const std::vector<int> &labels,

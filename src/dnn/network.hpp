@@ -67,6 +67,13 @@ class Network
      *  identical network. */
     void copyParamsFrom(Network &other);
 
+    /**
+     * Structurally identical deep copy (layers, parameters, caches).
+     * The Monte-Carlo engine clones one scratch network per worker
+     * thread so corrupted evaluations never share mutable state.
+     */
+    Network clone() const;
+
   private:
     std::vector<std::unique_ptr<Layer>> layers_;
 };

@@ -3,19 +3,22 @@
 #include <algorithm>
 
 #include "common/logging.hpp"
+#include "common/thread_pool.hpp"
 #include "dnn/quantize.hpp"
 #include "dnn/trainer.hpp"
 
 namespace vboost::fi {
 
 FaultInjectionRunner::FaultInjectionRunner(dnn::Network &net,
-                                           dnn::Network &scratch,
                                            const dnn::Dataset &test_set,
                                            ExperimentConfig cfg)
-    : net_(net), scratch_(scratch), cfg_(cfg)
+    : net_(net), cfg_(cfg)
 {
     if (cfg_.numMaps < 1)
         fatal("FaultInjectionRunner: at least one fault map required");
+    if (cfg_.numThreads < 0)
+        fatal("FaultInjectionRunner: negative thread count ",
+              cfg_.numThreads);
     if (test_set.size() == 0)
         fatal("FaultInjectionRunner: empty test set");
     std::size_t n = test_set.size();
@@ -24,44 +27,52 @@ FaultInjectionRunner::FaultInjectionRunner(dnn::Network &net,
     evalSet_ = test_set.slice(0, n);
 }
 
-double
-FaultInjectionRunner::baselineAccuracy()
+void
+FaultInjectionRunner::ensureScratch(unsigned count)
 {
-    // Quantization round trip with no faults: the accelerator's
-    // error-free ceiling (what "maximum accuracy" means in Fig. 2).
-    sram::VulnerabilityMap map(cfg_.seed, 0);
-    Rng rng(cfg_.seed);
-    InjectionSpec spec;
-    spec.injectWeights = true;
-    corruptNetwork(scratch_, net_, map, /*fail_prob=*/0.0, spec,
-                   cfg_.layout, rng);
-    return dnn::SgdTrainer::evaluate(scratch_, evalSet_, 0);
+    while (scratch_.size() < count)
+        scratch_.push_back(
+            std::make_unique<dnn::Network>(net_.clone()));
+}
+
+std::vector<FaultInjectionRunner::MapResult>
+FaultInjectionRunner::runMaps(
+    std::size_t jobs,
+    const std::function<MapResult(std::size_t, dnn::Network &)> &evaluate)
+{
+    const unsigned threads =
+        ThreadPool::resolveThreads(cfg_.numThreads);
+    const unsigned workers = static_cast<unsigned>(
+        std::min<std::size_t>(jobs, threads));
+    ensureScratch(std::max(1u, workers));
+
+    std::vector<MapResult> results(jobs);
+    // Job j deposits into results[j]; the dynamic schedule never
+    // affects the output because reduction happens in job order.
+    parallelFor(jobs, static_cast<int>(workers),
+                [&](std::size_t j, unsigned slot) {
+                    results[j] = evaluate(j, *scratch_[slot]);
+                });
+    return results;
 }
 
 AccuracyPoint
-FaultInjectionRunner::run(double fail_prob, const InjectionSpec &spec)
+FaultInjectionRunner::reduce(const std::vector<MapResult> &results,
+                             double fail_prob, sram::EccStats *stats)
 {
+    // Deterministic reduction: one singleton accumulator per map,
+    // merged in map order (Chan et al.), so the outcome is a pure
+    // function of the map results — not of the thread count.
     RunningStats acc;
     RunningStats flips;
-    for (int m = 0; m < cfg_.numMaps; ++m) {
-        const sram::VulnerabilityMap map(cfg_.seed,
-                                         static_cast<std::uint64_t>(m));
-        Rng rng = Rng(cfg_.seed).split(1000 +
-                                       static_cast<std::uint64_t>(m));
-        std::uint64_t flipped = corruptNetwork(
-            scratch_, net_, map, fail_prob, spec, cfg_.layout, rng);
-
-        double a;
-        if (spec.injectInputs) {
-            dnn::Tensor corrupted = corruptInputs(
-                evalSet_.images, map, fail_prob, spec.flipProb,
-                cfg_.layout, rng);
-            a = scratch_.accuracy(corrupted, evalSet_.labels);
-        } else {
-            a = dnn::SgdTrainer::evaluate(scratch_, evalSet_, 0);
-        }
-        acc.add(a);
-        flips.add(static_cast<double>(flipped));
+    for (const auto &r : results) {
+        RunningStats a, f;
+        a.add(r.accuracy);
+        f.add(static_cast<double>(r.bitFlips));
+        acc.merge(a);
+        flips.merge(f);
+        if (stats)
+            stats->merge(r.ecc);
     }
 
     AccuracyPoint p;
@@ -72,63 +83,95 @@ FaultInjectionRunner::run(double fail_prob, const InjectionSpec &spec)
     p.maxAccuracy = acc.max();
     p.meanBitFlips = flips.mean();
     return p;
+}
+
+double
+FaultInjectionRunner::baselineAccuracy()
+{
+    // Quantization round trip with no faults: the accelerator's
+    // error-free ceiling (what "maximum accuracy" means in Fig. 2).
+    ensureScratch(1);
+    dnn::Network &scratch = *scratch_[0];
+    sram::VulnerabilityMap map(cfg_.seed, 0);
+    Rng rng(cfg_.seed);
+    InjectionSpec spec;
+    spec.injectWeights = true;
+    corruptNetwork(scratch, net_, map, /*fail_prob=*/0.0, spec,
+                   cfg_.layout, rng);
+    return dnn::SgdTrainer::evaluate(scratch, evalSet_, 0);
+}
+
+AccuracyPoint
+FaultInjectionRunner::run(double fail_prob, const InjectionSpec &spec)
+{
+    const auto results = runMaps(
+        static_cast<std::size_t>(cfg_.numMaps),
+        [&](std::size_t m, dnn::Network &scratch) {
+            const sram::VulnerabilityMap map(
+                cfg_.seed, static_cast<std::uint64_t>(m));
+            Rng rng = Rng(cfg_.seed).split(
+                1000 + static_cast<std::uint64_t>(m));
+            MapResult r;
+            r.bitFlips = corruptNetwork(scratch, net_, map, fail_prob,
+                                        spec, cfg_.layout, rng);
+            if (spec.injectInputs) {
+                dnn::Tensor corrupted = corruptInputs(
+                    evalSet_.images, map, fail_prob, spec.flipProb,
+                    cfg_.layout, rng);
+                r.accuracy =
+                    scratch.accuracy(corrupted, evalSet_.labels);
+            } else {
+                r.accuracy =
+                    dnn::SgdTrainer::evaluate(scratch, evalSet_, 0);
+            }
+            return r;
+        });
+    return reduce(results, fail_prob);
 }
 
 AccuracyPoint
 FaultInjectionRunner::runPerLayer(const std::vector<double> &fail_by_layer,
                                   double flip_prob)
 {
-    RunningStats acc;
-    RunningStats flips;
-    for (int m = 0; m < cfg_.numMaps; ++m) {
-        const sram::VulnerabilityMap map(cfg_.seed,
-                                         static_cast<std::uint64_t>(m));
-        Rng rng = Rng(cfg_.seed).split(2000 +
-                                       static_cast<std::uint64_t>(m));
-        const auto flipped = corruptNetworkPerLayer(
-            scratch_, net_, map, fail_by_layer, flip_prob, cfg_.layout,
-            rng);
-        acc.add(dnn::SgdTrainer::evaluate(scratch_, evalSet_, 0));
-        flips.add(static_cast<double>(flipped));
-    }
-    AccuracyPoint p;
+    const auto results = runMaps(
+        static_cast<std::size_t>(cfg_.numMaps),
+        [&](std::size_t m, dnn::Network &scratch) {
+            const sram::VulnerabilityMap map(
+                cfg_.seed, static_cast<std::uint64_t>(m));
+            Rng rng = Rng(cfg_.seed).split(
+                2000 + static_cast<std::uint64_t>(m));
+            MapResult r;
+            r.bitFlips = corruptNetworkPerLayer(scratch, net_, map,
+                                                fail_by_layer, flip_prob,
+                                                cfg_.layout, rng);
+            r.accuracy = dnn::SgdTrainer::evaluate(scratch, evalSet_, 0);
+            return r;
+        });
     double max_f = 0.0;
     for (double f : fail_by_layer)
         max_f = std::max(max_f, f);
-    p.failProb = max_f;
-    p.meanAccuracy = acc.mean();
-    p.stddevAccuracy = acc.stddev();
-    p.minAccuracy = acc.min();
-    p.maxAccuracy = acc.max();
-    p.meanBitFlips = flips.mean();
-    return p;
+    return reduce(results, max_f);
 }
 
 AccuracyPoint
 FaultInjectionRunner::runWithEcc(double fail_prob, double flip_prob,
                                  sram::EccStats *stats)
 {
-    RunningStats acc;
-    RunningStats flips;
-    for (int m = 0; m < cfg_.numMaps; ++m) {
-        const sram::VulnerabilityMap map(cfg_.seed,
-                                         static_cast<std::uint64_t>(m));
-        Rng rng = Rng(cfg_.seed).split(3000 +
-                                       static_cast<std::uint64_t>(m));
-        const auto flipped =
-            corruptNetworkEcc(scratch_, net_, map, fail_prob, flip_prob,
-                              cfg_.layout, rng, stats);
-        acc.add(dnn::SgdTrainer::evaluate(scratch_, evalSet_, 0));
-        flips.add(static_cast<double>(flipped));
-    }
-    AccuracyPoint p;
-    p.failProb = fail_prob;
-    p.meanAccuracy = acc.mean();
-    p.stddevAccuracy = acc.stddev();
-    p.minAccuracy = acc.min();
-    p.maxAccuracy = acc.max();
-    p.meanBitFlips = flips.mean();
-    return p;
+    const auto results = runMaps(
+        static_cast<std::size_t>(cfg_.numMaps),
+        [&](std::size_t m, dnn::Network &scratch) {
+            const sram::VulnerabilityMap map(
+                cfg_.seed, static_cast<std::uint64_t>(m));
+            Rng rng = Rng(cfg_.seed).split(
+                3000 + static_cast<std::uint64_t>(m));
+            MapResult r;
+            r.bitFlips =
+                corruptNetworkEcc(scratch, net_, map, fail_prob,
+                                  flip_prob, cfg_.layout, rng, &r.ecc);
+            r.accuracy = dnn::SgdTrainer::evaluate(scratch, evalSet_, 0);
+            return r;
+        });
+    return reduce(results, fail_prob, stats);
 }
 
 AccuracyPoint
@@ -146,10 +189,48 @@ FaultInjectionRunner::sweepVoltage(const std::vector<Volt> &voltages,
                                    const sram::FailureRateModel &model,
                                    const InjectionSpec &spec)
 {
+    const std::size_t maps = static_cast<std::size_t>(cfg_.numMaps);
+    std::vector<double> rates(voltages.size());
+    for (std::size_t v = 0; v < voltages.size(); ++v)
+        rates[v] = model.rate(voltages[v]);
+
+    // One flat job grid over (voltage, map): sweeps with few maps per
+    // point still fill every worker.
+    const auto results = runMaps(
+        voltages.size() * maps,
+        [&](std::size_t j, dnn::Network &scratch) {
+            const std::size_t m = j % maps;
+            const double fail_prob = rates[j / maps];
+            const sram::VulnerabilityMap map(
+                cfg_.seed, static_cast<std::uint64_t>(m));
+            Rng rng = Rng(cfg_.seed).split(
+                1000 + static_cast<std::uint64_t>(m));
+            MapResult r;
+            r.bitFlips = corruptNetwork(scratch, net_, map, fail_prob,
+                                        spec, cfg_.layout, rng);
+            if (spec.injectInputs) {
+                dnn::Tensor corrupted = corruptInputs(
+                    evalSet_.images, map, fail_prob, spec.flipProb,
+                    cfg_.layout, rng);
+                r.accuracy =
+                    scratch.accuracy(corrupted, evalSet_.labels);
+            } else {
+                r.accuracy =
+                    dnn::SgdTrainer::evaluate(scratch, evalSet_, 0);
+            }
+            return r;
+        });
+
     std::vector<AccuracyPoint> out;
     out.reserve(voltages.size());
-    for (Volt v : voltages)
-        out.push_back(runAtVoltage(v, model, spec));
+    for (std::size_t v = 0; v < voltages.size(); ++v) {
+        const std::vector<MapResult> slice(
+            results.begin() + static_cast<long>(v * maps),
+            results.begin() + static_cast<long>((v + 1) * maps));
+        AccuracyPoint p = reduce(slice, rates[v]);
+        p.voltage = voltages[v];
+        out.push_back(p);
+    }
     return out;
 }
 

@@ -6,11 +6,20 @@
  * set, and report the mean (the paper averages 100 maps). The voltage
  * sweep variant converts voltages to failure probabilities through a
  * FailureRateModel first — exactly the pipeline of Fig. 11.
+ *
+ * Execution model: fault maps are evaluated in parallel on the shared
+ * work-stealing pool. Each worker slot owns a scratch-network clone,
+ * each map m keeps its counter-based seed (VulnerabilityMap(seed, m)
+ * and Rng::split), and per-map statistics are reduced in map order
+ * with RunningStats::merge — so results are bitwise identical for any
+ * thread count, including the serial numThreads = 1 path.
  */
 
 #ifndef VBOOST_FI_EXPERIMENT_HPP
 #define VBOOST_FI_EXPERIMENT_HPP
 
+#include <functional>
+#include <memory>
 #include <vector>
 
 #include "common/stats.hpp"
@@ -32,6 +41,10 @@ struct ExperimentConfig
     std::size_t maxTestSamples = 400;
     /** Cell layout of the modeled memories. */
     MemoryLayout layout;
+    /** Worker threads for the Monte-Carlo loops
+     *  (0 = hardware_concurrency, 1 = serial). Any value produces
+     *  bitwise identical results. */
+    int numThreads = 0;
 };
 
 /** Accuracy statistics at one operating point. */
@@ -55,23 +68,19 @@ struct AccuracyPoint
 
 /**
  * Runs Monte-Carlo fault-injection accuracy experiments on a trained
- * network. The network is cloned internally; the caller's instance is
- * never modified.
+ * network. Scratch networks are cloned internally (one per worker
+ * thread); the caller's instance is never modified.
  */
 class FaultInjectionRunner
 {
   public:
     /**
-     * @param net trained network (used as the golden parameter
-     *        source; must outlive the runner).
-     * @param scratch a structurally identical network instance that
-     *        receives corrupted parameters (build it with the same
-     *        zoo function; must outlive the runner).
+     * @param net trained network (the golden parameter source; must
+     *        outlive the runner).
      * @param test_set evaluation data.
      * @param cfg Monte-Carlo configuration.
      */
-    FaultInjectionRunner(dnn::Network &net, dnn::Network &scratch,
-                         const dnn::Dataset &test_set,
+    FaultInjectionRunner(dnn::Network &net, const dnn::Dataset &test_set,
                          ExperimentConfig cfg = {});
 
     /** Accuracy with fault-free int16 quantization (the ceiling). */
@@ -99,7 +108,11 @@ class FaultInjectionRunner
     AccuracyPoint runAtVoltage(Volt v, const sram::FailureRateModel &model,
                                const InjectionSpec &spec);
 
-    /** Sweep a list of voltages. */
+    /**
+     * Sweep a list of voltages. Parallelizes over the full
+     * (voltage x map) grid, so even a sweep of few voltages with few
+     * maps each saturates the machine.
+     */
     std::vector<AccuracyPoint>
     sweepVoltage(const std::vector<Volt> &voltages,
                  const sram::FailureRateModel &model,
@@ -108,10 +121,38 @@ class FaultInjectionRunner
     const ExperimentConfig &config() const { return cfg_; }
 
   private:
+    /** Outcome of evaluating one fault map. */
+    struct MapResult
+    {
+        double accuracy = 0.0;
+        std::uint64_t bitFlips = 0;
+        sram::EccStats ecc;
+    };
+
+    /**
+     * Evaluate `jobs` fault-map jobs in parallel; job j calls
+     * evaluate(j, scratch) with a worker-exclusive scratch clone and
+     * deposits into a results slot. Returns per-job results in job
+     * order regardless of scheduling.
+     */
+    std::vector<MapResult> runMaps(
+        std::size_t jobs,
+        const std::function<MapResult(std::size_t, dnn::Network &)>
+            &evaluate);
+
+    /** Map-order (deterministic) reduction of per-map results. */
+    static AccuracyPoint reduce(const std::vector<MapResult> &results,
+                                double fail_prob,
+                                sram::EccStats *stats = nullptr);
+
+    /** Grow the per-worker scratch-clone pool to `count` networks. */
+    void ensureScratch(unsigned count);
+
     dnn::Network &net_;
-    dnn::Network &scratch_;
     dnn::Dataset evalSet_;
     ExperimentConfig cfg_;
+    /** One scratch clone per worker slot, created lazily. */
+    std::vector<std::unique_ptr<dnn::Network>> scratch_;
 };
 
 } // namespace vboost::fi

@@ -57,6 +57,15 @@ struct EccStats
         else if (outcome == EccOutcome::DetectedUncorrectable)
             ++detectedUncorrectable;
     }
+
+    /** Combine another accumulator (parallel Monte-Carlo reduction). */
+    void
+    merge(const EccStats &other)
+    {
+        words += other.words;
+        corrected += other.corrected;
+        detectedUncorrectable += other.detectedUncorrectable;
+    }
 };
 
 /** Hamming(72, 64) SECDED codec. Stateless; all methods are static. */

@@ -204,11 +204,10 @@ TEST_F(EccProtection, EccRecoversAccuracyAtModerateRates)
     trainer.train(net, train, rng);
     dnn::clipParameters(net, 0.5f);
 
-    auto scratch = makeNet(2);
     ExperimentConfig ecfg;
     ecfg.numMaps = 6;
     ecfg.maxTestSamples = 250;
-    FaultInjectionRunner runner(net, scratch, test, ecfg);
+    FaultInjectionRunner runner(net, test, ecfg);
 
     // At a moderate failure rate ECC never hurts and its decoder is
     // visibly working (this tiny model may saturate at 100% for both).
@@ -230,12 +229,11 @@ TEST_F(EccProtection, EccRecoversAccuracyAtModerateRates)
 TEST_F(EccProtection, ZeroRateIsCleanThroughEcc)
 {
     auto net = makeNet(1);
-    auto scratch = makeNet(2);
     auto test = blobs(100, 12);
     ExperimentConfig ecfg;
     ecfg.numMaps = 2;
     ecfg.maxTestSamples = 100;
-    FaultInjectionRunner runner(net, scratch, test, ecfg);
+    FaultInjectionRunner runner(net, test, ecfg);
     sram::EccStats stats;
     runner.runWithEcc(0.0, 0.5, &stats);
     EXPECT_EQ(stats.corrected, 0u);

@@ -155,11 +155,10 @@ TEST(FaultAwareTraining, ImprovesResilienceAtTrainedRate)
     // Under injection at (beyond) the training rate, the hardened
     // model holds more accuracy.
     auto eval_under_faults = [&](dnn::Network &model) {
-        auto scratch = make_net(3);
         fi::ExperimentConfig ecfg;
         ecfg.numMaps = 6;
         ecfg.maxTestSamples = 300;
-        fi::FaultInjectionRunner runner(model, scratch, test, ecfg);
+        fi::FaultInjectionRunner runner(model, test, ecfg);
         return runner.run(0.05, fi::InjectionSpec::allWeights())
             .meanAccuracy;
     };

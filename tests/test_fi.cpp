@@ -173,11 +173,10 @@ TEST_F(FiTest, CorruptInputsPreservesShape)
 
 TEST_F(FiTest, RunnerStatisticsAreConsistent)
 {
-    auto scratch = smallNet(2);
     ExperimentConfig cfg;
     cfg.numMaps = 6;
     cfg.maxTestSamples = 200;
-    FaultInjectionRunner runner(*net_, scratch, *test_, cfg);
+    FaultInjectionRunner runner(*net_, *test_, cfg);
     const auto p = runner.run(0.02, InjectionSpec::allWeights());
     EXPECT_GE(p.maxAccuracy, p.meanAccuracy);
     EXPECT_LE(p.minAccuracy, p.meanAccuracy);
@@ -190,11 +189,10 @@ TEST_F(FiTest, AccuracyDegradesMonotonically)
 {
     // The central invariant behind Fig. 2: higher bit failure
     // probability can only hurt (up to Monte-Carlo noise).
-    auto scratch = smallNet(2);
     ExperimentConfig cfg;
     cfg.numMaps = 6;
     cfg.maxTestSamples = 200;
-    FaultInjectionRunner runner(*net_, scratch, *test_, cfg);
+    FaultInjectionRunner runner(*net_, *test_, cfg);
     const double a0 = runner.baselineAccuracy();
     const double a1 =
         runner.run(0.001, InjectionSpec::allWeights()).meanAccuracy;
@@ -212,11 +210,10 @@ TEST_F(FiTest, InputsAreMoreTolerantThanWeights)
 {
     // Fig. 2: bit flips in inputs cost far less accuracy than the
     // same rate in weights.
-    auto scratch = smallNet(2);
     ExperimentConfig cfg;
     cfg.numMaps = 6;
     cfg.maxTestSamples = 200;
-    FaultInjectionRunner runner(*net_, scratch, *test_, cfg);
+    FaultInjectionRunner runner(*net_, *test_, cfg);
     const double f = 0.02;
     const double w =
         runner.run(f, InjectionSpec::allWeights()).meanAccuracy;
@@ -227,11 +224,10 @@ TEST_F(FiTest, InputsAreMoreTolerantThanWeights)
 
 TEST_F(FiTest, VoltageSweepUsesFailureModel)
 {
-    auto scratch = smallNet(2);
     ExperimentConfig cfg;
     cfg.numMaps = 4;
     cfg.maxTestSamples = 150;
-    FaultInjectionRunner runner(*net_, scratch, *test_, cfg);
+    FaultInjectionRunner runner(*net_, *test_, cfg);
     sram::FailureRateModel model;
     const auto points = runner.sweepVoltage({0.6_V, 0.44_V}, model,
                                             InjectionSpec::allWeights());
@@ -243,11 +239,111 @@ TEST_F(FiTest, VoltageSweepUsesFailureModel)
 
 TEST_F(FiTest, RunnerValidatesConfig)
 {
-    auto scratch = smallNet(2);
     ExperimentConfig cfg;
     cfg.numMaps = 0;
-    EXPECT_THROW(FaultInjectionRunner(*net_, scratch, *test_, cfg),
+    EXPECT_THROW(FaultInjectionRunner(*net_, *test_, cfg),
                  FatalError);
+    cfg.numMaps = 2;
+    cfg.numThreads = -1;
+    EXPECT_THROW(FaultInjectionRunner(*net_, *test_, cfg),
+                 FatalError);
+}
+
+// ------------------------------------------------ parallel determinism
+
+/** Two AccuracyPoints must agree bitwise (exact == on every field). */
+void
+expectBitwiseEqual(const AccuracyPoint &a, const AccuracyPoint &b)
+{
+    EXPECT_EQ(a.voltage.value(), b.voltage.value());
+    EXPECT_EQ(a.failProb, b.failProb);
+    EXPECT_EQ(a.meanAccuracy, b.meanAccuracy);
+    EXPECT_EQ(a.stddevAccuracy, b.stddevAccuracy);
+    EXPECT_EQ(a.minAccuracy, b.minAccuracy);
+    EXPECT_EQ(a.maxAccuracy, b.maxAccuracy);
+    EXPECT_EQ(a.meanBitFlips, b.meanBitFlips);
+}
+
+TEST_F(FiTest, ParallelRunIsBitwiseIdenticalToSerial)
+{
+    // The acceptance bar of the parallel engine: at a fixed seed,
+    // numThreads = 1 and numThreads = 8 produce bitwise identical
+    // Monte-Carlo statistics (maps own their seeds; reduction is in
+    // map order).
+    ExperimentConfig serial_cfg;
+    serial_cfg.numMaps = 10;
+    serial_cfg.maxTestSamples = 200;
+    serial_cfg.numThreads = 1;
+    ExperimentConfig parallel_cfg = serial_cfg;
+    parallel_cfg.numThreads = 8;
+
+    FaultInjectionRunner serial(*net_, *test_, serial_cfg);
+    FaultInjectionRunner parallel(*net_, *test_, parallel_cfg);
+
+    EXPECT_EQ(serial.baselineAccuracy(), parallel.baselineAccuracy());
+    expectBitwiseEqual(serial.run(0.02, InjectionSpec::allWeights()),
+                       parallel.run(0.02, InjectionSpec::allWeights()));
+    expectBitwiseEqual(serial.run(0.02, InjectionSpec::inputsOnly()),
+                       parallel.run(0.02, InjectionSpec::inputsOnly()));
+    expectBitwiseEqual(serial.runPerLayer({0.01, 0.03, 0.002}),
+                       parallel.runPerLayer({0.01, 0.03, 0.002}));
+
+    sram::EccStats es, ep;
+    expectBitwiseEqual(serial.runWithEcc(0.03, 0.5, &es),
+                       parallel.runWithEcc(0.03, 0.5, &ep));
+    EXPECT_EQ(es.words, ep.words);
+    EXPECT_EQ(es.corrected, ep.corrected);
+    EXPECT_EQ(es.detectedUncorrectable, ep.detectedUncorrectable);
+}
+
+TEST_F(FiTest, ParallelSweepMatchesPointwiseRuns)
+{
+    // The (voltage x map) grid parallelization must agree with
+    // voltage-at-a-time evaluation, and with the serial sweep.
+    sram::FailureRateModel model;
+    const std::vector<Volt> grid{0.60_V, 0.46_V, 0.40_V};
+
+    ExperimentConfig serial_cfg;
+    serial_cfg.numMaps = 5;
+    serial_cfg.maxTestSamples = 150;
+    serial_cfg.numThreads = 1;
+    ExperimentConfig parallel_cfg = serial_cfg;
+    parallel_cfg.numThreads = 8;
+
+    FaultInjectionRunner serial(*net_, *test_, serial_cfg);
+    FaultInjectionRunner parallel(*net_, *test_, parallel_cfg);
+
+    const auto spec = InjectionSpec::allWeights();
+    const auto swept = parallel.sweepVoltage(grid, model, spec);
+    const auto reference = serial.sweepVoltage(grid, model, spec);
+    ASSERT_EQ(swept.size(), grid.size());
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+        expectBitwiseEqual(swept[i], reference[i]);
+        expectBitwiseEqual(swept[i],
+                           serial.runAtVoltage(grid[i], model, spec));
+    }
+}
+
+TEST_F(FiTest, RunnerDoesNotMutateGoldenNetwork)
+{
+    // The runner clones scratch networks internally; the caller's
+    // trained parameters must come back untouched.
+    std::vector<float> before;
+    for (auto &p : net_->params())
+        for (std::size_t i = 0; i < p.value->numel(); ++i)
+            before.push_back((*p.value)[i]);
+
+    ExperimentConfig cfg;
+    cfg.numMaps = 4;
+    cfg.maxTestSamples = 100;
+    cfg.numThreads = 4;
+    FaultInjectionRunner runner(*net_, *test_, cfg);
+    runner.run(0.1, InjectionSpec::allWeights());
+
+    std::size_t k = 0;
+    for (auto &p : net_->params())
+        for (std::size_t i = 0; i < p.value->numel(); ++i)
+            ASSERT_EQ((*p.value)[i], before[k++]) << p.name;
 }
 
 // ------------------------------------------------------- accuracy curve
@@ -273,11 +369,10 @@ TEST(AccuracyCurve, ValidatesSamples)
 
 TEST_F(FiTest, SampledCurveIsUsableForIsoAccuracy)
 {
-    auto scratch = smallNet(2);
     ExperimentConfig cfg;
     cfg.numMaps = 4;
     cfg.maxTestSamples = 150;
-    FaultInjectionRunner runner(*net_, scratch, *test_, cfg);
+    FaultInjectionRunner runner(*net_, *test_, cfg);
     const auto curve = AccuracyCurve::sample(
         runner, InjectionSpec::allWeights(), 1e-4, 0.2, 5);
     EXPECT_GT(curve.faultFree(), 0.9);

@@ -186,11 +186,10 @@ TEST_F(EndToEnd, FiHarnessAgreesWithChipSimulation)
     sram::FailureRateModel frm(ctx.failure);
     const Volt vdd{0.42};
 
-    auto scratch = compactFc(2);
     fi::ExperimentConfig cfg;
     cfg.numMaps = 4;
     cfg.maxTestSamples = 256;
-    fi::FaultInjectionRunner runner(*net_, scratch, *test_, cfg);
+    fi::FaultInjectionRunner runner(*net_, *test_, cfg);
     const double fi_acc =
         runner.run(frm.rate(vdd), fi::InjectionSpec::allWeights())
             .meanAccuracy;

@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Tests for the work-stealing thread pool: submit futures, dynamic
+ * parallelFor scheduling, slot exclusivity, exception propagation and
+ * deadlock-free nesting.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+
+namespace vboost {
+namespace {
+
+// -------------------------------------------------------------- basics
+
+TEST(ThreadPool, ResolveThreadsMapsZeroToHardware)
+{
+    const unsigned hw = ThreadPool::resolveThreads(0);
+    EXPECT_GE(hw, 1u);
+    EXPECT_EQ(ThreadPool::resolveThreads(1), 1u);
+    EXPECT_EQ(ThreadPool::resolveThreads(5), 5u);
+}
+
+TEST(ThreadPool, ConstructsRequestedWorkerCount)
+{
+    ThreadPool pool(3);
+    EXPECT_EQ(pool.workerCount(), 3u);
+    ThreadPool tiny(1);
+    EXPECT_EQ(tiny.workerCount(), 1u);
+}
+
+TEST(ThreadPool, SubmittedTasksAllRunAndFuturesComplete)
+{
+    ThreadPool pool(4);
+    std::atomic<int> counter{0};
+    std::vector<std::future<void>> futures;
+    for (int i = 0; i < 64; ++i)
+        futures.push_back(pool.submit([&] { ++counter; }));
+    for (auto &f : futures)
+        f.get();
+    EXPECT_EQ(counter.load(), 64);
+}
+
+TEST(ThreadPool, SubmitPropagatesExceptionThroughFuture)
+{
+    ThreadPool pool(2);
+    auto f = pool.submit([] { throw std::runtime_error("task boom"); });
+    EXPECT_THROW(f.get(), std::runtime_error);
+    // The pool survives a throwing task.
+    auto ok = pool.submit([] {});
+    EXPECT_NO_THROW(ok.get());
+}
+
+TEST(ThreadPool, DestructorDrainsPendingTasks)
+{
+    std::atomic<int> counter{0};
+    {
+        ThreadPool pool(2);
+        for (int i = 0; i < 32; ++i)
+            pool.submit([&] { ++counter; });
+    }
+    EXPECT_EQ(counter.load(), 32);
+}
+
+// --------------------------------------------------------- parallelFor
+
+TEST(ThreadPool, ParallelForVisitsEveryIndexExactlyOnce)
+{
+    ThreadPool pool(4);
+    std::vector<std::atomic<int>> visits(257);
+    pool.parallelFor(visits.size(),
+                     [&](std::size_t i, unsigned) { ++visits[i]; });
+    for (std::size_t i = 0; i < visits.size(); ++i)
+        EXPECT_EQ(visits[i].load(), 1) << "index " << i;
+}
+
+TEST(ThreadPool, ParallelForHandlesEmptyAndSingletonRanges)
+{
+    ThreadPool pool(2);
+    std::atomic<int> count{0};
+    pool.parallelFor(0, [&](std::size_t, unsigned) { ++count; });
+    EXPECT_EQ(count.load(), 0);
+    pool.parallelFor(1, [&](std::size_t, unsigned) { ++count; });
+    EXPECT_EQ(count.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForSlotsAreExclusiveAndInRange)
+{
+    // Two iterations may only share a slot sequentially, never
+    // concurrently: per-slot "busy" flags must never collide.
+    ThreadPool pool(4);
+    constexpr unsigned kSlots = 3;
+    std::vector<std::atomic<int>> busy(kSlots);
+    std::atomic<bool> collision{false};
+    pool.parallelFor(
+        200,
+        [&](std::size_t, unsigned slot) {
+            ASSERT_LT(slot, kSlots);
+            if (busy[slot].fetch_add(1) != 0)
+                collision = true;
+            std::atomic<int> spin{0};
+            while (spin.fetch_add(1) < 500) {
+            }
+            busy[slot].fetch_sub(1);
+        },
+        kSlots);
+    EXPECT_FALSE(collision.load());
+}
+
+TEST(ThreadPool, ParallelForRethrowsFirstException)
+{
+    ThreadPool pool(4);
+    std::atomic<int> ran{0};
+    EXPECT_THROW(pool.parallelFor(100,
+                                  [&](std::size_t i, unsigned) {
+                                      ++ran;
+                                      if (i == 7)
+                                          throw std::runtime_error("it 7");
+                                  }),
+                 std::runtime_error);
+    // Abort is best-effort, but no iteration runs twice and the pool
+    // remains usable afterwards.
+    std::atomic<int> after{0};
+    pool.parallelFor(16, [&](std::size_t, unsigned) { ++after; });
+    EXPECT_EQ(after.load(), 16);
+}
+
+TEST(ThreadPool, NestedParallelForDoesNotDeadlock)
+{
+    // Inner regions run from inside pool workers while the outer
+    // region holds every worker: join-by-stealing must keep all of
+    // them progressing.
+    ThreadPool pool(3);
+    std::atomic<int> total{0};
+    pool.parallelFor(8, [&](std::size_t, unsigned) {
+        pool.parallelFor(8, [&](std::size_t, unsigned) { ++total; });
+    });
+    EXPECT_EQ(total.load(), 64);
+}
+
+TEST(ThreadPool, FreeParallelForRunsInlineWithOneThread)
+{
+    // num_threads == 1 must execute on the calling thread, in order,
+    // always with slot 0.
+    std::vector<std::size_t> order;
+    parallelFor(10, 1, [&](std::size_t i, unsigned slot) {
+        EXPECT_EQ(slot, 0u);
+        order.push_back(i);
+    });
+    std::vector<std::size_t> expected(10);
+    std::iota(expected.begin(), expected.end(), 0);
+    EXPECT_EQ(order, expected);
+}
+
+TEST(ThreadPool, FreeParallelForCoversRangeWithManyThreads)
+{
+    std::vector<std::atomic<int>> visits(100);
+    parallelFor(visits.size(), 8,
+                [&](std::size_t i, unsigned) { ++visits[i]; });
+    int sum = 0;
+    for (auto &v : visits)
+        sum += v.load();
+    EXPECT_EQ(sum, 100);
+}
+
+TEST(ThreadPool, GlobalPoolIsASingleton)
+{
+    EXPECT_EQ(&ThreadPool::global(), &ThreadPool::global());
+    EXPECT_GE(ThreadPool::global().workerCount(), 1u);
+}
+
+} // namespace
+} // namespace vboost
