@@ -14,6 +14,65 @@
 
 namespace vboost::bench {
 
+void
+BenchOptions::printUsage(std::ostream &os)
+{
+    os << "usage: bench [options]\n"
+          "  --paper             paper-scale Monte Carlo (100 maps, "
+          "full test sets)\n"
+          "  --smoke             CI smoke mode (also "
+          "VBOOST_BENCH_SMOKE=1)\n"
+          "  --threads <n>       Monte-Carlo worker threads "
+          "(0 = all cores)\n"
+          "  --csv <path|->      append CSV output ('-' = stdout)\n"
+          "  --cache <dir>       trained-model cache directory\n"
+          "  --policy <p>        resilience policy: open, closed or "
+          "both\n"
+          "  --retry-budget <n>  closed-loop retry budget (extra "
+          "attempts per access)\n"
+          "  --spares <n>        spare rows available for quarantine\n"
+          "  --json <path>       write machine-readable results as "
+          "JSON\n"
+          "  --help              show this help\n";
+}
+
+namespace {
+
+/** Reject a bad command line: diagnostic + usage on stderr, exit 2. */
+[[noreturn]] void
+usageError(const std::string &message)
+{
+    std::cerr << "error: " << message << '\n';
+    BenchOptions::printUsage(std::cerr);
+    std::exit(2);
+}
+
+/** The value of option argv[i], or a usage error when it is absent. */
+const char *
+optionValue(int argc, char **argv, int &i)
+{
+    if (i + 1 >= argc)
+        usageError(std::string("option ") + argv[i] +
+                   " requires a value");
+    return argv[++i];
+}
+
+/** Parse a non-negative integer option value. */
+int
+countValue(int argc, char **argv, int &i)
+{
+    const char *flag = argv[i];
+    const char *text = optionValue(argc, argv, i);
+    char *end = nullptr;
+    const long v = std::strtol(text, &end, 10);
+    if (end == text || *end != '\0' || v < 0)
+        usageError(std::string(flag) + " expects a non-negative " +
+                   "integer, got '" + text + "'");
+    return static_cast<int>(v);
+}
+
+} // namespace
+
 BenchOptions
 BenchOptions::parse(int argc, char **argv)
 {
@@ -25,21 +84,29 @@ BenchOptions::parse(int argc, char **argv)
             opts.paper = true;
         } else if (std::strcmp(argv[i], "--smoke") == 0) {
             opts.smoke = true;
-        } else if (std::strcmp(argv[i], "--threads") == 0 &&
-                   i + 1 < argc) {
-            opts.threads = std::atoi(argv[++i]);
-            if (opts.threads < 0)
-                fatal("--threads must be >= 0, got ", opts.threads);
-        } else if (std::strcmp(argv[i], "--csv") == 0 && i + 1 < argc) {
-            opts.csvPath = argv[++i];
-        } else if (std::strcmp(argv[i], "--cache") == 0 && i + 1 < argc) {
-            opts.cacheDir = argv[++i];
+        } else if (std::strcmp(argv[i], "--threads") == 0) {
+            opts.threads = countValue(argc, argv, i);
+        } else if (std::strcmp(argv[i], "--csv") == 0) {
+            opts.csvPath = optionValue(argc, argv, i);
+        } else if (std::strcmp(argv[i], "--cache") == 0) {
+            opts.cacheDir = optionValue(argc, argv, i);
+        } else if (std::strcmp(argv[i], "--policy") == 0) {
+            opts.policy = optionValue(argc, argv, i);
+            if (opts.policy != "open" && opts.policy != "closed" &&
+                opts.policy != "both")
+                usageError("--policy expects open, closed or both, "
+                           "got '" + opts.policy + "'");
+        } else if (std::strcmp(argv[i], "--retry-budget") == 0) {
+            opts.retryBudget = countValue(argc, argv, i);
+        } else if (std::strcmp(argv[i], "--spares") == 0) {
+            opts.spares = countValue(argc, argv, i);
+        } else if (std::strcmp(argv[i], "--json") == 0) {
+            opts.jsonPath = optionValue(argc, argv, i);
         } else if (std::strcmp(argv[i], "--help") == 0) {
-            std::cout << "options: [--paper] [--smoke] [--threads <n>] "
-                         "[--csv <path|->] [--cache <dir>]\n";
+            printUsage(std::cout);
             std::exit(0);
         } else {
-            fatal("unknown bench option: ", argv[i]);
+            usageError(std::string("unknown option '") + argv[i] + "'");
         }
     }
     return opts;

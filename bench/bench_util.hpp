@@ -10,6 +10,7 @@
 #ifndef VBOOST_BENCH_BENCH_UTIL_HPP
 #define VBOOST_BENCH_BENCH_UTIL_HPP
 
+#include <iosfwd>
 #include <string>
 #include <vector>
 
@@ -34,11 +35,25 @@ struct BenchOptions
     std::string csvPath;
     /** Cache directory for trained model parameters. */
     std::string cacheDir = "bench_cache";
+    /** Resilience policy selector: "open", "closed" or "both". */
+    std::string policy = "both";
+    /** Closed-loop retry budget (extra attempts per access). */
+    int retryBudget = 3;
+    /** Spare rows available for quarantine. */
+    int spares = 8;
+    /** Optional JSON output path for machine-readable results. */
+    std::string jsonPath;
 
     /** Parse argv; recognizes --paper, --smoke, --threads <n>,
-     *  --csv <path>, --cache <dir>; VBOOST_BENCH_SMOKE=1 in the
-     *  environment also enables smoke mode. */
+     *  --csv <path>, --cache <dir>, --policy <open|closed|both>,
+     *  --retry-budget <n>, --spares <n>, --json <path>;
+     *  VBOOST_BENCH_SMOKE=1 in the environment also enables smoke
+     *  mode. Unknown options and missing values print the usage to
+     *  stderr and exit with status 2. */
     static BenchOptions parse(int argc, char **argv);
+
+    /** The usage text parse() prints on --help and on errors. */
+    static void printUsage(std::ostream &os);
 
     /** Monte-Carlo fault maps to run (paper: 100, smoke: <= 2). */
     int maps(int fast_default = 10) const

@@ -1,6 +1,9 @@
 #include "accel/perf_model.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <utility>
+#include <vector>
 
 #include "common/logging.hpp"
 
@@ -62,10 +65,32 @@ PerfResult
 PerformanceModel::evaluate(const LayerActivity &activity, Volt vdd,
                            int level, SupplyMode mode) const
 {
+    return evaluate(activity, vdd, level, mode, RetryOverhead::none());
+}
+
+PerfResult
+PerformanceModel::evaluate(const LayerActivity &activity, Volt vdd,
+                           int level, SupplyMode mode,
+                           const RetryOverhead &overhead) const
+{
     if (level < 0 || level > supply_.levels())
         fatal("PerformanceModel::evaluate: level out of range");
     if (activity.macs == 0)
         fatal("PerformanceModel::evaluate: empty workload");
+    if (overhead.retryRate < 0.0)
+        fatal("PerformanceModel::evaluate: negative retry rate");
+    if (overhead.escalatedFraction < 0.0 ||
+        overhead.escalatedFraction > 1.0)
+        fatal("PerformanceModel::evaluate: escalated fraction must be "
+              "in [0,1]");
+    if (overhead.escalatedLevel < 0 ||
+        overhead.escalatedLevel > supply_.levels())
+        fatal("PerformanceModel::evaluate: escalated level out of range");
+
+    // Retries are extra real accesses on the same ports.
+    const auto issued = static_cast<std::uint64_t>(std::llround(
+        static_cast<double>(activity.totalAccesses()) *
+        (1.0 + overhead.retryRate)));
 
     PerfResult r;
     const Volt vddv = supply_.boostedVoltage(vdd, level);
@@ -80,13 +105,12 @@ PerformanceModel::evaluate(const LayerActivity &activity, Volt vdd,
         (activity.macs + static_cast<std::uint64_t>(cfg_.numPes) - 1) /
         static_cast<std::uint64_t>(cfg_.numPes);
     const std::uint64_t memory_cycles =
-        (activity.totalAccesses() +
-         static_cast<std::uint64_t>(cfg_.memPorts) - 1) /
+        (issued + static_cast<std::uint64_t>(cfg_.memPorts) - 1) /
         static_cast<std::uint64_t>(cfg_.memPorts);
     r.cycles = std::max(compute_cycles, memory_cycles);
     r.runtime = Second(static_cast<double>(r.cycles) / r.clock.value());
 
-    const energy::Workload w{activity.totalAccesses(), activity.macs};
+    const energy::Workload w{issued, activity.macs};
     Joule leak_per_cycle{0.0};
     switch (mode) {
       case SupplyMode::Single:
@@ -94,10 +118,21 @@ PerformanceModel::evaluate(const LayerActivity &activity, Volt vdd,
         leak_per_cycle =
             supply_.singleSupplyLeakagePerCycle(vddv, r.clock);
         break;
-      case SupplyMode::Boosted:
-        r.dynamicEnergy = supply_.boostedDynamic(w, vdd, level).total();
+      case SupplyMode::Boosted: {
+        // Split the stream: the escalated slice pays its higher level.
+        auto escalated = static_cast<std::uint64_t>(std::llround(
+            static_cast<double>(issued) * overhead.escalatedFraction));
+        escalated = std::min(escalated, issued);
+        std::vector<std::pair<std::uint64_t, int>> slices;
+        slices.emplace_back(issued - escalated, level);
+        if (escalated > 0)
+            slices.emplace_back(escalated, overhead.escalatedLevel);
+        r.dynamicEnergy =
+            supply_.boostedDynamicMulti(slices, activity.macs, vdd)
+                .total();
         leak_per_cycle = supply_.boostedLeakagePerCycle(vdd, r.clock);
         break;
+      }
       case SupplyMode::Dual:
         r.dynamicEnergy =
             supply_.dualSupplyDynamic(w, vddv, vdd).total();

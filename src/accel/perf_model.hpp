@@ -69,6 +69,26 @@ struct PerfResult
     double gopsPerWatt = 0.0;
 };
 
+/**
+ * Perturbation of the access stream by the closed-loop resilient
+ * pipeline (DESIGN.md §8): retries inflate the number of SRAM accesses
+ * and a fraction of them are issued at an escalated boost level.
+ * Derived from measured ResilienceStats: retryRate = retries / reads,
+ * escalatedFraction = escalations / (reads + retries).
+ */
+struct RetryOverhead
+{
+    /** Extra read attempts per nominal access (>= 0). */
+    double retryRate = 0.0;
+    /** Fraction of all issued accesses at the escalated level. */
+    double escalatedFraction = 0.0;
+    /** Boost level of the escalated accesses. */
+    int escalatedLevel = 0;
+
+    /** No perturbation (open loop / fault-free). */
+    static RetryOverhead none() { return {}; }
+};
+
 /** End-to-end performance/efficiency evaluator. */
 class PerformanceModel
 {
@@ -93,6 +113,18 @@ class PerformanceModel
      */
     PerfResult evaluate(const LayerActivity &activity, Volt vdd,
                         int level, SupplyMode mode) const;
+
+    /**
+     * Evaluate with the access stream perturbed by retry/escalation
+     * overhead: memory cycles and SRAM dynamic energy grow with the
+     * retry rate, and (in Boosted mode) the escalated slice of
+     * accesses pays the higher boost level. The clock still follows
+     * the standing level — escalated retries stretch occupancy, not
+     * the cycle time.
+     */
+    PerfResult evaluate(const LayerActivity &activity, Volt vdd,
+                        int level, SupplyMode mode,
+                        const RetryOverhead &overhead) const;
 
     /**
      * Maximum clock at an operating point: the logic frequency curve

@@ -1,12 +1,23 @@
 #include "common/logging.hpp"
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
+#include <memory>
 
 namespace vboost {
 
 namespace {
 
 std::atomic<bool> quietFlag{false};
+
+double
+wallClockSeconds()
+{
+    using clock = std::chrono::steady_clock;
+    return std::chrono::duration<double>(clock::now().time_since_epoch())
+        .count();
+}
 
 } // namespace
 
@@ -22,7 +33,76 @@ isQuiet()
     return quietFlag.load(std::memory_order_relaxed);
 }
 
+TokenBucket::TokenBucket(double tokens_per_sec, double burst)
+    : rate_(tokens_per_sec), burst_(burst), tokens_(burst)
+{
+    if (tokens_per_sec <= 0.0)
+        fatal("TokenBucket: refill rate must be positive, got ",
+              tokens_per_sec);
+    if (burst < 1.0)
+        fatal("TokenBucket: burst must be at least 1, got ", burst);
+}
+
+bool
+TokenBucket::allow()
+{
+    return allow(wallClockSeconds());
+}
+
+bool
+TokenBucket::allow(double now_sec)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!started_) {
+        started_ = true;
+        last_ = now_sec;
+    }
+    const double elapsed = std::max(0.0, now_sec - last_);
+    last_ = std::max(last_, now_sec);
+    tokens_ = std::min(burst_, tokens_ + elapsed * rate_);
+    if (tokens_ >= 1.0) {
+        tokens_ -= 1.0;
+        return true;
+    }
+    return false;
+}
+
+namespace {
+
+std::mutex warnLimiterMutex;
+std::unique_ptr<TokenBucket> warnLimiter;
+std::uint64_t warnSuppressed = 0;
+
+constexpr double kWarnRate = 5.0;
+constexpr double kWarnBurst = 10.0;
+
+} // namespace
+
+void
+setWarnRateLimit(double tokens_per_sec, double burst)
+{
+    auto fresh = std::make_unique<TokenBucket>(tokens_per_sec, burst);
+    std::lock_guard<std::mutex> lock(warnLimiterMutex);
+    warnLimiter = std::move(fresh);
+    warnSuppressed = 0;
+}
+
 namespace detail {
+
+bool
+allowRateLimitedWarn(std::uint64_t &suppressed)
+{
+    std::lock_guard<std::mutex> lock(warnLimiterMutex);
+    if (!warnLimiter)
+        warnLimiter = std::make_unique<TokenBucket>(kWarnRate, kWarnBurst);
+    if (warnLimiter->allow()) {
+        suppressed = warnSuppressed;
+        warnSuppressed = 0;
+        return true;
+    }
+    ++warnSuppressed;
+    return false;
+}
 
 void
 emit(const char *tag, const std::string &msg)

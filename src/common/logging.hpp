@@ -9,7 +9,9 @@
 #ifndef VBOOST_COMMON_LOGGING_HPP
 #define VBOOST_COMMON_LOGGING_HPP
 
+#include <cstdint>
 #include <iostream>
+#include <mutex>
 #include <sstream>
 #include <stdexcept>
 #include <string>
@@ -95,6 +97,72 @@ void setQuiet(bool quiet);
 
 /** @return true if warn()/inform() are currently silenced. */
 bool isQuiet();
+
+/**
+ * Classic token bucket: `tokens_per_sec` tokens refill continuously up
+ * to a cap of `burst`; allow() spends one token when available. Thread
+ * safe. The clock starts on the first allow() call, so a freshly built
+ * bucket always grants its full burst.
+ */
+class TokenBucket
+{
+  public:
+    /**
+     * @param tokens_per_sec steady-state refill rate (> 0).
+     * @param burst token cap; also the initial balance (>= 1).
+     */
+    TokenBucket(double tokens_per_sec, double burst);
+
+    /** Spend a token against the wall clock. */
+    bool allow();
+
+    /**
+     * Spend a token at an explicit timestamp (monotone seconds).
+     * Deterministic variant for tests; time never moves backwards
+     * (earlier timestamps are treated as "no time elapsed").
+     */
+    bool allow(double now_sec);
+
+  private:
+    double rate_;
+    double burst_;
+    double tokens_;
+    double last_ = 0.0;
+    bool started_ = false;
+    std::mutex mutex_;
+};
+
+namespace detail {
+
+/** Rate-limit gate of warnRateLimited(): on true, `suppressed` holds
+ *  the number of messages dropped since the last one that passed. */
+bool allowRateLimitedWarn(std::uint64_t &suppressed);
+
+} // namespace detail
+
+/**
+ * warn() behind a global token bucket (default 5 msgs/sec, burst 10):
+ * high-frequency event streams — per-access escalation or quarantine
+ * reports — stay visible without flooding stderr. The first message
+ * after a suppressed stretch reports how many were dropped.
+ */
+template <typename... Args>
+void
+warnRateLimited(Args &&...args)
+{
+    std::uint64_t suppressed = 0;
+    if (!detail::allowRateLimitedWarn(suppressed))
+        return;
+    std::string msg = detail::concat(std::forward<Args>(args)...);
+    if (suppressed > 0) {
+        msg += detail::concat(" [", suppressed,
+                              " similar messages suppressed]");
+    }
+    detail::emit("warn", msg);
+}
+
+/** Reconfigure the warnRateLimited() bucket (also resets its state). */
+void setWarnRateLimit(double tokens_per_sec, double burst);
 
 } // namespace vboost
 

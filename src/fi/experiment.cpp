@@ -174,6 +174,58 @@ FaultInjectionRunner::runWithEcc(double fail_prob, double flip_prob,
     return reduce(results, fail_prob, stats);
 }
 
+ResilientAccuracyPoint
+FaultInjectionRunner::runResilient(Volt vdd, const core::SimContext &ctx,
+                                   const resilience::ResiliencePolicy &policy)
+{
+    // Dante's weight memory: the layout's weight region split into
+    // 64 Kbit banks (16 for the 128 KB default).
+    const int banks = static_cast<int>(cfg_.layout.weightRegionBits /
+                                       sram::SramBank::kBits);
+    if (banks < 1)
+        fatal("runResilient: weight region smaller than one bank");
+    const sram::FailureRateModel failure(ctx.failure);
+
+    const auto results = runMaps(
+        static_cast<std::size_t>(cfg_.numMaps),
+        [&](std::size_t m, dnn::Network &scratch) {
+            // Each map is one device instance: fresh memory, monitors,
+            // standing levels and spare table. The per-access flip
+            // randomness comes from a counter-derived stream (4000+m;
+            // 1000/2000/3000 belong to the other experiment kinds).
+            const sram::VulnerabilityMap map(
+                cfg_.seed, static_cast<std::uint64_t>(m));
+            sram::BankedMemory mem("weight_mem", banks, ctx.design,
+                                   ctx.tech, failure);
+            resilience::ResilientMemory rmem(mem, ctx, policy);
+            rmem.reseed(Rng(cfg_.seed).split(
+                4000 + static_cast<std::uint64_t>(m)));
+
+            MapResult r;
+            r.bitFlips =
+                corruptNetworkResilient(scratch, net_, rmem, vdd, map);
+            r.accuracy = dnn::SgdTrainer::evaluate(scratch, evalSet_, 0);
+            r.res = rmem.snapshot();
+            r.resEnergy = rmem.totalAccessEnergy();
+            return r;
+        });
+
+    ResilientAccuracyPoint out;
+    out.point = reduce(results, failure.rate(vdd));
+    out.point.voltage = vdd;
+    double energy_sum = 0.0;
+    double latency_sum = 0.0;
+    for (const auto &r : results) {
+        out.stats.merge(r.res);
+        energy_sum += r.resEnergy.value();
+        latency_sum += r.res.retryLatency.value();
+    }
+    const auto n = static_cast<double>(results.size());
+    out.meanAccessEnergy = Joule(energy_sum / n);
+    out.meanRetryLatency = Second(latency_sum / n);
+    return out;
+}
+
 AccuracyPoint
 FaultInjectionRunner::runAtVoltage(Volt v,
                                    const sram::FailureRateModel &model,

@@ -23,9 +23,12 @@
 #include <vector>
 
 #include "common/stats.hpp"
+#include "core/context.hpp"
 #include "dnn/dataset.hpp"
 #include "dnn/network.hpp"
 #include "fi/injector.hpp"
+#include "resilience/policy.hpp"
+#include "resilience/resilient_memory.hpp"
 #include "sram/failure_model.hpp"
 
 namespace vboost::fi {
@@ -66,6 +69,21 @@ struct AccuracyPoint
     double meanBitFlips = 0.0;
 };
 
+/** Accuracy plus resilience-pipeline accounting at one voltage. */
+struct ResilientAccuracyPoint
+{
+    /** Accuracy statistics (meanBitFlips = residual flips that reach
+     *  inference after correction and retries). */
+    AccuracyPoint point;
+    /** Pipeline counters summed across maps (digests chain in map
+     *  order). */
+    resilience::ResilienceStats stats;
+    /** Mean per-map SRAM energy: bank access + boost + spare rows. */
+    Joule meanAccessEnergy{0.0};
+    /** Mean per-map latency added by retry attempts. */
+    Second meanRetryLatency{0.0};
+};
+
 /**
  * Runs Monte-Carlo fault-injection accuracy experiments on a trained
  * network. Scratch networks are cloned internally (one per worker
@@ -104,6 +122,19 @@ class FaultInjectionRunner
     AccuracyPoint runWithEcc(double fail_prob, double flip_prob = 0.5,
                              sram::EccStats *stats = nullptr);
 
+    /**
+     * Monte-Carlo accuracy with the full resilient SRAM pipeline
+     * (DESIGN.md §8): each map builds a fresh banked weight memory
+     * wrapped in a ResilientMemory under `policy`, stages the weight
+     * image through it at supply `vdd`, and evaluates on the decoded
+     * read-back. policy.mode selects the open-loop baseline (single
+     * decode, no reaction) or the closed loop (bounded retry with
+     * boost escalation, standing raises, row sparing).
+     */
+    ResilientAccuracyPoint
+    runResilient(Volt vdd, const core::SimContext &ctx,
+                 const resilience::ResiliencePolicy &policy);
+
     /** Accuracy at a supply voltage (failure prob from the model). */
     AccuracyPoint runAtVoltage(Volt v, const sram::FailureRateModel &model,
                                const InjectionSpec &spec);
@@ -127,6 +158,10 @@ class FaultInjectionRunner
         double accuracy = 0.0;
         std::uint64_t bitFlips = 0;
         sram::EccStats ecc;
+        /** Resilient-pipeline counters (runResilient only). */
+        resilience::ResilienceStats res;
+        /** Per-map SRAM energy incl. resilience (runResilient only). */
+        Joule resEnergy{0.0};
     };
 
     /**

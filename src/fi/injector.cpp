@@ -1,5 +1,7 @@
 #include "fi/injector.hpp"
 
+#include <bit>
+
 #include "common/logging.hpp"
 #include "dnn/quantize.hpp"
 
@@ -170,6 +172,49 @@ corruptNetworkEcc(dnn::Network &dst, dnn::Network &src,
         *dst_weights[l].value = dnn::dequantize(q);
     }
     return flipped;
+}
+
+std::uint64_t
+corruptNetworkResilient(dnn::Network &dst, dnn::Network &src,
+                        resilience::ResilientMemory &rmem, Volt vdd,
+                        const sram::VulnerabilityMap &map)
+{
+    dst.copyParamsFrom(src);
+    auto src_weights = src.weightParams();
+    auto dst_weights = dst.weightParams();
+    if (src_weights.size() != dst_weights.size())
+        fatal("corruptNetworkResilient: network structure mismatch");
+
+    const std::uint32_t capacity = rmem.memory().words();
+    std::uint64_t residual = 0;
+    std::uint64_t group_cursor = 0; // 64-bit words staged so far
+    for (std::size_t l = 0; l < src_weights.size(); ++l) {
+        auto q = dnn::quantize(*src_weights[l].value);
+        // Stage 64-bit groups of four int16 words through the memory;
+        // the tail group is zero-padded like a real padded row.
+        for (std::size_t g = 0; g < q.words.size(); g += 4) {
+            std::uint64_t word = 0;
+            for (std::size_t k = 0; k < 4 && g + k < q.words.size(); ++k)
+                word |= static_cast<std::uint64_t>(
+                            static_cast<std::uint16_t>(q.words[g + k]))
+                        << (16 * k);
+
+            const auto addr =
+                static_cast<std::uint32_t>(group_cursor % capacity);
+            ++group_cursor;
+            rmem.writeWord(addr, word, vdd);
+            const resilience::ReadOutcome out =
+                rmem.readWord(addr, vdd, map);
+            residual += static_cast<std::uint64_t>(
+                std::popcount(word ^ out.data));
+
+            for (std::size_t k = 0; k < 4 && g + k < q.words.size(); ++k)
+                q.words[g + k] = static_cast<std::int16_t>(
+                    static_cast<std::uint16_t>(out.data >> (16 * k)));
+        }
+        *dst_weights[l].value = dnn::dequantize(q);
+    }
+    return residual;
 }
 
 dnn::Tensor

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "dnn/network.hpp"
+#include "resilience/resilient_memory.hpp"
 #include "sram/ecc.hpp"
 #include "sram/fault_map.hpp"
 
@@ -113,6 +114,24 @@ std::uint64_t corruptNetworkEcc(dnn::Network &dst, dnn::Network &src,
                                 double fail_prob, double flip_prob,
                                 const MemoryLayout &layout, Rng &rng,
                                 sram::EccStats *stats = nullptr);
+
+/**
+ * Closed-loop variant of corruptNetworkEcc: the weight image is staged
+ * word by word through a ResilientMemory — write, then read back
+ * through the full resilient pipeline (ECC decode, bounded retry with
+ * boost escalation, standing-level raises, row sparing) at supply
+ * `vdd`. The decoded data feeds inference; retry / escalation /
+ * quarantine counters and energy accumulate inside `rmem` (snapshot()
+ * after the call). Layers wrap through the memory modulo its capacity,
+ * mirroring the staged execution of the other injectors.
+ *
+ * @return residual flipped bits (after correction and retries) —
+ *         the corruption that actually reaches inference.
+ */
+std::uint64_t corruptNetworkResilient(dnn::Network &dst, dnn::Network &src,
+                                      resilience::ResilientMemory &rmem,
+                                      Volt vdd,
+                                      const sram::VulnerabilityMap &map);
 
 /**
  * Corrupt a batch of input images through the input-memory cell

@@ -1,0 +1,352 @@
+#include "resilience/resilient_memory.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+
+namespace vboost::resilience {
+
+namespace {
+
+/**
+ * Cell-space layout: data cells occupy each memory's own region
+ * starting at its cellBase(); the regions below are disjoint from all
+ * data regions (which end far below 2^38) and from the canary region
+ * at 2^40 (core/canary.cpp). Offsetting by cellBase() keeps multiple
+ * wrapped memories disjoint from each other too.
+ */
+constexpr std::uint64_t kParityRegionBase = 1ull << 38;
+constexpr std::uint64_t kSpareRegionBase = 1ull << 39;
+
+/** Codeword bits one spare row occupies (64 data + 8 check). */
+constexpr std::uint64_t kSpareRowBits = 72;
+
+} // namespace
+
+void
+ResilienceStats::merge(const ResilienceStats &other)
+{
+    reads += other.reads;
+    cleanReads += other.cleanReads;
+    correctedReads += other.correctedReads;
+    retriedReads += other.retriedReads;
+    retries += other.retries;
+    escalations += other.escalations;
+    standingRaises += other.standingRaises;
+    quarantines += other.quarantines;
+    spareReads += other.spareReads;
+    spareExhausted += other.spareExhausted;
+    uncorrected += other.uncorrected;
+    retryEnergy += other.retryEnergy;
+    spareEnergy += other.spareEnergy;
+    retryLatency += other.retryLatency;
+    // Order-sensitive chain: merging in map order yields a digest that
+    // is a pure function of the per-map tables.
+    spareTableDigest =
+        (spareTableDigest * 0x100000001b3ull) ^ other.spareTableDigest;
+}
+
+ResilientMemory::ResilientMemory(sram::BankedMemory &mem,
+                                 const core::SimContext &ctx,
+                                 ResiliencePolicy policy)
+    : mem_(mem), policy_(policy),
+      supply_(ctx.tech, ctx.design, mem.banks()), failure_(ctx.failure),
+      latency_(ctx.tech), canary_(ctx, mem.banks()),
+      maxLevel_(mem.bank(0).levels()), check_(mem.words(), 0),
+      standing_(static_cast<std::size_t>(mem.banks()), policy.startLevel),
+      parityBase_(kParityRegionBase + mem.cellBase()),
+      spareBase_(kSpareRegionBase + mem.cellBase()),
+      monitor_(mem.banks(), policy.ewmaAlpha, policy.raiseThreshold),
+      spares_(policy.spareRows), base_(0)
+{
+    policy_.validate(maxLevel_);
+    mem_.setAllBoostLevels(policy_.startLevel);
+}
+
+void
+ResilientMemory::reseed(const Rng &base)
+{
+    base_ = base;
+    accessCounter_ = 0;
+}
+
+void
+ResilientMemory::writeWord(std::uint32_t addr, std::uint64_t data,
+                           Volt vdd)
+{
+    mem_.write(addr, data, vdd);
+    check_[addr] = sram::SecdedCodec::encode(data);
+    // A quarantined row's spare image shadows the primary row; keep it
+    // coherent (hardware rewrites both on a store to a spared address).
+    const int slot = spares_.find(addr);
+    if (slot >= 0) {
+        spares_.row(slot).data = data;
+        spares_.row(slot).check = check_[addr];
+    }
+}
+
+std::uint8_t
+ResilientMemory::corruptCheck(std::uint8_t check, std::uint64_t base_cell,
+                              double fail_prob,
+                              const sram::VulnerabilityMap &map, Rng &rng)
+{
+    if (fail_prob <= 0.0)
+        return check;
+    const double flip = mem_.bank(0).flipProb();
+    for (int b = 0; b < sram::SecdedCodec::kCheckBits; ++b) {
+        if (map.isFaulty(base_cell + static_cast<std::uint64_t>(b),
+                         fail_prob) &&
+            rng.bernoulli(flip)) {
+            check = static_cast<std::uint8_t>(check ^ (1u << b));
+        }
+    }
+    return check;
+}
+
+sram::EccDecodeResult
+ResilientMemory::attemptRead(std::uint32_t addr, int spare_slot, int level,
+                             Volt vdd, const sram::VulnerabilityMap &map,
+                             Rng &rng)
+{
+    const int bank = mem_.bankOf(addr);
+    if (spare_slot < 0) {
+        // Primary row: a real bank access (charges access + boost
+        // energy in the bank counters at the attempt's level).
+        if (mem_.boostLevel(bank) != level)
+            mem_.setBoostLevel(bank, level);
+        const std::uint64_t data = mem_.read(addr, vdd, map, rng);
+        const double fail = mem_.bank(bank).failProbAt(vdd);
+        const std::uint8_t check = corruptCheck(
+            check_[addr], parityBase_ + static_cast<std::uint64_t>(addr) * 8,
+            fail, map, rng);
+        return sram::SecdedCodec::decode(data, check);
+    }
+
+    // Spare row: same bank conditions, fresh cells in the spare region.
+    const Volt vddv = supply_.boostedVoltage(vdd, level);
+    const double fail = failure_.rate(vddv);
+    const double flip = mem_.bank(bank).flipProb();
+    const SpareRow &row =
+        spares_.row(spare_slot); // image is golden; faults manifest here
+    std::uint64_t data = row.data;
+    const std::uint64_t base =
+        spareBase_ + static_cast<std::uint64_t>(spare_slot) * kSpareRowBits;
+    if (fail > 0.0) {
+        for (int b = 0; b < 64; ++b) {
+            if (map.isFaulty(base + static_cast<std::uint64_t>(b), fail) &&
+                rng.bernoulli(flip))
+                data ^= 1ull << b;
+        }
+    }
+    const std::uint8_t check = corruptCheck(row.check, base + 64, fail,
+                                            map, rng);
+    stats_.spareEnergy +=
+        supply_.energyModel().sramAccessEnergy(vddv, mem_.banks());
+    if (level > 0)
+        stats_.spareEnergy += supply_.booster().boostEventEnergy(vdd, level);
+    return sram::SecdedCodec::decode(data, check);
+}
+
+ReadOutcome
+ResilientMemory::readWord(std::uint32_t addr, Volt vdd,
+                          const sram::VulnerabilityMap &map)
+{
+    const int bank = mem_.bankOf(addr);
+    const int slot = spares_.find(addr);
+    const std::uint64_t access = accessCounter_++;
+    ++stats_.reads;
+    if (slot >= 0)
+        ++stats_.spareReads;
+
+    const int budget =
+        policy_.mode == AccessPolicyMode::ClosedLoop ? policy_.retryBudget
+                                                     : 0;
+    sram::EccDecodeResult dec;
+    ReadOutcome out;
+    bool first_error = false;
+    int attempt = 0;
+    for (;; ++attempt) {
+        const int level =
+            policy_.attemptLevel(standing_[static_cast<std::size_t>(bank)],
+                                 attempt, maxLevel_);
+        // Per-access counter-based stream: independent of thread
+        // scheduling and of how much randomness other reads consumed.
+        Rng rng = base_.split(access * ResiliencePolicy::kMaxAttempts +
+                              static_cast<std::uint64_t>(attempt));
+        dec = attemptRead(addr, slot, level, vdd, map, rng);
+        out.level = level;
+        if (attempt == 0) {
+            first_error = dec.outcome != sram::EccOutcome::Clean;
+        } else {
+            ++stats_.retries;
+            if (level > standing_[static_cast<std::size_t>(bank)])
+                ++stats_.escalations;
+            const Volt vddv = supply_.boostedVoltage(vdd, level);
+            stats_.retryEnergy +=
+                supply_.energyModel().sramAccessEnergy(vddv, mem_.banks());
+            if (level > 0)
+                stats_.retryEnergy +=
+                    supply_.booster().boostEventEnergy(vdd, level);
+            stats_.retryLatency += latency_.accessTime(vddv, vdd);
+        }
+        if (dec.outcome != sram::EccOutcome::DetectedUncorrectable ||
+            attempt >= budget)
+            break;
+    }
+    // Escalated attempts may have overridden the BIC; restore.
+    if (mem_.boostLevel(bank) != standing_[static_cast<std::size_t>(bank)])
+        mem_.setBoostLevel(bank, standing_[static_cast<std::size_t>(bank)]);
+
+    out.data = dec.data;
+    out.outcome = dec.outcome;
+    out.attempts = attempt + 1;
+    out.fromSpare = slot >= 0;
+    if (attempt > 0)
+        ++stats_.retriedReads;
+    switch (dec.outcome) {
+      case sram::EccOutcome::Clean:
+        ++stats_.cleanReads;
+        break;
+      case sram::EccOutcome::Corrected:
+        ++stats_.correctedReads;
+        break;
+      case sram::EccOutcome::DetectedUncorrectable:
+        out.gaveUp = true;
+        ++stats_.uncorrected;
+        break;
+    }
+
+    if (policy_.mode == AccessPolicyMode::ClosedLoop) {
+        // The monitor sees raw first-attempt health: retry success must
+        // not mask a degrading bank.
+        if (monitor_.recordAccess(bank, first_error))
+            raiseStandingLevel(bank, vdd, map);
+        if (out.gaveUp)
+            recordRowError(addr, slot);
+    }
+    return out;
+}
+
+void
+ResilientMemory::raiseStandingLevel(int bank, Volt vdd,
+                                    const sram::VulnerabilityMap &map)
+{
+    const int standing = standing_[static_cast<std::size_t>(bank)];
+    if (standing >= maxLevel_)
+        return; // already at the top: report-and-continue
+    // Re-decide through the canary controller (the margin-calibrated
+    // floor), but always move at least one level up.
+    int target = standing + 1;
+    if (const auto canary = canary_.chooseLevel(vdd, map))
+        target = std::max(target, *canary);
+    target = std::min(target, maxLevel_);
+    standing_[static_cast<std::size_t>(bank)] = target;
+    mem_.setBoostLevel(bank, target);
+    ++stats_.standingRaises;
+    warnRateLimited("resilience: ", mem_.name(), " bank ", bank,
+                    " standing boost level ", standing, " -> ", target,
+                    " (EWMA error rate over ", policy_.raiseThreshold, ")");
+}
+
+void
+ResilientMemory::recordRowError(std::uint32_t addr, int spare_slot)
+{
+    if (spare_slot >= 0)
+        return; // already on a spare; no spare-of-spare chaining
+    if (policy_.spareRows == 0)
+        return;
+    int &n = rowErrors_[addr];
+    if (++n < policy_.quarantineThreshold)
+        return;
+    if (spares_.full()) {
+        ++stats_.spareExhausted;
+        return;
+    }
+    // Writes are reliable in this model, so the stored image is golden;
+    // hardware would restage the row from the ECC-scrubbed source.
+    spares_.remap(addr, mem_.peek(addr), check_[addr]);
+    rowErrors_.erase(addr);
+    ++stats_.quarantines;
+    warnRateLimited("resilience: ", mem_.name(), " quarantined row ", addr,
+                    " into spare ", spares_.used() - 1, " (",
+                    spares_.capacity() - spares_.used(),
+                    " spares left)");
+}
+
+void
+ResilientMemory::writeWords16(std::uint32_t elem16,
+                              const std::vector<std::int16_t> &values,
+                              Volt vdd)
+{
+    std::uint32_t i = 0;
+    while (i < values.size()) {
+        const std::uint32_t addr = (elem16 + i) / 4;
+        std::uint64_t word = mem_.peek(addr);
+        while (i < values.size() && (elem16 + i) / 4 == addr) {
+            const std::uint32_t lane = (elem16 + i) % 4;
+            const std::uint64_t mask = 0xffffull << (16 * lane);
+            const auto v = static_cast<std::uint64_t>(
+                static_cast<std::uint16_t>(values[i]));
+            word = (word & ~mask) | (v << (16 * lane));
+            ++i;
+        }
+        writeWord(addr, word, vdd);
+    }
+}
+
+std::vector<std::int16_t>
+ResilientMemory::readWords16(std::uint32_t elem16, std::uint32_t count,
+                             Volt vdd, const sram::VulnerabilityMap &map)
+{
+    std::vector<std::int16_t> out;
+    out.reserve(count);
+    std::uint32_t i = 0;
+    while (i < count) {
+        const std::uint32_t addr = (elem16 + i) / 4;
+        const std::uint64_t word = readWord(addr, vdd, map).data;
+        while (i < count && (elem16 + i) / 4 == addr) {
+            const std::uint32_t lane = (elem16 + i) % 4;
+            out.push_back(static_cast<std::int16_t>(
+                static_cast<std::uint16_t>(word >> (16 * lane))));
+            ++i;
+        }
+    }
+    return out;
+}
+
+int
+ResilientMemory::standingLevel(int bank) const
+{
+    if (bank < 0 || bank >= mem_.banks())
+        fatal("ResilientMemory: bank ", bank, " out of range");
+    return standing_[static_cast<std::size_t>(bank)];
+}
+
+ResilienceStats
+ResilientMemory::snapshot() const
+{
+    ResilienceStats s = stats_;
+    s.spareTableDigest = spares_.digest();
+    return s;
+}
+
+void
+ResilientMemory::resetRuntimeState()
+{
+    stats_ = ResilienceStats{};
+    monitor_.reset();
+    spares_ = SpareRowTable(policy_.spareRows);
+    rowErrors_.clear();
+    std::fill(standing_.begin(), standing_.end(), policy_.startLevel);
+    mem_.setAllBoostLevels(policy_.startLevel);
+    accessCounter_ = 0;
+}
+
+Joule
+ResilientMemory::totalAccessEnergy() const
+{
+    const auto c = mem_.totalCounters();
+    return c.accessEnergy + c.boostEnergy + stats_.spareEnergy;
+}
+
+} // namespace vboost::resilience

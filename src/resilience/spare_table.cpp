@@ -1,0 +1,63 @@
+#include "resilience/spare_table.hpp"
+
+#include "common/logging.hpp"
+
+namespace vboost::resilience {
+
+SpareRowTable::SpareRowTable(int capacity) : capacity_(capacity)
+{
+    if (capacity < 0)
+        fatal("SpareRowTable: negative capacity ", capacity);
+    rows_.reserve(static_cast<std::size_t>(capacity));
+}
+
+int
+SpareRowTable::find(std::uint32_t addr) const
+{
+    for (std::size_t s = 0; s < rows_.size(); ++s) {
+        if (rows_[s].addr == addr)
+            return static_cast<int>(s);
+    }
+    return -1;
+}
+
+const SpareRow &
+SpareRowTable::row(int slot) const
+{
+    if (slot < 0 || slot >= used())
+        panic("SpareRowTable: slot ", slot, " out of range");
+    return rows_[static_cast<std::size_t>(slot)];
+}
+
+SpareRow &
+SpareRowTable::row(int slot)
+{
+    if (slot < 0 || slot >= used())
+        panic("SpareRowTable: slot ", slot, " out of range");
+    return rows_[static_cast<std::size_t>(slot)];
+}
+
+int
+SpareRowTable::remap(std::uint32_t addr, std::uint64_t data,
+                     std::uint8_t check)
+{
+    if (full() || find(addr) >= 0)
+        return -1;
+    rows_.push_back(SpareRow{addr, data, check});
+    return used() - 1;
+}
+
+std::uint64_t
+SpareRowTable::digest() const
+{
+    std::uint64_t h = 0xcbf29ce484222325ull; // FNV offset basis
+    constexpr std::uint64_t kPrime = 0x100000001b3ull;
+    for (const auto &r : rows_) {
+        h = (h ^ r.addr) * kPrime;
+        h = (h ^ r.data) * kPrime;
+        h = (h ^ r.check) * kPrime;
+    }
+    return h;
+}
+
+} // namespace vboost::resilience

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Spare-row remap table: a small set of reserve rows a memory can
+ * quarantine persistently failing rows into (the row-redundancy
+ * mechanism of the paper's related work [36], here deployed *at
+ * runtime* by the closed-loop pipeline instead of at test time).
+ * Sparing works because a quarantined row is a known-bad outlier
+ * under the current fault map while a spare row is a statistically
+ * typical one: the remap trades a row with specific faulty cells for
+ * a fresh draw from the same cell population.
+ */
+
+#ifndef VBOOST_RESILIENCE_SPARE_TABLE_HPP
+#define VBOOST_RESILIENCE_SPARE_TABLE_HPP
+
+#include <cstdint>
+#include <vector>
+
+namespace vboost::resilience {
+
+/** One quarantined row: its original address and the spare's image. */
+struct SpareRow
+{
+    /** Flat word address the spare replaces. */
+    std::uint32_t addr = 0;
+    /** 64-bit data image copied into the spare at quarantine time. */
+    std::uint64_t data = 0;
+    /** SECDED check bits of the image. */
+    std::uint8_t check = 0;
+};
+
+/** Fixed-capacity address-to-spare remap table. */
+class SpareRowTable
+{
+  public:
+    /** @param capacity spare rows available (may be 0). */
+    explicit SpareRowTable(int capacity);
+
+    int capacity() const { return capacity_; }
+    int used() const { return static_cast<int>(rows_.size()); }
+    bool full() const { return used() >= capacity_; }
+
+    /** Spare slot serving `addr`, or -1 when not remapped. */
+    int find(std::uint32_t addr) const;
+
+    /** Slot-indexed access. @pre 0 <= slot < used(). */
+    const SpareRow &row(int slot) const;
+    SpareRow &row(int slot);
+
+    /**
+     * Quarantine `addr` into the next free spare.
+     * @return the allocated slot, or -1 when the table is full or the
+     *         address is already remapped.
+     */
+    int remap(std::uint32_t addr, std::uint64_t data, std::uint8_t check);
+
+    /**
+     * Order-sensitive FNV-1a digest of the remap contents (addresses
+     * and images in slot order): bitwise-identical tables produce
+     * identical digests, which the determinism tests compare across
+     * thread counts.
+     */
+    std::uint64_t digest() const;
+
+  private:
+    int capacity_;
+    std::vector<SpareRow> rows_; // slot order == quarantine order
+};
+
+} // namespace vboost::resilience
+
+#endif // VBOOST_RESILIENCE_SPARE_TABLE_HPP

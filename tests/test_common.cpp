@@ -47,6 +47,68 @@ TEST(Logging, QuietFlagRoundTrips)
     EXPECT_FALSE(isQuiet());
 }
 
+TEST(TokenBucket, GrantsFullBurstThenBlocks)
+{
+    TokenBucket bucket(1.0, 3.0);
+    EXPECT_TRUE(bucket.allow(10.0));
+    EXPECT_TRUE(bucket.allow(10.0));
+    EXPECT_TRUE(bucket.allow(10.0));
+    EXPECT_FALSE(bucket.allow(10.0)); // burst spent, no time elapsed
+}
+
+TEST(TokenBucket, RefillsAtTheConfiguredRate)
+{
+    TokenBucket bucket(2.0, 2.0); // 2 tokens/sec, burst 2
+    EXPECT_TRUE(bucket.allow(0.0));
+    EXPECT_TRUE(bucket.allow(0.0));
+    EXPECT_FALSE(bucket.allow(0.0));
+    EXPECT_FALSE(bucket.allow(0.4)); // 0.8 tokens: still short
+    EXPECT_TRUE(bucket.allow(0.5));  // 1.0 token accrued
+    EXPECT_FALSE(bucket.allow(0.5));
+}
+
+TEST(TokenBucket, RefillCapsAtBurst)
+{
+    TokenBucket bucket(10.0, 2.0);
+    EXPECT_TRUE(bucket.allow(0.0));
+    EXPECT_TRUE(bucket.allow(0.0));
+    // A long idle stretch refills to the cap, not beyond it.
+    EXPECT_TRUE(bucket.allow(100.0));
+    EXPECT_TRUE(bucket.allow(100.0));
+    EXPECT_FALSE(bucket.allow(100.0));
+}
+
+TEST(TokenBucket, TimeNeverMovesBackwards)
+{
+    TokenBucket bucket(1.0, 1.0);
+    EXPECT_TRUE(bucket.allow(50.0));
+    // An earlier timestamp must not manufacture tokens.
+    EXPECT_FALSE(bucket.allow(0.0));
+    EXPECT_TRUE(bucket.allow(51.0));
+}
+
+TEST(TokenBucket, RejectsBadConfig)
+{
+    EXPECT_THROW(TokenBucket(0.0, 1.0), FatalError);
+    EXPECT_THROW(TokenBucket(-1.0, 1.0), FatalError);
+    EXPECT_THROW(TokenBucket(1.0, 0.5), FatalError);
+}
+
+TEST(Logging, WarnRateLimitedSuppressesFloods)
+{
+    // Tiny budget: the first message passes, the flood is dropped.
+    setWarnRateLimit(0.001, 1.0);
+    setQuiet(false);
+    ::testing::internal::CaptureStderr();
+    for (int i = 0; i < 50; ++i)
+        warnRateLimited("flood message ", i);
+    const std::string out = ::testing::internal::GetCapturedStderr();
+    EXPECT_NE(out.find("flood message 0"), std::string::npos);
+    EXPECT_EQ(out.find("flood message 1"), std::string::npos);
+    // Restore the default budget for other tests.
+    setWarnRateLimit(5.0, 10.0);
+}
+
 // --------------------------------------------------------------- units
 
 TEST(Units, LiteralsProduceBaseSiValues)

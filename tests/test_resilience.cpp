@@ -1,0 +1,466 @@
+/**
+ * @file
+ * Tests for the closed-loop resilient SRAM access pipeline: policy
+ * ladder arithmetic, the EWMA bank monitor, the spare-row table, the
+ * ResilientMemory read path (clean round trips, retry recovery,
+ * quarantine and graceful spare exhaustion) and the determinism
+ * contract — closed-loop Monte-Carlo fault injection is bitwise
+ * identical at any thread count, down to the spare-row table digests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hpp"
+#include "common/rng.hpp"
+#include "core/context.hpp"
+#include "dnn/dataset.hpp"
+#include "dnn/layers.hpp"
+#include "dnn/quantize.hpp"
+#include "dnn/trainer.hpp"
+#include "fi/experiment.hpp"
+#include "resilience/monitor.hpp"
+#include "resilience/policy.hpp"
+#include "resilience/resilient_memory.hpp"
+#include "resilience/spare_table.hpp"
+#include "sram/banked_memory.hpp"
+
+namespace vboost::resilience {
+namespace {
+
+TEST(ResiliencePolicy, OpenLoopNeverEscalates)
+{
+    const auto p = ResiliencePolicy::openLoop(2);
+    EXPECT_EQ(p.mode, AccessPolicyMode::OpenLoop);
+    EXPECT_EQ(p.retryBudget, 0);
+    EXPECT_EQ(p.startLevel, 2);
+    for (int attempt = 0; attempt < 4; ++attempt)
+        EXPECT_EQ(p.attemptLevel(2, attempt, 4), 2);
+}
+
+TEST(ResiliencePolicy, StepUpClimbsOneLevelPerAttempt)
+{
+    auto p = ResiliencePolicy::closedLoop(3, EscalationPolicy::StepUp);
+    EXPECT_EQ(p.attemptLevel(0, 0, 4), 0);
+    EXPECT_EQ(p.attemptLevel(0, 1, 4), 1);
+    EXPECT_EQ(p.attemptLevel(0, 3, 4), 3);
+    EXPECT_EQ(p.attemptLevel(2, 3, 4), 4); // clamped at the top
+    EXPECT_EQ(p.attemptLevel(4, 1, 4), 4);
+}
+
+TEST(ResiliencePolicy, MaxOutJumpsToTopOnFirstRetry)
+{
+    auto p = ResiliencePolicy::closedLoop(2, EscalationPolicy::MaxOut);
+    EXPECT_EQ(p.attemptLevel(0, 0, 4), 0);
+    EXPECT_EQ(p.attemptLevel(0, 1, 4), 4);
+    EXPECT_EQ(p.attemptLevel(1, 2, 4), 4);
+}
+
+TEST(ResiliencePolicy, HoldRetriesAtStandingLevel)
+{
+    auto p = ResiliencePolicy::closedLoop(2, EscalationPolicy::Hold);
+    EXPECT_EQ(p.attemptLevel(1, 0, 4), 1);
+    EXPECT_EQ(p.attemptLevel(1, 2, 4), 1);
+}
+
+TEST(ResiliencePolicy, ValidateRejectsBadKnobs)
+{
+    auto p = ResiliencePolicy::closedLoop();
+    p.retryBudget = ResiliencePolicy::kMaxAttempts;
+    EXPECT_THROW(p.validate(4), FatalError);
+    p = ResiliencePolicy::closedLoop();
+    p.startLevel = 5;
+    EXPECT_THROW(p.validate(4), FatalError);
+    p = ResiliencePolicy::closedLoop();
+    p.ewmaAlpha = 0.0;
+    EXPECT_THROW(p.validate(4), FatalError);
+    p = ResiliencePolicy::closedLoop();
+    p.spareRows = -1;
+    EXPECT_THROW(p.validate(4), FatalError);
+    EXPECT_NO_THROW(ResiliencePolicy::closedLoop().validate(4));
+}
+
+TEST(ResiliencePolicy, NamesAreStable)
+{
+    EXPECT_EQ(ResiliencePolicy::openLoop(1).name(), "open/L1");
+    EXPECT_EQ(ResiliencePolicy::closedLoop(3, EscalationPolicy::StepUp, 8)
+                  .name(),
+              "closed/r3/stepup/s8");
+}
+
+TEST(BankErrorMonitor, ErrorsRaiseAndResetEwma)
+{
+    BankErrorMonitor mon(2, 0.5, 0.6);
+    EXPECT_FALSE(mon.recordAccess(0, true)); // 0.5
+    EXPECT_TRUE(mon.recordAccess(0, true));  // 0.75 > 0.6 -> raise
+    EXPECT_DOUBLE_EQ(mon.rate(0), 0.0);      // reset after the raise
+    EXPECT_EQ(mon.raises(), 1u);
+    EXPECT_EQ(mon.accesses(), 2u);
+    // The other bank is untouched.
+    EXPECT_DOUBLE_EQ(mon.rate(1), 0.0);
+}
+
+TEST(BankErrorMonitor, CleanAccessesDecayTheRate)
+{
+    BankErrorMonitor mon(1, 0.5, 0.9);
+    mon.recordAccess(0, true);
+    const double after_error = mon.rate(0);
+    mon.recordAccess(0, false);
+    EXPECT_LT(mon.rate(0), after_error);
+}
+
+TEST(BankErrorMonitor, RejectsBadConfig)
+{
+    EXPECT_THROW(BankErrorMonitor(0, 0.5, 0.5), FatalError);
+    EXPECT_THROW(BankErrorMonitor(1, 0.0, 0.5), FatalError);
+    EXPECT_THROW(BankErrorMonitor(1, 0.5, 0.0), FatalError);
+}
+
+TEST(SpareRowTable, RemapFindAndCapacity)
+{
+    SpareRowTable t(2);
+    EXPECT_EQ(t.find(7), -1);
+    EXPECT_EQ(t.remap(7, 0xabcull, 0x12), 0);
+    EXPECT_EQ(t.remap(9, 0xdefull, 0x34), 1);
+    EXPECT_TRUE(t.full());
+    EXPECT_EQ(t.remap(11, 0ull, 0), -1);  // full
+    EXPECT_EQ(t.remap(7, 1ull, 1), -1);   // already mapped
+    EXPECT_EQ(t.find(7), 0);
+    EXPECT_EQ(t.row(0).data, 0xabcull);
+    EXPECT_EQ(t.find(9), 1);
+}
+
+TEST(SpareRowTable, DigestReflectsContentAndOrder)
+{
+    SpareRowTable a(4), b(4), c(4);
+    a.remap(1, 10, 1);
+    a.remap(2, 20, 2);
+    b.remap(1, 10, 1);
+    b.remap(2, 20, 2);
+    c.remap(2, 20, 2);
+    c.remap(1, 10, 1);
+    EXPECT_EQ(a.digest(), b.digest());
+    EXPECT_NE(a.digest(), c.digest()); // quarantine order matters
+    EXPECT_NE(a.digest(), SpareRowTable(4).digest());
+}
+
+/** ResilientMemory over a small 2-bank memory. */
+class ResilientMemoryTest : public ::testing::Test
+{
+  protected:
+    ResilientMemoryTest()
+        : ctx_(core::SimContext::standard()),
+          failure_(ctx_.failure),
+          mem_("test_mem", 2, ctx_.design, ctx_.tech, failure_)
+    {
+    }
+
+    ResilientMemory
+    wrap(const ResiliencePolicy &policy)
+    {
+        ResilientMemory rmem(mem_, ctx_, policy);
+        rmem.reseed(Rng(99));
+        return rmem;
+    }
+
+    core::SimContext ctx_;
+    sram::FailureRateModel failure_;
+    sram::BankedMemory mem_;
+};
+
+TEST_F(ResilientMemoryTest, CleanRoundTripAtSafeVoltage)
+{
+    auto rmem = wrap(ResiliencePolicy::closedLoop());
+    const sram::VulnerabilityMap map(5, 0);
+    Rng rng(1);
+    for (std::uint32_t addr = 0; addr < 64; ++addr) {
+        const std::uint64_t data = rng.next();
+        rmem.writeWord(addr, data, 0.8_V);
+        const auto out = rmem.readWord(addr, 0.8_V, map);
+        EXPECT_EQ(out.data, data) << addr;
+        EXPECT_EQ(out.outcome, sram::EccOutcome::Clean);
+        EXPECT_EQ(out.attempts, 1);
+        EXPECT_FALSE(out.fromSpare);
+    }
+    const auto s = rmem.snapshot();
+    EXPECT_EQ(s.reads, 64u);
+    EXPECT_EQ(s.cleanReads, 64u);
+    EXPECT_EQ(s.retries, 0u);
+    EXPECT_EQ(s.quarantines, 0u);
+    EXPECT_GT(rmem.totalAccessEnergy().value(), 0.0);
+}
+
+TEST_F(ResilientMemoryTest, Words16RoundTrip)
+{
+    auto rmem = wrap(ResiliencePolicy::closedLoop());
+    const sram::VulnerabilityMap map(5, 0);
+    const std::vector<std::int16_t> values = {-3, 7, 12345, -32768,
+                                              32767, 0, 1, -1, 9};
+    rmem.writeWords16(3, values, 0.8_V); // unaligned start on purpose
+    const auto got = rmem.readWords16(
+        3, static_cast<std::uint32_t>(values.size()), 0.8_V, map);
+    EXPECT_EQ(got, values);
+}
+
+TEST_F(ResilientMemoryTest, OpenLoopStartLevelProgramsBanks)
+{
+    auto rmem = wrap(ResiliencePolicy::openLoop(2));
+    EXPECT_EQ(rmem.standingLevel(0), 2);
+    EXPECT_EQ(rmem.standingLevel(1), 2);
+    EXPECT_EQ(mem_.boostLevel(0), 2);
+}
+
+TEST_F(ResilientMemoryTest, ClosedLoopRecoversWhatOpenLoopDrops)
+{
+    // At 0.44 V (BER ~1.4e-2) double-bit codeword errors are common
+    // enough that the open loop leaks uncorrectable reads, while the
+    // closed loop clears them by retrying at escalated levels.
+    const Volt vdd{0.44};
+    const sram::VulnerabilityMap map(17, 0);
+    Rng data_rng(3);
+
+    auto open = wrap(ResiliencePolicy::openLoop(0));
+    std::uint64_t open_uncorrected = 0;
+    for (std::uint32_t addr = 0; addr < 1024; ++addr) {
+        open.writeWord(addr, data_rng.next(), vdd);
+        if (open.readWord(addr, vdd, map).outcome ==
+            sram::EccOutcome::DetectedUncorrectable)
+            ++open_uncorrected;
+    }
+    EXPECT_GT(open_uncorrected, 0u);
+    EXPECT_EQ(open.snapshot().retries, 0u);
+
+    mem_.resetCounters();
+    auto closed = wrap(
+        ResiliencePolicy::closedLoop(3, EscalationPolicy::StepUp, 8));
+    Rng data_rng2(3);
+    std::uint64_t closed_uncorrected = 0;
+    for (std::uint32_t addr = 0; addr < 1024; ++addr) {
+        closed.writeWord(addr, data_rng2.next(), vdd);
+        if (closed.readWord(addr, vdd, map).outcome ==
+            sram::EccOutcome::DetectedUncorrectable)
+            ++closed_uncorrected;
+    }
+    const auto s = closed.snapshot();
+    EXPECT_LT(closed_uncorrected, open_uncorrected);
+    EXPECT_GT(s.retries, 0u);
+    EXPECT_GT(s.retryEnergy.value(), 0.0);
+    EXPECT_GT(s.retryLatency.value(), 0.0);
+}
+
+TEST_F(ResilientMemoryTest, QuarantineMovesRowsToSpares)
+{
+    // Brutal conditions (0.40 V, BER ~0.28) with instant quarantine:
+    // rows fail repeatedly, get remapped, and the table fills up to
+    // graceful spare exhaustion.
+    auto policy =
+        ResiliencePolicy::closedLoop(0, EscalationPolicy::Hold, 2);
+    policy.quarantineThreshold = 1;
+    auto rmem = wrap(policy);
+    const Volt vdd{0.40};
+    const sram::VulnerabilityMap map(23, 0);
+    Rng data_rng(4);
+    for (std::uint32_t addr = 0; addr < 128; ++addr)
+        rmem.writeWord(addr, data_rng.next(), vdd);
+    for (int pass = 0; pass < 3; ++pass)
+        for (std::uint32_t addr = 0; addr < 128; ++addr)
+            rmem.readWord(addr, vdd, map);
+
+    const auto s = rmem.snapshot();
+    EXPECT_EQ(s.quarantines, 2u);
+    EXPECT_TRUE(rmem.spares().full());
+    EXPECT_GT(s.spareReads, 0u);
+    EXPECT_GT(s.spareExhausted, 0u);
+    EXPECT_GT(s.spareEnergy.value(), 0.0);
+    EXPECT_NE(s.spareTableDigest, SpareRowTable(2).digest());
+
+    // A spared row reads through the spare path.
+    const std::uint32_t spared = rmem.spares().row(0).addr;
+    EXPECT_TRUE(rmem.readWord(spared, vdd, map).fromSpare);
+
+    // A write to a spared row keeps the spare image coherent.
+    rmem.writeWord(spared, 0xfeedull, vdd);
+    EXPECT_EQ(rmem.spares().row(0).data, 0xfeedull);
+}
+
+TEST_F(ResilientMemoryTest, ChronicErrorsRaiseStandingLevel)
+{
+    auto policy =
+        ResiliencePolicy::closedLoop(1, EscalationPolicy::StepUp, 0);
+    auto rmem = wrap(policy);
+    const Volt vdd{0.40}; // per-access error rate near 1
+    const sram::VulnerabilityMap map(31, 0);
+    Rng data_rng(6);
+    for (std::uint32_t addr = 0; addr < 256; ++addr)
+        rmem.writeWord(addr, data_rng.next(), vdd);
+    for (std::uint32_t addr = 0; addr < 256; ++addr)
+        rmem.readWord(addr, vdd, map);
+    const auto s = rmem.snapshot();
+    EXPECT_GT(s.standingRaises, 0u);
+    EXPECT_GT(rmem.standingLevel(0) + rmem.standingLevel(1), 0);
+    // The memory's banks mirror the standing levels.
+    EXPECT_EQ(mem_.boostLevel(0), rmem.standingLevel(0));
+    EXPECT_EQ(mem_.boostLevel(1), rmem.standingLevel(1));
+}
+
+TEST_F(ResilientMemoryTest, ResetRuntimeStateClearsEverything)
+{
+    auto policy = ResiliencePolicy::closedLoop(0, EscalationPolicy::Hold, 2);
+    policy.quarantineThreshold = 1;
+    auto rmem = wrap(policy);
+    const sram::VulnerabilityMap map(23, 0);
+    Rng data_rng(4);
+    for (std::uint32_t addr = 0; addr < 128; ++addr) {
+        rmem.writeWord(addr, data_rng.next(), 0.40_V);
+        rmem.readWord(addr, 0.40_V, map);
+    }
+    ASSERT_GT(rmem.snapshot().reads, 0u);
+    rmem.resetRuntimeState();
+    const auto s = rmem.snapshot();
+    EXPECT_EQ(s.reads, 0u);
+    EXPECT_EQ(s.quarantines, 0u);
+    EXPECT_EQ(rmem.spares().used(), 0);
+    EXPECT_EQ(rmem.standingLevel(0), policy.startLevel);
+}
+
+TEST_F(ResilientMemoryTest, SameSeedSameOutcome)
+{
+    // The per-access counter discipline: identical seeds and access
+    // sequences produce identical outcomes, attempt by attempt.
+    const Volt vdd{0.44};
+    const sram::VulnerabilityMap map(41, 0);
+    auto run = [&](sram::BankedMemory &mem) {
+        ResilientMemory rmem(mem, ctx_,
+                             ResiliencePolicy::closedLoop());
+        rmem.reseed(Rng(7));
+        Rng data_rng(8);
+        std::uint64_t digest = 0;
+        for (std::uint32_t addr = 0; addr < 512; ++addr) {
+            rmem.writeWord(addr, data_rng.next(), vdd);
+            const auto out = rmem.readWord(addr, vdd, map);
+            digest = digest * 1099511628211ull ^ out.data ^
+                     static_cast<std::uint64_t>(out.attempts);
+        }
+        const auto s = rmem.snapshot();
+        return std::tuple{digest, s.retries, s.spareTableDigest};
+    };
+    sram::BankedMemory m1("a", 2, ctx_.design, ctx_.tech, failure_);
+    sram::BankedMemory m2("b", 2, ctx_.design, ctx_.tech, failure_);
+    EXPECT_EQ(run(m1), run(m2));
+}
+
+} // namespace
+} // namespace vboost::resilience
+
+namespace vboost::fi {
+namespace {
+
+/** Small trained network for end-to-end closed-loop experiments. */
+class ResilientExperiment : public ::testing::Test
+{
+  protected:
+    static dnn::Network
+    makeTrainedNet()
+    {
+        Rng rng(1);
+        dnn::Network net;
+        net.addLayer<dnn::Dense>(16, 32, rng, "fc1");
+        net.addLayer<dnn::Relu>("r");
+        net.addLayer<dnn::Dense>(32, 4, rng, "fc2");
+        auto train = blobs(400, 11);
+        dnn::TrainConfig cfg;
+        cfg.epochs = 6;
+        dnn::SgdTrainer trainer(cfg);
+        Rng train_rng(2);
+        trainer.train(net, train, train_rng);
+        dnn::clipParameters(net, 0.5f);
+        return net;
+    }
+
+    static dnn::Dataset
+    blobs(int n, std::uint64_t seed)
+    {
+        Rng rng(seed);
+        dnn::Dataset ds;
+        ds.images = dnn::Tensor({n, 16});
+        ds.labels.resize(static_cast<std::size_t>(n));
+        for (int i = 0; i < n; ++i) {
+            const int cls = static_cast<int>(rng.uniformInt(4));
+            ds.labels[static_cast<std::size_t>(i)] = cls;
+            for (int j = 0; j < 16; ++j)
+                ds.images.at(i, j) = static_cast<float>(
+                    rng.normal(j % 4 == cls ? 1.0 : 0.0, 0.15));
+        }
+        return ds;
+    }
+};
+
+TEST_F(ResilientExperiment, ClosedLoopBeatsOpenLoopAccuracyAtVlv)
+{
+    auto net = makeTrainedNet();
+    auto test = blobs(200, 12);
+    ExperimentConfig cfg;
+    cfg.numMaps = 4;
+    cfg.maxTestSamples = 200;
+    FaultInjectionRunner runner(net, test, cfg);
+    const auto ctx = core::SimContext::standard();
+
+    const Volt vdd{0.38}; // BER 0.5: open loop at L0 reads noise
+    const auto open = runner.runResilient(
+        vdd, ctx, resilience::ResiliencePolicy::openLoop(0));
+    const auto closed = runner.runResilient(
+        vdd, ctx, resilience::ResiliencePolicy::closedLoop());
+    EXPECT_GT(closed.point.meanAccuracy, open.point.meanAccuracy);
+    EXPECT_LT(closed.point.meanBitFlips, open.point.meanBitFlips);
+    EXPECT_GT(closed.stats.retries, 0u);
+    EXPECT_EQ(open.stats.retries, 0u);
+    EXPECT_GT(closed.meanAccessEnergy.value(), 0.0);
+}
+
+TEST_F(ResilientExperiment, DeterministicAcrossThreadCounts)
+{
+    // The determinism contract of DESIGN.md §7 extended to the
+    // resilient pipeline: accuracy, retry counters and the spare-row
+    // tables are bitwise identical at 1 and 8 threads.
+    auto net = makeTrainedNet();
+    auto test = blobs(200, 12);
+    const auto ctx = core::SimContext::standard();
+    auto policy = resilience::ResiliencePolicy::closedLoop(
+        2, resilience::EscalationPolicy::StepUp, 4);
+    policy.quarantineThreshold = 1; // make quarantines likely
+
+    auto run_at = [&](int threads) {
+        ExperimentConfig cfg;
+        cfg.numMaps = 8;
+        cfg.maxTestSamples = 200;
+        cfg.numThreads = threads;
+        FaultInjectionRunner runner(net, test, cfg);
+        return runner.runResilient(Volt{0.42}, ctx, policy);
+    };
+    const auto serial = run_at(1);
+    const auto parallel = run_at(8);
+
+    EXPECT_EQ(serial.point.meanAccuracy, parallel.point.meanAccuracy);
+    EXPECT_EQ(serial.point.stddevAccuracy,
+              parallel.point.stddevAccuracy);
+    EXPECT_EQ(serial.point.meanBitFlips, parallel.point.meanBitFlips);
+    EXPECT_EQ(serial.stats.reads, parallel.stats.reads);
+    EXPECT_EQ(serial.stats.retries, parallel.stats.retries);
+    EXPECT_EQ(serial.stats.retriedReads, parallel.stats.retriedReads);
+    EXPECT_EQ(serial.stats.escalations, parallel.stats.escalations);
+    EXPECT_EQ(serial.stats.standingRaises,
+              parallel.stats.standingRaises);
+    EXPECT_EQ(serial.stats.quarantines, parallel.stats.quarantines);
+    EXPECT_EQ(serial.stats.spareReads, parallel.stats.spareReads);
+    EXPECT_EQ(serial.stats.uncorrected, parallel.stats.uncorrected);
+    // Spare-row tables are compared through the order-sensitive
+    // digest chain: identical remap contents in identical order.
+    EXPECT_EQ(serial.stats.spareTableDigest,
+              parallel.stats.spareTableDigest);
+    EXPECT_EQ(serial.meanAccessEnergy.value(),
+              parallel.meanAccessEnergy.value());
+    EXPECT_EQ(serial.meanRetryLatency.value(),
+              parallel.meanRetryLatency.value());
+}
+
+} // namespace
+} // namespace vboost::fi
