@@ -31,6 +31,7 @@
 #include "common/logging.hpp"
 #include "core/context.hpp"
 #include "fi/experiment.hpp"
+#include "json_writer.hpp"
 #include "resilience/policy.hpp"
 #include "sram/failure_model.hpp"
 
@@ -75,54 +76,51 @@ writeJson(const std::string &path, const std::vector<ResultRow> &rows,
     std::ofstream out(path);
     if (!out)
         fatal("cannot write JSON to ", path);
-    out << "{\n  \"bench\": \"abl_resilience\",\n"
-        << "  \"smoke\": " << (opts.smoke ? "true" : "false") << ",\n"
-        << "  \"paper\": " << (opts.paper ? "true" : "false") << ",\n"
-        << "  \"points\": [\n";
-    for (std::size_t i = 0; i < rows.size(); ++i) {
-        const auto &row = rows[i];
+    bench::JsonWriter json(out);
+    json.beginObject()
+        .field("bench", "abl_resilience")
+        .field("smoke", opts.smoke)
+        .field("paper", opts.paper)
+        .beginArrayField("points");
+    for (const auto &row : rows) {
         const auto &s = row.r.stats;
-        out << "    {\"policy\": \"" << row.policy.name() << "\", "
-            << "\"vdd\": " << row.vdd.value() << ", "
-            << "\"ber\": " << row.ber << ", "
-            << "\"accuracy\": " << row.r.point.meanAccuracy << ", "
-            << "\"accuracy_stddev\": " << row.r.point.stddevAccuracy
-            << ", "
-            << "\"residual_flips\": " << row.r.point.meanBitFlips << ", "
-            << "\"reads\": " << s.reads << ", "
-            << "\"corrected_reads\": " << s.correctedReads << ", "
-            << "\"retried_reads\": " << s.retriedReads << ", "
-            << "\"retries\": " << s.retries << ", "
-            << "\"escalations\": " << s.escalations << ", "
-            << "\"standing_raises\": " << s.standingRaises << ", "
-            << "\"quarantines\": " << s.quarantines << ", "
-            << "\"spare_reads\": " << s.spareReads << ", "
-            << "\"spare_exhausted\": " << s.spareExhausted << ", "
-            << "\"uncorrected\": " << s.uncorrected << ", "
-            << "\"energy_j\": " << row.r.meanAccessEnergy.value() << ", "
-            << "\"retry_latency_s\": " << row.r.meanRetryLatency.value()
-            << ", "
-            << "\"spare_table_digest\": " << s.spareTableDigest << "}"
-            << (i + 1 < rows.size() ? "," : "") << '\n';
+        json.beginObject()
+            .field("policy", row.policy.name())
+            .field("vdd", row.vdd.value())
+            .field("ber", row.ber)
+            .field("accuracy", row.r.point.meanAccuracy)
+            .field("accuracy_stddev", row.r.point.stddevAccuracy)
+            .field("residual_flips", row.r.point.meanBitFlips)
+            .field("reads", s.reads)
+            .field("corrected_reads", s.correctedReads)
+            .field("retried_reads", s.retriedReads)
+            .field("retries", s.retries)
+            .field("escalations", s.escalations)
+            .field("standing_raises", s.standingRaises)
+            .field("quarantines", s.quarantines)
+            .field("spare_reads", s.spareReads)
+            .field("spare_exhausted", s.spareExhausted)
+            .field("uncorrected", s.uncorrected)
+            .field("energy_j", row.r.meanAccessEnergy.value())
+            .field("retry_latency_s", row.r.meanRetryLatency.value())
+            .field("spare_table_digest", s.spareTableDigest)
+            .endObject();
     }
-    out << "  ],\n  \"dominance\": ";
+    json.endArray().beginObjectField("dominance");
     if (dom_closed && dom_open) {
-        out << "{\"found\": true, "
-            << "\"vdd\": " << dom_closed->vdd.value() << ", "
-            << "\"closed\": \"" << dom_closed->policy.name() << "\", "
-            << "\"open\": \"" << dom_open->policy.name() << "\", "
-            << "\"closed_accuracy\": "
-            << dom_closed->r.point.meanAccuracy << ", "
-            << "\"open_accuracy\": " << dom_open->r.point.meanAccuracy
-            << ", "
-            << "\"closed_energy_j\": "
-            << dom_closed->r.meanAccessEnergy.value() << ", "
-            << "\"open_energy_j\": "
-            << dom_open->r.meanAccessEnergy.value() << "}";
+        json.field("found", true)
+            .field("vdd", dom_closed->vdd.value())
+            .field("closed", dom_closed->policy.name())
+            .field("open", dom_open->policy.name())
+            .field("closed_accuracy", dom_closed->r.point.meanAccuracy)
+            .field("open_accuracy", dom_open->r.point.meanAccuracy)
+            .field("closed_energy_j",
+                   dom_closed->r.meanAccessEnergy.value())
+            .field("open_energy_j", dom_open->r.meanAccessEnergy.value());
     } else {
-        out << "{\"found\": false}";
+        json.field("found", false);
     }
-    out << "\n}\n";
+    json.endObject().endObject();
 }
 
 } // namespace

@@ -1,0 +1,222 @@
+/**
+ * @file
+ * Serving-runtime evaluation (DESIGN.md §9): an open-loop Poisson load
+ * generator drives the multi-tenant InferenceServer across offered
+ * load x SLO mix, and the table reports what the paper's
+ * application-aware operating points buy at the serving layer —
+ * admission sheds under overload, queue/batch latency percentiles,
+ * accuracy per SLO class and energy per inference, with the
+ * operating-point planner stepping tenants between Vdd rungs from the
+ * resilience monitor's measured error rates.
+ *
+ * Everything is deterministic: the trace is a pure function of the
+ * seed, the server obeys the §7 discipline, and the printed stats
+ * fingerprint is bitwise identical at any --threads value.
+ *
+ * --json <path> dumps the sweep for machine consumption (CI uploads
+ * this next to the resilience artifact); --smoke shrinks the sweep to
+ * CI scale.
+ */
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "accel/dataflow.hpp"
+#include "bench_util.hpp"
+#include "common/logging.hpp"
+#include "core/context.hpp"
+#include "fi/accuracy_curve.hpp"
+#include "fi/experiment.hpp"
+#include "json_writer.hpp"
+#include "serve/planner.hpp"
+#include "serve/server.hpp"
+#include "serve/trace.hpp"
+#include "sram/failure_model.hpp"
+
+using namespace vboost;
+
+namespace {
+
+/** One traffic mix of the sweep. */
+struct Mix
+{
+    std::string name;
+    std::vector<serve::TenantSpec> tenants;
+};
+
+/** One evaluated (load, mix) sweep point. */
+struct SweepPoint
+{
+    double loadRps = 0.0;
+    std::string mix;
+    serve::ServeResult result;
+};
+
+void
+writeJson(const std::string &path, const std::vector<SweepPoint> &points,
+          const bench::BenchOptions &opts)
+{
+    std::ofstream out(path);
+    if (!out)
+        fatal("cannot write JSON to ", path);
+    bench::JsonWriter json(out);
+    json.beginObject()
+        .field("bench", "serve")
+        .field("smoke", opts.smoke)
+        .field("paper", opts.paper)
+        .beginArrayField("points");
+    for (const auto &point : points) {
+        const serve::ServerStats &s = point.result.stats;
+        json.beginObject()
+            .field("load_rps", point.loadRps)
+            .field("mix", point.mix)
+            .field("requests", s.total.requests)
+            .field("admitted", s.total.admitted)
+            .field("shed_queue_full", s.total.shedQueueFull)
+            .field("shed_tenant_quota", s.total.shedTenantQuota)
+            .field("batches", s.total.batches)
+            .field("mean_batch_size", s.meanBatchSize)
+            .field("p50_latency_us", s.p50LatencyTicks)
+            .field("p95_latency_us", s.p95LatencyTicks)
+            .field("accuracy", s.accuracy)
+            .field("energy_pj_per_inference",
+                   s.total.inferences
+                       ? s.total.energyPj /
+                             static_cast<double>(s.total.inferences)
+                       : 0.0)
+            .field("retries", s.total.retries)
+            .field("escalations", s.total.escalations)
+            .field("quarantines", s.total.quarantines)
+            .field("uncorrected", s.total.uncorrected)
+            .field("fingerprint", s.fingerprint())
+            .beginArrayField("tenants");
+        for (const auto &[name, tenant] : s.perTenant) {
+            json.beginObject()
+                .field("tenant", name)
+                .field("requests", tenant.requests)
+                .field("admitted", tenant.admitted)
+                .field("shed", tenant.shedQueueFull +
+                                   tenant.shedTenantQuota)
+                .field("accuracy",
+                       tenant.admitted
+                           ? static_cast<double>(tenant.correct) /
+                                 static_cast<double>(tenant.admitted)
+                           : 0.0)
+                .field("energy_pj", tenant.energyPj)
+                .field("final_vdd_step", tenant.finalVddStep)
+                .endObject();
+        }
+        json.endArray().endObject();
+    }
+    json.endArray().endObject();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const auto opts = bench::BenchOptions::parse(argc, argv);
+    setQuiet(!opts.paper);
+
+    const auto ctx = core::SimContext::standard();
+    const sram::FailureRateModel frm(ctx.failure);
+
+    auto net = bench::trainedMnistFc(opts);
+    const auto pool = bench::mnistTestSet(opts);
+
+    // The planner's accuracy model: a Monte-Carlo sampled
+    // accuracy-vs-failure-probability curve queried through the
+    // failure-rate fit.
+    fi::ExperimentConfig fi_cfg;
+    fi_cfg.numMaps = opts.maps(4);
+    fi_cfg.maxTestSamples = opts.samples(256);
+    fi_cfg.numThreads = opts.threads;
+    fi::FaultInjectionRunner runner(net, pool, fi_cfg);
+    const auto curve =
+        fi::AccuracyCurve::sample(runner, fi::InjectionSpec::allWeights(),
+                                  1e-5, 0.3, opts.smoke ? 5 : 8);
+    const auto accuracy_at = [&](Volt vddv) {
+        return curve.at(frm.rate(vddv));
+    };
+
+    const auto per_inference = accel::totalActivity(
+        accel::DanaFcModel().networkActivity({784, 256, 256, 256, 32}));
+    serve::InferenceFootprint footprint;
+    footprint.weightAccesses = per_inference.weightAccesses;
+    footprint.inputAccesses = per_inference.inputAccesses;
+    footprint.psumAccesses = per_inference.psumAccesses;
+    footprint.computeOps = per_inference.macs;
+
+    std::vector<Mix> mixes = {
+        {"gold", {{"acme", serve::SloClass::Gold, 1.0}}},
+        {"mixed",
+         {{"acme", serve::SloClass::Gold, 0.3},
+          {"globex", serve::SloClass::Silver, 0.4},
+          {"initech", serve::SloClass::Bronze, 0.3}}},
+        {"bronze", {{"batchco", serve::SloClass::Bronze, 1.0}}},
+    };
+    std::vector<double> loads_rps = {250.0, 500.0, 1000.0, 2000.0};
+    std::size_t num_requests = 256;
+    if (opts.smoke) {
+        mixes.resize(2);
+        loads_rps = {500.0, 2000.0};
+        num_requests = 48;
+    }
+
+    std::vector<SweepPoint> points;
+    Table t({"load (rps)", "mix", "req", "shed", "batches", "mean B",
+             "p50 lat (us)", "p95 lat (us)", "accuracy", "pJ/inf",
+             "retries", "fingerprint"});
+    for (const Mix &mix : mixes) {
+        for (double load : loads_rps) {
+            serve::OperatingPointPlanner planner(
+                ctx, 16, accuracy_at, curve.faultFree(), footprint);
+            serve::ServerConfig cfg;
+            cfg.numThreads = opts.threads;
+            serve::InferenceServer server(ctx, net, pool, per_inference,
+                                          std::move(planner), cfg);
+
+            serve::TraceConfig trace_cfg;
+            trace_cfg.requestsPerTick = load / cfg.ticksPerSecond;
+            trace_cfg.numRequests = num_requests;
+            trace_cfg.tenants = mix.tenants;
+            trace_cfg.samplePoolSize = pool.size();
+            const auto trace = serve::generatePoissonTrace(trace_cfg);
+
+            SweepPoint point;
+            point.loadRps = load;
+            point.mix = mix.name;
+            point.result = server.run(trace);
+            const serve::ServerStats &s = point.result.stats;
+            t.addRow({Table::num(load, 0), mix.name,
+                      std::to_string(s.total.requests),
+                      std::to_string(s.total.shedQueueFull +
+                                     s.total.shedTenantQuota),
+                      std::to_string(s.total.batches),
+                      Table::num(s.meanBatchSize, 2),
+                      Table::num(s.p50LatencyTicks, 0),
+                      Table::num(s.p95LatencyTicks, 0),
+                      Table::pct(s.accuracy),
+                      Table::num(s.total.inferences
+                                     ? s.total.energyPj /
+                                           static_cast<double>(
+                                               s.total.inferences)
+                                     : 0.0,
+                                 1),
+                      std::to_string(s.total.retries),
+                      std::to_string(s.fingerprint())});
+            points.push_back(std::move(point));
+        }
+    }
+    bench::emit("Serving runtime: offered load x SLO mix "
+                "(FC-DNN, Poisson arrivals, closed-loop memory)",
+                t, opts);
+
+    if (!opts.jsonPath.empty()) {
+        writeJson(opts.jsonPath, points, opts);
+        inform("wrote JSON results to ", opts.jsonPath);
+    }
+    return 0;
+}

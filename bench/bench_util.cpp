@@ -23,7 +23,7 @@ BenchOptions::printUsage(std::ostream &os)
           "  --smoke             CI smoke mode (also "
           "VBOOST_BENCH_SMOKE=1)\n"
           "  --threads <n>       Monte-Carlo worker threads "
-          "(0 = all cores)\n"
+          "(n >= 1; omit for all cores)\n"
           "  --csv <path|->      append CSV output ('-' = stdout)\n"
           "  --cache <dir>       trained-model cache directory\n"
           "  --policy <p>        resilience policy: open, closed or "
@@ -86,6 +86,10 @@ BenchOptions::parse(int argc, char **argv)
             opts.smoke = true;
         } else if (std::strcmp(argv[i], "--threads") == 0) {
             opts.threads = countValue(argc, argv, i);
+            if (opts.threads == 0)
+                usageError("--threads expects a positive integer "
+                           "(omit the option to use all hardware "
+                           "threads)");
         } else if (std::strcmp(argv[i], "--csv") == 0) {
             opts.csvPath = optionValue(argc, argv, i);
         } else if (std::strcmp(argv[i], "--cache") == 0) {

@@ -29,7 +29,9 @@ struct BenchOptions
     /** CI smoke mode: shrink Monte-Carlo effort to seconds
      *  (--smoke or VBOOST_BENCH_SMOKE=1). */
     bool smoke = false;
-    /** Monte-Carlo worker threads (0 = all hardware threads). */
+    /** Monte-Carlo worker threads. The default 0 means all hardware
+     *  threads; an explicit `--threads 0` is rejected at parse time
+     *  (positive counts only). */
     int threads = 0;
     /** Optional CSV output path ("-" = stdout after the table). */
     std::string csvPath;

@@ -1,0 +1,243 @@
+/**
+ * @file
+ * Minimal streaming JSON emitter shared by the benches' --json output
+ * paths. Replaces the hand-rolled operator<< chains (each bench used
+ * to manage its own commas, quoting and nesting): the writer tracks
+ * the container stack, inserts separators and indentation itself,
+ * escapes strings, and turns non-finite doubles into null so the
+ * artifact always parses.
+ *
+ * Usage:
+ *   JsonWriter j(out);
+ *   j.beginObject()
+ *    .field("bench", "serve").field("smoke", true)
+ *    .beginArrayField("points");
+ *   for (...) j.beginObject().field("vdd", 0.42).endObject();
+ *   j.endArray().endObject();   // emits a trailing newline
+ */
+
+#ifndef VBOOST_BENCH_JSON_WRITER_HPP
+#define VBOOST_BENCH_JSON_WRITER_HPP
+
+#include <cmath>
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace vboost::bench {
+
+/** Structured JSON emitter over an ostream. */
+class JsonWriter
+{
+  public:
+    explicit JsonWriter(std::ostream &os) : os_(os) {}
+
+    JsonWriter &
+    beginObject()
+    {
+        separator();
+        os_ << '{';
+        stack_.push_back({false, 0});
+        return *this;
+    }
+
+    JsonWriter &
+    endObject()
+    {
+        closeContainer('}');
+        return *this;
+    }
+
+    JsonWriter &
+    beginArray()
+    {
+        separator();
+        os_ << '[';
+        stack_.push_back({true, 0});
+        return *this;
+    }
+
+    JsonWriter &
+    endArray()
+    {
+        closeContainer(']');
+        return *this;
+    }
+
+    /** Emit a key inside the current object; a value must follow. */
+    JsonWriter &
+    key(const std::string &k)
+    {
+        separator();
+        writeString(k);
+        os_ << ": ";
+        pendingValue_ = true;
+        return *this;
+    }
+
+    JsonWriter &
+    value(bool v)
+    {
+        separator();
+        os_ << (v ? "true" : "false");
+        return *this;
+    }
+
+    JsonWriter &
+    value(double v)
+    {
+        separator();
+        if (std::isfinite(v))
+            os_ << v;
+        else
+            os_ << "null";
+        return *this;
+    }
+
+    JsonWriter &
+    value(std::int64_t v)
+    {
+        separator();
+        os_ << v;
+        return *this;
+    }
+
+    JsonWriter &
+    value(std::uint64_t v)
+    {
+        separator();
+        os_ << v;
+        return *this;
+    }
+
+    JsonWriter &value(std::int32_t v)
+    { return value(static_cast<std::int64_t>(v)); }
+    JsonWriter &value(std::uint32_t v)
+    { return value(static_cast<std::uint64_t>(v)); }
+
+    JsonWriter &
+    value(const std::string &v)
+    {
+        separator();
+        writeString(v);
+        return *this;
+    }
+
+    JsonWriter &value(const char *v) { return value(std::string(v)); }
+
+    /** key + value in one call. */
+    template <typename T>
+    JsonWriter &
+    field(const std::string &k, T v)
+    {
+        key(k);
+        return value(v);
+    }
+
+    /** key + beginObject / beginArray. */
+    JsonWriter &
+    beginObjectField(const std::string &k)
+    {
+        key(k);
+        return beginObject();
+    }
+
+    JsonWriter &
+    beginArrayField(const std::string &k)
+    {
+        key(k);
+        return beginArray();
+    }
+
+  private:
+    struct Frame
+    {
+        bool isArray;
+        std::size_t count;
+    };
+
+    /** Comma / newline / indent before the next key or value. */
+    void
+    separator()
+    {
+        if (pendingValue_) {
+            // Value directly after key(): no separator of its own.
+            pendingValue_ = false;
+            if (!stack_.empty())
+                ++stack_.back().count;
+            return;
+        }
+        if (stack_.empty())
+            return;
+        Frame &top = stack_.back();
+        if (top.count > 0)
+            os_ << ',';
+        os_ << '\n';
+        indent(stack_.size());
+        ++top.count;
+    }
+
+    void
+    closeContainer(char closer)
+    {
+        const bool empty = stack_.back().count == 0;
+        stack_.pop_back();
+        if (!empty) {
+            os_ << '\n';
+            indent(stack_.size());
+        }
+        os_ << closer;
+        if (stack_.empty())
+            os_ << '\n';
+    }
+
+    void
+    indent(std::size_t depth)
+    {
+        for (std::size_t i = 0; i < depth; ++i)
+            os_ << "  ";
+    }
+
+    void
+    writeString(const std::string &s)
+    {
+        os_ << '"';
+        for (char c : s) {
+            switch (c) {
+              case '"':
+                os_ << "\\\"";
+                break;
+              case '\\':
+                os_ << "\\\\";
+                break;
+              case '\n':
+                os_ << "\\n";
+                break;
+              case '\t':
+                os_ << "\\t";
+                break;
+              case '\r':
+                os_ << "\\r";
+                break;
+              default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    const char *hex = "0123456789abcdef";
+                    os_ << "\\u00" << hex[(c >> 4) & 0xf]
+                        << hex[c & 0xf];
+                } else {
+                    os_ << c;
+                }
+            }
+        }
+        os_ << '"';
+    }
+
+    std::ostream &os_;
+    std::vector<Frame> stack_;
+    bool pendingValue_ = false;
+};
+
+} // namespace vboost::bench
+
+#endif // VBOOST_BENCH_JSON_WRITER_HPP

@@ -87,10 +87,14 @@ PerformanceModel::evaluate(const LayerActivity &activity, Volt vdd,
         overhead.escalatedLevel > supply_.levels())
         fatal("PerformanceModel::evaluate: escalated level out of range");
 
-    // Retries are extra real accesses on the same ports.
+    // Retries are extra real accesses on the same ports. The rate is
+    // clamped to the pipeline's attempt ceiling (kMaxAttempts - 1
+    // retries per access).
+    const double retry_rate =
+        std::min(overhead.retryRate, RetryOverhead::kMaxRetryRate);
     const auto issued = static_cast<std::uint64_t>(std::llround(
         static_cast<double>(activity.totalAccesses()) *
-        (1.0 + overhead.retryRate)));
+        (1.0 + retry_rate)));
 
     PerfResult r;
     const Volt vddv = supply_.boostedVoltage(vdd, level);

@@ -78,12 +78,22 @@ struct PerfResult
  */
 struct RetryOverhead
 {
-    /** Extra read attempts per nominal access (>= 0). */
+    /** Extra read attempts per nominal access (>= 0). Values above
+     *  kMaxRetryRate are clamped by evaluate(). */
     double retryRate = 0.0;
     /** Fraction of all issued accesses at the escalated level. */
     double escalatedFraction = 0.0;
     /** Boost level of the escalated accesses. */
     int escalatedLevel = 0;
+
+    /**
+     * Physical ceiling on the retry rate: the resilient pipeline
+     * issues at most ResiliencePolicy::kMaxAttempts (16) attempts per
+     * access, i.e. 15 retries. A measured rate above this is a
+     * counter bug upstream; evaluate() clamps rather than letting the
+     * access stream grow without bound.
+     */
+    static constexpr double kMaxRetryRate = 15.0;
 
     /** No perturbation (open loop / fault-free). */
     static RetryOverhead none() { return {}; }

@@ -1,0 +1,83 @@
+#include "serve/batcher.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+
+namespace vboost::serve {
+
+DynamicBatcher::DynamicBatcher(BatcherConfig cfg) : cfg_(cfg)
+{
+    if (cfg_.maxBatchSize < 1)
+        fatal("DynamicBatcher: maxBatchSize must be >= 1, got ",
+              cfg_.maxBatchSize);
+}
+
+FormedBatch
+DynamicBatcher::close(const GroupKey &key, Group &&group, Tick formed)
+{
+    FormedBatch batch;
+    batch.seq = nextSeq_++;
+    batch.tenant = key.first;
+    batch.slo = static_cast<SloClass>(key.second);
+    batch.requests = std::move(group.requests);
+    batch.formedTick = formed;
+    pending_ -= batch.requests.size();
+    return batch;
+}
+
+std::optional<FormedBatch>
+DynamicBatcher::add(const InferenceRequest &req)
+{
+    GroupKey key{req.tenant, static_cast<int>(req.slo)};
+    Group &group = groups_[key];
+    if (group.requests.empty())
+        group.oldestArrival = req.arrivalTick;
+    group.requests.push_back(req);
+    ++pending_;
+    if (static_cast<int>(group.requests.size()) < cfg_.maxBatchSize)
+        return std::nullopt;
+    FormedBatch batch = close(key, std::move(group), req.arrivalTick);
+    groups_.erase(key);
+    return batch;
+}
+
+std::vector<FormedBatch>
+DynamicBatcher::closeDue(Tick now)
+{
+    // Collect due groups first, then close in (deadline, key) order so
+    // batch sequence numbers do not depend on map insertion history.
+    std::vector<std::pair<Tick, GroupKey>> due;
+    for (const auto &[key, group] : groups_) {
+        Tick deadline = group.oldestArrival + cfg_.maxWaitTicks;
+        if (deadline <= now || now == kNever)
+            due.emplace_back(now == kNever
+                                 ? std::min(deadline, kNever)
+                                 : deadline,
+                             key);
+    }
+    std::sort(due.begin(), due.end());
+
+    std::vector<FormedBatch> closed;
+    closed.reserve(due.size());
+    for (const auto &[deadline, key] : due) {
+        auto it = groups_.find(key);
+        closed.push_back(close(key, std::move(it->second), deadline));
+        groups_.erase(it);
+    }
+    return closed;
+}
+
+std::optional<Tick>
+DynamicBatcher::nextDeadline() const
+{
+    std::optional<Tick> earliest;
+    for (const auto &[key, group] : groups_) {
+        Tick deadline = group.oldestArrival + cfg_.maxWaitTicks;
+        if (!earliest || deadline < *earliest)
+            earliest = deadline;
+    }
+    return earliest;
+}
+
+} // namespace vboost::serve

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Dynamic batcher (DESIGN.md §9): groups admitted requests by
+ * (tenant, SLO class) — a batch runs at one operating point, so it can
+ * only contain requests with the same accuracy contract — and closes a
+ * group when it reaches the maximum batch size or when its oldest
+ * request has waited the maximum number of microticks on the virtual
+ * clock. Everything is deterministic: groups are kept in a sorted map,
+ * due groups close in (deadline, key) order, and batch sequence
+ * numbers are assigned at close time.
+ */
+
+#ifndef VBOOST_SERVE_BATCHER_HPP
+#define VBOOST_SERVE_BATCHER_HPP
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "serve/request.hpp"
+
+namespace vboost::serve {
+
+/** Batch-formation policy. */
+struct BatcherConfig
+{
+    /** Requests per batch at which a group closes immediately. */
+    int maxBatchSize = 8;
+    /** Microticks the oldest request may wait before the group closes
+     *  regardless of size. */
+    Tick maxWaitTicks = 2000;
+};
+
+/** A closed batch, ready for planning and execution. */
+struct FormedBatch
+{
+    /** Formation sequence number (0, 1, 2, ... in close order). */
+    std::uint64_t seq = 0;
+    std::string tenant;
+    SloClass slo = SloClass::Silver;
+    /** Member requests, in admission order. */
+    std::vector<InferenceRequest> requests;
+    /** Virtual-clock instant the batch closed. */
+    Tick formedTick = 0;
+};
+
+/** Deterministic size-or-deadline batcher over (tenant, SLO) groups. */
+class DynamicBatcher
+{
+  public:
+    explicit DynamicBatcher(BatcherConfig cfg);
+
+    /**
+     * Add an admitted request to its group. Returns the closed batch
+     * when this request fills the group to maxBatchSize.
+     */
+    std::optional<FormedBatch> add(const InferenceRequest &req);
+
+    /**
+     * Close every group whose deadline (oldest arrival + maxWaitTicks)
+     * is <= `now`, in (deadline, tenant, slo) order. Each batch's
+     * formedTick is its own deadline, not `now`, so late sweeps (and
+     * the end-of-trace flush with now = kNever) stay exact.
+     */
+    std::vector<FormedBatch> closeDue(Tick now);
+
+    /** Earliest group deadline, if any group is pending. */
+    std::optional<Tick> nextDeadline() const;
+
+    /** Requests currently pending across all groups. */
+    std::size_t pendingCount() const { return pending_; }
+
+    /** Sentinel for closeDue: flush everything. */
+    static constexpr Tick kNever = ~Tick{0};
+
+    const BatcherConfig &config() const { return cfg_; }
+
+  private:
+    using GroupKey = std::pair<std::string, int>;
+
+    struct Group
+    {
+        std::vector<InferenceRequest> requests;
+        Tick oldestArrival = 0;
+    };
+
+    FormedBatch close(const GroupKey &key, Group &&group, Tick formed);
+
+    BatcherConfig cfg_;
+    std::map<GroupKey, Group> groups_;
+    std::uint64_t nextSeq_ = 0;
+    std::size_t pending_ = 0;
+};
+
+} // namespace vboost::serve
+
+#endif // VBOOST_SERVE_BATCHER_HPP

@@ -1,0 +1,154 @@
+#include "serve/planner.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.hpp"
+
+namespace vboost::serve {
+
+OperatingPointPlanner::OperatingPointPlanner(
+    const core::SimContext &ctx, int num_banks,
+    core::TradeoffExplorer::AccuracyFn accuracy, double fault_free_accuracy,
+    InferenceFootprint footprint, PlannerConfig cfg)
+    : explorer_(ctx, num_banks),
+      accuracy_(std::move(accuracy)),
+      faultFreeAccuracy_(fault_free_accuracy),
+      footprint_(footprint),
+      cfg_(std::move(cfg))
+{
+    if (!accuracy_)
+        fatal("OperatingPointPlanner: accuracy function required");
+    if (cfg_.vddGrid.empty())
+        fatal("OperatingPointPlanner: empty Vdd grid");
+    if (!std::is_sorted(cfg_.vddGrid.begin(), cfg_.vddGrid.end()))
+        fatal("OperatingPointPlanner: Vdd grid must be ascending");
+    for (double fraction : cfg_.accuracyFraction) {
+        if (fraction <= 0.0 || fraction > 1.0)
+            fatal("OperatingPointPlanner: accuracy fraction ", fraction,
+                  " outside (0, 1]");
+    }
+
+    for (int c = 0; c < kNumSloClasses; ++c) {
+        const auto slo = static_cast<SloClass>(c);
+        std::vector<OperatingPlan> feasible;
+        for (Volt vdd : cfg_.vddGrid) {
+            if (auto plan = planAtVdd(slo, vdd))
+                feasible.push_back(*plan);
+        }
+        if (feasible.empty())
+            fatal("OperatingPointPlanner: no grid point meets the ",
+                  toString(slo), " target ", targetAccuracy(slo));
+        // The base plan is the cheapest feasible point; the rungs above
+        // it (higher Vdd = wider margins) are where feedback can go.
+        std::size_t cheapest = 0;
+        for (std::size_t i = 1; i < feasible.size(); ++i) {
+            if (feasible[i].energyPerInference <
+                feasible[cheapest].energyPerInference)
+                cheapest = i;
+        }
+        auto &ladder = ladder_[static_cast<std::size_t>(c)];
+        ladder.assign(feasible.begin() +
+                          static_cast<std::ptrdiff_t>(cheapest),
+                      feasible.end());
+        for (std::size_t step = 0; step < ladder.size(); ++step)
+            ladder[step].vddStep = static_cast<int>(step);
+        maxStep_ = std::max(maxStep_, static_cast<int>(ladder.size()) - 1);
+    }
+}
+
+std::optional<OperatingPlan>
+OperatingPointPlanner::planAtVdd(SloClass slo, Volt vdd) const
+{
+    const double target = targetAccuracy(slo);
+    const auto weight_level =
+        explorer_.minimalLevelForAccuracy(vdd, target, accuracy_);
+    if (!weight_level)
+        return std::nullopt;
+    const auto input_level =
+        explorer_.minimalLevelReaching(vdd, cfg_.inputVddvFloor);
+    if (!input_level)
+        return std::nullopt;
+
+    OperatingPlan plan;
+    plan.vdd = vdd;
+    plan.weightLevel = *weight_level;
+    plan.inputLevel = *input_level;
+    plan.vddvWeights = explorer_.boostedVoltage(vdd, plan.weightLevel);
+    plan.vddvInputs = explorer_.boostedVoltage(vdd, plan.inputLevel);
+    plan.targetAccuracy = target;
+    plan.plannedAccuracy = accuracy_(plan.vddvWeights);
+    plan.energyPerInference =
+        explorer_.supply()
+            .boostedDynamicMulti(
+                {{footprint_.weightAccesses, plan.weightLevel},
+                 {footprint_.inputAccesses + footprint_.psumAccesses,
+                  plan.inputLevel}},
+                footprint_.computeOps, vdd)
+            .total();
+    return plan;
+}
+
+const OperatingPlan &
+OperatingPointPlanner::planFor(const std::string &tenant, SloClass slo)
+{
+    const auto &ladder = ladder_[static_cast<std::size_t>(slo)];
+    int step = 0;
+    if (auto it = tenants_.find(tenant); it != tenants_.end())
+        step = it->second.step;
+    step = std::min(step, static_cast<int>(ladder.size()) - 1);
+    return ladder[static_cast<std::size_t>(step)];
+}
+
+void
+OperatingPointPlanner::observeErrorRate(const std::string &tenant,
+                                        double error_rate)
+{
+    if (error_rate < 0.0)
+        fatal("OperatingPointPlanner: negative error rate ", error_rate);
+    TenantState &state = tenants_[tenant];
+    if (!state.seeded) {
+        state.ewma = error_rate;
+        state.seeded = true;
+    } else {
+        state.ewma = cfg_.ewmaAlpha * error_rate +
+                     (1.0 - cfg_.ewmaAlpha) * state.ewma;
+    }
+    if (state.ewma > cfg_.stepUpThreshold && state.step < maxStep_) {
+        ++state.step;
+        // The new rung changes the error regime; restart the average so
+        // stale samples from the old rung cannot trigger a second step.
+        state.ewma = 0.0;
+    } else if (state.ewma < cfg_.stepDownThreshold && state.step > 0) {
+        --state.step;
+    }
+}
+
+double
+OperatingPointPlanner::targetAccuracy(SloClass slo) const
+{
+    return faultFreeAccuracy_ *
+           cfg_.accuracyFraction[static_cast<std::size_t>(slo)];
+}
+
+int
+OperatingPointPlanner::tenantStep(const std::string &tenant) const
+{
+    auto it = tenants_.find(tenant);
+    return it == tenants_.end() ? 0 : it->second.step;
+}
+
+double
+OperatingPointPlanner::tenantEwma(const std::string &tenant) const
+{
+    auto it = tenants_.find(tenant);
+    return it == tenants_.end() ? 0.0 : it->second.ewma;
+}
+
+std::size_t
+OperatingPointPlanner::ladderSize(SloClass slo) const
+{
+    return ladder_[static_cast<std::size_t>(slo)].size();
+}
+
+} // namespace vboost::serve

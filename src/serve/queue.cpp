@@ -1,0 +1,80 @@
+#include "serve/queue.hpp"
+
+#include "common/logging.hpp"
+
+namespace vboost::serve {
+
+const char *
+toString(SloClass slo)
+{
+    switch (slo) {
+      case SloClass::Gold:
+        return "gold";
+      case SloClass::Silver:
+        return "silver";
+      case SloClass::Bronze:
+        return "bronze";
+    }
+    panic("toString: invalid SloClass");
+}
+
+const char *
+toString(ShedReason reason)
+{
+    switch (reason) {
+      case ShedReason::QueueFull:
+        return "queue_full";
+      case ShedReason::TenantQuotaExceeded:
+        return "tenant_quota";
+    }
+    panic("toString: invalid ShedReason");
+}
+
+BoundedRequestQueue::BoundedRequestQueue(std::size_t capacity,
+                                         std::size_t per_tenant_cap)
+    : capacity_(capacity), perTenantCap_(per_tenant_cap)
+{
+    if (capacity_ < 1)
+        fatal("BoundedRequestQueue: capacity must be >= 1");
+    if (perTenantCap_ > capacity_)
+        fatal("BoundedRequestQueue: per-tenant cap ", perTenantCap_,
+              " exceeds capacity ", capacity_);
+}
+
+AdmissionDecision
+BoundedRequestQueue::tryAdmit(const InferenceRequest &req)
+{
+    if (occupancy_ >= capacity_) {
+        ++shedFull_;
+        return AdmissionDecision::shed(ShedReason::QueueFull);
+    }
+    std::size_t &tenant = tenantOccupancy_[req.tenant];
+    if (perTenantCap_ > 0 && tenant >= perTenantCap_) {
+        ++shedQuota_;
+        return AdmissionDecision::shed(ShedReason::TenantQuotaExceeded);
+    }
+    ++occupancy_;
+    ++tenant;
+    ++admitted_;
+    return AdmissionDecision::admit();
+}
+
+void
+BoundedRequestQueue::release(const std::string &tenant, std::size_t n)
+{
+    auto it = tenantOccupancy_.find(tenant);
+    if (it == tenantOccupancy_.end() || it->second < n || occupancy_ < n)
+        panic("BoundedRequestQueue::release: releasing ", n,
+              " requests of '", tenant, "' that were never admitted");
+    it->second -= n;
+    occupancy_ -= n;
+}
+
+std::size_t
+BoundedRequestQueue::tenantOccupancy(const std::string &tenant) const
+{
+    auto it = tenantOccupancy_.find(tenant);
+    return it == tenantOccupancy_.end() ? 0 : it->second;
+}
+
+} // namespace vboost::serve

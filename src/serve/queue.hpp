@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Bounded admission-control gate in front of the dynamic batcher
+ * (DESIGN.md §9). The queue tracks how many admitted requests are
+ * waiting to be batched — globally and per tenant — and sheds new
+ * arrivals with a typed reason when a bound is hit, instead of letting
+ * an overload grow the backlog (and tail latency) without limit.
+ * Occupancy is released when the batcher closes a batch.
+ */
+
+#ifndef VBOOST_SERVE_QUEUE_HPP
+#define VBOOST_SERVE_QUEUE_HPP
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "serve/request.hpp"
+
+namespace vboost::serve {
+
+/** Outcome of one admission decision. */
+struct AdmissionDecision
+{
+    /** True when the request may enter the batcher. */
+    bool admitted = false;
+    /** Shed reason (meaningful only when !admitted). */
+    ShedReason reason = ShedReason::QueueFull;
+
+    static AdmissionDecision admit() { return {true, ShedReason::QueueFull}; }
+    static AdmissionDecision shed(ShedReason r) { return {false, r}; }
+};
+
+/**
+ * Bounded request queue with global and per-tenant occupancy limits.
+ * Purely deterministic: decisions depend only on the admission order.
+ */
+class BoundedRequestQueue
+{
+  public:
+    /**
+     * @param capacity maximum requests waiting to be batched (>= 1).
+     * @param per_tenant_cap per-tenant occupancy cap (0 = disabled).
+     */
+    explicit BoundedRequestQueue(std::size_t capacity,
+                                 std::size_t per_tenant_cap = 0);
+
+    /**
+     * Admit `req` or shed it with a typed reason. Admission increments
+     * the global and per-tenant occupancy.
+     */
+    AdmissionDecision tryAdmit(const InferenceRequest &req);
+
+    /** Release `n` requests of `tenant` (their batch closed). */
+    void release(const std::string &tenant, std::size_t n);
+
+    /** Requests currently waiting to be batched. */
+    std::size_t occupancy() const { return occupancy_; }
+
+    /** Requests of one tenant currently waiting. */
+    std::size_t tenantOccupancy(const std::string &tenant) const;
+
+    std::size_t capacity() const { return capacity_; }
+    std::size_t perTenantCap() const { return perTenantCap_; }
+
+    /** Requests admitted so far. */
+    std::uint64_t admitted() const { return admitted_; }
+
+    /** Requests shed so far (all reasons). */
+    std::uint64_t shed() const { return shedFull_ + shedQuota_; }
+
+    /** Requests shed because the queue was full. */
+    std::uint64_t shedQueueFull() const { return shedFull_; }
+
+    /** Requests shed because the tenant exceeded its share. */
+    std::uint64_t shedTenantQuota() const { return shedQuota_; }
+
+  private:
+    std::size_t capacity_;
+    std::size_t perTenantCap_;
+    std::size_t occupancy_ = 0;
+    std::map<std::string, std::size_t> tenantOccupancy_;
+    std::uint64_t admitted_ = 0;
+    std::uint64_t shedFull_ = 0;
+    std::uint64_t shedQuota_ = 0;
+};
+
+} // namespace vboost::serve
+
+#endif // VBOOST_SERVE_QUEUE_HPP

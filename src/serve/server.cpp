@@ -1,0 +1,416 @@
+#include "serve/server.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <unordered_map>
+#include <utility>
+
+#include "common/logging.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/thread_pool.hpp"
+
+namespace vboost::serve {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+void
+hashU64(std::uint64_t &h, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i) {
+        h ^= (v >> (8 * i)) & 0xffu;
+        h *= kFnvPrime;
+    }
+}
+
+void
+hashDouble(std::uint64_t &h, double d)
+{
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &d, sizeof bits);
+    hashU64(h, bits);
+}
+
+void
+hashString(std::uint64_t &h, const std::string &s)
+{
+    hashU64(h, s.size());
+    for (char c : s) {
+        h ^= static_cast<unsigned char>(c);
+        h *= kFnvPrime;
+    }
+}
+
+void
+hashTenant(std::uint64_t &h, const TenantStats &t)
+{
+    hashU64(h, t.requests);
+    hashU64(h, t.admitted);
+    hashU64(h, t.shedQueueFull);
+    hashU64(h, t.shedTenantQuota);
+    hashU64(h, t.batches);
+    hashU64(h, t.inferences);
+    hashU64(h, t.correct);
+    hashU64(h, t.retries);
+    hashU64(h, t.escalations);
+    hashU64(h, t.quarantines);
+    hashU64(h, t.uncorrected);
+    hashDouble(h, t.energyPj);
+    hashU64(h, t.queueWaitTicksSum);
+    hashU64(h, t.latencyTicksSum);
+    hashU64(h, t.maxLatencyTicks);
+    hashU64(h, static_cast<std::uint64_t>(t.finalVddStep));
+}
+
+} // namespace
+
+std::uint64_t
+ServerStats::fingerprint() const
+{
+    std::uint64_t h = kFnvOffset;
+    hashTenant(h, total);
+    hashU64(h, perTenant.size());
+    for (const auto &[name, tenant] : perTenant) {
+        hashString(h, name);
+        hashTenant(h, tenant);
+    }
+    hashDouble(h, meanBatchSize);
+    hashDouble(h, p50LatencyTicks);
+    hashDouble(h, p95LatencyTicks);
+    hashDouble(h, accuracy);
+    return h;
+}
+
+InferenceServer::InferenceServer(const core::SimContext &ctx,
+                                 dnn::Network &net,
+                                 const dnn::Dataset &pool,
+                                 accel::LayerActivity per_inference,
+                                 OperatingPointPlanner planner,
+                                 ServerConfig cfg)
+    : ctx_(ctx),
+      net_(net),
+      pool_(pool),
+      perInference_(per_inference),
+      planner_(std::move(planner)),
+      cfg_(std::move(cfg)),
+      perf_(ctx_, cfg_.chip.weightBanks, cfg_.perf),
+      failure_(ctx_.failure),
+      deviceMap_(cfg_.seed, 0)
+{
+    if (pool_.size() == 0)
+        fatal("InferenceServer: empty sample pool");
+    if (cfg_.workerSlots < 1)
+        fatal("InferenceServer: workerSlots must be >= 1, got ",
+              cfg_.workerSlots);
+    if (cfg_.feedbackInterval < 1)
+        fatal("InferenceServer: feedbackInterval must be >= 1, got ",
+              cfg_.feedbackInterval);
+    if (cfg_.ticksPerSecond <= 0.0)
+        fatal("InferenceServer: ticksPerSecond must be > 0");
+    if (perInference_.macs == 0)
+        fatal("InferenceServer: per-inference activity has no MACs");
+    cfg_.policy.validate(cfg_.chip.boostLevels);
+}
+
+std::vector<FormedBatch>
+InferenceServer::formBatches(const std::vector<InferenceRequest> &trace,
+                             std::vector<RequestOutcome> &outcomes)
+{
+    BoundedRequestQueue queue(cfg_.queueCapacity, cfg_.perTenantQueueCap);
+    DynamicBatcher batcher(cfg_.batcher);
+    std::vector<FormedBatch> formed;
+
+    auto closeInto = [&](std::vector<FormedBatch> &&batches) {
+        for (auto &batch : batches) {
+            queue.release(batch.tenant, batch.requests.size());
+            formed.push_back(std::move(batch));
+        }
+    };
+
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+        const InferenceRequest &req = trace[i];
+        // Groups whose wait deadline passed close *before* this arrival
+        // is admitted, freeing their queue occupancy first.
+        closeInto(batcher.closeDue(req.arrivalTick));
+
+        RequestOutcome &out = outcomes[i];
+        out.id = req.id;
+        out.tenant = req.tenant;
+        out.slo = req.slo;
+        out.arrivalTick = req.arrivalTick;
+
+        const AdmissionDecision decision = queue.tryAdmit(req);
+        out.admitted = decision.admitted;
+        if (!decision.admitted) {
+            out.shedReason = decision.reason;
+            continue;
+        }
+        if (auto full = batcher.add(req)) {
+            queue.release(full->tenant, full->requests.size());
+            formed.push_back(std::move(*full));
+        }
+    }
+    closeInto(batcher.closeDue(DynamicBatcher::kNever));
+    return formed;
+}
+
+void
+InferenceServer::executeBatch(const FormedBatch &batch, BatchRecord &rec,
+                              WorkerScratch &scratch)
+{
+    if (!scratch.chip)
+        scratch.chip = std::make_unique<accel::DanteChip>(
+            cfg_.chip, ctx_.tech, ctx_.failure);
+    if (!scratch.net)
+        scratch.net = std::make_unique<dnn::Network>(net_.clone());
+    // Per-batch energy must not depend on which batches this slot ran
+    // before, so the bank counters restart from zero every time.
+    scratch.chip->resetCounters();
+
+    resilience::ResiliencePolicy policy = cfg_.policy;
+    policy.startLevel = rec.plan.weightLevel;
+    resilience::ResilientMemory rmem(scratch.chip->weightMemory(), ctx_,
+                                     policy);
+
+    // Counter-split streams keyed by the batch sequence number (§7):
+    // identical regardless of which thread/slot executes the batch.
+    const Rng base(cfg_.seed);
+    rmem.reseed(base.split(1'000'000 + 2 * batch.seq));
+    rec.residualFlips = fi::corruptNetworkResilient(
+        *scratch.net, net_, rmem, rec.plan.vdd, deviceMap_);
+
+    std::vector<std::size_t> samples;
+    samples.reserve(batch.requests.size());
+    for (const InferenceRequest &req : batch.requests)
+        samples.push_back(req.sample);
+    const dnn::Dataset inputs = pool_.gather(samples);
+
+    Rng input_rng = base.split(1'000'001 + 2 * batch.seq);
+    const dnn::Tensor x = fi::corruptInputs(
+        inputs.images, deviceMap_, failure_.rate(rec.plan.vddvInputs),
+        cfg_.inputFlipProb, cfg_.layout, input_rng);
+
+    rec.predictions = scratch.net->predict(x);
+    rec.correct.resize(rec.predictions.size());
+    for (std::size_t j = 0; j < rec.predictions.size(); ++j)
+        rec.correct[j] = rec.predictions[j] == inputs.labels[j];
+
+    rec.resilience = rmem.snapshot();
+    const resilience::ResilienceStats &rs = rec.resilience;
+    rec.errorRate =
+        rs.reads ? static_cast<double>(rs.reads - rs.cleanReads) /
+                       static_cast<double>(rs.reads)
+                 : 0.0;
+
+    accel::RetryOverhead overhead;
+    if (rs.reads > 0) {
+        overhead.retryRate = static_cast<double>(rs.retries) /
+                             static_cast<double>(rs.reads);
+        overhead.escalatedFraction =
+            static_cast<double>(rs.escalations) /
+            static_cast<double>(rs.reads + rs.retries);
+        overhead.escalatedLevel =
+            std::min(rec.plan.weightLevel + 1, cfg_.chip.boostLevels);
+    }
+
+    // Weights are staged through the SRAM once per batch; activations
+    // and partial sums scale with the batch size.
+    const auto b = static_cast<std::uint64_t>(batch.requests.size());
+    accel::LayerActivity activity;
+    activity.macs = perInference_.macs * b;
+    activity.weightAccesses = perInference_.weightAccesses;
+    activity.inputAccesses = perInference_.inputAccesses * b;
+    activity.psumAccesses = perInference_.psumAccesses * b;
+
+    const accel::PerfResult perf =
+        perf_.evaluate(activity, rec.plan.vdd, rec.plan.weightLevel,
+                       accel::SupplyMode::Boosted, overhead);
+    rec.serviceTicks = std::max<Tick>(
+        1, static_cast<Tick>(
+               std::ceil(perf.runtime.value() * cfg_.ticksPerSecond)));
+    rec.modeledEnergy = perf.totalEnergy;
+    rec.sramEnergy = rmem.totalAccessEnergy();
+}
+
+void
+InferenceServer::assignSlots(std::vector<BatchRecord> &records) const
+{
+    // FCFS over virtual slots in formation order: earliest-free slot
+    // wins, ties to the lowest index. A pure function of the service
+    // times, so timing never depends on the execution thread count.
+    std::vector<Tick> free_at(static_cast<std::size_t>(cfg_.workerSlots),
+                              0);
+    for (BatchRecord &rec : records) {
+        std::size_t slot = 0;
+        for (std::size_t s = 1; s < free_at.size(); ++s) {
+            if (free_at[s] < free_at[slot])
+                slot = s;
+        }
+        rec.slot = static_cast<int>(slot);
+        rec.startTick = std::max(rec.formedTick, free_at[slot]);
+        rec.completionTick = rec.startTick + rec.serviceTicks;
+        free_at[slot] = rec.completionTick;
+    }
+}
+
+ServerStats
+InferenceServer::aggregate(const std::vector<RequestOutcome> &outcomes,
+                           const std::vector<BatchRecord> &records)
+{
+    ServerStats stats;
+    TenantStats &tot = stats.total;
+    std::vector<double> latencies;
+
+    for (const RequestOutcome &out : outcomes) {
+        TenantStats &tenant = stats.perTenant[out.tenant];
+        ++tenant.requests;
+        ++tot.requests;
+        if (!out.admitted) {
+            if (out.shedReason == ShedReason::QueueFull) {
+                ++tenant.shedQueueFull;
+                ++tot.shedQueueFull;
+            } else {
+                ++tenant.shedTenantQuota;
+                ++tot.shedTenantQuota;
+            }
+            continue;
+        }
+        ++tenant.admitted;
+        ++tot.admitted;
+        if (out.correct) {
+            ++tenant.correct;
+            ++tot.correct;
+        }
+        const Tick wait = out.queueWaitTicks();
+        const Tick latency = out.latencyTicks();
+        tenant.queueWaitTicksSum += wait;
+        tot.queueWaitTicksSum += wait;
+        tenant.latencyTicksSum += latency;
+        tot.latencyTicksSum += latency;
+        tenant.maxLatencyTicks = std::max(tenant.maxLatencyTicks, latency);
+        tot.maxLatencyTicks = std::max(tot.maxLatencyTicks, latency);
+        latencies.push_back(static_cast<double>(latency));
+    }
+
+    for (const BatchRecord &rec : records) {
+        TenantStats &tenant = stats.perTenant[rec.tenant];
+        ++tenant.batches;
+        ++tot.batches;
+        tenant.inferences += rec.size;
+        tot.inferences += rec.size;
+        tenant.retries += rec.resilience.retries;
+        tot.retries += rec.resilience.retries;
+        tenant.escalations += rec.resilience.escalations;
+        tot.escalations += rec.resilience.escalations;
+        tenant.quarantines += rec.resilience.quarantines;
+        tot.quarantines += rec.resilience.quarantines;
+        tenant.uncorrected += rec.resilience.uncorrected;
+        tot.uncorrected += rec.resilience.uncorrected;
+        const double pj = rec.modeledEnergy.value() * 1e12;
+        tenant.energyPj += pj;
+        tot.energyPj += pj;
+    }
+
+    for (auto &[name, tenant] : stats.perTenant)
+        tenant.finalVddStep = planner_.tenantStep(name);
+
+    stats.meanBatchSize =
+        tot.batches ? static_cast<double>(tot.inferences) /
+                          static_cast<double>(tot.batches)
+                    : 0.0;
+    if (!latencies.empty()) {
+        stats.p50LatencyTicks = percentile(latencies, 50.0);
+        stats.p95LatencyTicks = percentile(latencies, 95.0);
+    }
+    stats.accuracy = tot.inferences
+                         ? static_cast<double>(tot.correct) /
+                               static_cast<double>(tot.inferences)
+                         : 0.0;
+    return stats;
+}
+
+ServeResult
+InferenceServer::run(const std::vector<InferenceRequest> &trace)
+{
+    std::unordered_map<std::uint64_t, std::size_t> id_to_index;
+    id_to_index.reserve(trace.size());
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+        if (i > 0 && trace[i].arrivalTick < trace[i - 1].arrivalTick)
+            fatal("InferenceServer::run: arrival ticks must be "
+                  "nondecreasing (trace index ", i, ")");
+        if (trace[i].sample >= pool_.size())
+            fatal("InferenceServer::run: sample index ", trace[i].sample,
+                  " outside the pool of ", pool_.size());
+        if (!id_to_index.emplace(trace[i].id, i).second)
+            fatal("InferenceServer::run: duplicate request id ",
+                  trace[i].id);
+    }
+
+    ServeResult result;
+    result.outcomes.resize(trace.size());
+    std::vector<FormedBatch> formed = formBatches(trace, result.outcomes);
+    for (std::size_t k = 0; k < formed.size(); ++k) {
+        if (formed[k].seq != k)
+            panic("InferenceServer::run: batch sequence ", formed[k].seq,
+                  " out of order at position ", k);
+    }
+
+    std::vector<BatchRecord> records(formed.size());
+    const unsigned num_threads = ThreadPool::resolveThreads(cfg_.numThreads);
+    if (scratch_.size() < num_threads)
+        scratch_.resize(num_threads);
+
+    // Epoch execution: plans freeze serially, batches run in parallel,
+    // feedback applies serially in batch order — the planner never
+    // observes a scheduling-dependent interleaving.
+    const auto interval = static_cast<std::size_t>(cfg_.feedbackInterval);
+    for (std::size_t begin = 0; begin < formed.size(); begin += interval) {
+        const std::size_t end =
+            std::min(begin + interval, formed.size());
+        for (std::size_t k = begin; k < end; ++k) {
+            records[k].seq = formed[k].seq;
+            records[k].tenant = formed[k].tenant;
+            records[k].slo = formed[k].slo;
+            records[k].size = formed[k].requests.size();
+            records[k].formedTick = formed[k].formedTick;
+            records[k].plan =
+                planner_.planFor(formed[k].tenant, formed[k].slo);
+        }
+        parallelFor(end - begin, cfg_.numThreads,
+                    [&](std::size_t i, unsigned slot) {
+                        executeBatch(formed[begin + i],
+                                     records[begin + i], scratch_[slot]);
+                    });
+        for (std::size_t k = begin; k < end; ++k)
+            planner_.observeErrorRate(records[k].tenant,
+                                      records[k].errorRate);
+    }
+
+    assignSlots(records);
+
+    for (const BatchRecord &rec : records) {
+        const FormedBatch &batch = formed[rec.seq];
+        for (std::size_t j = 0; j < batch.requests.size(); ++j) {
+            RequestOutcome &out =
+                result.outcomes[id_to_index.at(batch.requests[j].id)];
+            out.batchSeq = rec.seq;
+            out.predictedClass = rec.predictions[j];
+            out.correct = rec.correct[j];
+            out.formedTick = rec.formedTick;
+            out.startTick = rec.startTick;
+            out.completionTick = rec.completionTick;
+            out.energyPj = rec.modeledEnergy.value() * 1e12 /
+                           static_cast<double>(rec.size);
+        }
+    }
+
+    result.batches = std::move(records);
+    result.stats = aggregate(result.outcomes, result.batches);
+    return result;
+}
+
+} // namespace vboost::serve

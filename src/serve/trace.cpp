@@ -1,0 +1,67 @@
+#include "serve/trace.hpp"
+
+#include <cmath>
+
+#include "common/logging.hpp"
+#include "common/rng.hpp"
+
+namespace vboost::serve {
+
+std::vector<InferenceRequest>
+generatePoissonTrace(const TraceConfig &cfg)
+{
+    if (cfg.requestsPerTick <= 0.0)
+        fatal("generatePoissonTrace: requestsPerTick must be > 0, got ",
+              cfg.requestsPerTick);
+    if (cfg.tenants.empty())
+        fatal("generatePoissonTrace: at least one tenant required");
+    if (cfg.samplePoolSize < 1)
+        fatal("generatePoissonTrace: samplePoolSize must be >= 1");
+
+    double total_share = 0.0;
+    for (const auto &tenant : cfg.tenants) {
+        if (tenant.trafficShare <= 0.0)
+            fatal("generatePoissonTrace: tenant '", tenant.name,
+                  "' has non-positive traffic share ", tenant.trafficShare);
+        total_share += tenant.trafficShare;
+    }
+
+    // Independent streams per draw kind, so e.g. adding a tenant to the
+    // mix does not perturb the arrival process.
+    Rng base(cfg.seed);
+    Rng arrivals = base.split(1);
+    Rng tenant_picks = base.split(2);
+    Rng sample_picks = base.split(3);
+
+    std::vector<InferenceRequest> trace;
+    trace.reserve(cfg.numRequests);
+    double t = 0.0;
+    for (std::size_t i = 0; i < cfg.numRequests; ++i) {
+        // Exponential inter-arrival; uniform() is in [0, 1) so the log
+        // argument stays in (0, 1].
+        t += -std::log(1.0 - arrivals.uniform()) / cfg.requestsPerTick;
+
+        double pick = tenant_picks.uniform() * total_share;
+        const TenantSpec *chosen = &cfg.tenants.back();
+        for (const auto &tenant : cfg.tenants) {
+            if (pick < tenant.trafficShare) {
+                chosen = &tenant;
+                break;
+            }
+            pick -= tenant.trafficShare;
+        }
+
+        InferenceRequest req;
+        req.id = i;
+        req.tenant = chosen->name;
+        req.slo = chosen->slo;
+        req.sample =
+            static_cast<std::size_t>(sample_picks.uniformInt(
+                static_cast<std::uint64_t>(cfg.samplePoolSize)));
+        req.arrivalTick = static_cast<Tick>(std::floor(t));
+        trace.push_back(std::move(req));
+    }
+    return trace;
+}
+
+} // namespace vboost::serve

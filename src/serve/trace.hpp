@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Open-loop Poisson load generator (DESIGN.md §9): produces a
+ * deterministic request trace — exponential inter-arrival times on the
+ * virtual clock, tenants drawn by traffic share, sample indices drawn
+ * uniformly from the server's sample pool — from a single seed, so the
+ * same trace can be replayed against any server configuration and any
+ * worker count.
+ */
+
+#ifndef VBOOST_SERVE_TRACE_HPP
+#define VBOOST_SERVE_TRACE_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "serve/request.hpp"
+
+namespace vboost::serve {
+
+/** One traffic source in the generated mix. */
+struct TenantSpec
+{
+    std::string name;
+    SloClass slo = SloClass::Silver;
+    /** Relative traffic share (normalized over the mix). */
+    double trafficShare = 1.0;
+};
+
+/** Trace-generation parameters. */
+struct TraceConfig
+{
+    /** Mean arrival rate in requests per microtick (Poisson process).
+     *  At 1e6 ticks/s, 0.001 is 1000 requests per second. */
+    double requestsPerTick = 0.001;
+    /** Requests to generate. */
+    std::size_t numRequests = 256;
+    /** RNG seed; the whole trace is a pure function of this config. */
+    std::uint64_t seed = 42;
+    /** Traffic mix (must be non-empty, shares > 0). */
+    std::vector<TenantSpec> tenants;
+    /** Size of the sample pool request indices are drawn from. */
+    std::size_t samplePoolSize = 1;
+};
+
+/**
+ * Generate an open-loop Poisson arrival trace. Arrival ticks are
+ * nondecreasing; request ids are the trace positions.
+ */
+std::vector<InferenceRequest> generatePoissonTrace(const TraceConfig &cfg);
+
+} // namespace vboost::serve
+
+#endif // VBOOST_SERVE_TRACE_HPP

@@ -108,6 +108,104 @@ TEST_F(PerfTest, ValidatesInputs)
                  FatalError);
 }
 
+TEST_F(PerfTest, ZeroRetryRateMatchesOverheadFreeEvaluate)
+{
+    // A closed loop that never retried must price exactly like the
+    // open loop: the RetryOverhead path with retryRate = 0 and no
+    // escalated slice is the identity.
+    RetryOverhead idle;
+    idle.escalatedLevel = 3; // irrelevant while the slice is empty
+    const auto plain = model_.evaluate(fc_, 0.40_V, 2,
+                                       SupplyMode::Boosted);
+    const auto looped = model_.evaluate(fc_, 0.40_V, 2,
+                                        SupplyMode::Boosted, idle);
+    EXPECT_EQ(looped.cycles, plain.cycles);
+    EXPECT_DOUBLE_EQ(looped.dynamicEnergy.value(),
+                     plain.dynamicEnergy.value());
+    EXPECT_DOUBLE_EQ(looped.totalEnergy.value(),
+                     plain.totalEnergy.value());
+    EXPECT_DOUBLE_EQ(looped.clock.value(), plain.clock.value());
+}
+
+TEST_F(PerfTest, RetryRatesAtAndAboveOneAreAcceptedAndClamped)
+{
+    // Rates >= 1.0 are physical (several retries per access on
+    // average) and must inflate the access stream, not be rejected.
+    RetryOverhead heavy;
+    heavy.retryRate = 1.5;
+    const auto plain = model_.evaluate(fc_, 0.40_V, 2,
+                                       SupplyMode::Boosted);
+    const auto inflated = model_.evaluate(fc_, 0.40_V, 2,
+                                          SupplyMode::Boosted, heavy);
+    EXPECT_GT(inflated.cycles, plain.cycles);
+    EXPECT_GT(inflated.dynamicEnergy.value(),
+              plain.dynamicEnergy.value());
+
+    // Beyond the pipeline's attempt ceiling (kMaxAttempts - 1 retries
+    // per access) the rate clamps: a nonsense rate prices identically
+    // to the ceiling.
+    RetryOverhead ceiling;
+    ceiling.retryRate = RetryOverhead::kMaxRetryRate;
+    RetryOverhead nonsense;
+    nonsense.retryRate = 20.0;
+    const auto at_max = model_.evaluate(fc_, 0.40_V, 2,
+                                        SupplyMode::Boosted, ceiling);
+    const auto clamped = model_.evaluate(fc_, 0.40_V, 2,
+                                         SupplyMode::Boosted, nonsense);
+    EXPECT_EQ(clamped.cycles, at_max.cycles);
+    EXPECT_DOUBLE_EQ(clamped.dynamicEnergy.value(),
+                     at_max.dynamicEnergy.value());
+    EXPECT_DOUBLE_EQ(clamped.totalEnergy.value(),
+                     at_max.totalEnergy.value());
+}
+
+TEST_F(PerfTest, EscalatedSliceEnergyIsMonotone)
+{
+    // Moving a larger fraction of the issued accesses to a higher
+    // boost level can only cost more dynamic energy; so can raising
+    // the escalated level itself.
+    RetryOverhead oh;
+    oh.retryRate = 0.25;
+    oh.escalatedLevel = 4;
+    double prev = -1.0;
+    for (double frac : {0.0, 0.25, 0.5, 1.0}) {
+        oh.escalatedFraction = frac;
+        const auto r = model_.evaluate(fc_, 0.40_V, 2,
+                                       SupplyMode::Boosted, oh);
+        EXPECT_GE(r.dynamicEnergy.value(), prev);
+        prev = r.dynamicEnergy.value();
+    }
+
+    oh.escalatedFraction = 0.5;
+    double prev_level = -1.0;
+    for (int level = 2; level <= 4; ++level) {
+        oh.escalatedLevel = level;
+        const auto r = model_.evaluate(fc_, 0.40_V, 2,
+                                       SupplyMode::Boosted, oh);
+        EXPECT_GE(r.dynamicEnergy.value(), prev_level);
+        prev_level = r.dynamicEnergy.value();
+    }
+}
+
+TEST_F(PerfTest, ValidatesRetryOverhead)
+{
+    RetryOverhead bad;
+    bad.retryRate = -0.1;
+    EXPECT_THROW(model_.evaluate(fc_, 0.40_V, 2, SupplyMode::Boosted,
+                                 bad),
+                 FatalError);
+    bad = {};
+    bad.escalatedFraction = 1.5;
+    EXPECT_THROW(model_.evaluate(fc_, 0.40_V, 2, SupplyMode::Boosted,
+                                 bad),
+                 FatalError);
+    bad = {};
+    bad.escalatedLevel = 9;
+    EXPECT_THROW(model_.evaluate(fc_, 0.40_V, 2, SupplyMode::Boosted,
+                                 bad),
+                 FatalError);
+}
+
 /** Property: efficiency falls as the single-rail voltage rises. */
 class EfficiencySweep : public ::testing::TestWithParam<double>
 {

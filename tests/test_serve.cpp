@@ -1,0 +1,559 @@
+/**
+ * @file
+ * Tests for the multi-tenant inference serving runtime (DESIGN.md §9):
+ * bounded-queue admission control, the deterministic dynamic batcher,
+ * the Poisson trace generator, the SLO -> operating-point planner with
+ * error-rate feedback, and the three acceptance properties of the
+ * InferenceServer — bitwise-identical results at any worker count,
+ * deterministic typed shedding at the queue bound, and lower-SLO
+ * classes never costing more energy per inference than higher ones at
+ * the same supply voltage.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "common/logging.hpp"
+#include "common/rng.hpp"
+#include "core/context.hpp"
+#include "dnn/dataset.hpp"
+#include "dnn/layers.hpp"
+#include "dnn/network.hpp"
+#include "serve/batcher.hpp"
+#include "serve/planner.hpp"
+#include "serve/queue.hpp"
+#include "serve/request.hpp"
+#include "serve/server.hpp"
+#include "serve/trace.hpp"
+
+namespace vboost::serve {
+namespace {
+
+constexpr double kFaultFree = 0.9;
+
+/** Monotone accuracy-vs-Vddv stub: 0 below 0.30 V, the fault-free
+ *  ceiling above 0.58 V, linear in between. Cheap, deterministic, and
+ *  feasible for all three SLO classes at the top of the Vdd grid. */
+double
+stubAccuracy(Volt vddv)
+{
+    const double t =
+        std::clamp((vddv.value() - 0.30) / 0.28, 0.0, 1.0);
+    return kFaultFree * t;
+}
+
+InferenceRequest
+makeRequest(std::uint64_t id, const std::string &tenant, SloClass slo,
+            Tick arrival, std::size_t sample = 0)
+{
+    InferenceRequest req;
+    req.id = id;
+    req.tenant = tenant;
+    req.slo = slo;
+    req.sample = sample;
+    req.arrivalTick = arrival;
+    return req;
+}
+
+// ---------------------------------------------------------------------
+// BoundedRequestQueue
+// ---------------------------------------------------------------------
+
+TEST(BoundedRequestQueue, ShedsWithTypedReasonsAtTheBounds)
+{
+    BoundedRequestQueue q(2, 1);
+    EXPECT_TRUE(
+        q.tryAdmit(makeRequest(0, "a", SloClass::Gold, 0)).admitted);
+
+    // Second "a" request trips the per-tenant quota, not the global
+    // bound.
+    const auto quota = q.tryAdmit(makeRequest(1, "a", SloClass::Gold, 1));
+    EXPECT_FALSE(quota.admitted);
+    EXPECT_EQ(quota.reason, ShedReason::TenantQuotaExceeded);
+
+    EXPECT_TRUE(
+        q.tryAdmit(makeRequest(2, "b", SloClass::Bronze, 2)).admitted);
+
+    // Queue is now globally full; even a fresh tenant is shed.
+    const auto full = q.tryAdmit(makeRequest(3, "c", SloClass::Gold, 3));
+    EXPECT_FALSE(full.admitted);
+    EXPECT_EQ(full.reason, ShedReason::QueueFull);
+
+    EXPECT_EQ(q.occupancy(), 2u);
+    EXPECT_EQ(q.admitted(), 2u);
+    EXPECT_EQ(q.shedQueueFull(), 1u);
+    EXPECT_EQ(q.shedTenantQuota(), 1u);
+
+    // Closing "a"'s batch frees its slot for admission again.
+    q.release("a", 1);
+    EXPECT_EQ(q.occupancy(), 1u);
+    EXPECT_EQ(q.tenantOccupancy("a"), 0u);
+    EXPECT_TRUE(
+        q.tryAdmit(makeRequest(4, "a", SloClass::Gold, 4)).admitted);
+}
+
+TEST(BoundedRequestQueue, ValidatesConstruction)
+{
+    EXPECT_THROW(BoundedRequestQueue(0), FatalError);
+}
+
+// ---------------------------------------------------------------------
+// DynamicBatcher
+// ---------------------------------------------------------------------
+
+TEST(DynamicBatcher, ClosesWhenAGroupReachesMaxSize)
+{
+    DynamicBatcher b({2, 1000});
+    EXPECT_FALSE(b.add(makeRequest(0, "a", SloClass::Gold, 10)));
+    EXPECT_EQ(b.pendingCount(), 1u);
+    const auto batch = b.add(makeRequest(1, "a", SloClass::Gold, 17));
+    ASSERT_TRUE(batch.has_value());
+    EXPECT_EQ(batch->seq, 0u);
+    EXPECT_EQ(batch->tenant, "a");
+    EXPECT_EQ(batch->requests.size(), 2u);
+    // A size-close stamps the closing request's arrival instant.
+    EXPECT_EQ(batch->formedTick, 17u);
+    EXPECT_EQ(b.pendingCount(), 0u);
+    EXPECT_FALSE(b.nextDeadline().has_value());
+}
+
+TEST(DynamicBatcher, SameTenantDifferentSloNeverShareABatch)
+{
+    DynamicBatcher b({2, 1000});
+    EXPECT_FALSE(b.add(makeRequest(0, "a", SloClass::Gold, 0)));
+    // Same tenant, different accuracy contract: separate group.
+    EXPECT_FALSE(b.add(makeRequest(1, "a", SloClass::Bronze, 1)));
+    EXPECT_EQ(b.pendingCount(), 2u);
+    const auto flushed = b.closeDue(DynamicBatcher::kNever);
+    ASSERT_EQ(flushed.size(), 2u);
+    EXPECT_EQ(flushed[0].requests.size(), 1u);
+    EXPECT_EQ(flushed[1].requests.size(), 1u);
+}
+
+TEST(DynamicBatcher, DeadlineCloseHappensInDeadlineOrder)
+{
+    DynamicBatcher b({8, 100});
+    b.add(makeRequest(0, "late", SloClass::Gold, 50));
+    b.add(makeRequest(1, "early", SloClass::Gold, 10));
+    // Nothing is due before the earliest deadline.
+    EXPECT_TRUE(b.closeDue(100).empty());
+    ASSERT_TRUE(b.nextDeadline().has_value());
+    EXPECT_EQ(*b.nextDeadline(), 110u);
+
+    // A late sweep closes both, in (deadline, key) order, and each
+    // batch is stamped with its own deadline, not the sweep instant.
+    const auto due = b.closeDue(1000);
+    ASSERT_EQ(due.size(), 2u);
+    EXPECT_EQ(due[0].tenant, "early");
+    EXPECT_EQ(due[0].formedTick, 110u);
+    EXPECT_EQ(due[1].tenant, "late");
+    EXPECT_EQ(due[1].formedTick, 150u);
+    EXPECT_EQ(due[0].seq, 0u);
+    EXPECT_EQ(due[1].seq, 1u);
+}
+
+TEST(DynamicBatcher, ValidatesConfig)
+{
+    EXPECT_THROW(DynamicBatcher({0, 100}), FatalError);
+}
+
+// ---------------------------------------------------------------------
+// Poisson trace generator
+// ---------------------------------------------------------------------
+
+TEST(PoissonTrace, IsDeterministicAndWellFormed)
+{
+    TraceConfig cfg;
+    cfg.requestsPerTick = 0.002;
+    cfg.numRequests = 64;
+    cfg.seed = 7;
+    cfg.tenants = {{"a", SloClass::Gold, 0.5},
+                   {"b", SloClass::Bronze, 0.5}};
+    cfg.samplePoolSize = 16;
+
+    const auto t1 = generatePoissonTrace(cfg);
+    const auto t2 = generatePoissonTrace(cfg);
+    ASSERT_EQ(t1.size(), 64u);
+    EXPECT_EQ(t1, t2);
+
+    std::set<std::string> tenants;
+    for (std::size_t i = 0; i < t1.size(); ++i) {
+        EXPECT_EQ(t1[i].id, i);
+        EXPECT_LT(t1[i].sample, cfg.samplePoolSize);
+        if (i > 0) {
+            EXPECT_GE(t1[i].arrivalTick, t1[i - 1].arrivalTick);
+        }
+        tenants.insert(t1[i].tenant);
+    }
+    // Both 50% tenants appear in 64 draws.
+    EXPECT_EQ(tenants.size(), 2u);
+
+    // A different seed moves the arrivals.
+    cfg.seed = 8;
+    EXPECT_NE(generatePoissonTrace(cfg), t1);
+}
+
+TEST(PoissonTrace, ValidatesConfig)
+{
+    TraceConfig cfg;
+    cfg.tenants = {{"a", SloClass::Gold, 1.0}};
+    cfg.requestsPerTick = 0.0;
+    EXPECT_THROW(generatePoissonTrace(cfg), FatalError);
+    cfg.requestsPerTick = 0.001;
+    cfg.tenants.clear();
+    EXPECT_THROW(generatePoissonTrace(cfg), FatalError);
+    cfg.tenants = {{"a", SloClass::Gold, -1.0}};
+    EXPECT_THROW(generatePoissonTrace(cfg), FatalError);
+}
+
+// ---------------------------------------------------------------------
+// OperatingPointPlanner
+// ---------------------------------------------------------------------
+
+class PlannerTest : public ::testing::Test
+{
+  protected:
+    PlannerTest() : ctx_(core::SimContext::standard()) {}
+
+    OperatingPointPlanner makePlanner() const
+    {
+        InferenceFootprint fp;
+        fp.weightAccesses = 6352;
+        fp.inputAccesses = 204;
+        fp.psumAccesses = 64;
+        fp.computeOps = 25408;
+        return OperatingPointPlanner(ctx_, 16, &stubAccuracy,
+                                     kFaultFree, fp);
+    }
+
+    core::SimContext ctx_;
+};
+
+TEST_F(PlannerTest, BasePlanMeetsTheClassTarget)
+{
+    auto planner = makePlanner();
+    for (int c = 0; c < kNumSloClasses; ++c) {
+        const auto slo = static_cast<SloClass>(c);
+        const auto &plan = planner.planFor("tenant", slo);
+        EXPECT_GE(plan.plannedAccuracy, plan.targetAccuracy);
+        EXPECT_GT(plan.energyPerInference.value(), 0.0);
+        EXPECT_EQ(plan.vddStep, 0);
+        EXPECT_GE(planner.ladderSize(slo), 1u);
+    }
+    // Looser contracts have lower absolute targets.
+    EXPECT_GT(planner.targetAccuracy(SloClass::Gold),
+              planner.targetAccuracy(SloClass::Silver));
+    EXPECT_GT(planner.targetAccuracy(SloClass::Silver),
+              planner.targetAccuracy(SloClass::Bronze));
+}
+
+TEST_F(PlannerTest, LowerSloNeverCostsMoreAtTheSameVdd)
+{
+    // Acceptance (c): at every supply voltage where the Gold contract
+    // is servable at all, the looser contracts are servable too and
+    // their planned energy per inference is no higher.
+    auto planner = makePlanner();
+    int compared = 0;
+    for (Volt vdd : planner.config().vddGrid) {
+        const auto gold = planner.planAtVdd(SloClass::Gold, vdd);
+        if (!gold)
+            continue;
+        const auto silver = planner.planAtVdd(SloClass::Silver, vdd);
+        const auto bronze = planner.planAtVdd(SloClass::Bronze, vdd);
+        ASSERT_TRUE(silver.has_value());
+        ASSERT_TRUE(bronze.has_value());
+        EXPECT_LE(bronze->weightLevel, silver->weightLevel);
+        EXPECT_LE(silver->weightLevel, gold->weightLevel);
+        EXPECT_LE(bronze->energyPerInference.value(),
+                  silver->energyPerInference.value());
+        EXPECT_LE(silver->energyPerInference.value(),
+                  gold->energyPerInference.value());
+        ++compared;
+    }
+    EXPECT_GT(compared, 0);
+}
+
+TEST_F(PlannerTest, ErrorFeedbackStepsUpTheLadderAndBackDown)
+{
+    auto planner = makePlanner();
+    ASSERT_GE(planner.ladderSize(SloClass::Bronze), 2u);
+    const Volt base_vdd =
+        planner.planFor("t", SloClass::Bronze).vdd;
+
+    // A noisy epoch: the EWMA seeds above the step-up threshold and
+    // the tenant moves one rung toward higher Vdd.
+    planner.observeErrorRate("t", 0.5);
+    EXPECT_EQ(planner.tenantStep("t"), 1);
+    const auto &raised = planner.planFor("t", SloClass::Bronze);
+    EXPECT_EQ(raised.vddStep, 1);
+    EXPECT_GT(raised.vdd.value(), base_vdd.value());
+
+    // Quiet epochs decay the EWMA below the step-down threshold and
+    // the tenant returns to the cheap base rung.
+    planner.observeErrorRate("t", 0.0);
+    EXPECT_EQ(planner.tenantStep("t"), 0);
+    EXPECT_EQ(planner.planFor("t", SloClass::Bronze).vddStep, 0);
+
+    // Tenants are independent.
+    EXPECT_EQ(planner.tenantStep("other"), 0);
+
+    EXPECT_THROW(planner.observeErrorRate("t", -0.1), FatalError);
+}
+
+// ---------------------------------------------------------------------
+// InferenceServer acceptance
+// ---------------------------------------------------------------------
+
+class ServeTest : public ::testing::Test
+{
+  protected:
+    ServeTest()
+        : ctx_(core::SimContext::standard()),
+          pool_(dnn::makeSyntheticMnist(32, 3))
+    {
+        // A small FC net keeps the per-batch weight staging through
+        // the resilient memory cheap; untrained is fine — the server
+        // only needs deterministic predictions.
+        Rng rng(7);
+        net_.addLayer<dnn::Dense>(784, 32, rng, "fc1");
+        net_.addLayer<dnn::Relu>("fc1.relu");
+        net_.addLayer<dnn::Dense>(32, 10, rng, "fc2");
+
+        act_.macs = 25408;
+        act_.weightAccesses = 6352;
+        act_.inputAccesses = 204;
+        act_.psumAccesses = 64;
+    }
+
+    OperatingPointPlanner makePlanner() const
+    {
+        InferenceFootprint fp;
+        fp.weightAccesses = act_.weightAccesses;
+        fp.inputAccesses = act_.inputAccesses;
+        fp.psumAccesses = act_.psumAccesses;
+        fp.computeOps = act_.macs;
+        return OperatingPointPlanner(ctx_, 16, &stubAccuracy,
+                                     kFaultFree, fp);
+    }
+
+    InferenceServer makeServer(ServerConfig cfg)
+    {
+        return InferenceServer(ctx_, net_, pool_, act_, makePlanner(),
+                               cfg);
+    }
+
+    std::vector<InferenceRequest> makeTrace(std::size_t n,
+                                            double rate) const
+    {
+        TraceConfig cfg;
+        cfg.requestsPerTick = rate;
+        cfg.numRequests = n;
+        cfg.seed = 42;
+        cfg.tenants = {{"acme", SloClass::Gold, 0.5},
+                       {"batchco", SloClass::Bronze, 0.5}};
+        cfg.samplePoolSize = pool_.size();
+        return generatePoissonTrace(cfg);
+    }
+
+    static ServerConfig smallConfig()
+    {
+        ServerConfig cfg;
+        cfg.queueCapacity = 16;
+        cfg.batcher.maxBatchSize = 4;
+        cfg.batcher.maxWaitTicks = 2000;
+        cfg.workerSlots = 2;
+        cfg.feedbackInterval = 2;
+        return cfg;
+    }
+
+    core::SimContext ctx_;
+    dnn::Network net_;
+    dnn::Dataset pool_;
+    accel::LayerActivity act_;
+};
+
+TEST_F(ServeTest, ResultsAreBitwiseIdenticalAtAnyWorkerCount)
+{
+    // Acceptance (a): the worker count is an execution detail; every
+    // outcome, every stat and the stats fingerprint are bitwise
+    // identical between a serial and an 8-thread server.
+    const auto trace = makeTrace(24, 0.002);
+
+    auto serial_cfg = smallConfig();
+    serial_cfg.numThreads = 1;
+    auto serial = makeServer(serial_cfg);
+    const auto r1 = serial.run(trace);
+
+    auto wide_cfg = smallConfig();
+    wide_cfg.numThreads = 8;
+    auto wide = makeServer(wide_cfg);
+    const auto r8 = wide.run(trace);
+
+    ASSERT_EQ(r1.outcomes.size(), trace.size());
+    EXPECT_EQ(r1.outcomes, r8.outcomes);
+    EXPECT_EQ(r1.stats, r8.stats);
+    EXPECT_EQ(r1.stats.fingerprint(), r8.stats.fingerprint());
+
+    // Batch-level records agree too (same plans, same timing, same
+    // resilience counters).
+    ASSERT_EQ(r1.batches.size(), r8.batches.size());
+    for (std::size_t i = 0; i < r1.batches.size(); ++i) {
+        EXPECT_EQ(r1.batches[i].startTick, r8.batches[i].startTick);
+        EXPECT_EQ(r1.batches[i].completionTick,
+                  r8.batches[i].completionTick);
+        EXPECT_EQ(r1.batches[i].predictions, r8.batches[i].predictions);
+        EXPECT_DOUBLE_EQ(r1.batches[i].modeledEnergy.value(),
+                         r8.batches[i].modeledEnergy.value());
+        EXPECT_EQ(r1.batches[i].resilience.retries,
+                  r8.batches[i].resilience.retries);
+    }
+}
+
+TEST_F(ServeTest, AccountingIsConsistent)
+{
+    const auto trace = makeTrace(24, 0.002);
+    auto server = makeServer(smallConfig());
+    const auto r = server.run(trace);
+    const auto &s = r.stats;
+
+    EXPECT_EQ(s.total.requests, trace.size());
+    EXPECT_EQ(s.total.admitted + s.total.shedQueueFull +
+                  s.total.shedTenantQuota,
+              s.total.requests);
+    EXPECT_EQ(s.total.inferences, s.total.admitted);
+
+    // Per-tenant rows sum to the totals.
+    std::uint64_t requests = 0, admitted = 0, inferences = 0;
+    double energy = 0.0;
+    for (const auto &[name, t] : s.perTenant) {
+        requests += t.requests;
+        admitted += t.admitted;
+        inferences += t.inferences;
+        energy += t.energyPj;
+    }
+    EXPECT_EQ(requests, s.total.requests);
+    EXPECT_EQ(admitted, s.total.admitted);
+    EXPECT_EQ(inferences, s.total.inferences);
+    EXPECT_NEAR(energy, s.total.energyPj, 1e-6 * (1.0 + energy));
+
+    // Batches cover exactly the admitted requests, in seq order.
+    std::uint64_t batched = 0;
+    for (std::size_t i = 0; i < r.batches.size(); ++i) {
+        EXPECT_EQ(r.batches[i].seq, i);
+        EXPECT_EQ(r.batches[i].predictions.size(), r.batches[i].size);
+        EXPECT_GE(r.batches[i].completionTick, r.batches[i].startTick);
+        EXPECT_GE(r.batches[i].startTick, r.batches[i].formedTick);
+        batched += r.batches[i].size;
+    }
+    EXPECT_EQ(batched, s.total.admitted);
+    EXPECT_GT(s.meanBatchSize, 0.0);
+    EXPECT_GE(s.p95LatencyTicks, s.p50LatencyTicks);
+    EXPECT_GT(s.total.energyPj, 0.0);
+    EXPECT_NE(s.fingerprint(), 0u);
+}
+
+TEST_F(ServeTest, SheddingAtTheQueueBoundIsDeterministicAndTyped)
+{
+    // Acceptance (b): a burst against a tiny queue sheds the same
+    // requests with the same typed reasons on every run. The burst is
+    // crafted so both bounds trip: "acme" floods past its quota while
+    // the queue still has room, then "batchco" fills the last slot and
+    // everything after hits the global bound.
+    std::vector<InferenceRequest> trace = {
+        makeRequest(0, "acme", SloClass::Gold, 0, 0),
+        makeRequest(1, "acme", SloClass::Gold, 1, 1),
+        makeRequest(2, "acme", SloClass::Gold, 2, 2),    // quota
+        makeRequest(3, "batchco", SloClass::Bronze, 3, 3),
+        makeRequest(4, "batchco", SloClass::Bronze, 4, 4), // full
+        makeRequest(5, "acme", SloClass::Gold, 5, 5),      // full
+        makeRequest(6, "batchco", SloClass::Bronze, 6, 6), // full
+    };
+    auto cfg = smallConfig();
+    cfg.queueCapacity = 3;
+    cfg.perTenantQueueCap = 2;
+    cfg.batcher.maxBatchSize = 8;
+    cfg.batcher.maxWaitTicks = 10000;
+
+    auto collectSheds = [&](const ServeResult &r) {
+        std::vector<std::pair<std::uint64_t, ShedReason>> sheds;
+        for (const auto &o : r.outcomes) {
+            if (!o.admitted)
+                sheds.emplace_back(o.id, o.shedReason);
+        }
+        return sheds;
+    };
+
+    auto s1 = makeServer(cfg);
+    const auto r1 = s1.run(trace);
+    auto s2 = makeServer(cfg);
+    const auto r2 = s2.run(trace);
+
+    const auto sheds1 = collectSheds(r1);
+    EXPECT_EQ(sheds1, collectSheds(r2));
+    EXPECT_EQ(r1.stats.fingerprint(), r2.stats.fingerprint());
+
+    // The exact shed set is part of the contract, not a statistic.
+    const std::vector<std::pair<std::uint64_t, ShedReason>> expected = {
+        {2, ShedReason::TenantQuotaExceeded},
+        {4, ShedReason::QueueFull},
+        {5, ShedReason::QueueFull},
+        {6, ShedReason::QueueFull},
+    };
+    EXPECT_EQ(sheds1, expected);
+    EXPECT_EQ(r1.stats.total.shedQueueFull, 3u);
+    EXPECT_EQ(r1.stats.total.shedTenantQuota, 1u);
+    EXPECT_EQ(r1.stats.total.admitted, 3u);
+    EXPECT_EQ(r1.stats.total.admitted + sheds1.size(), trace.size());
+}
+
+TEST_F(ServeTest, ServedRequestsCarryPlanAndTiming)
+{
+    const auto trace = makeTrace(16, 0.002);
+    auto server = makeServer(smallConfig());
+    const auto r = server.run(trace);
+    for (const auto &o : r.outcomes) {
+        if (!o.admitted)
+            continue;
+        EXPECT_GE(o.formedTick, o.arrivalTick);
+        EXPECT_GE(o.startTick, o.formedTick);
+        EXPECT_GT(o.completionTick, o.startTick);
+        EXPECT_GE(o.predictedClass, 0);
+        EXPECT_GT(o.energyPj, 0.0);
+        ASSERT_LT(o.batchSeq, r.batches.size());
+        const auto &batch = r.batches[o.batchSeq];
+        EXPECT_EQ(batch.tenant, o.tenant);
+        EXPECT_EQ(batch.slo, o.slo);
+        // The batch ran at a plan meeting the request's contract.
+        EXPECT_GE(batch.plan.plannedAccuracy,
+                  batch.plan.targetAccuracy);
+    }
+}
+
+TEST_F(ServeTest, ValidatesTraces)
+{
+    auto server = makeServer(smallConfig());
+
+    std::vector<InferenceRequest> decreasing = {
+        makeRequest(0, "a", SloClass::Gold, 100),
+        makeRequest(1, "a", SloClass::Gold, 50),
+    };
+    EXPECT_THROW(server.run(decreasing), FatalError);
+
+    std::vector<InferenceRequest> bad_sample = {
+        makeRequest(0, "a", SloClass::Gold, 0, pool_.size()),
+    };
+    EXPECT_THROW(server.run(bad_sample), FatalError);
+
+    std::vector<InferenceRequest> duplicate = {
+        makeRequest(3, "a", SloClass::Gold, 0),
+        makeRequest(3, "a", SloClass::Gold, 1),
+    };
+    EXPECT_THROW(server.run(duplicate), FatalError);
+}
+
+} // namespace
+} // namespace vboost::serve
