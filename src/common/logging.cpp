@@ -9,11 +9,13 @@ namespace vboost {
 
 namespace {
 
+// vblint: allow(VB004, process-wide log verbosity flag; atomic and never feeds model results)
 std::atomic<bool> quietFlag{false};
 
 double
 wallClockSeconds()
 {
+    // vblint: allow(VB001, wall clock feeds only the warn rate limiter and log volume, never model results)
     using clock = std::chrono::steady_clock;
     return std::chrono::duration<double>(clock::now().time_since_epoch())
         .count();
@@ -69,8 +71,13 @@ TokenBucket::allow(double now_sec)
 
 namespace {
 
+// The rate-limited warn path is deliberately process-global: it guards
+// log volume, is mutex-serialized, and never feeds model results.
+// vblint: allow(VB004, lock guarding the process-wide warn rate limiter)
 std::mutex warnLimiterMutex;
+// vblint: allow(VB004, process-wide warn rate limiter; log volume only)
 std::unique_ptr<TokenBucket> warnLimiter;
+// vblint: allow(VB004, suppressed-warning counter; log volume only)
 std::uint64_t warnSuppressed = 0;
 
 constexpr double kWarnRate = 5.0;

@@ -33,6 +33,7 @@ ThreadPool::~ThreadPool()
 ThreadPool &
 ThreadPool::global()
 {
+    // vblint: allow(VB004, shared worker-pool singleton; §7 discipline keeps results thread-count invariant)
     static ThreadPool pool;
     return pool;
 }

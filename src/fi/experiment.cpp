@@ -217,8 +217,8 @@ FaultInjectionRunner::runResilient(Volt vdd, const core::SimContext &ctx,
     double latency_sum = 0.0;
     for (const auto &r : results) {
         out.stats.merge(r.res);
-        energy_sum += r.resEnergy.value();
-        latency_sum += r.res.retryLatency.value();
+        energy_sum += r.resEnergy.value();         // vblint: assoc-ok(map-index-order reduction, §7)
+        latency_sum += r.res.retryLatency.value(); // vblint: assoc-ok(map-index-order reduction, §7)
     }
     const auto n = static_cast<double>(results.size());
     out.meanAccessEnergy = Joule(energy_sum / n);

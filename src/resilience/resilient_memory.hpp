@@ -24,7 +24,7 @@
 #define VBOOST_RESILIENCE_RESILIENT_MEMORY_HPP
 
 #include <cstdint>
-#include <unordered_map>
+#include <map>
 #include <vector>
 
 #include "circuit/latency.hpp"
@@ -196,8 +196,12 @@ class ResilientMemory
 
     BankErrorMonitor monitor_;
     SpareRowTable spares_;
-    /** Uncorrectable-event count per offending row. */
-    std::unordered_map<std::uint32_t, int> rowErrors_;
+    /** Uncorrectable-event count per offending row. Ordered map by
+     *  design (VB002 hygiene): today only keyed lookups touch it, but
+     *  any future iteration (debug dumps, digests) must not inherit
+     *  hash-table order. The table is tiny (offender rows only), so
+     *  the tree overhead is noise. */
+    std::map<std::uint32_t, int> rowErrors_;
 
     Rng base_;
     std::uint64_t accessCounter_ = 0;

@@ -311,8 +311,8 @@ InferenceServer::aggregate(const std::vector<RequestOutcome> &outcomes,
         tenant.uncorrected += rec.resilience.uncorrected;
         tot.uncorrected += rec.resilience.uncorrected;
         const double pj = rec.modeledEnergy.value() * 1e12;
-        tenant.energyPj += pj;
-        tot.energyPj += pj;
+        tenant.energyPj += pj; // vblint: assoc-ok(serial aggregation in batch seq order)
+        tot.energyPj += pj;    // vblint: assoc-ok(serial aggregation in batch seq order)
     }
 
     for (auto &[name, tenant] : stats.perTenant)
@@ -336,6 +336,9 @@ InferenceServer::aggregate(const std::vector<RequestOutcome> &outcomes,
 ServeResult
 InferenceServer::run(const std::vector<InferenceRequest> &trace)
 {
+    // Audited for VB002: this table is keyed-lookup only (emplace +
+    // .at below) and is never iterated, so hash order cannot leak into
+    // outcomes; unordered stays for O(1) lookups on the hot join path.
     std::unordered_map<std::uint64_t, std::size_t> id_to_index;
     id_to_index.reserve(trace.size());
     for (std::size_t i = 0; i < trace.size(); ++i) {

@@ -10,6 +10,8 @@
 
 #include <gtest/gtest.h>
 
+#include "testenv.hpp"
+
 #include "common/logging.hpp"
 #include "common/rng.hpp"
 #include "core/context.hpp"
@@ -334,7 +336,8 @@ TEST_F(ResilientMemoryTest, SameSeedSameOutcome)
         rmem.reseed(Rng(7));
         Rng data_rng(8);
         std::uint64_t digest = 0;
-        for (std::uint32_t addr = 0; addr < 512; ++addr) {
+        const auto addrs = testenv::tsanScaled<std::uint32_t>(512, 128);
+        for (std::uint32_t addr = 0; addr < addrs; ++addr) {
             rmem.writeWord(addr, data_rng.next(), vdd);
             const auto out = rmem.readWord(addr, vdd, map);
             digest = digest * 1099511628211ull ^ out.data ^
@@ -366,9 +369,11 @@ class ResilientExperiment : public ::testing::Test
         net.addLayer<dnn::Dense>(16, 32, rng, "fc1");
         net.addLayer<dnn::Relu>("r");
         net.addLayer<dnn::Dense>(32, 4, rng, "fc2");
-        auto train = blobs(400, 11);
+        // TSan smoke: fewer samples/epochs keep the instrumented run
+        // fast; the fixture only needs a net better than chance.
+        auto train = blobs(testenv::tsanScaled(400, 160), 11);
         dnn::TrainConfig cfg;
-        cfg.epochs = 6;
+        cfg.epochs = testenv::tsanScaled(6, 3);
         dnn::SgdTrainer trainer(cfg);
         Rng train_rng(2);
         trainer.train(net, train, train_rng);
@@ -430,7 +435,7 @@ TEST_F(ResilientExperiment, DeterministicAcrossThreadCounts)
 
     auto run_at = [&](int threads) {
         ExperimentConfig cfg;
-        cfg.numMaps = 8;
+        cfg.numMaps = testenv::tsanScaled(8, 4);
         cfg.maxTestSamples = 200;
         cfg.numThreads = threads;
         FaultInjectionRunner runner(net, test, cfg);

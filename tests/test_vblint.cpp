@@ -1,0 +1,651 @@
+/**
+ * @file
+ * Tests for the vblint static analyzer (DESIGN.md §10). Synthetic
+ * snippets exercise each rule's positive and negative space through
+ * the exact production code path (analyzeSource/analyzeAll from
+ * vblint_core), the suppression and baseline machinery are checked
+ * end to end, the JSON report shape is pinned, and a self-check runs
+ * the analyzer over the real src/ tree with the committed baseline
+ * and asserts the build-failing diagnostic count is zero — the same
+ * invariant the `vblint` ctest entry and the CI job enforce.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analyzer.hpp"
+#include "report.hpp"
+#include "rules.hpp"
+
+namespace vboost::vblint {
+namespace {
+
+/** Diagnostics of `fa` that match `rule`, any status. */
+std::vector<Diagnostic>
+withRule(const FileAnalysis &fa, Rule rule)
+{
+    std::vector<Diagnostic> out;
+    for (const auto &d : fa.diagnostics)
+        if (d.rule == rule)
+            out.push_back(d);
+    return out;
+}
+
+int
+activeCount(const FileAnalysis &fa)
+{
+    int n = 0;
+    for (const auto &d : fa.diagnostics)
+        if (d.status == DiagStatus::Active)
+            ++n;
+    return n;
+}
+
+// ---------------------------------------------------------------- VB001
+
+TEST(VblintVB001, FlagsRandCallInModelCode)
+{
+    const auto fa = analyzeSource("src/fi/x.cpp",
+                                  "void f() {\n"
+                                  "    int a = rand();\n"
+                                  "    (void)a;\n"
+                                  "}\n");
+    const auto diags = withRule(fa, Rule::VB001);
+    ASSERT_EQ(diags.size(), 1u);
+    EXPECT_EQ(diags[0].line, 2);
+    EXPECT_EQ(diags[0].status, DiagStatus::Active);
+    EXPECT_NE(diags[0].message.find("rand"), std::string::npos);
+}
+
+TEST(VblintVB001, FlagsRandomDeviceType)
+{
+    const auto fa = analyzeSource(
+        "src/core/x.cpp", "void f() { std::random_device rd; (void)rd; }\n");
+    ASSERT_EQ(withRule(fa, Rule::VB001).size(), 1u);
+}
+
+TEST(VblintVB001, FlagsWallClockTypes)
+{
+    const auto fa = analyzeSource(
+        "src/serve/x.cpp",
+        "void f() { auto t = std::chrono::system_clock::now(); (void)t; }\n");
+    ASSERT_EQ(withRule(fa, Rule::VB001).size(), 1u);
+}
+
+TEST(VblintVB001, BenchAndToolLayersAreExempt)
+{
+    // Wall-clock timing is the whole point of bench/; VB001 scopes to
+    // model code under src/ only.
+    const std::string snippet = "void f() { int a = rand(); (void)a; }\n";
+    EXPECT_TRUE(withRule(analyzeSource("bench/x.cpp", snippet), Rule::VB001)
+                    .empty());
+    EXPECT_TRUE(withRule(analyzeSource("tools/x.cpp", snippet), Rule::VB001)
+                    .empty());
+    EXPECT_EQ(withRule(analyzeSource("src/fi/x.cpp", snippet), Rule::VB001)
+                  .size(),
+              1u);
+}
+
+TEST(VblintVB001, MemberCallNamedTimeIsNotFlagged)
+{
+    // Only free calls are banned; obj.time() / ptr->time() are member
+    // functions the repo owns.
+    const auto fa = analyzeSource(
+        "src/core/x.cpp",
+        "int g(const Stats &s, Stats *p) { return s.time() + p->time(); }\n");
+    EXPECT_TRUE(withRule(fa, Rule::VB001).empty());
+}
+
+TEST(VblintVB001, AllowAnnotationSuppresses)
+{
+    const auto fa = analyzeSource(
+        "src/common/x.cpp",
+        "// vblint: allow(VB001, feeds only a log rate limiter)\n"
+        "void f() { long t = time(nullptr); (void)t; }\n");
+    const auto diags = withRule(fa, Rule::VB001);
+    ASSERT_EQ(diags.size(), 1u);
+    EXPECT_EQ(diags[0].status, DiagStatus::Suppressed);
+    EXPECT_EQ(activeCount(fa), 0);
+}
+
+// ---------------------------------------------------------------- VB002
+
+TEST(VblintVB002, FlagsRangeForOverUnorderedMap)
+{
+    const auto fa =
+        analyzeSource("src/serve/x.cpp",
+                      "#include <unordered_map>\n"
+                      "int f(const std::unordered_map<int, int> &m) {\n"
+                      "    int s = 0;\n"
+                      "    for (const auto &kv : m)\n"
+                      "        s += kv.second;\n"
+                      "    return s;\n"
+                      "}\n");
+    const auto diags = withRule(fa, Rule::VB002);
+    ASSERT_EQ(diags.size(), 1u);
+    EXPECT_EQ(diags[0].line, 4);
+}
+
+TEST(VblintVB002, OrderedOkAnnotationSuppresses)
+{
+    const auto fa =
+        analyzeSource("src/serve/x.cpp",
+                      "int f(const std::unordered_map<int, int> &m) {\n"
+                      "    int s = 0;\n"
+                      "    // vblint: ordered-ok(commutative integer count)\n"
+                      "    for (const auto &kv : m)\n"
+                      "        s += kv.second;\n"
+                      "    return s;\n"
+                      "}\n");
+    const auto diags = withRule(fa, Rule::VB002);
+    ASSERT_EQ(diags.size(), 1u);
+    EXPECT_EQ(diags[0].status, DiagStatus::Suppressed);
+}
+
+TEST(VblintVB002, OrderedMapIterationIsFine)
+{
+    const auto fa = analyzeSource("src/serve/x.cpp",
+                                  "int f(const std::map<int, int> &m) {\n"
+                                  "    int s = 0;\n"
+                                  "    for (const auto &kv : m)\n"
+                                  "        s += kv.second;\n"
+                                  "    return s;\n"
+                                  "}\n");
+    EXPECT_TRUE(withRule(fa, Rule::VB002).empty());
+}
+
+TEST(VblintVB002, SiblingHeaderSeedsTheTypeEnvironment)
+{
+    // The member is declared unordered in the header; the loop lives
+    // in the .cpp. The paired-header environment must connect them.
+    const std::string header =
+        "#pragma once\n"
+        "#include <unordered_map>\n"
+        "class Registry {\n"
+        "    std::unordered_map<int, int> slots_;\n"
+        "    int total() const;\n"
+        "};\n";
+    const auto fa = analyzeSource("src/serve/registry.cpp",
+                                  "int Registry::total() const {\n"
+                                  "    int s = 0;\n"
+                                  "    for (const auto &kv : slots_)\n"
+                                  "        s += kv.second;\n"
+                                  "    return s;\n"
+                                  "}\n",
+                                  header);
+    ASSERT_EQ(withRule(fa, Rule::VB002).size(), 1u);
+}
+
+// ---------------------------------------------------------------- VB003
+
+TEST(VblintVB003, FlagsFloatAccumulationInLoop)
+{
+    const auto fa = analyzeSource("src/fi/x.cpp",
+                                  "double sum(const double *v, int n) {\n"
+                                  "    double s = 0.0;\n"
+                                  "    for (int i = 0; i < n; ++i)\n"
+                                  "        s += v[i];\n"
+                                  "    return s;\n"
+                                  "}\n");
+    const auto diags = withRule(fa, Rule::VB003);
+    ASSERT_EQ(diags.size(), 1u);
+    EXPECT_EQ(diags[0].line, 4);
+}
+
+TEST(VblintVB003, FlagsUnitTypedAccumulation)
+{
+    // Joule is one of the units.hpp tagged doubles; the float-like
+    // type set must include them or the energy reductions go dark.
+    const auto fa = analyzeSource("src/resilience/x.cpp",
+                                  "Joule total(const Joule *v, int n) {\n"
+                                  "    Joule s{0.0};\n"
+                                  "    for (int i = 0; i < n; ++i)\n"
+                                  "        s += v[i];\n"
+                                  "    return s;\n"
+                                  "}\n");
+    ASSERT_EQ(withRule(fa, Rule::VB003).size(), 1u);
+}
+
+TEST(VblintVB003, TrailingAssocOkSuppresses)
+{
+    const auto fa = analyzeSource(
+        "src/fi/x.cpp",
+        "double sum(const double *v, int n) {\n"
+        "    double s = 0.0;\n"
+        "    for (int i = 0; i < n; ++i)\n"
+        "        s += v[i]; // vblint: assoc-ok(fixed serial order)\n"
+        "    return s;\n"
+        "}\n");
+    const auto diags = withRule(fa, Rule::VB003);
+    ASSERT_EQ(diags.size(), 1u);
+    EXPECT_EQ(diags[0].status, DiagStatus::Suppressed);
+    EXPECT_EQ(activeCount(fa), 0);
+}
+
+TEST(VblintVB003, IntegerAccumulationIsFine)
+{
+    const auto fa = analyzeSource("src/fi/x.cpp",
+                                  "long sum(const int *v, int n) {\n"
+                                  "    long s = 0;\n"
+                                  "    for (int i = 0; i < n; ++i)\n"
+                                  "        s += v[i];\n"
+                                  "    return s;\n"
+                                  "}\n");
+    EXPECT_TRUE(withRule(fa, Rule::VB003).empty());
+}
+
+TEST(VblintVB003, AccumulationOutsideLoopIsFine)
+{
+    const auto fa = analyzeSource(
+        "src/fi/x.cpp",
+        "double f(double a, double b) { a += b; return a; }\n");
+    EXPECT_TRUE(withRule(fa, Rule::VB003).empty());
+}
+
+TEST(VblintVB003, ScopedToReductionHeavyLayers)
+{
+    // Only fi/, serve/ and resilience/ run the big parallel
+    // reductions; the circuit models accumulate tiny fixed-order
+    // series and stay out of scope.
+    const std::string snippet = "double sum(const double *v, int n) {\n"
+                                "    double s = 0.0;\n"
+                                "    for (int i = 0; i < n; ++i)\n"
+                                "        s += v[i];\n"
+                                "    return s;\n"
+                                "}\n";
+    EXPECT_TRUE(
+        withRule(analyzeSource("src/circuit/x.cpp", snippet), Rule::VB003)
+            .empty());
+    EXPECT_EQ(
+        withRule(analyzeSource("src/serve/x.cpp", snippet), Rule::VB003)
+            .size(),
+        1u);
+}
+
+// ---------------------------------------------------------------- VB004
+
+TEST(VblintVB004, FlagsMutableNamespaceScopeVariable)
+{
+    const auto fa =
+        analyzeSource("src/core/x.cpp", "int counter = 0;\n");
+    const auto diags = withRule(fa, Rule::VB004);
+    ASSERT_EQ(diags.size(), 1u);
+    EXPECT_EQ(diags[0].line, 1);
+}
+
+TEST(VblintVB004, FlagsFunctionLocalStatic)
+{
+    const auto fa = analyzeSource(
+        "src/core/x.cpp",
+        "int next() { static int calls = 0; return ++calls; }\n");
+    ASSERT_EQ(withRule(fa, Rule::VB004).size(), 1u);
+}
+
+TEST(VblintVB004, ConstantsAndFunctionsAreFine)
+{
+    const auto fa = analyzeSource("src/core/x.cpp",
+                                  "const int kLimit = 3;\n"
+                                  "constexpr double kEps = 1e-9;\n"
+                                  "static constexpr int kBanks = 8;\n"
+                                  "int add(int a, int b) { return a + b; }\n");
+    EXPECT_TRUE(withRule(fa, Rule::VB004).empty());
+}
+
+TEST(VblintVB004, TestsAndBenchesMayHoldState)
+{
+    const auto fa =
+        analyzeSource("tests/x.cpp", "int counter = 0;\n");
+    EXPECT_TRUE(withRule(fa, Rule::VB004).empty());
+}
+
+// ---------------------------------------------------------------- VB005
+
+TEST(VblintVB005, FlagsHeaderWithoutGuard)
+{
+    const auto fa = analyzeSource("src/core/x.hpp",
+                                  "inline int one() { return 1; }\n");
+    ASSERT_EQ(withRule(fa, Rule::VB005).size(), 1u);
+}
+
+TEST(VblintVB005, AcceptsPragmaOnce)
+{
+    const auto fa = analyzeSource("src/core/x.hpp",
+                                  "#pragma once\n"
+                                  "inline int one() { return 1; }\n");
+    EXPECT_TRUE(withRule(fa, Rule::VB005).empty());
+}
+
+TEST(VblintVB005, AcceptsIfndefDefinePair)
+{
+    // The repo convention: classic guards (see any header in src/).
+    const auto fa = analyzeSource("src/core/x.hpp",
+                                  "#ifndef VBOOST_CORE_X_HPP\n"
+                                  "#define VBOOST_CORE_X_HPP\n"
+                                  "inline int one() { return 1; }\n"
+                                  "#endif\n");
+    EXPECT_TRUE(withRule(fa, Rule::VB005).empty());
+}
+
+TEST(VblintVB005, FlagsUsingNamespaceInHeader)
+{
+    const auto fa = analyzeSource("src/core/x.hpp",
+                                  "#pragma once\n"
+                                  "using namespace std;\n");
+    const auto diags = withRule(fa, Rule::VB005);
+    ASSERT_EQ(diags.size(), 1u);
+    EXPECT_EQ(diags[0].line, 2);
+}
+
+TEST(VblintVB005, UsingNamespaceInCppIsFine)
+{
+    const auto fa = analyzeSource(
+        "src/core/x.cpp", "using namespace std::chrono_literals;\n");
+    EXPECT_TRUE(withRule(fa, Rule::VB005).empty());
+}
+
+// ------------------------------------------------- suppression machinery
+
+TEST(VblintSuppression, OwnLineAnnotationTargetsNextCodeLine)
+{
+    // Blank lines and further comments between the annotation and the
+    // code it waives are fine; the annotation binds to the next
+    // statement, not the next physical line.
+    const auto fa = analyzeSource(
+        "src/core/x.cpp",
+        "// vblint: allow(VB004, scratch counter for a debug build)\n"
+        "\n"
+        "// Regular comment in between.\n"
+        "int counter = 0;\n");
+    const auto diags = withRule(fa, Rule::VB004);
+    ASSERT_EQ(diags.size(), 1u);
+    EXPECT_EQ(diags[0].status, DiagStatus::Suppressed);
+    ASSERT_EQ(fa.suppressions.size(), 1u);
+    EXPECT_TRUE(fa.suppressions[0].used);
+    EXPECT_EQ(fa.suppressions[0].targetLine, 4);
+}
+
+TEST(VblintSuppression, ReasonIsRecordedInTheInventory)
+{
+    const auto fa = analyzeSource(
+        "src/core/x.cpp",
+        "// vblint: allow(VB004, scratch counter for a debug build)\n"
+        "int counter = 0;\n");
+    ASSERT_EQ(fa.suppressions.size(), 1u);
+    EXPECT_EQ(fa.suppressions[0].rule, Rule::VB004);
+    EXPECT_EQ(fa.suppressions[0].reason,
+              "scratch counter for a debug build");
+}
+
+TEST(VblintSuppression, UnusedSuppressionRaisesVB900)
+{
+    // A waiver with nothing to waive is itself a defect: it either
+    // outlived the code it covered or was pasted in the wrong place.
+    const auto fa = analyzeSource(
+        "src/core/x.cpp",
+        "// vblint: allow(VB001, nothing nondeterministic below)\n"
+        "int add(int a, int b) { return a + b; }\n");
+    const auto diags = withRule(fa, Rule::VB900);
+    ASSERT_EQ(diags.size(), 1u);
+    EXPECT_EQ(diags[0].status, DiagStatus::Active);
+}
+
+TEST(VblintSuppression, MalformedAnnotationRaisesVB901)
+{
+    const auto fa = analyzeSource(
+        "src/core/x.cpp",
+        "// vblint: frobnicate(VB001)\n"
+        "int add(int a, int b) { return a + b; }\n");
+    ASSERT_EQ(withRule(fa, Rule::VB901).size(), 1u);
+}
+
+TEST(VblintSuppression, WrongRuleDoesNotSuppress)
+{
+    // An allow(VB002) sitting on a VB004 site must not eat the VB004
+    // — and must itself be reported unused.
+    const auto fa = analyzeSource(
+        "src/core/x.cpp",
+        "// vblint: allow(VB002, wrong rule on purpose)\n"
+        "int counter = 0;\n");
+    const auto vb004 = withRule(fa, Rule::VB004);
+    ASSERT_EQ(vb004.size(), 1u);
+    EXPECT_EQ(vb004[0].status, DiagStatus::Active);
+    EXPECT_EQ(withRule(fa, Rule::VB900).size(), 1u);
+}
+
+// --------------------------------------------------------------- baseline
+
+TEST(VblintBaseline, ParserSkipsCommentsAndReportsMalformedLines)
+{
+    std::vector<std::string> errors;
+    const auto entries = parseBaseline("# comment\n"
+                                       "\n"
+                                       "src/fi/x.cpp|VB003|s += v[i];\n"
+                                       "not a baseline line\n",
+                                       errors);
+    ASSERT_EQ(entries.size(), 1u);
+    EXPECT_EQ(entries[0].file, "src/fi/x.cpp");
+    EXPECT_EQ(entries[0].rule, "VB003");
+    EXPECT_EQ(entries[0].sourceLine, "s += v[i];");
+    EXPECT_EQ(errors.size(), 1u);
+}
+
+TEST(VblintBaseline, MatchingEntryMarksDiagnosticBaselined)
+{
+    std::vector<SourceInput> inputs{
+        {"src/fi/x.cpp",
+         "double sum(const double *v, int n) {\n"
+         "    double s = 0.0;\n"
+         "    for (int i = 0; i < n; ++i)\n"
+         "        s += v[i];\n"
+         "    return s;\n"
+         "}\n",
+         ""}};
+    std::vector<std::string> errors;
+    const auto baseline =
+        parseBaseline("src/fi/x.cpp|VB003|s += v[i];\n", errors);
+    const auto report = analyzeAll(inputs, baseline);
+    EXPECT_EQ(report.activeCount(), 0);
+    EXPECT_EQ(report.countWithStatus(DiagStatus::Baselined), 1);
+    EXPECT_TRUE(report.staleBaseline.empty());
+}
+
+TEST(VblintBaseline, ContentMatchSurvivesLineNumberChurn)
+{
+    // Same flagged statement, shifted down by new code above it: the
+    // content-keyed baseline still matches (this is the whole reason
+    // the format carries source text instead of line numbers).
+    std::vector<SourceInput> inputs{
+        {"src/fi/x.cpp",
+         "int unrelatedNewFunction() { return 42; }\n"
+         "\n"
+         "double sum(const double *v, int n) {\n"
+         "    double s = 0.0;\n"
+         "    for (int i = 0; i < n; ++i)\n"
+         "        s += v[i];\n"
+         "    return s;\n"
+         "}\n",
+         ""}};
+    std::vector<std::string> errors;
+    const auto baseline =
+        parseBaseline("src/fi/x.cpp|VB003|s += v[i];\n", errors);
+    const auto report = analyzeAll(inputs, baseline);
+    EXPECT_EQ(report.activeCount(), 0);
+    EXPECT_EQ(report.countWithStatus(DiagStatus::Baselined), 1);
+}
+
+TEST(VblintBaseline, StaleEntryIsReported)
+{
+    std::vector<SourceInput> inputs{
+        {"src/fi/x.cpp", "int add(int a, int b) { return a + b; }\n", ""}};
+    std::vector<std::string> errors;
+    const auto baseline =
+        parseBaseline("src/fi/x.cpp|VB003|s += v[i];\n", errors);
+    const auto report = analyzeAll(inputs, baseline);
+    ASSERT_EQ(report.staleBaseline.size(), 1u);
+    EXPECT_EQ(report.staleBaseline[0].sourceLine, "s += v[i];");
+}
+
+TEST(VblintBaseline, FormatRoundTrips)
+{
+    std::vector<SourceInput> inputs{
+        {"src/fi/x.cpp",
+         "double sum(const double *v, int n) {\n"
+         "    double s = 0.0;\n"
+         "    for (int i = 0; i < n; ++i)\n"
+         "        s += v[i];\n"
+         "    return s;\n"
+         "}\n",
+         ""}};
+    const auto first = analyzeAll(inputs, {});
+    ASSERT_EQ(first.activeCount(), 1);
+
+    // Feed the generated baseline straight back in: everything that
+    // was active must come out baselined.
+    std::vector<std::string> errors;
+    const auto baseline =
+        parseBaseline(formatBaseline(first.diagnostics), errors);
+    EXPECT_TRUE(errors.empty());
+    const auto second = analyzeAll(inputs, baseline);
+    EXPECT_EQ(second.activeCount(), 0);
+    EXPECT_EQ(second.countWithStatus(DiagStatus::Baselined), 1);
+}
+
+// ------------------------------------------------------------------- JSON
+
+TEST(VblintJson, ReportHasExpectedShape)
+{
+    std::vector<SourceInput> inputs{
+        {"src/fi/x.cpp",
+         "void f() { int a = rand(); (void)a; }\n"
+         "// vblint: allow(VB004, test fixture state)\n"
+         "int counter = 0;\n",
+         ""}};
+    const auto report = analyzeAll(inputs, {});
+    std::ostringstream os;
+    writeJson(os, report, "/repo");
+    const std::string json = os.str();
+
+    EXPECT_NE(json.find("\"tool\": \"vblint\""), std::string::npos);
+    EXPECT_NE(json.find("\"formatVersion\": 1"), std::string::npos);
+    EXPECT_NE(json.find("\"root\": \"/repo\""), std::string::npos);
+    EXPECT_NE(json.find("\"filesScanned\": 1"), std::string::npos);
+    EXPECT_NE(json.find("\"active\": 1"), std::string::npos);
+    EXPECT_NE(json.find("\"suppressed\": 1"), std::string::npos);
+    EXPECT_NE(json.find("\"id\": \"VB001\""), std::string::npos);
+    EXPECT_NE(json.find("\"file\": \"src/fi/x.cpp\""), std::string::npos);
+    EXPECT_NE(json.find("\"suppressions\""), std::string::npos);
+    EXPECT_NE(json.find("\"staleBaseline\""), std::string::npos);
+
+    // The writer must emit parseable JSON: crude but effective brace
+    // balance check on the final artifact.
+    EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+              std::count(json.begin(), json.end(), '}'));
+    EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+              std::count(json.begin(), json.end(), ']'));
+}
+
+TEST(VblintJson, EveryRuleHasAnExplanation)
+{
+    for (const Rule r : allRules()) {
+        EXPECT_FALSE(ruleName(r).empty());
+        EXPECT_FALSE(ruleSummary(r).empty());
+        EXPECT_FALSE(ruleExplanation(r).empty());
+        EXPECT_EQ(ruleFromName(ruleName(r)), r);
+    }
+}
+
+// -------------------------------------------------------------- self-check
+
+/** Mirror the CLI's file collection: every C++ source under src/,
+ *  sorted, with the paired header attached to each .cpp. */
+std::vector<SourceInput>
+loadRealSrcTree(const std::filesystem::path &root)
+{
+    namespace fs = std::filesystem;
+    auto slurp = [](const fs::path &p) {
+        std::ifstream in(p, std::ios::binary);
+        std::ostringstream ss;
+        ss << in.rdbuf();
+        return ss.str();
+    };
+    std::vector<fs::path> files;
+    for (const auto &entry : fs::recursive_directory_iterator(root / "src")) {
+        if (!entry.is_regular_file())
+            continue;
+        const auto ext = entry.path().extension().string();
+        if (ext == ".cpp" || ext == ".cc" || ext == ".hpp" || ext == ".h" ||
+            ext == ".hh")
+            files.push_back(entry.path());
+    }
+    std::sort(files.begin(), files.end());
+
+    std::vector<SourceInput> inputs;
+    for (const auto &p : files) {
+        SourceInput in;
+        in.path = fs::relative(p, root).generic_string();
+        in.content = slurp(p);
+        if (p.extension() == ".cpp" || p.extension() == ".cc") {
+            for (const char *hext : {".hpp", ".h"}) {
+                fs::path header = p;
+                header.replace_extension(hext);
+                if (fs::exists(header)) {
+                    in.siblingHeader = slurp(header);
+                    break;
+                }
+            }
+        }
+        inputs.push_back(std::move(in));
+    }
+    return inputs;
+}
+
+TEST(VblintSelfCheck, SrcTreeIsCleanUnderCommittedBaseline)
+{
+    namespace fs = std::filesystem;
+    const fs::path root = VBLINT_SOURCE_ROOT;
+    ASSERT_TRUE(fs::exists(root / "src"))
+        << "source root not found: " << root;
+
+    const auto inputs = loadRealSrcTree(root);
+    ASSERT_GT(inputs.size(), 50u)
+        << "suspiciously few files; collection is broken";
+
+    std::ifstream bf(root / "tools" / "vblint" / "baseline.txt");
+    ASSERT_TRUE(bf.good()) << "committed baseline missing";
+    std::ostringstream ss;
+    ss << bf.rdbuf();
+    std::vector<std::string> errors;
+    const auto baseline = parseBaseline(ss.str(), errors);
+    EXPECT_TRUE(errors.empty())
+        << "malformed baseline line: " << errors.front();
+
+    const auto report = analyzeAll(inputs, baseline);
+
+    // The tier-1 invariant: no unwaived diagnostics in src/, no stale
+    // baseline entries, no dead suppressions. Print offenders so a
+    // failure names file and line without rerunning the CLI.
+    for (const auto &d : report.diagnostics)
+        if (d.status == DiagStatus::Active)
+            ADD_FAILURE() << d.file << ":" << d.line << ": "
+                          << ruleName(d.rule) << ": " << d.message;
+    EXPECT_EQ(report.activeCount(), 0);
+    for (const auto &e : report.staleBaseline)
+        ADD_FAILURE() << "stale baseline entry: " << e.file << "|" << e.rule
+                      << "|" << e.sourceLine;
+
+    // Every committed waiver must carry a reason — the inventory is
+    // only auditable if the "why" rides with the "where".
+    for (const auto &s : report.suppressions)
+        EXPECT_FALSE(s.reason.empty())
+            << s.file << ":" << s.line << " waives " << ruleName(s.rule)
+            << " without a reason";
+}
+
+} // namespace
+} // namespace vboost::vblint

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Test-environment knobs. The CI ThreadSanitizer leg (see
+ * .github/workflows/ci.yml) sets VBOOST_TSAN=1: TSan serializes and
+ * instruments every memory access, so the heavyweight end-to-end
+ * fixtures (per-test network training, 8-map Monte-Carlo sweeps) run
+ * 10-20x slower than native. Tests scale their workload through
+ * tsanScaled() so the race coverage stays full while the arithmetic
+ * volume shrinks. The scaling must never change what a test asserts —
+ * only how much data the assertion digests.
+ */
+
+#ifndef VBOOST_TESTS_TESTENV_HPP
+#define VBOOST_TESTS_TESTENV_HPP
+
+#include <cstdlib>
+
+namespace vboost::testenv {
+
+/** True when running under the TSan CI smoke profile. */
+inline bool
+tsanSmoke()
+{
+    const char *v = std::getenv("VBOOST_TSAN");
+    return v != nullptr && *v != '\0' && *v != '0';
+}
+
+/** Pick the full-size workload normally, the smoke size under TSan. */
+template <typename T>
+inline T
+tsanScaled(T full, T smoke)
+{
+    return tsanSmoke() ? smoke : full;
+}
+
+} // namespace vboost::testenv
+
+#endif // VBOOST_TESTS_TESTENV_HPP

@@ -1,0 +1,932 @@
+#include "analyzer.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "lexer.hpp"
+
+namespace vboost::vblint {
+
+namespace {
+
+// ---------------------------------------------------------------- paths
+
+std::vector<std::string>
+pathComponents(const std::string &path)
+{
+    std::vector<std::string> out;
+    std::string cur;
+    for (char c : path) {
+        if (c == '/' || c == '\\') {
+            if (!cur.empty())
+                out.push_back(cur);
+            cur.clear();
+        } else {
+            cur.push_back(c);
+        }
+    }
+    if (!cur.empty())
+        out.push_back(cur);
+    return out;
+}
+
+bool
+hasComponent(const std::vector<std::string> &comps, const std::string &c)
+{
+    return std::find(comps.begin(), comps.end(), c) != comps.end();
+}
+
+/** Model code: everything under src/ (bench/, examples/, tools/ and
+ *  tests/ are CLI/driver layers where wall clocks are legitimate). */
+bool
+isModelCode(const std::vector<std::string> &comps)
+{
+    return !comps.empty() && comps.front() == "src";
+}
+
+/** VB003 scope: the layers whose accumulations feed Monte-Carlo
+ *  statistics, serving fingerprints or resilience accounting. */
+bool
+inAccumulationScope(const std::vector<std::string> &comps)
+{
+    return hasComponent(comps, "fi") || hasComponent(comps, "serve") ||
+           hasComponent(comps, "resilience");
+}
+
+bool
+isHeaderPath(const std::string &path)
+{
+    auto ends = [&](const char *suf) {
+        const std::string s(suf);
+        return path.size() >= s.size() &&
+               path.compare(path.size() - s.size(), s.size(), s) == 0;
+    };
+    return ends(".hpp") || ends(".h") || ends(".hh");
+}
+
+std::string
+normalizeWs(const std::string &s)
+{
+    std::string out;
+    bool in_ws = false;
+    for (char c : s) {
+        if (c == ' ' || c == '\t') {
+            in_ws = true;
+            continue;
+        }
+        if (in_ws && !out.empty())
+            out.push_back(' ');
+        in_ws = false;
+        out.push_back(c);
+    }
+    return out;
+}
+
+// ---------------------------------------------------- type environment
+
+/** Identifiers whose declared type matters to the rules. */
+struct DeclEnv
+{
+    std::set<std::string> unorderedNames;
+    std::set<std::string> floatLikeNames;
+};
+
+const std::set<std::string> &
+unorderedTypes()
+{
+    static const std::set<std::string> kTypes = {
+        "unordered_map", "unordered_set", "unordered_multimap",
+        "unordered_multiset"};
+    return kTypes;
+}
+
+/** float/double plus the repo's tagged-double quantities (units.hpp)
+ *  and the float-element Tensor: accumulating any of these is a
+ *  floating-point reduction. */
+const std::set<std::string> &
+floatLikeTypes()
+{
+    static const std::set<std::string> kTypes = {
+        "float", "double", "Volt",  "Joule",   "Farad",
+        "Second", "Watt",  "Hertz", "Coulomb", "Tensor"};
+    return kTypes;
+}
+
+/** Skip a balanced <...> template argument list; returns the index
+ *  just past the closing '>' (or `from` when not at a '<'). */
+std::size_t
+skipAngles(const std::vector<Token> &toks, std::size_t from)
+{
+    if (from >= toks.size() || toks[from].text != "<")
+        return from;
+    int depth = 0;
+    std::size_t i = from;
+    // Bounded walk: a pathological '<' (comparison) gives up quickly.
+    const std::size_t limit = std::min(toks.size(), from + 256);
+    for (; i < limit; ++i) {
+        if (toks[i].text == "<")
+            ++depth;
+        else if (toks[i].text == ">") {
+            if (--depth == 0)
+                return i + 1;
+        } else if (toks[i].text == ";")
+            return from; // not a template argument list
+    }
+    return from;
+}
+
+void
+collectDecls(const LexedSource &src, DeclEnv &env)
+{
+    const auto &toks = src.tokens;
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+        if (toks[i].kind != TokKind::Ident)
+            continue;
+        const bool unordered = unorderedTypes().count(toks[i].text) > 0;
+        const bool floaty = floatLikeTypes().count(toks[i].text) > 0;
+        if (!unordered && !floaty)
+            continue;
+        std::size_t j = skipAngles(toks, i + 1);
+        while (j < toks.size() &&
+               (toks[j].text == "&" || toks[j].text == "*" ||
+                toks[j].text == "const"))
+            ++j;
+        if (j < toks.size() && toks[j].kind == TokKind::Ident) {
+            if (unordered)
+                env.unorderedNames.insert(toks[j].text);
+            else
+                env.floatLikeNames.insert(toks[j].text);
+        }
+    }
+}
+
+// ------------------------------------------------------- annotations
+
+struct ParsedAnnotation
+{
+    int line = 0;
+    int targetLine = 0;
+    Rule rule = Rule::VB001;
+    std::string reason;
+    bool used = false;
+    bool malformed = false;
+};
+
+ParsedAnnotation
+parseAnnotation(const RawAnnotation &raw, const std::vector<Token> &toks)
+{
+    ParsedAnnotation a;
+    a.line = raw.line;
+    a.targetLine =
+        raw.trailing
+            ? raw.line
+            : (raw.nextTokenIndex < toks.size()
+                   ? toks[raw.nextTokenIndex].line
+                   : raw.line);
+
+    const std::string &t = raw.text;
+    const std::size_t paren = t.find('(');
+    std::string word = t.substr(0, paren == std::string::npos ? t.size()
+                                                              : paren);
+    while (!word.empty() && (word.back() == ' ' || word.back() == '\t'))
+        word.pop_back();
+    std::string inner;
+    if (paren != std::string::npos) {
+        const std::size_t close = t.rfind(')');
+        if (close == std::string::npos || close < paren) {
+            a.malformed = true;
+            return a;
+        }
+        inner = t.substr(paren + 1, close - paren - 1);
+    }
+
+    auto trimmed = [](std::string s) {
+        const std::size_t b = s.find_first_not_of(" \t");
+        if (b == std::string::npos)
+            return std::string();
+        const std::size_t e = s.find_last_not_of(" \t");
+        return s.substr(b, e - b + 1);
+    };
+
+    if (word == "allow") {
+        const std::size_t comma = inner.find(',');
+        const std::string name =
+            trimmed(comma == std::string::npos ? inner
+                                               : inner.substr(0, comma));
+        const auto rule = ruleFromName(name);
+        if (!rule) {
+            a.malformed = true;
+            return a;
+        }
+        a.rule = *rule;
+        a.reason = comma == std::string::npos
+                       ? ""
+                       : trimmed(inner.substr(comma + 1));
+        return a;
+    }
+    if (word == "ordered-ok") {
+        a.rule = Rule::VB002;
+        a.reason = trimmed(inner);
+        return a;
+    }
+    if (word == "assoc-ok") {
+        a.rule = Rule::VB003;
+        a.reason = trimmed(inner);
+        return a;
+    }
+    a.malformed = true;
+    return a;
+}
+
+// ------------------------------------------------------ rule passes
+
+const std::set<std::string> &
+bannedCallIdents()
+{
+    static const std::set<std::string> kBanned = {
+        "rand",     "srand",       "rand_r",   "drand48", "lrand48",
+        "time",     "clock",       "gettimeofday",        "localtime",
+        "gmtime",   "mktime"};
+    return kBanned;
+}
+
+const std::set<std::string> &
+bannedTypeIdents()
+{
+    static const std::set<std::string> kBanned = {
+        "random_device", "system_clock", "steady_clock",
+        "high_resolution_clock"};
+    return kBanned;
+}
+
+struct Frame
+{
+    enum class Ctx { Top, Namespace, Class, Enum, Function, Block, Init };
+    Ctx ctx = Ctx::Top;
+    bool loop = false;
+    int savedParenDepth = 0;
+};
+
+using Ctx = Frame::Ctx;
+
+bool
+headContains(const std::vector<const Token *> &head, const char *text)
+{
+    for (const Token *t : head)
+        if (t->text == text)
+            return true;
+    return false;
+}
+
+/** Name + line of the declared entity: the last identifier before the
+ *  first '=' (or before the end of the head). */
+const Token *
+declaredName(const std::vector<const Token *> &head)
+{
+    const Token *name = nullptr;
+    for (const Token *t : head) {
+        if (t->text == "=")
+            break;
+        if (t->kind == TokKind::Ident)
+            name = t;
+    }
+    return name;
+}
+
+class FileChecker
+{
+  public:
+    FileChecker(const std::string &path, const LexedSource &src,
+                const DeclEnv &env)
+        : path_(path),
+          comps_(pathComponents(path)),
+          src_(src),
+          env_(env),
+          modelCode_(isModelCode(comps_)),
+          accumScope_(inAccumulationScope(comps_)),
+          header_(isHeaderPath(path))
+    {
+    }
+
+    std::vector<Diagnostic>
+    run()
+    {
+        if (header_)
+            checkHeaderGuard();
+        walk();
+        return std::move(diags_);
+    }
+
+  private:
+    void
+    report(Rule rule, int line, std::string message)
+    {
+        Diagnostic d;
+        d.file = path_;
+        d.line = line;
+        d.rule = rule;
+        d.message = std::move(message);
+        d.sourceLine = src_.line(line);
+        diags_.push_back(std::move(d));
+    }
+
+    // ---- VB005: include guard ------------------------------------
+    void
+    checkHeaderGuard()
+    {
+        bool pragma_once = false;
+        std::string ifndef_macro;
+        bool guarded = false;
+        for (const Directive &d : src_.directives) {
+            std::string body = d.text;
+            if (!body.empty() && body.front() == '#')
+                body.erase(body.begin());
+            while (!body.empty() && body.front() == ' ')
+                body.erase(body.begin());
+            if (body.rfind("pragma", 0) == 0 &&
+                body.find("once") != std::string::npos)
+                pragma_once = true;
+            else if (body.rfind("ifndef ", 0) == 0 && ifndef_macro.empty())
+                ifndef_macro = body.substr(7);
+            else if (body.rfind("define ", 0) == 0 && !ifndef_macro.empty()) {
+                std::string name = body.substr(7);
+                const std::size_t sp = name.find(' ');
+                if (sp != std::string::npos)
+                    name = name.substr(0, sp);
+                if (name == ifndef_macro)
+                    guarded = true;
+            }
+        }
+        if (!pragma_once && !guarded)
+            report(Rule::VB005, 1,
+                   "header has no include guard (#pragma once or a "
+                   "matching #ifndef/#define pair)");
+    }
+
+    // ---- main token walk -----------------------------------------
+    void
+    walk()
+    {
+        const auto &toks = src_.tokens;
+        stack_.push_back({Ctx::Top, false, 0});
+        head_.clear();
+        parenDepth_ = 0;
+
+        for (std::size_t i = 0; i < toks.size(); ++i) {
+            const Token &t = toks[i];
+
+            if (t.kind == TokKind::Ident) {
+                checkBannedIdent(toks, i);
+                checkUsingNamespace(toks, i);
+                checkUnorderedIteration(toks, i);
+            }
+
+            if (t.text == "(") {
+                ++parenDepth_;
+                head_.push_back(&t);
+                continue;
+            }
+            if (t.text == ")") {
+                parenDepth_ = std::max(0, parenDepth_ - 1);
+                head_.push_back(&t);
+                continue;
+            }
+
+            if (t.text == "{" && parenDepth_ == 0) {
+                pushBrace();
+                continue;
+            }
+            if (t.text == "}" && parenDepth_ == 0) {
+                if (stack_.size() > 1) {
+                    parenDepth_ = stack_.back().savedParenDepth;
+                    stack_.pop_back();
+                }
+                head_.clear();
+                continue;
+            }
+            if (t.text == ";" && parenDepth_ == 0) {
+                endStatement();
+                continue;
+            }
+
+            if (t.text == "+=" && inLoop())
+                checkLoopAccumulation(toks, i);
+
+            head_.push_back(&t);
+        }
+    }
+
+    bool
+    inLoop() const
+    {
+        for (const Frame &f : stack_)
+            if (f.loop)
+                return true;
+        return false;
+    }
+
+    void
+    pushBrace()
+    {
+        const Ctx cur = stack_.back().ctx;
+        Frame f;
+        f.savedParenDepth = parenDepth_;
+        parenDepth_ = 0;
+
+        const bool has_paren = headContains(head_, "(");
+        const std::string first =
+            head_.empty() ? "" : head_.front()->text;
+
+        if (headContains(head_, "namespace") && !has_paren) {
+            f.ctx = Ctx::Namespace;
+        } else if (headContains(head_, "enum")) {
+            f.ctx = Ctx::Enum;
+        } else if ((headContains(head_, "class") ||
+                    headContains(head_, "struct") ||
+                    headContains(head_, "union")) &&
+                   !has_paren) {
+            f.ctx = Ctx::Class;
+        } else if (first == "for" || first == "while" || first == "do") {
+            f.ctx = Ctx::Block;
+            f.loop = true;
+        } else if (cur == Ctx::Function || cur == Ctx::Block ||
+                   cur == Ctx::Init) {
+            f.ctx = Ctx::Block;
+        } else if (has_paren) {
+            f.ctx = Ctx::Function;
+        } else if (headContains(head_, "=")) {
+            f.ctx = Ctx::Init;
+        } else {
+            // Brace initialization of a variable, e.g.
+            // `std::atomic<bool> quietFlag{false};` at namespace scope.
+            f.ctx = Ctx::Init;
+            if (cur == Ctx::Top || cur == Ctx::Namespace)
+                checkNamespaceVariable();
+            else if (cur == Ctx::Class)
+                checkStaticDeclaration(/*require_static=*/true);
+        }
+        stack_.push_back(f);
+        head_.clear();
+    }
+
+    void
+    endStatement()
+    {
+        const Ctx cur = stack_.back().ctx;
+        if (cur == Ctx::Top || cur == Ctx::Namespace)
+            checkNamespaceVariable();
+        else if (cur == Ctx::Class || cur == Ctx::Function ||
+                 cur == Ctx::Block)
+            checkStaticDeclaration(/*require_static=*/true);
+        if ((cur == Ctx::Function || cur == Ctx::Block) &&
+            (!head_.empty() && (head_.front()->text == "for" ||
+                                head_.front()->text == "while")))
+            checkBracelessLoop();
+        head_.clear();
+    }
+
+    // ---- VB001 ----------------------------------------------------
+    void
+    checkBannedIdent(const std::vector<Token> &toks, std::size_t i)
+    {
+        if (!modelCode_)
+            return;
+        const std::string &text = toks[i].text;
+        const std::string prev = i > 0 ? toks[i - 1].text : "";
+        if (prev == "." || prev == "->")
+            return; // member access on some object; not the libc symbol
+        if (bannedTypeIdents().count(text)) {
+            report(Rule::VB001, toks[i].line,
+                   "use of banned nondeterminism source '" + text +
+                       "' in model code (seeded vboost::Rng streams "
+                       "only; see --explain VB001)");
+            return;
+        }
+        if (bannedCallIdents().count(text) && i + 1 < toks.size() &&
+            toks[i + 1].text == "(") {
+            report(Rule::VB001, toks[i].line,
+                   "call to banned nondeterminism source '" + text +
+                       "()' in model code (seeded vboost::Rng streams "
+                       "only; see --explain VB001)");
+        }
+    }
+
+    // ---- VB002 ----------------------------------------------------
+    void
+    checkUnorderedIteration(const std::vector<Token> &toks, std::size_t i)
+    {
+        const std::string &text = toks[i].text;
+        // Range-for: `for ( ... : expr )` with an unordered name in expr.
+        if (text == "for" && i + 1 < toks.size() &&
+            toks[i + 1].text == "(") {
+            int depth = 0;
+            std::size_t colon = 0;
+            std::size_t close = 0;
+            for (std::size_t j = i + 1; j < toks.size(); ++j) {
+                if (toks[j].text == "(")
+                    ++depth;
+                else if (toks[j].text == ")") {
+                    if (--depth == 0) {
+                        close = j;
+                        break;
+                    }
+                } else if (toks[j].text == ":" && depth == 1 && colon == 0)
+                    colon = j;
+            }
+            if (colon == 0 || close == 0)
+                return;
+            for (std::size_t j = colon + 1; j < close; ++j) {
+                if (toks[j].kind == TokKind::Ident &&
+                    env_.unorderedNames.count(toks[j].text)) {
+                    report(Rule::VB002, toks[j].line,
+                           "iteration over unordered container '" +
+                               toks[j].text +
+                               "' (order is hash-table dependent; see "
+                               "--explain VB002)");
+                    return;
+                }
+            }
+            return;
+        }
+        // Iterator loop: `name.begin()` / `name.cbegin()`.
+        if ((text == "begin" || text == "cbegin") && i >= 2 &&
+            toks[i - 1].text == "." &&
+            toks[i - 2].kind == TokKind::Ident &&
+            env_.unorderedNames.count(toks[i - 2].text) &&
+            i + 1 < toks.size() && toks[i + 1].text == "(") {
+            report(Rule::VB002, toks[i].line,
+                   "iteration over unordered container '" +
+                       toks[i - 2].text +
+                       "' (order is hash-table dependent; see --explain "
+                       "VB002)");
+        }
+    }
+
+    // ---- VB003 ----------------------------------------------------
+    void
+    flagAccumulation(const std::vector<Token> &toks, std::size_t plusEq)
+    {
+        // Walk back over the lvalue (`a.b[i] +=` etc.) and take the
+        // last identifier outside index brackets as the accumulator.
+        std::size_t j = plusEq;
+        std::string name;
+        while (j > 0) {
+            const Token &p = toks[j - 1];
+            if (p.text == "]") {
+                int depth = 0;
+                while (j > 0) {
+                    if (toks[j - 1].text == "]")
+                        ++depth;
+                    else if (toks[j - 1].text == "[") {
+                        if (--depth == 0) {
+                            --j;
+                            break;
+                        }
+                    }
+                    --j;
+                }
+                continue;
+            }
+            if (p.kind == TokKind::Ident) {
+                name = p.text;
+                break;
+            }
+            if (p.text == "." || p.text == "->" || p.text == "::" ||
+                p.text == ")") {
+                --j;
+                continue;
+            }
+            break;
+        }
+        if (name.empty() || !env_.floatLikeNames.count(name))
+            return;
+        report(Rule::VB003, toks[plusEq].line,
+               "floating-point accumulation '" + name +
+                   " +=' inside a loop (order-sensitive; annotate "
+                   "assoc-ok if the order is fixed; see --explain "
+                   "VB003)");
+    }
+
+    void
+    checkLoopAccumulation(const std::vector<Token> &toks, std::size_t i)
+    {
+        if (!accumScope_)
+            return;
+        flagAccumulation(toks, i);
+    }
+
+    /** Braceless `for (...) stmt;` / `while (...) stmt;`: scan the
+     *  body (tokens after the control parens) for accumulations. */
+    void
+    checkBracelessLoop()
+    {
+        if (!accumScope_)
+            return;
+        // Rebuild a token vector from the head pointers; find the end
+        // of the control clause.
+        std::size_t depth = 0;
+        std::size_t body_start = head_.size();
+        for (std::size_t j = 0; j < head_.size(); ++j) {
+            if (head_[j]->text == "(")
+                ++depth;
+            else if (head_[j]->text == ")") {
+                if (--depth == 0) {
+                    body_start = j + 1;
+                    break;
+                }
+            }
+        }
+        std::vector<Token> body;
+        for (std::size_t j = body_start; j < head_.size(); ++j)
+            body.push_back(*head_[j]);
+        for (std::size_t j = 0; j < body.size(); ++j)
+            if (body[j].text == "+=")
+                flagAccumulation(body, j);
+    }
+
+    // ---- VB004 ----------------------------------------------------
+    bool
+    headIsSkippableDeclaration() const
+    {
+        static const char *kSkip[] = {
+            "using",  "typedef", "namespace", "template",      "friend",
+            "operator", "extern", "static_assert", "concept",  "requires",
+            "enum",   "class",   "struct",    "union"};
+        for (const char *kw : kSkip)
+            if (headContains(head_, kw))
+                return true;
+        if (headContains(head_, "(") || headContains(head_, "const") ||
+            headContains(head_, "constexpr") ||
+            headContains(head_, "consteval"))
+            return true;
+        return false;
+    }
+
+    void
+    checkNamespaceVariable()
+    {
+        if (!modelCode_ || head_.empty())
+            return;
+        if (headIsSkippableDeclaration())
+            return;
+        int idents = 0;
+        for (const Token *t : head_)
+            if (t->kind == TokKind::Ident)
+                ++idents;
+        if (idents < 2)
+            return; // a stray expression or label, not a declaration
+        const Token *name = declaredName(head_);
+        if (!name)
+            return;
+        report(Rule::VB004, name->line,
+               "mutable global state '" + name->text +
+                   "' at namespace scope in model code (see --explain "
+                   "VB004)");
+    }
+
+    void
+    checkStaticDeclaration(bool require_static)
+    {
+        if (!modelCode_ || head_.empty())
+            return;
+        const std::string &first = head_.front()->text;
+        if (require_static && first != "static" && first != "thread_local")
+            return;
+        if (headIsSkippableDeclaration())
+            return;
+        int idents = 0;
+        for (const Token *t : head_)
+            if (t->kind == TokKind::Ident)
+                ++idents;
+        if (idents < 3) // static + type + name
+            return;
+        const Token *name = declaredName(head_);
+        if (!name)
+            return;
+        report(Rule::VB004, name->line,
+               "mutable static state '" + name->text +
+                   "' in model code (see --explain VB004)");
+    }
+
+    // ---- VB005: using namespace in headers ------------------------
+    void
+    checkUsingNamespace(const std::vector<Token> &toks, std::size_t i)
+    {
+        if (!header_)
+            return;
+        if (toks[i].text != "using" || i + 1 >= toks.size() ||
+            toks[i + 1].text != "namespace")
+            return;
+        const Ctx cur = stack_.empty() ? Ctx::Top : stack_.back().ctx;
+        if (cur == Ctx::Top || cur == Ctx::Namespace || cur == Ctx::Class)
+            report(Rule::VB005, toks[i].line,
+                   "'using namespace' at namespace scope in a header "
+                   "leaks into every includer (see --explain VB005)");
+    }
+
+    const std::string path_;
+    const std::vector<std::string> comps_;
+    const LexedSource &src_;
+    const DeclEnv &env_;
+    const bool modelCode_;
+    const bool accumScope_;
+    const bool header_;
+
+    std::vector<Frame> stack_;
+    std::vector<const Token *> head_;
+    int parenDepth_ = 0;
+    std::vector<Diagnostic> diags_;
+};
+
+} // namespace
+
+FileAnalysis
+analyzeSource(const std::string &path, const std::string &content,
+              const std::string &sibling_header)
+{
+    const LexedSource src = lex(content);
+
+    DeclEnv env;
+    collectDecls(src, env);
+    if (!sibling_header.empty()) {
+        const LexedSource sib = lex(sibling_header);
+        collectDecls(sib, env);
+    }
+
+    FileChecker checker(path, src, env);
+    FileAnalysis out;
+    out.diagnostics = checker.run();
+
+    // Resolve annotations: suppress matching diagnostics, then turn
+    // unused / malformed annotations into meta-diagnostics.
+    std::vector<ParsedAnnotation> annotations;
+    annotations.reserve(src.annotations.size());
+    for (const RawAnnotation &raw : src.annotations)
+        annotations.push_back(parseAnnotation(raw, src.tokens));
+
+    for (Diagnostic &d : out.diagnostics) {
+        for (ParsedAnnotation &a : annotations) {
+            if (!a.malformed && a.rule == d.rule &&
+                a.targetLine == d.line) {
+                d.status = DiagStatus::Suppressed;
+                a.used = true;
+                break;
+            }
+        }
+    }
+
+    for (const ParsedAnnotation &a : annotations) {
+        if (a.malformed) {
+            Diagnostic d;
+            d.file = path;
+            d.line = a.line;
+            d.rule = Rule::VB901;
+            d.message =
+                "malformed vblint annotation (expected allow(VBxxx, "
+                "reason), ordered-ok(reason) or assoc-ok(reason))";
+            d.sourceLine = src.line(a.line);
+            out.diagnostics.push_back(std::move(d));
+            continue;
+        }
+        Suppression s;
+        s.file = path;
+        s.line = a.line;
+        s.targetLine = a.targetLine;
+        s.rule = a.rule;
+        s.reason = a.reason;
+        s.used = a.used;
+        out.suppressions.push_back(std::move(s));
+        if (!a.used) {
+            Diagnostic d;
+            d.file = path;
+            d.line = a.line;
+            d.rule = Rule::VB900;
+            d.message = "unused vblint suppression for " +
+                        ruleName(a.rule) +
+                        " (no matching diagnostic on line " +
+                        std::to_string(a.targetLine) + ")";
+            d.sourceLine = src.line(a.line);
+            out.diagnostics.push_back(std::move(d));
+        }
+    }
+
+    std::sort(out.diagnostics.begin(), out.diagnostics.end(),
+              [](const Diagnostic &a, const Diagnostic &b) {
+                  if (a.line != b.line)
+                      return a.line < b.line;
+                  return ruleName(a.rule) < ruleName(b.rule);
+              });
+    return out;
+}
+
+std::vector<BaselineEntry>
+parseBaseline(const std::string &content, std::vector<std::string> &errors)
+{
+    std::vector<BaselineEntry> out;
+    std::istringstream in(content);
+    std::string line;
+    int lineno = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        const std::string t = normalizeWs(line);
+        if (t.empty() || t.front() == '#')
+            continue;
+        const std::size_t p1 = line.find('|');
+        const std::size_t p2 =
+            p1 == std::string::npos ? std::string::npos
+                                    : line.find('|', p1 + 1);
+        if (p2 == std::string::npos) {
+            errors.push_back("baseline line " + std::to_string(lineno) +
+                             ": expected 'file|RULE|source text'");
+            continue;
+        }
+        BaselineEntry e;
+        e.file = normalizeWs(line.substr(0, p1));
+        e.rule = normalizeWs(line.substr(p1 + 1, p2 - p1 - 1));
+        e.sourceLine = normalizeWs(line.substr(p2 + 1));
+        if (!ruleFromName(e.rule)) {
+            errors.push_back("baseline line " + std::to_string(lineno) +
+                             ": unknown rule '" + e.rule + "'");
+            continue;
+        }
+        out.push_back(std::move(e));
+    }
+    return out;
+}
+
+std::string
+formatBaseline(const std::vector<Diagnostic> &diags)
+{
+    std::ostringstream out;
+    out << "# vblint baseline: pre-existing waived diagnostics.\n"
+        << "# Format: file|RULE|normalized source line text.\n"
+        << "# Entries match by content, not line number, so unrelated\n"
+        << "# edits never invalidate them. Remove entries as the code\n"
+        << "# they waive is fixed; vblint reports stale entries.\n";
+    for (const Diagnostic &d : diags) {
+        if (d.status != DiagStatus::Active)
+            continue;
+        out << d.file << '|' << ruleName(d.rule) << '|'
+            << normalizeWs(d.sourceLine) << '\n';
+    }
+    return out.str();
+}
+
+int
+RepoReport::countWithStatus(DiagStatus s) const
+{
+    int n = 0;
+    for (const Diagnostic &d : diagnostics)
+        if (d.status == s)
+            ++n;
+    return n;
+}
+
+RepoReport
+analyzeAll(const std::vector<SourceInput> &inputs,
+           const std::vector<BaselineEntry> &baseline)
+{
+    RepoReport report;
+    report.filesScanned = static_cast<int>(inputs.size());
+
+    // Multiset of unconsumed baseline entries.
+    std::map<std::string, int> pending;
+    auto keyOf = [](const std::string &file, const std::string &rule,
+                    const std::string &text) {
+        return file + "|" + rule + "|" + text;
+    };
+    for (const BaselineEntry &e : baseline)
+        ++pending[keyOf(e.file, e.rule, e.sourceLine)];
+
+    for (const SourceInput &in : inputs) {
+        FileAnalysis fa =
+            analyzeSource(in.path, in.content, in.siblingHeader);
+        for (Diagnostic &d : fa.diagnostics) {
+            if (d.status == DiagStatus::Active) {
+                const std::string key = keyOf(
+                    d.file, ruleName(d.rule), normalizeWs(d.sourceLine));
+                auto it = pending.find(key);
+                if (it != pending.end() && it->second > 0) {
+                    --it->second;
+                    d.status = DiagStatus::Baselined;
+                }
+            }
+            report.diagnostics.push_back(std::move(d));
+        }
+        for (Suppression &s : fa.suppressions)
+            report.suppressions.push_back(std::move(s));
+    }
+
+    for (const BaselineEntry &e : baseline) {
+        auto it = pending.find(keyOf(e.file, e.rule, e.sourceLine));
+        if (it != pending.end() && it->second > 0) {
+            --it->second;
+            report.staleBaseline.push_back(e);
+        }
+    }
+    return report;
+}
+
+} // namespace vboost::vblint

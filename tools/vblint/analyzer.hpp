@@ -1,0 +1,121 @@
+/**
+ * @file
+ * vblint analysis engine (DESIGN.md §10): runs the VB rules over lexed
+ * sources and resolves `// vblint:` suppressions. Exposed as a library
+ * so tests/test_vblint.cpp can feed synthetic snippets through the
+ * exact production code path, and so the CLI stays a thin shell.
+ *
+ * Scoping is path-based and mirrors the repo layout:
+ *  - VB001/VB004 apply to model code (paths under src/);
+ *  - VB003 applies to the reduction-heavy layers (path contains an
+ *    fi/, serve/ or resilience/ component);
+ *  - VB002 applies everywhere scanned; VB005 to headers.
+ * Paths are repo-relative, which keeps diagnostics and the baseline
+ * file stable regardless of the invocation directory.
+ */
+
+#ifndef VBOOST_VBLINT_ANALYZER_HPP
+#define VBOOST_VBLINT_ANALYZER_HPP
+
+#include <string>
+#include <vector>
+
+#include "rules.hpp"
+
+namespace vboost::vblint {
+
+/** Lifecycle of one finding through the waiver machinery. */
+enum class DiagStatus { Active, Suppressed, Baselined };
+
+struct Diagnostic
+{
+    std::string file; ///< repo-relative path
+    int line = 0;
+    Rule rule = Rule::VB001;
+    std::string message;
+    DiagStatus status = DiagStatus::Active;
+    /** Trimmed source text of the flagged line (the baseline key, so
+     *  waivers survive unrelated line-number churn). */
+    std::string sourceLine;
+};
+
+/** One parsed suppression, for the auditable waiver inventory. */
+struct Suppression
+{
+    std::string file;
+    int line = 0;      ///< line of the annotation comment
+    int targetLine = 0; ///< line it suppresses
+    Rule rule = Rule::VB001;
+    std::string reason;
+    bool used = false;
+};
+
+struct FileAnalysis
+{
+    std::vector<Diagnostic> diagnostics;
+    std::vector<Suppression> suppressions;
+};
+
+/**
+ * Analyze one source file.
+ *
+ * @param path repo-relative path (drives rule scoping).
+ * @param content full source text.
+ * @param sibling_header content of the paired header (same stem) when
+ *        analyzing a .cpp — its declarations seed the per-file type
+ *        environment (unordered containers, float-like members) so
+ *        member accumulations in the .cpp resolve correctly.
+ */
+FileAnalysis analyzeSource(const std::string &path,
+                           const std::string &content,
+                           const std::string &sibling_header = "");
+
+/** `file|rule|collapsed source text` waiver, parsed from baseline.txt. */
+struct BaselineEntry
+{
+    std::string file;
+    std::string rule;
+    std::string sourceLine;
+};
+
+/** Parse a baseline file's content (see tools/vblint/baseline.txt for
+ *  the format); malformed lines are reported into `errors`. */
+std::vector<BaselineEntry> parseBaseline(const std::string &content,
+                                         std::vector<std::string> &errors);
+
+/** Serialize diagnostics into baseline format (active ones only). */
+std::string formatBaseline(const std::vector<Diagnostic> &diags);
+
+/** Aggregated result over a file set. */
+struct RepoReport
+{
+    std::vector<Diagnostic> diagnostics;
+    std::vector<Suppression> suppressions;
+    /** Baseline entries that matched nothing (stale waivers). */
+    std::vector<BaselineEntry> staleBaseline;
+    int filesScanned = 0;
+
+    int countWithStatus(DiagStatus s) const;
+    /** Diagnostics neither suppressed inline nor baselined. */
+    int activeCount() const { return countWithStatus(DiagStatus::Active); }
+};
+
+/**
+ * Analyze a set of already-loaded files and apply a baseline. Inputs
+ * must be ordered (path, content[, sibling]) triples; the report keeps
+ * that order. Used by both the CLI (which loads from disk) and the
+ * self-check test.
+ */
+struct SourceInput
+{
+    std::string path;
+    std::string content;
+    std::string siblingHeader;
+};
+
+RepoReport analyzeAll(const std::vector<SourceInput> &inputs,
+                      const std::vector<BaselineEntry> &baseline);
+
+} // namespace vboost::vblint
+
+#endif // VBOOST_VBLINT_ANALYZER_HPP

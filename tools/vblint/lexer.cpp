@@ -1,0 +1,269 @@
+#include "lexer.hpp"
+
+#include <cctype>
+
+namespace vboost::vblint {
+
+namespace {
+
+bool
+isIdentStart(char c)
+{
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool
+isIdentChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+std::string
+trim(const std::string &s)
+{
+    std::size_t b = s.find_first_not_of(" \t\r\n");
+    if (b == std::string::npos)
+        return "";
+    std::size_t e = s.find_last_not_of(" \t\r\n");
+    return s.substr(b, e - b + 1);
+}
+
+/** Collapse runs of whitespace to single spaces. */
+std::string
+collapse(const std::string &s)
+{
+    std::string out;
+    bool in_ws = false;
+    for (char c : s) {
+        if (c == ' ' || c == '\t' || c == '\r' || c == '\n' || c == '\\') {
+            in_ws = true;
+            continue;
+        }
+        if (in_ws && !out.empty())
+            out.push_back(' ');
+        in_ws = false;
+        out.push_back(c);
+    }
+    return out;
+}
+
+const char *kVblintMarker = "vblint:";
+
+} // namespace
+
+std::string
+LexedSource::line(int n) const
+{
+    if (n < 1 || static_cast<std::size_t>(n) > lines.size())
+        return "";
+    return trim(lines[static_cast<std::size_t>(n) - 1]);
+}
+
+LexedSource
+lex(const std::string &content)
+{
+    LexedSource out;
+
+    // Split raw lines first so diagnostics can quote the source.
+    {
+        std::string cur;
+        for (char c : content) {
+            if (c == '\n') {
+                out.lines.push_back(cur);
+                cur.clear();
+            } else {
+                cur.push_back(c);
+            }
+        }
+        if (!cur.empty())
+            out.lines.push_back(cur);
+    }
+
+    const std::size_t n = content.size();
+    std::size_t i = 0;
+    int line = 1;
+    bool at_line_start = true; // only whitespace seen since last newline
+
+    auto recordComment = [&](int start_line, const std::string &body,
+                             bool trailing) {
+        const std::string t = trim(body);
+        const std::size_t pos = t.find(kVblintMarker);
+        if (pos != 0)
+            return; // ordinary comment
+        RawAnnotation a;
+        a.line = start_line;
+        a.text = trim(t.substr(std::string(kVblintMarker).size()));
+        a.trailing = trailing;
+        a.nextTokenIndex = out.tokens.size(); // patched below: tokens
+                                              // after this comment start
+                                              // exactly here
+        out.annotations.push_back(a);
+    };
+
+    while (i < n) {
+        const char c = content[i];
+
+        if (c == '\n') {
+            ++line;
+            ++i;
+            at_line_start = true;
+            continue;
+        }
+        if (c == ' ' || c == '\t' || c == '\r') {
+            ++i;
+            continue;
+        }
+
+        // Preprocessor directive: '#' first on the line; join
+        // backslash continuations into one logical line.
+        if (c == '#' && at_line_start) {
+            const int start_line = line;
+            std::string text;
+            while (i < n) {
+                if (content[i] == '\\' && i + 1 < n &&
+                    content[i + 1] == '\n') {
+                    text.push_back(' ');
+                    i += 2;
+                    ++line;
+                    continue;
+                }
+                if (content[i] == '\n')
+                    break;
+                text.push_back(content[i]);
+                ++i;
+            }
+            out.directives.push_back({start_line, collapse(text)});
+            continue;
+        }
+
+        // Line comment (and vblint annotations).
+        if (c == '/' && i + 1 < n && content[i + 1] == '/') {
+            const int start_line = line;
+            const bool trailing =
+                !out.tokens.empty() && out.tokens.back().line == line;
+            std::string body;
+            i += 2;
+            while (i < n && content[i] != '\n') {
+                body.push_back(content[i]);
+                ++i;
+            }
+            recordComment(start_line, body, trailing);
+            continue;
+        }
+
+        // Block comment.
+        if (c == '/' && i + 1 < n && content[i + 1] == '*') {
+            const int start_line = line;
+            const bool trailing =
+                !out.tokens.empty() && out.tokens.back().line == line;
+            std::string body;
+            i += 2;
+            while (i + 1 < n &&
+                   !(content[i] == '*' && content[i + 1] == '/')) {
+                if (content[i] == '\n')
+                    ++line;
+                body.push_back(content[i]);
+                ++i;
+            }
+            i = (i + 1 < n) ? i + 2 : n;
+            recordComment(start_line, body, trailing);
+            continue;
+        }
+
+        at_line_start = false;
+
+        // Raw string literal R"delim( ... )delim".
+        if (c == 'R' && i + 1 < n && content[i + 1] == '"') {
+            std::size_t j = i + 2;
+            std::string delim;
+            while (j < n && content[j] != '(' && delim.size() < 16) {
+                delim.push_back(content[j]);
+                ++j;
+            }
+            if (j < n && content[j] == '(') {
+                const std::string closer = ")" + delim + "\"";
+                std::size_t end = content.find(closer, j + 1);
+                if (end == std::string::npos)
+                    end = n;
+                else
+                    end += closer.size();
+                for (std::size_t k = i; k < end && k < n; ++k)
+                    if (content[k] == '\n')
+                        ++line;
+                i = end;
+                continue;
+            }
+            // Not a raw string after all: fall through as identifier.
+        }
+
+        // String / char literal.
+        if (c == '"' || c == '\'') {
+            const char quote = c;
+            ++i;
+            while (i < n) {
+                if (content[i] == '\\' && i + 1 < n) {
+                    i += 2;
+                    continue;
+                }
+                if (content[i] == '\n') {
+                    ++line; // unterminated; keep the line count right
+                    ++i;
+                    break;
+                }
+                if (content[i] == quote) {
+                    ++i;
+                    break;
+                }
+                ++i;
+            }
+            continue;
+        }
+
+        if (isIdentStart(c)) {
+            std::string text;
+            while (i < n && isIdentChar(content[i])) {
+                text.push_back(content[i]);
+                ++i;
+            }
+            out.tokens.push_back({TokKind::Ident, text, line});
+            continue;
+        }
+
+        if (std::isdigit(static_cast<unsigned char>(c))) {
+            std::string text;
+            // Good enough for a lint: digits, dots, exponents, suffixes
+            // and digit separators lex as one blob.
+            while (i < n &&
+                   (isIdentChar(content[i]) || content[i] == '.' ||
+                    content[i] == '\'' ||
+                    ((content[i] == '+' || content[i] == '-') && i > 0 &&
+                     (content[i - 1] == 'e' || content[i - 1] == 'E')))) {
+                text.push_back(content[i]);
+                ++i;
+            }
+            out.tokens.push_back({TokKind::Number, text, line});
+            continue;
+        }
+
+        // Punctuation; merge the few multi-char operators the rules
+        // care about (and whose split forms would confuse them).
+        static const char *kTwoChar[] = {"::", "+=", "-=", "->", "++",
+                                         "--", "==", "!=", "<=", ">="};
+        std::string text(1, c);
+        if (i + 1 < n) {
+            const std::string two{c, content[i + 1]};
+            for (const char *op : kTwoChar) {
+                if (two == op) {
+                    text = two;
+                    break;
+                }
+            }
+        }
+        i += text.size();
+        out.tokens.push_back({TokKind::Punct, text, line});
+    }
+
+    return out;
+}
+
+} // namespace vboost::vblint

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Token-level front end of vblint (DESIGN.md §10). Produces a stream of
+ * code tokens with line numbers, a list of preprocessor directives, and
+ * every `// vblint: ...` annotation comment found in the source. The
+ * lexer strips comments, string/char literals and preprocessor lines
+ * from the token stream so the rule passes in analyzer.cpp never match
+ * banned identifiers inside strings or docs.
+ */
+
+#ifndef VBOOST_VBLINT_LEXER_HPP
+#define VBOOST_VBLINT_LEXER_HPP
+
+#include <string>
+#include <vector>
+
+namespace vboost::vblint {
+
+/** Token classes the rule passes distinguish. */
+enum class TokKind { Ident, Number, Punct };
+
+/** One code token. Multi-char operators `::`, `+=`, `-=`, `->`, `++`,
+ *  `--`, `==`, `!=`, `<=`, `>=` are single tokens; everything else is
+ *  one character per token. */
+struct Token
+{
+    TokKind kind;
+    std::string text;
+    int line;
+};
+
+/** One preprocessor logical line (backslash continuations joined). */
+struct Directive
+{
+    int line;
+    /** Directive text starting at '#', inner whitespace collapsed. */
+    std::string text;
+};
+
+/** One `// vblint: ...` annotation comment. */
+struct RawAnnotation
+{
+    /** Line the comment starts on. */
+    int line;
+    /** Text after "vblint:", trimmed. */
+    std::string text;
+    /** True when code tokens precede the comment on the same line (a
+     *  trailing annotation suppresses its own line; an own-line
+     *  annotation suppresses the next code line). */
+    bool trailing;
+    /** Index into the token stream of the first token after the
+     *  comment (== tokens.size() when none follow). */
+    std::size_t nextTokenIndex;
+};
+
+/** Full lexer output for one source file. */
+struct LexedSource
+{
+    std::vector<Token> tokens;
+    std::vector<Directive> directives;
+    std::vector<RawAnnotation> annotations;
+    /** Raw source split into lines (1-based access via line(n)). */
+    std::vector<std::string> lines;
+
+    /** Trimmed text of 1-based line n ("" when out of range). */
+    std::string line(int n) const;
+};
+
+/** Tokenize one translation unit. Never fails: unterminated literals
+ *  and comments are closed at end of file. */
+LexedSource lex(const std::string &content);
+
+} // namespace vboost::vblint
+
+#endif // VBOOST_VBLINT_LEXER_HPP

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Output back end of vblint: compiler-style text diagnostics, the
+ * auditable suppression inventory, and the machine-readable JSON
+ * report (emitted through the same bench/json_writer.hpp the smoke
+ * benches use, so CI artifacts share one JSON dialect).
+ */
+
+#ifndef VBOOST_VBLINT_REPORT_HPP
+#define VBOOST_VBLINT_REPORT_HPP
+
+#include <ostream>
+
+#include "analyzer.hpp"
+
+namespace vboost::vblint {
+
+/** Compiler-style `file:line: RULE: message` lines. When `all` is
+ *  false only active (build-failing) diagnostics are printed. */
+void printText(std::ostream &os, const RepoReport &report, bool all);
+
+/** One line per suppression: location, rule, reason, liveness. */
+void printSuppressions(std::ostream &os, const RepoReport &report);
+
+/** Summary counts (always printed after the diagnostics). */
+void printSummary(std::ostream &os, const RepoReport &report);
+
+/** Full machine-readable report. */
+void writeJson(std::ostream &os, const RepoReport &report,
+               const std::string &root);
+
+} // namespace vboost::vblint
+
+#endif // VBOOST_VBLINT_REPORT_HPP

@@ -1,0 +1,179 @@
+#include "rules.hpp"
+
+namespace vboost::vblint {
+
+std::string
+ruleName(Rule r)
+{
+    switch (r) {
+      case Rule::VB001:
+        return "VB001";
+      case Rule::VB002:
+        return "VB002";
+      case Rule::VB003:
+        return "VB003";
+      case Rule::VB004:
+        return "VB004";
+      case Rule::VB005:
+        return "VB005";
+      case Rule::VB900:
+        return "VB900";
+      case Rule::VB901:
+        return "VB901";
+    }
+    return "VB???";
+}
+
+std::optional<Rule>
+ruleFromName(const std::string &name)
+{
+    std::string up;
+    up.reserve(name.size());
+    for (char c : name)
+        up.push_back(c >= 'a' && c <= 'z' ? static_cast<char>(c - 32) : c);
+    for (Rule r : allRules())
+        if (ruleName(r) == up)
+            return r;
+    return std::nullopt;
+}
+
+std::string
+ruleSummary(Rule r)
+{
+    switch (r) {
+      case Rule::VB001:
+        return "banned nondeterminism source in model code";
+      case Rule::VB002:
+        return "iteration over an unordered container";
+      case Rule::VB003:
+        return "floating-point += accumulation inside a loop";
+      case Rule::VB004:
+        return "mutable static/global state in model code";
+      case Rule::VB005:
+        return "header hygiene violation";
+      case Rule::VB900:
+        return "unused vblint suppression";
+      case Rule::VB901:
+        return "malformed vblint annotation";
+    }
+    return "unknown rule";
+}
+
+std::string
+ruleExplanation(Rule r)
+{
+    switch (r) {
+      case Rule::VB001:
+        return "VB001 — banned nondeterminism source in model code\n"
+               "\n"
+               "Model code under src/ must be a pure function of its\n"
+               "explicit seeds (DESIGN.md §7): every Monte-Carlo result,\n"
+               "accuracy-vs-voltage curve and serving fingerprint is\n"
+               "validated by bitwise reproduction at any thread count.\n"
+               "rand(), srand(), std::random_device, wall-clock sources\n"
+               "(time(), clock(), gettimeofday, std::chrono::system_clock,\n"
+               "steady_clock, high_resolution_clock) smuggle ambient state\n"
+               "into that computation and corrupt every downstream\n"
+               "statistic silently.\n"
+               "\n"
+               "Fix: draw randomness from vboost::Rng streams derived via\n"
+               "split() from an explicit seed; take timestamps only in\n"
+               "bench/CLI layers and pass them in as data.\n"
+               "Waive: // vblint: allow(VB001, <reason>) on the offending\n"
+               "line, or the line above it.";
+      case Rule::VB002:
+        return "VB002 — iteration over an unordered container\n"
+               "\n"
+               "std::unordered_map / std::unordered_set iteration order is\n"
+               "unspecified and varies across libstdc++ versions, seeds\n"
+               "and insertion histories. Any iteration that feeds an\n"
+               "accumulator, a serialized artifact or a fingerprint makes\n"
+               "results depend on hash-table internals (the reduction\n"
+               "discipline of DESIGN.md §7 exists precisely to prevent\n"
+               "this). vblint flags every range-for or .begin() loop over\n"
+               "a variable declared as an unordered container.\n"
+               "\n"
+               "Fix: use std::map / std::set, or copy keys out and sort\n"
+               "before iterating.\n"
+               "Waive (iteration provably order-insensitive):\n"
+               "// vblint: ordered-ok(<reason>).";
+      case Rule::VB003:
+        return "VB003 — floating-point += accumulation inside a loop\n"
+               "\n"
+               "Floating-point addition is not associative: the same\n"
+               "summands in a different order give a different result, so\n"
+               "an accumulation loop whose iteration order can change\n"
+               "(thread count, container order, work stealing) silently\n"
+               "breaks bitwise determinism. In the fi/, serve/ and\n"
+               "resilience/ layers every float/double/unit-quantity\n"
+               "accumulation must either run in a deterministic order or\n"
+               "say so.\n"
+               "\n"
+               "Fix: reduce in a fixed order (map-index order, batch seq\n"
+               "order) or use an ordered-reduce/Kahan helper.\n"
+               "Waive (order is provably fixed):\n"
+               "// vblint: assoc-ok(<reason>).";
+      case Rule::VB004:
+        return "VB004 — mutable static/global state in model code\n"
+               "\n"
+               "Mutable statics and namespace-scope globals couple\n"
+               "otherwise-independent runs: two experiments in one\n"
+               "process observe each other through the shared state, and\n"
+               "parallel workers race on it. Model state must live in\n"
+               "objects owned by the experiment (per-slot scratch,\n"
+               "DESIGN.md §7).\n"
+               "\n"
+               "Fix: move the state into a context/config object threaded\n"
+               "through the call graph.\n"
+               "Waive (thread-safe infrastructure that never feeds\n"
+               "results): // vblint: allow(VB004, <reason>).";
+      case Rule::VB005:
+        return "VB005 — header hygiene\n"
+               "\n"
+               "Every header must have an include guard: #pragma once or\n"
+               "a classic #ifndef/#define pair (the repo convention is\n"
+               "VBOOST_<DIR>_<FILE>_HPP guards; both forms are accepted).\n"
+               "`using namespace` at namespace scope in a header injects\n"
+               "names into every includer and can change overload\n"
+               "resolution at a distance.\n"
+               "\n"
+               "Fix: add a guard; qualify names instead of using\n"
+               "namespace directives in headers.\n"
+               "Waive: // vblint: allow(VB005, <reason>).";
+      case Rule::VB900:
+        return "VB900 — unused vblint suppression\n"
+               "\n"
+               "A vblint annotation that matches no diagnostic on its\n"
+               "target line is dead: either the offending code moved or\n"
+               "the waiver was never needed. Stale waivers rot the audit\n"
+               "trail, so they are diagnostics themselves.\n"
+               "\n"
+               "Fix: delete the annotation (or move it back next to the\n"
+               "code it waives).";
+      case Rule::VB901:
+        return "VB901 — malformed vblint annotation\n"
+               "\n"
+               "A comment starting with `vblint:` that does not parse as\n"
+               "allow(VBxxx, reason) / ordered-ok(reason) / assoc-ok\n"
+               "almost certainly meant to waive something and silently\n"
+               "does not.\n"
+               "\n"
+               "Fix: use one of\n"
+               "  // vblint: allow(VB004, <reason>)\n"
+               "  // vblint: ordered-ok(<reason>)\n"
+               "  // vblint: assoc-ok(<reason>)";
+    }
+    return "unknown rule";
+}
+
+const std::vector<Rule> &
+allRules()
+{
+    static const std::vector<Rule> kRules = {
+        Rule::VB001, Rule::VB002, Rule::VB003, Rule::VB004,
+        Rule::VB005, Rule::VB900, Rule::VB901,
+    };
+    return kRules;
+}
+
+} // namespace vboost::vblint

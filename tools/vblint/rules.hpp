@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Rule registry of vblint: identifiers, one-line summaries and the
+ * long-form rationale printed by `vblint --explain <rule>`. The rule
+ * set encodes the repo's §7 determinism discipline (DESIGN.md) as
+ * named, suppressible diagnostics.
+ */
+
+#ifndef VBOOST_VBLINT_RULES_HPP
+#define VBOOST_VBLINT_RULES_HPP
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace vboost::vblint {
+
+enum class Rule {
+    VB001, ///< banned nondeterminism source in model code
+    VB002, ///< iteration over an unordered container
+    VB003, ///< floating-point += in a loop without assoc-ok
+    VB004, ///< mutable static / global state
+    VB005, ///< header hygiene (guard, using-namespace)
+    VB900, ///< unused vblint suppression
+    VB901, ///< malformed vblint annotation
+};
+
+/** Canonical name, e.g. "VB001". */
+std::string ruleName(Rule r);
+
+/** Parse "VB001" (case-insensitive) back to a rule. */
+std::optional<Rule> ruleFromName(const std::string &name);
+
+/** One-line summary used in reports. */
+std::string ruleSummary(Rule r);
+
+/** Long-form rationale + how to fix / waive, for --explain. */
+std::string ruleExplanation(Rule r);
+
+/** Every rule, in report order. */
+const std::vector<Rule> &allRules();
+
+} // namespace vboost::vblint
+
+#endif // VBOOST_VBLINT_RULES_HPP
