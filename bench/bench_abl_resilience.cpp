@@ -32,6 +32,8 @@
 #include "core/context.hpp"
 #include "fi/experiment.hpp"
 #include "json_writer.hpp"
+#include "obs_json.hpp"
+#include "obs/observability.hpp"
 #include "resilience/policy.hpp"
 #include "sram/failure_model.hpp"
 
@@ -171,6 +173,15 @@ main(int argc, char **argv)
     std::vector<Volt> grid =
         opts.smoke ? std::vector<Volt>{0.42_V, 0.46_V} : bench::vlvGrid();
 
+    // One observability sink across the whole policy x voltage sweep:
+    // each cell re-attaches with {policy, vdd} labels so the registry
+    // separates the cells while the Monte-Carlo merge path stays
+    // thread-count invariant (DESIGN.md §11).
+    obs::Observability obsv;
+    const bool want_obs =
+        !opts.metricsOutPath.empty() || !opts.traceOutPath.empty();
+    std::uint64_t cell_pid = 0;
+
     std::vector<ResultRow> rows;
     Table t({"policy", "Vdd (V)", "BER", "accuracy", "resid flips",
              "retries/read", "escal", "raises", "quarant", "spare rd",
@@ -181,6 +192,17 @@ main(int argc, char **argv)
             row.policy = policy;
             row.vdd = v;
             row.ber = frm.rate(v);
+            if (want_obs) {
+                std::ostringstream vdd_label;
+                vdd_label << v.value();
+                obsv.trace.setProcessName(cell_pid,
+                                          policy.name() + " @ " +
+                                              vdd_label.str() + " V");
+                runner.attachObservability(&obsv, cell_pid,
+                                           {{"policy", policy.name()},
+                                            {"vdd", vdd_label.str()}});
+                ++cell_pid;
+            }
             row.r = runner.runResilient(v, ctx, policy);
             const auto &s = row.r.stats;
             t.addRow({policy.name(), Table::num(v.value(), 2),
@@ -294,5 +316,14 @@ main(int argc, char **argv)
         writeJson(opts.jsonPath, rows, dom_closed, dom_open, opts);
         inform("wrote JSON results to ", opts.jsonPath);
     }
+    if (want_obs) {
+        runner.attachObservability(nullptr);
+        obs::recordLoggingMetrics(obsv.metrics);
+    }
+    if (!opts.metricsOutPath.empty())
+        bench::writeMetricsJson(opts.metricsOutPath, "abl_resilience",
+                                obsv.metrics);
+    if (!opts.traceOutPath.empty())
+        bench::writeTraceJson(opts.traceOutPath, obsv.trace);
     return 0;
 }

@@ -17,6 +17,8 @@
 #include "core/tradeoff.hpp"
 #include "dnn/zoo.hpp"
 #include "fi/accuracy_curve.hpp"
+#include "obs_json.hpp"
+#include "obs/observability.hpp"
 #include "sram/failure_model.hpp"
 
 using namespace vboost;
@@ -132,5 +134,31 @@ main(int argc, char **argv)
                   " mm^2",
               "0.0039 mm^2"});
     bench::emit("Headline numbers vs the paper", t, opts);
+
+    // --metrics-out publishes the measured headline values as gauges
+    // (same BenchOptions parse path as the other benches, so unknown
+    // flags are rejected consistently).
+    if (!opts.metricsOutPath.empty()) {
+        obs::MetricsRegistry reg;
+        reg.gauge("headline.dynamic_savings_vs_dual.vddv4")
+            .set(vddv4_savings.mean());
+        reg.gauge("headline.dynamic_savings_vs_dual.all_levels")
+            .set(all_savings.mean());
+        reg.gauge("headline.iso_accuracy_savings_vs_single")
+            .set(single_savings.mean());
+        reg.gauge("headline.iso_accuracy_savings_vs_dual")
+            .set(dual_iso_savings.mean());
+        reg.gauge("headline.leakage_savings_vs_dual")
+            .set(leak_savings.mean());
+        reg.gauge("headline.booster_leakage_overhead")
+            .set(bc_leak / chip_leak);
+        reg.gauge("headline.peak_boost_ratio")
+            .set(sc.booster().boostDelta(0.80_V, 4).value() / 0.8);
+        reg.gauge("headline.booster_area_mm2_per_macro")
+            .set(chip.boosterArea().value() / 1e6 / 36);
+        obs::recordLoggingMetrics(reg);
+        bench::writeMetricsJson(opts.metricsOutPath, "headline_numbers",
+                                reg);
+    }
     return 0;
 }

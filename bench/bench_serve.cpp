@@ -29,6 +29,8 @@
 #include "fi/accuracy_curve.hpp"
 #include "fi/experiment.hpp"
 #include "json_writer.hpp"
+#include "obs_json.hpp"
+#include "obs/observability.hpp"
 #include "serve/planner.hpp"
 #include "serve/server.hpp"
 #include "serve/trace.hpp"
@@ -165,6 +167,15 @@ main(int argc, char **argv)
         num_requests = 48;
     }
 
+    // One observability sink for the whole sweep: each (mix, load)
+    // point is a trace process (pid = point index) and labels every
+    // metric with {mix, load}, so the registry holds the full sweep
+    // while staying thread-count invariant (DESIGN.md §11).
+    obs::Observability obsv;
+    const bool want_obs =
+        !opts.metricsOutPath.empty() || !opts.traceOutPath.empty();
+    std::uint64_t point_pid = 0;
+
     std::vector<SweepPoint> points;
     Table t({"load (rps)", "mix", "req", "shed", "batches", "mean B",
              "p50 lat (us)", "p95 lat (us)", "accuracy", "pJ/inf",
@@ -177,6 +188,17 @@ main(int argc, char **argv)
             cfg.numThreads = opts.threads;
             serve::InferenceServer server(ctx, net, pool, per_inference,
                                           std::move(planner), cfg);
+            if (want_obs) {
+                const std::string load_label =
+                    std::to_string(static_cast<long long>(load));
+                obsv.trace.setProcessName(point_pid,
+                                          mix.name + " @ " + load_label +
+                                              " rps");
+                server.attachObservability(
+                    &obsv, point_pid,
+                    {{"mix", mix.name}, {"load", load_label}});
+                ++point_pid;
+            }
 
             serve::TraceConfig trace_cfg;
             trace_cfg.requestsPerTick = load / cfg.ticksPerSecond;
@@ -218,5 +240,12 @@ main(int argc, char **argv)
         writeJson(opts.jsonPath, points, opts);
         inform("wrote JSON results to ", opts.jsonPath);
     }
+    if (want_obs)
+        obs::recordLoggingMetrics(obsv.metrics);
+    if (!opts.metricsOutPath.empty())
+        bench::writeMetricsJson(opts.metricsOutPath, "serve",
+                                obsv.metrics);
+    if (!opts.traceOutPath.empty())
+        bench::writeTraceJson(opts.traceOutPath, obsv.trace);
     return 0;
 }

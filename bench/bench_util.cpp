@@ -33,6 +33,10 @@ BenchOptions::printUsage(std::ostream &os)
           "  --spares <n>        spare rows available for quarantine\n"
           "  --json <path>       write machine-readable results as "
           "JSON\n"
+          "  --metrics-out <path> write the observability metrics "
+          "registry as JSON\n"
+          "  --trace-out <path>  write a Chrome trace_event JSON "
+          "(chrome://tracing)\n"
           "  --help              show this help\n";
 }
 
@@ -106,6 +110,10 @@ BenchOptions::parse(int argc, char **argv)
             opts.spares = countValue(argc, argv, i);
         } else if (std::strcmp(argv[i], "--json") == 0) {
             opts.jsonPath = optionValue(argc, argv, i);
+        } else if (std::strcmp(argv[i], "--metrics-out") == 0) {
+            opts.metricsOutPath = optionValue(argc, argv, i);
+        } else if (std::strcmp(argv[i], "--trace-out") == 0) {
+            opts.traceOutPath = optionValue(argc, argv, i);
         } else if (std::strcmp(argv[i], "--help") == 0) {
             printUsage(std::cout);
             std::exit(0);

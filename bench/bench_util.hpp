@@ -45,10 +45,15 @@ struct BenchOptions
     int spares = 8;
     /** Optional JSON output path for machine-readable results. */
     std::string jsonPath;
+    /** Optional metrics-registry JSON output path (DESIGN.md §11). */
+    std::string metricsOutPath;
+    /** Optional Chrome trace_event JSON output path (§11). */
+    std::string traceOutPath;
 
     /** Parse argv; recognizes --paper, --smoke, --threads <n>,
      *  --csv <path>, --cache <dir>, --policy <open|closed|both>,
-     *  --retry-budget <n>, --spares <n>, --json <path>;
+     *  --retry-budget <n>, --spares <n>, --json <path>,
+     *  --metrics-out <path>, --trace-out <path>;
      *  VBOOST_BENCH_SMOKE=1 in the environment also enables smoke
      *  mode. Unknown options and missing values print the usage to
      *  stderr and exit with status 2. */

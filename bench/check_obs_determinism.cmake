@@ -1,0 +1,64 @@
+# Observability thread-count-invariance gate (DESIGN.md §11): run
+# bench_serve in smoke mode at --threads 1 and --threads 8 with the
+# same seed/config, and require (a) the exported Chrome trace JSON to
+# be bitwise identical and (b) the metrics fingerprint in the metrics
+# JSON to be identical. Invoked by the serve_obs_determinism ctest
+# entry with -DBENCH_SERVE=<exe> -DWORK_DIR=<dir>.
+
+if(NOT BENCH_SERVE)
+    message(FATAL_ERROR "pass -DBENCH_SERVE=<path to bench_serve>")
+endif()
+if(NOT WORK_DIR)
+    message(FATAL_ERROR "pass -DWORK_DIR=<writable work directory>")
+endif()
+
+set(ENV{VBOOST_BENCH_SMOKE} 1)
+
+foreach(threads 1 8)
+    execute_process(
+        COMMAND ${BENCH_SERVE}
+            --threads ${threads}
+            --metrics-out ${WORK_DIR}/obs-det-metrics-t${threads}.json
+            --trace-out ${WORK_DIR}/obs-det-trace-t${threads}.json
+        WORKING_DIRECTORY ${WORK_DIR}
+        RESULT_VARIABLE rc
+        OUTPUT_VARIABLE out
+        ERROR_VARIABLE err)
+    if(NOT rc EQUAL 0)
+        message(FATAL_ERROR
+            "bench_serve --threads ${threads} failed (${rc}):\n"
+            "${out}\n${err}")
+    endif()
+endforeach()
+
+# (a) Trace artifacts must match bitwise.
+execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files
+        ${WORK_DIR}/obs-det-trace-t1.json
+        ${WORK_DIR}/obs-det-trace-t8.json
+    RESULT_VARIABLE trace_rc)
+if(NOT trace_rc EQUAL 0)
+    message(FATAL_ERROR
+        "exported trace JSON differs between --threads 1 and "
+        "--threads 8 (obs-det-trace-t1.json vs obs-det-trace-t8.json)")
+endif()
+
+# (b) Metrics fingerprints must match.
+foreach(threads 1 8)
+    file(READ ${WORK_DIR}/obs-det-metrics-t${threads}.json contents)
+    string(REGEX MATCH "\"fingerprint\": ([0-9]+)" _ "${contents}")
+    if(NOT CMAKE_MATCH_1)
+        message(FATAL_ERROR
+            "no fingerprint field in obs-det-metrics-t${threads}.json")
+    endif()
+    set(fp_t${threads} ${CMAKE_MATCH_1})
+endforeach()
+if(NOT fp_t1 STREQUAL fp_t8)
+    message(FATAL_ERROR
+        "metrics fingerprint differs: threads=1 -> ${fp_t1}, "
+        "threads=8 -> ${fp_t8}")
+endif()
+
+message(STATUS
+    "observability determinism OK: fingerprint ${fp_t1} and trace "
+    "bitwise identical at 1 vs 8 threads")

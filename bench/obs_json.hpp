@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Shared observability artifact writers for the benches (DESIGN.md
+ * §11), built on the same JsonWriter as the --json result paths. Two
+ * artifacts:
+ *
+ *  - writeMetricsJson: the full MetricsRegistry as one JSON document
+ *    with a top-level "fingerprint" field (the thread-count-invariance
+ *    acceptance value the serve_obs_determinism ctest compares) and a
+ *    key-ordered "metrics" array.
+ *  - writeTraceJson: the Tracer's Chrome trace_event JSON, loadable in
+ *    chrome://tracing or Perfetto.
+ *
+ * Both writers are deterministic byte-for-byte given equal registry /
+ * tracer contents, so artifact files can be compared bitwise.
+ */
+
+#ifndef VBOOST_BENCH_OBS_JSON_HPP
+#define VBOOST_BENCH_OBS_JSON_HPP
+
+#include <fstream>
+#include <string>
+
+#include "common/logging.hpp"
+#include "json_writer.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace vboost::bench {
+
+/** Serialize a metrics registry to `path` (fatal on open failure). */
+inline void
+writeMetricsJson(const std::string &path, const std::string &bench,
+                 const obs::MetricsRegistry &reg)
+{
+    std::ofstream out(path);
+    if (!out)
+        fatal("cannot open metrics output file '", path, "'");
+    JsonWriter j(out);
+    j.beginObject()
+        .field("bench", bench)
+        .field("fingerprint", reg.fingerprint())
+        .field("metric_count", static_cast<std::uint64_t>(reg.size()));
+    j.beginArrayField("fingerprint_exclusions");
+    for (const std::string &name : reg.fingerprintExclusions())
+        j.value(name);
+    j.endArray();
+    j.beginArrayField("metrics");
+    for (const auto &[key, metric] : reg.metrics()) {
+        j.beginObject()
+            .field("name", key.name)
+            .field("kind", obs::toString(metric.kind));
+        if (!key.labels.empty()) {
+            j.beginObjectField("labels");
+            for (const auto &[k, v] : key.labels)
+                j.field(k, v);
+            j.endObject();
+        }
+        switch (metric.kind) {
+          case obs::MetricKind::Counter:
+            j.field("value", metric.count);
+            break;
+          case obs::MetricKind::Sum:
+          case obs::MetricKind::Gauge:
+            j.field("value", metric.sum);
+            break;
+          case obs::MetricKind::Histogram:
+            j.field("count", metric.count).field("sum", metric.sum);
+            if (metric.count > 0)
+                j.field("min", metric.min).field("max", metric.max);
+            j.beginArrayField("bounds");
+            for (double b : metric.bounds)
+                j.value(b);
+            j.endArray();
+            j.beginArrayField("buckets");
+            for (std::uint64_t b : metric.buckets)
+                j.value(b);
+            j.endArray();
+            break;
+        }
+        j.endObject();
+    }
+    j.endArray().endObject();
+    inform("wrote metrics JSON: ", path, " (", reg.size(),
+           " metrics, fingerprint ", reg.fingerprint(), ")");
+}
+
+/** Serialize a tracer to Chrome trace_event JSON at `path`. */
+inline void
+writeTraceJson(const std::string &path, const obs::Tracer &tracer)
+{
+    std::ofstream out(path);
+    if (!out)
+        fatal("cannot open trace output file '", path, "'");
+    tracer.writeChromeTrace(out);
+    inform("wrote Chrome trace JSON: ", path, " (", tracer.eventCount(),
+           " events; load in chrome://tracing or Perfetto)");
+}
+
+} // namespace vboost::bench
+
+#endif // VBOOST_BENCH_OBS_JSON_HPP

@@ -79,6 +79,10 @@ std::mutex warnLimiterMutex;
 std::unique_ptr<TokenBucket> warnLimiter;
 // vblint: allow(VB004, suppressed-warning counter; log volume only)
 std::uint64_t warnSuppressed = 0;
+// vblint: allow(VB004, cumulative emitted-warning counter; log volume only)
+std::uint64_t warnEmittedTotal = 0;
+// vblint: allow(VB004, cumulative suppressed-warning counter; log volume only)
+std::uint64_t warnSuppressedTotal = 0;
 
 constexpr double kWarnRate = 5.0;
 constexpr double kWarnBurst = 10.0;
@@ -92,6 +96,15 @@ setWarnRateLimit(double tokens_per_sec, double burst)
     std::lock_guard<std::mutex> lock(warnLimiterMutex);
     warnLimiter = std::move(fresh);
     warnSuppressed = 0;
+    warnEmittedTotal = 0;
+    warnSuppressedTotal = 0;
+}
+
+RateLimitedWarnStats
+rateLimitedWarnStats()
+{
+    std::lock_guard<std::mutex> lock(warnLimiterMutex);
+    return {warnEmittedTotal, warnSuppressedTotal};
 }
 
 namespace detail {
@@ -105,9 +118,11 @@ allowRateLimitedWarn(std::uint64_t &suppressed)
     if (warnLimiter->allow()) {
         suppressed = warnSuppressed;
         warnSuppressed = 0;
+        ++warnEmittedTotal;
         return true;
     }
     ++warnSuppressed;
+    ++warnSuppressedTotal;
     return false;
 }
 

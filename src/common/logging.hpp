@@ -161,8 +161,23 @@ warnRateLimited(Args &&...args)
     detail::emit("warn", msg);
 }
 
-/** Reconfigure the warnRateLimited() bucket (also resets its state). */
+/** Reconfigure the warnRateLimited() bucket (also resets its state,
+ *  including the cumulative totals below). */
 void setWarnRateLimit(double tokens_per_sec, double burst);
+
+/** Cumulative warnRateLimited() traffic since start (or the last
+ *  setWarnRateLimit()). The observability layer publishes these as
+ *  unfingerprinted metrics so dropped warnings stay visible. */
+struct RateLimitedWarnStats
+{
+    /** Messages that passed the rate limiter and were emitted. */
+    std::uint64_t emitted = 0;
+    /** Messages dropped by the rate limiter. */
+    std::uint64_t suppressed = 0;
+};
+
+/** @return a snapshot of the cumulative warnRateLimited() totals. */
+RateLimitedWarnStats rateLimitedWarnStats();
 
 } // namespace vboost
 

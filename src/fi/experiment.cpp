@@ -1,11 +1,13 @@
 #include "fi/experiment.hpp"
 
 #include <algorithm>
+#include <optional>
 
 #include "common/logging.hpp"
 #include "common/thread_pool.hpp"
 #include "dnn/quantize.hpp"
 #include "dnn/trainer.hpp"
+#include "obs/scope.hpp"
 
 namespace vboost::fi {
 
@@ -25,6 +27,52 @@ FaultInjectionRunner::FaultInjectionRunner(dnn::Network &net,
     if (cfg_.maxTestSamples > 0 && cfg_.maxTestSamples < n)
         n = cfg_.maxTestSamples;
     evalSet_ = test_set.slice(0, n);
+}
+
+void
+FaultInjectionRunner::attachObservability(obs::Observability *o,
+                                          std::uint64_t trace_pid,
+                                          obs::Labels labels)
+{
+    obs_ = o;
+    obsPid_ = trace_pid;
+    obsLabels_ = std::move(labels);
+}
+
+obs::Labels
+FaultInjectionRunner::withBase(obs::Labels extra) const
+{
+    // insert() keeps existing keys, so the explicit labels win over
+    // the attached base labels.
+    extra.insert(obsLabels_.begin(), obsLabels_.end());
+    return extra;
+}
+
+void
+FaultInjectionRunner::recordTrials(const std::string &kind,
+                                   const std::vector<MapResult> &results)
+{
+    if (!obs_)
+        return;
+    obs::MetricsRegistry &reg = obs_->metrics;
+    const obs::Labels kind_labels = withBase({{"kind", kind}});
+    obs::Counter trials = reg.counter("fi.trials", kind_labels);
+    obs::Counter flips = reg.counter("fi.bit_flips", kind_labels);
+    obs::Histogram accuracy = reg.histogram(
+        "fi.trial.accuracy", obs::linearBounds(0.0, 1.0, 21), kind_labels);
+    for (const MapResult &r : results) {
+        trials.add(1);
+        flips.add(r.bitFlips);
+        accuracy.observe(r.accuracy);
+        // One virtual tick per trial: spans line up in map order on
+        // the trial clock regardless of worker scheduling.
+        const std::uint64_t ts = trialClock_.now();
+        trialClock_.advance(1);
+        obs_->trace.complete(
+            obsPid_, 0, "fi." + kind, ts, 1,
+            {{"accuracy", r.accuracy},
+             {"bit_flips", static_cast<double>(r.bitFlips)}});
+    }
 }
 
 void
@@ -104,6 +152,11 @@ FaultInjectionRunner::baselineAccuracy()
 AccuracyPoint
 FaultInjectionRunner::run(double fail_prob, const InjectionSpec &spec)
 {
+    std::optional<obs::ScopeTimer> timer;
+    if (obs_) {
+        timer.emplace(obs_->metrics, "fi.run", trialClock_,
+                      withBase({{"kind", "inject"}}));
+    }
     const auto results = runMaps(
         static_cast<std::size_t>(cfg_.numMaps),
         [&](std::size_t m, dnn::Network &scratch) {
@@ -126,6 +179,7 @@ FaultInjectionRunner::run(double fail_prob, const InjectionSpec &spec)
             }
             return r;
         });
+    recordTrials("inject", results);
     return reduce(results, fail_prob);
 }
 
@@ -133,6 +187,11 @@ AccuracyPoint
 FaultInjectionRunner::runPerLayer(const std::vector<double> &fail_by_layer,
                                   double flip_prob)
 {
+    std::optional<obs::ScopeTimer> timer;
+    if (obs_) {
+        timer.emplace(obs_->metrics, "fi.run", trialClock_,
+                      withBase({{"kind", "per_layer"}}));
+    }
     const auto results = runMaps(
         static_cast<std::size_t>(cfg_.numMaps),
         [&](std::size_t m, dnn::Network &scratch) {
@@ -147,6 +206,7 @@ FaultInjectionRunner::runPerLayer(const std::vector<double> &fail_by_layer,
             r.accuracy = dnn::SgdTrainer::evaluate(scratch, evalSet_, 0);
             return r;
         });
+    recordTrials("per_layer", results);
     double max_f = 0.0;
     for (double f : fail_by_layer)
         max_f = std::max(max_f, f);
@@ -157,6 +217,11 @@ AccuracyPoint
 FaultInjectionRunner::runWithEcc(double fail_prob, double flip_prob,
                                  sram::EccStats *stats)
 {
+    std::optional<obs::ScopeTimer> timer;
+    if (obs_) {
+        timer.emplace(obs_->metrics, "fi.run", trialClock_,
+                      withBase({{"kind", "ecc"}}));
+    }
     const auto results = runMaps(
         static_cast<std::size_t>(cfg_.numMaps),
         [&](std::size_t m, dnn::Network &scratch) {
@@ -171,6 +236,7 @@ FaultInjectionRunner::runWithEcc(double fail_prob, double flip_prob,
             r.accuracy = dnn::SgdTrainer::evaluate(scratch, evalSet_, 0);
             return r;
         });
+    recordTrials("ecc", results);
     return reduce(results, fail_prob, stats);
 }
 
@@ -186,6 +252,11 @@ FaultInjectionRunner::runResilient(Volt vdd, const core::SimContext &ctx,
         fatal("runResilient: weight region smaller than one bank");
     const sram::FailureRateModel failure(ctx.failure);
 
+    std::optional<obs::ScopeTimer> timer;
+    if (obs_) {
+        timer.emplace(obs_->metrics, "fi.run", trialClock_,
+                      withBase({{"kind", "resilient"}}));
+    }
     const auto results = runMaps(
         static_cast<std::size_t>(cfg_.numMaps),
         [&](std::size_t m, dnn::Network &scratch) {
@@ -207,8 +278,19 @@ FaultInjectionRunner::runResilient(Volt vdd, const core::SimContext &ctx,
             r.accuracy = dnn::SgdTrainer::evaluate(scratch, evalSet_, 0);
             r.res = rmem.snapshot();
             r.resEnergy = rmem.totalAccessEnergy();
+            // Each worker exports into its map's private registry
+            // (reads obsLabels_ only); the serial reduction below
+            // merges them in map order per the §7 discipline.
+            if (obs_)
+                rmem.exportMetrics(r.metrics, withBase({}));
             return r;
         });
+
+    recordTrials("resilient", results);
+    if (obs_) {
+        for (const MapResult &r : results)
+            obs_->metrics.merge(r.metrics);
+    }
 
     ResilientAccuracyPoint out;
     out.point = reduce(results, failure.rate(vdd));
@@ -246,6 +328,11 @@ FaultInjectionRunner::sweepVoltage(const std::vector<Volt> &voltages,
     for (std::size_t v = 0; v < voltages.size(); ++v)
         rates[v] = model.rate(voltages[v]);
 
+    std::optional<obs::ScopeTimer> timer;
+    if (obs_) {
+        timer.emplace(obs_->metrics, "fi.run", trialClock_,
+                      withBase({{"kind", "sweep"}}));
+    }
     // One flat job grid over (voltage, map): sweeps with few maps per
     // point still fill every worker.
     const auto results = runMaps(
@@ -273,6 +360,7 @@ FaultInjectionRunner::sweepVoltage(const std::vector<Volt> &voltages,
             return r;
         });
 
+    recordTrials("sweep", results);
     std::vector<AccuracyPoint> out;
     out.reserve(voltages.size());
     for (std::size_t v = 0; v < voltages.size(); ++v) {

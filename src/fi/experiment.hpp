@@ -27,6 +27,8 @@
 #include "dnn/dataset.hpp"
 #include "dnn/network.hpp"
 #include "fi/injector.hpp"
+#include "obs/observability.hpp"
+#include "obs/trace.hpp"
 #include "resilience/policy.hpp"
 #include "resilience/resilient_memory.hpp"
 #include "sram/failure_model.hpp"
@@ -151,6 +153,20 @@ class FaultInjectionRunner
 
     const ExperimentConfig &config() const { return cfg_; }
 
+    /**
+     * Attach a metrics + trace sink (DESIGN.md §11). Every subsequent
+     * experiment publishes per-trial spans (`fi.<kind>` on a virtual
+     * trial clock under `trace_pid`), injection counters
+     * (`fi.trials{kind=..}`, `fi.bit_flips`), per-trial accuracy
+     * histograms and — for runResilient — the merged ResilientMemory
+     * metrics. `labels` is folded into every metric. All recording
+     * happens on the serial reduction path in map order, so the output
+     * is thread-count invariant (§7). Pass nullptr to detach.
+     */
+    void attachObservability(obs::Observability *o,
+                             std::uint64_t trace_pid = 0,
+                             obs::Labels labels = {});
+
   private:
     /** Outcome of evaluating one fault map. */
     struct MapResult
@@ -162,6 +178,9 @@ class FaultInjectionRunner
         resilience::ResilienceStats res;
         /** Per-map SRAM energy incl. resilience (runResilient only). */
         Joule resEnergy{0.0};
+        /** Per-map ResilientMemory metrics export (runResilient with
+         *  observability attached only); merged in map order. */
+        obs::MetricsRegistry metrics;
     };
 
     /**
@@ -183,11 +202,26 @@ class FaultInjectionRunner
     /** Grow the per-worker scratch-clone pool to `count` networks. */
     void ensureScratch(unsigned count);
 
+    /** Merge the attached base labels under `extra` (extra wins). */
+    obs::Labels withBase(obs::Labels extra) const;
+
+    /** Publish per-trial counters, accuracy histogram and spans for
+     *  one experiment (serial, map order). */
+    void recordTrials(const std::string &kind,
+                      const std::vector<MapResult> &results);
+
     dnn::Network &net_;
     dnn::Dataset evalSet_;
     ExperimentConfig cfg_;
     /** One scratch clone per worker slot, created lazily. */
     std::vector<std::unique_ptr<dnn::Network>> scratch_;
+
+    /** Optional metrics/trace sink (never owned). */
+    obs::Observability *obs_ = nullptr;
+    std::uint64_t obsPid_ = 0;
+    obs::Labels obsLabels_;
+    /** Virtual clock advanced one tick per recorded trial. */
+    obs::VirtualClock trialClock_;
 };
 
 } // namespace vboost::fi

@@ -1,0 +1,19 @@
+#include "obs/observability.hpp"
+
+#include "common/logging.hpp"
+
+namespace vboost::obs {
+
+void
+recordLoggingMetrics(MetricsRegistry &reg)
+{
+    const RateLimitedWarnStats stats = rateLimitedWarnStats();
+    reg.gauge("log.warn.rate_limited.emitted")
+        .set(static_cast<double>(stats.emitted));
+    reg.gauge("log.warn.rate_limited.suppressed")
+        .set(static_cast<double>(stats.suppressed));
+    reg.excludeFromFingerprint("log.warn.rate_limited.emitted");
+    reg.excludeFromFingerprint("log.warn.rate_limited.suppressed");
+}
+
+} // namespace vboost::obs

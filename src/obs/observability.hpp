@@ -1,0 +1,37 @@
+/**
+ * @file
+ * The Observability bundle handed to instrumented subsystems: one
+ * MetricsRegistry plus one Tracer, owned by the caller (a bench or a
+ * test) and attached to FaultInjectionRunner / InferenceServer /
+ * ResilientMemory via their attach/export hooks. Attachment is always
+ * optional — a null Observability pointer means zero instrumentation
+ * overhead.
+ */
+
+#ifndef VBOOST_OBS_OBSERVABILITY_HPP
+#define VBOOST_OBS_OBSERVABILITY_HPP
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace vboost::obs {
+
+/** Shared metrics + trace sink for one observed run. */
+struct Observability
+{
+    MetricsRegistry metrics;
+    Tracer trace;
+};
+
+/**
+ * Publish the common/logging rate-limited warning totals into `reg`
+ * as gauges `log.warn.rate_limited.emitted` / `.suppressed`. The
+ * token bucket runs on the wall clock, so both are registered as
+ * fingerprint-excluded: visible in artifacts, outside the determinism
+ * contract (DESIGN.md §11).
+ */
+void recordLoggingMetrics(MetricsRegistry &reg);
+
+} // namespace vboost::obs
+
+#endif // VBOOST_OBS_OBSERVABILITY_HPP

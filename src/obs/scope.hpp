@@ -1,0 +1,111 @@
+/**
+ * @file
+ * RAII attribution helpers (DESIGN.md §11) that hot paths adopt to
+ * charge latency and energy to named phases without scattering manual
+ * bookkeeping:
+ *
+ *  - ScopeTimer: measures a scope in virtual ticks against a
+ *    VirtualClock and publishes `<name>.ticks` (sum) plus
+ *    `<name>.calls` (counter); optionally also emits a tracer span.
+ *  - EnergyScope: accumulates Joule amounts locally and publishes the
+ *    total into a sum metric exactly once at scope exit, so per-item
+ *    charging inside a loop costs one registry update.
+ *
+ * Both publish at destruction only, on the thread that created them —
+ * use them on serial paths (or per-job with job-order merge) per §7.
+ */
+
+#ifndef VBOOST_OBS_SCOPE_HPP
+#define VBOOST_OBS_SCOPE_HPP
+
+#include <cstdint>
+#include <string>
+
+#include "common/units.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace vboost::obs {
+
+/**
+ * Times a scope in virtual ticks: on destruction adds the elapsed
+ * ticks to sum `<name>.ticks` and bumps counter `<name>.calls`. When a
+ * tracer is given, additionally records a span named `name` over the
+ * same interval.
+ */
+class ScopeTimer
+{
+  public:
+    ScopeTimer(MetricsRegistry &registry, const std::string &name,
+               const VirtualClock &clock, const Labels &labels = {},
+               Tracer *tracer = nullptr, std::uint64_t pid = 0,
+               std::uint64_t tid = 0)
+        : registry_(registry), clock_(clock), name_(name), labels_(labels),
+          tracer_(tracer), pid_(pid), tid_(tid), startTick_(clock.now())
+    {}
+
+    ~ScopeTimer()
+    {
+        const std::uint64_t now = clock_.now();
+        const std::uint64_t ticks = now - startTick_;
+        registry_.sum(name_ + ".ticks", labels_).add(
+            static_cast<double>(ticks));
+        registry_.counter(name_ + ".calls", labels_).add(1);
+        if (tracer_)
+            tracer_->complete(pid_, tid_, name_, startTick_, ticks);
+    }
+
+    ScopeTimer(const ScopeTimer &) = delete;
+    ScopeTimer &operator=(const ScopeTimer &) = delete;
+
+    /** Ticks elapsed so far. */
+    std::uint64_t elapsed() const { return clock_.now() - startTick_; }
+
+  private:
+    MetricsRegistry &registry_;
+    const VirtualClock &clock_;
+    std::string name_;
+    Labels labels_;
+    Tracer *tracer_;
+    std::uint64_t pid_;
+    std::uint64_t tid_;
+    std::uint64_t startTick_;
+};
+
+/**
+ * Attributes energy to a named sum metric (joules). add() accumulates
+ * locally; the destructor publishes the scope total with a single
+ * registry update.
+ */
+class EnergyScope
+{
+  public:
+    EnergyScope(MetricsRegistry &registry, const std::string &name,
+                const Labels &labels = {})
+        : registry_(registry), name_(name), labels_(labels)
+    {}
+
+    ~EnergyScope() { registry_.sum(name_, labels_).add(joules_); }
+
+    EnergyScope(const EnergyScope &) = delete;
+    EnergyScope &operator=(const EnergyScope &) = delete;
+
+    /** Charge an energy amount to this scope. */
+    void add(Joule e) { joules_ += e.value(); }
+
+    /** Charge raw joules to this scope. */
+    void addJoules(double j) { joules_ += j; }
+
+    /** Total charged so far. */
+    Joule total() const { return Joule(joules_); }
+
+  private:
+    MetricsRegistry &registry_;
+    std::string name_;
+    Labels labels_;
+    double joules_ = 0.0;
+};
+
+} // namespace vboost::obs
+
+#endif // VBOOST_OBS_SCOPE_HPP

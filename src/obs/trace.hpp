@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Deterministic span tracing on the virtual clock (DESIGN.md §11).
+ * The Tracer records begin/end or pre-completed spans whose timestamps
+ * are virtual ticks (the serve layer's microtick unit — exported 1:1
+ * as Chrome trace microseconds), never wall-clock time, so the trace
+ * of a run is a pure function of its seed: byte-identical at any
+ * thread count as long as spans are recorded on serial paths or in a
+ * caller-fixed order (§7).
+ *
+ * Exports:
+ *  - writeChromeTrace(): Chrome `trace_event` JSON array format,
+ *    loadable in chrome://tracing or https://ui.perfetto.dev.
+ *  - writeTextSummary(): per-span-name count/total/min/max table in
+ *    name order, the grep-friendly counterpart.
+ */
+
+#ifndef VBOOST_OBS_TRACE_HPP
+#define VBOOST_OBS_TRACE_HPP
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace vboost::obs {
+
+/**
+ * Monotone virtual clock for code with no natural tick source (the
+ * fault-injection trial loop): callers advance it by completed work
+ * units, which keeps every derived timestamp seed-deterministic.
+ */
+class VirtualClock
+{
+  public:
+    explicit VirtualClock(std::uint64_t start = 0) : now_(start) {}
+
+    void advance(std::uint64_t n = 1) { now_ += n; }
+    std::uint64_t now() const { return now_; }
+
+  private:
+    std::uint64_t now_;
+};
+
+/** One recorded trace event (Chrome "X" complete or "i" instant). */
+struct TraceEvent
+{
+    std::string name;
+    /** 'X' = complete span, 'i' = instant event. */
+    char phase = 'X';
+    std::uint64_t pid = 0;
+    std::uint64_t tid = 0;
+    /** Start timestamp in virtual ticks (exported as microseconds). */
+    std::uint64_t ts = 0;
+    /** Duration in virtual ticks ('X' only). */
+    std::uint64_t dur = 0;
+    /** True while begin()'d but not yet end()'d. */
+    bool open = false;
+    /** Numeric arguments, name-ordered. */
+    std::map<std::string, double> numArgs;
+    /** String arguments, name-ordered. */
+    std::map<std::string, std::string> strArgs;
+};
+
+class Tracer
+{
+  public:
+    /** Index of a begin()'d span, used to end() it. */
+    using SpanId = std::size_t;
+
+    /** Name the process row `pid` in the Chrome trace viewer. */
+    void setProcessName(std::uint64_t pid, const std::string &name);
+
+    /** Name the thread row (`pid`, `tid`) in the Chrome trace viewer. */
+    void setThreadName(std::uint64_t pid, std::uint64_t tid,
+                       const std::string &name);
+
+    /** Open a span at tick `ts`; close it with end(). */
+    SpanId begin(std::uint64_t pid, std::uint64_t tid,
+                 const std::string &name, std::uint64_t ts);
+
+    /** Close a begin()'d span at tick `ts` (>= its begin tick). */
+    void end(SpanId id, std::uint64_t ts);
+
+    /** Record an already-measured span [ts, ts + dur). */
+    void complete(std::uint64_t pid, std::uint64_t tid,
+                  const std::string &name, std::uint64_t ts,
+                  std::uint64_t dur,
+                  const std::map<std::string, double> &num_args = {},
+                  const std::map<std::string, std::string> &str_args = {});
+
+    /** Record a zero-duration marker at tick `ts`. */
+    void instant(std::uint64_t pid, std::uint64_t tid,
+                 const std::string &name, std::uint64_t ts,
+                 const std::map<std::string, double> &num_args = {},
+                 const std::map<std::string, std::string> &str_args = {});
+
+    /** Attach a numeric argument to a still-open span. */
+    void setNumArg(SpanId id, const std::string &key, double value);
+
+    const std::vector<TraceEvent> &events() const { return events_; }
+    std::size_t eventCount() const { return events_.size(); }
+    bool empty() const { return events_.empty(); }
+
+    /** Number of begin()'d spans that were never end()'d. */
+    std::size_t openSpans() const;
+
+    /**
+     * FNV-1a digest over all events in record order (names, ids, raw
+     * tick values, argument bits). Equal digests mean byte-identical
+     * Chrome exports.
+     */
+    std::uint64_t fingerprint() const;
+
+    /**
+     * Chrome `trace_event` JSON: `{"displayTimeUnit":..,
+     * "traceEvents":[..]}` with metadata (process/thread names) first,
+     * then events in record order. Ticks map 1:1 to microseconds.
+     * Open spans are exported with zero duration.
+     */
+    void writeChromeTrace(std::ostream &os) const;
+
+    /**
+     * Deterministic text table: per span name (name order) the event
+     * count, total/min/max duration in ticks.
+     */
+    void writeTextSummary(std::ostream &os) const;
+
+  private:
+    std::vector<TraceEvent> events_;
+    /** pid -> process name. */
+    std::map<std::uint64_t, std::string> processNames_;
+    /** (pid, tid) -> thread name. */
+    std::map<std::pair<std::uint64_t, std::uint64_t>, std::string>
+        threadNames_;
+};
+
+/**
+ * RAII span: begin() at construction, end() at destruction using the
+ * clock's then-current tick. The clock must outlive the span.
+ */
+class ScopedSpan
+{
+  public:
+    ScopedSpan(Tracer &tracer, std::uint64_t pid, std::uint64_t tid,
+               const std::string &name, const VirtualClock &clock)
+        : tracer_(tracer), clock_(clock),
+          id_(tracer.begin(pid, tid, name, clock.now()))
+    {}
+
+    ~ScopedSpan() { tracer_.end(id_, clock_.now()); }
+
+    ScopedSpan(const ScopedSpan &) = delete;
+    ScopedSpan &operator=(const ScopedSpan &) = delete;
+
+    /** Attach a numeric argument before the span closes. */
+    void setNumArg(const std::string &key, double value)
+    { tracer_.setNumArg(id_, key, value); }
+
+  private:
+    Tracer &tracer_;
+    const VirtualClock &clock_;
+    Tracer::SpanId id_;
+};
+
+} // namespace vboost::obs
+
+#endif // VBOOST_OBS_TRACE_HPP

@@ -354,4 +354,43 @@ ResilientMemory::totalAccessEnergy() const
     return c.accessEnergy + c.boostEnergy + stats_.spareEnergy;
 }
 
+void
+ResilientMemory::exportMetrics(obs::MetricsRegistry &reg,
+                               const obs::Labels &labels) const
+{
+    const ResilienceStats s = snapshot();
+    reg.counter("resil.reads", labels).add(s.reads);
+    reg.counter("resil.reads.clean", labels).add(s.cleanReads);
+    reg.counter("resil.reads.corrected", labels).add(s.correctedReads);
+    reg.counter("resil.reads.retried", labels).add(s.retriedReads);
+    reg.counter("resil.retry.count", labels).add(s.retries);
+    reg.counter("resil.escalation.count", labels).add(s.escalations);
+    reg.counter("resil.standing_raise.count", labels).add(s.standingRaises);
+    reg.counter("resil.quarantine.count", labels).add(s.quarantines);
+    reg.counter("resil.spare.reads", labels).add(s.spareReads);
+    reg.counter("resil.spare.exhausted", labels).add(s.spareExhausted);
+    reg.counter("resil.uncorrected.count", labels).add(s.uncorrected);
+    reg.sum("resil.retry.energy_j", labels).add(s.retryEnergy.value());
+    reg.sum("resil.spare.energy_j", labels).add(s.spareEnergy.value());
+    reg.sum("resil.retry.latency_s", labels).add(s.retryLatency.value());
+
+    // Per-bank attribution: where the boost (and thus resilience)
+    // energy actually went, plus the standing level each bank settled
+    // at. Femtojoule floor to microjoule ceiling covers a single boost
+    // event up to a heavily escalated bank.
+    obs::Histogram boost_hist = reg.histogram(
+        "resil.bank.boost_energy_j", obs::exponentialBounds(1e-15, 10.0, 10),
+        labels);
+    for (int b = 0; b < mem_.banks(); ++b) {
+        const sram::BankCounters &c = mem_.bankCounters(b);
+        boost_hist.observe(c.boostEnergy.value());
+        obs::Labels bank_labels = labels;
+        bank_labels["bank"] = std::to_string(b);
+        reg.gauge("resil.bank.standing_level", bank_labels)
+            .set(static_cast<double>(standingLevel(b)));
+        reg.counter("resil.bank.boost_events", bank_labels)
+            .add(c.boostEvents);
+    }
+}
+
 } // namespace vboost::resilience

@@ -31,6 +31,7 @@
 #include "core/canary.hpp"
 #include "core/context.hpp"
 #include "energy/supply_config.hpp"
+#include "obs/metrics.hpp"
 #include "resilience/monitor.hpp"
 #include "resilience/policy.hpp"
 #include "resilience/spare_table.hpp"
@@ -156,6 +157,18 @@ class ResilientMemory
     /** Total SRAM energy including resilience: bank access + boost
      *  energy plus spare-row access energy. */
     Joule totalAccessEnergy() const;
+
+    /**
+     * Publish the pipeline's current state into a metrics registry
+     * (DESIGN.md §11): retry/escalation/quarantine counters, retry and
+     * spare energy sums, per-bank standing-level gauges and a per-bank
+     * boost-energy histogram. `labels` is merged into every metric so
+     * callers can scope the export (e.g. {{"mem","weight"}}). Call on
+     * a serial path; values come from the deterministic counters, so
+     * the export is thread-count invariant (§7).
+     */
+    void exportMetrics(obs::MetricsRegistry &reg,
+                       const obs::Labels &labels = {}) const;
 
   private:
     /** One read attempt; primary rows go through the real bank read

@@ -1,8 +1,10 @@
 #include "serve/server.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <cstring>
+#include <optional>
 #include <unordered_map>
 #include <utility>
 
@@ -10,6 +12,7 @@
 #include "common/rng.hpp"
 #include "common/stats.hpp"
 #include "common/thread_pool.hpp"
+#include "obs/scope.hpp"
 
 namespace vboost::serve {
 
@@ -116,6 +119,25 @@ InferenceServer::InferenceServer(const core::SimContext &ctx,
     cfg_.policy.validate(cfg_.chip.boostLevels);
 }
 
+void
+InferenceServer::attachObservability(obs::Observability *o,
+                                     std::uint64_t trace_pid,
+                                     obs::Labels labels)
+{
+    obs_ = o;
+    obsPid_ = trace_pid;
+    obsLabels_ = std::move(labels);
+}
+
+obs::Labels
+InferenceServer::withBase(obs::Labels extra) const
+{
+    // insert() keeps existing keys, so the explicit labels win over
+    // the attached base labels.
+    extra.insert(obsLabels_.begin(), obsLabels_.end());
+    return extra;
+}
+
 std::vector<FormedBatch>
 InferenceServer::formBatches(const std::vector<InferenceRequest> &trace,
                              std::vector<RequestOutcome> &outcomes)
@@ -123,6 +145,19 @@ InferenceServer::formBatches(const std::vector<InferenceRequest> &trace,
     BoundedRequestQueue queue(cfg_.queueCapacity, cfg_.perTenantQueueCap);
     DynamicBatcher batcher(cfg_.batcher);
     std::vector<FormedBatch> formed;
+
+    // Queue-depth histogram, sampled once per arrival on this serial
+    // path (§11): the distribution of backlog the trace produced.
+    std::optional<obs::Histogram> depth;
+    if (obs_) {
+        const double cap = static_cast<double>(
+            std::max<std::size_t>(2, cfg_.queueCapacity));
+        depth = obs_->metrics.histogram(
+            "serve.queue.depth",
+            obs::linearBounds(0.0, cap,
+                              std::min(17, static_cast<int>(cap) + 1)),
+            withBase({}));
+    }
 
     auto closeInto = [&](std::vector<FormedBatch> &&batches) {
         for (auto &batch : batches) {
@@ -147,12 +182,12 @@ InferenceServer::formBatches(const std::vector<InferenceRequest> &trace,
         out.admitted = decision.admitted;
         if (!decision.admitted) {
             out.shedReason = decision.reason;
-            continue;
-        }
-        if (auto full = batcher.add(req)) {
+        } else if (auto full = batcher.add(req)) {
             queue.release(full->tenant, full->requests.size());
             formed.push_back(std::move(*full));
         }
+        if (depth)
+            depth->observe(static_cast<double>(queue.occupancy()));
     }
     closeInto(batcher.closeDue(DynamicBatcher::kNever));
     return formed;
@@ -234,6 +269,16 @@ InferenceServer::executeBatch(const FormedBatch &batch, BatchRecord &rec,
                std::ceil(perf.runtime.value() * cfg_.ticksPerSecond)));
     rec.modeledEnergy = perf.totalEnergy;
     rec.sramEnergy = rmem.totalAccessEnergy();
+
+    // Per-bank boost-energy attribution. The counters restarted from
+    // zero above, so this is the batch's own spend — a deterministic
+    // function of the batch seq, captured here and published serially.
+    const sram::BankedMemory &wmem = scratch.chip->weightMemory();
+    rec.bankBoostEnergyJ.resize(static_cast<std::size_t>(wmem.banks()));
+    for (int bank = 0; bank < wmem.banks(); ++bank) {
+        rec.bankBoostEnergyJ[static_cast<std::size_t>(bank)] =
+            wmem.bankCounters(bank).boostEnergy.value();
+    }
 }
 
 void
@@ -355,7 +400,18 @@ InferenceServer::run(const std::vector<InferenceRequest> &trace)
 
     ServeResult result;
     result.outcomes.resize(trace.size());
-    std::vector<FormedBatch> formed = formBatches(trace, result.outcomes);
+    std::vector<FormedBatch> formed;
+    {
+        // Phase timers run on the work-unit clock (requests, batches,
+        // records): deterministic attribution, not wall time.
+        std::optional<obs::ScopeTimer> form_timer;
+        if (obs_) {
+            form_timer.emplace(obs_->metrics, "serve.phase.form",
+                               workClock_, withBase({}));
+        }
+        formed = formBatches(trace, result.outcomes);
+        workClock_.advance(trace.size());
+    }
     for (std::size_t k = 0; k < formed.size(); ++k) {
         if (formed[k].seq != k)
             panic("InferenceServer::run: batch sequence ", formed[k].seq,
@@ -370,27 +426,38 @@ InferenceServer::run(const std::vector<InferenceRequest> &trace)
     // Epoch execution: plans freeze serially, batches run in parallel,
     // feedback applies serially in batch order — the planner never
     // observes a scheduling-dependent interleaving.
-    const auto interval = static_cast<std::size_t>(cfg_.feedbackInterval);
-    for (std::size_t begin = 0; begin < formed.size(); begin += interval) {
-        const std::size_t end =
-            std::min(begin + interval, formed.size());
-        for (std::size_t k = begin; k < end; ++k) {
-            records[k].seq = formed[k].seq;
-            records[k].tenant = formed[k].tenant;
-            records[k].slo = formed[k].slo;
-            records[k].size = formed[k].requests.size();
-            records[k].formedTick = formed[k].formedTick;
-            records[k].plan =
-                planner_.planFor(formed[k].tenant, formed[k].slo);
+    {
+        std::optional<obs::ScopeTimer> exec_timer;
+        if (obs_) {
+            exec_timer.emplace(obs_->metrics, "serve.phase.execute",
+                               workClock_, withBase({}));
         }
-        parallelFor(end - begin, cfg_.numThreads,
-                    [&](std::size_t i, unsigned slot) {
-                        executeBatch(formed[begin + i],
-                                     records[begin + i], scratch_[slot]);
-                    });
-        for (std::size_t k = begin; k < end; ++k)
-            planner_.observeErrorRate(records[k].tenant,
-                                      records[k].errorRate);
+        const auto interval =
+            static_cast<std::size_t>(cfg_.feedbackInterval);
+        for (std::size_t begin = 0; begin < formed.size();
+             begin += interval) {
+            const std::size_t end =
+                std::min(begin + interval, formed.size());
+            for (std::size_t k = begin; k < end; ++k) {
+                records[k].seq = formed[k].seq;
+                records[k].tenant = formed[k].tenant;
+                records[k].slo = formed[k].slo;
+                records[k].size = formed[k].requests.size();
+                records[k].formedTick = formed[k].formedTick;
+                records[k].plan =
+                    planner_.planFor(formed[k].tenant, formed[k].slo);
+            }
+            parallelFor(end - begin, cfg_.numThreads,
+                        [&](std::size_t i, unsigned slot) {
+                            executeBatch(formed[begin + i],
+                                         records[begin + i],
+                                         scratch_[slot]);
+                        });
+            for (std::size_t k = begin; k < end; ++k)
+                planner_.observeErrorRate(records[k].tenant,
+                                          records[k].errorRate);
+            workClock_.advance(end - begin);
+        }
     }
 
     assignSlots(records);
@@ -411,9 +478,153 @@ InferenceServer::run(const std::vector<InferenceRequest> &trace)
         }
     }
 
-    result.batches = std::move(records);
-    result.stats = aggregate(result.outcomes, result.batches);
+    {
+        std::optional<obs::ScopeTimer> agg_timer;
+        if (obs_) {
+            agg_timer.emplace(obs_->metrics, "serve.phase.aggregate",
+                              workClock_, withBase({}));
+        }
+        result.batches = std::move(records);
+        result.stats = aggregate(result.outcomes, result.batches);
+        workClock_.advance(result.batches.size());
+    }
+    publishObservability(result);
     return result;
+}
+
+void
+InferenceServer::publishObservability(const ServeResult &result)
+{
+    if (!obs_)
+        return;
+    obs::MetricsRegistry &reg = obs_->metrics;
+    obs::Tracer &tracer = obs_->trace;
+    const obs::Labels base = withBase({});
+
+    // Trace rows: one per virtual worker slot plus an admission row
+    // for shed markers.
+    for (int s = 0; s < cfg_.workerSlots; ++s) {
+        tracer.setThreadName(obsPid_, static_cast<std::uint64_t>(s),
+                             "slot " + std::to_string(s));
+    }
+    const auto admission_tid =
+        static_cast<std::uint64_t>(cfg_.workerSlots);
+    tracer.setThreadName(obsPid_, admission_tid, "admission");
+
+    obs::Counter requests = reg.counter("serve.requests", base);
+    obs::Counter admitted = reg.counter("serve.admitted", base);
+    obs::Counter shed_queue_full =
+        reg.counter("serve.shed", withBase({{"reason", "queue_full"}}));
+    obs::Counter shed_tenant_quota =
+        reg.counter("serve.shed", withBase({{"reason", "tenant_quota"}}));
+
+    // Latency buckets: 16 us to ~134 s in powers of two, shared by the
+    // end-to-end latency and the queue-wait component.
+    const std::vector<double> latency_bounds =
+        obs::exponentialBounds(16.0, 2.0, 24);
+    std::vector<obs::Histogram> latency_hists;
+    std::vector<obs::Histogram> wait_hists;
+    for (int s = 0; s < kNumSloClasses; ++s) {
+        const obs::Labels slo_labels =
+            withBase({{"slo", toString(static_cast<SloClass>(s))}});
+        latency_hists.push_back(reg.histogram("serve.latency.ticks",
+                                              latency_bounds, slo_labels));
+        wait_hists.push_back(reg.histogram("serve.queue.wait_ticks",
+                                           latency_bounds, slo_labels));
+    }
+
+    for (const RequestOutcome &out : result.outcomes) {
+        requests.add(1);
+        if (!out.admitted) {
+            if (out.shedReason == ShedReason::QueueFull) {
+                shed_queue_full.add(1);
+                tracer.instant(obsPid_, admission_tid, "shed.queue_full",
+                               out.arrivalTick, {},
+                               {{"tenant", out.tenant}});
+            } else {
+                shed_tenant_quota.add(1);
+                tracer.instant(obsPid_, admission_tid, "shed.tenant_quota",
+                               out.arrivalTick, {},
+                               {{"tenant", out.tenant}});
+            }
+            continue;
+        }
+        admitted.add(1);
+        const auto s = static_cast<std::size_t>(out.slo);
+        latency_hists[s].observe(static_cast<double>(out.latencyTicks()));
+        wait_hists[s].observe(static_cast<double>(out.queueWaitTicks()));
+    }
+
+    // Batch-level attribution, in formation (seq) order.
+    const double max_batch =
+        static_cast<double>(std::max(2, cfg_.batcher.maxBatchSize));
+    obs::Histogram batch_size = reg.histogram(
+        "serve.batch.size",
+        obs::linearBounds(1.0, max_batch,
+                          std::min(16, static_cast<int>(max_batch))),
+        base);
+    obs::Counter batches = reg.counter("serve.batches", base);
+    obs::Counter retries = reg.counter("resil.retry.count", base);
+    obs::Counter escalations = reg.counter("resil.escalation.count", base);
+    obs::Counter quarantines = reg.counter("resil.quarantine.count", base);
+    obs::Counter uncorrected = reg.counter("resil.uncorrected.count", base);
+    obs::Counter residual_flips =
+        reg.counter("serve.residual_flips", base);
+    obs::Sum retry_energy = reg.sum("resil.retry.energy_j", base);
+    obs::Histogram bank_boost = reg.histogram(
+        "resil.bank.boost_energy_j", obs::exponentialBounds(1e-15, 10.0, 10),
+        base);
+
+    obs::EnergyScope sram_energy(reg, "serve.sram.energy_j", base);
+    std::array<std::optional<obs::EnergyScope>, kNumSloClasses> slo_energy;
+    for (int s = 0; s < kNumSloClasses; ++s) {
+        slo_energy[static_cast<std::size_t>(s)].emplace(
+            reg, "serve.energy_j",
+            withBase({{"slo", toString(static_cast<SloClass>(s))}}));
+    }
+
+    for (const BatchRecord &rec : result.batches) {
+        batches.add(1);
+        batch_size.observe(static_cast<double>(rec.size));
+        retries.add(rec.resilience.retries);
+        escalations.add(rec.resilience.escalations);
+        quarantines.add(rec.resilience.quarantines);
+        uncorrected.add(rec.resilience.uncorrected);
+        residual_flips.add(rec.residualFlips);
+        retry_energy.add(rec.resilience.retryEnergy.value());
+        sram_energy.add(rec.sramEnergy);
+        slo_energy[static_cast<std::size_t>(rec.slo)]->add(
+            rec.modeledEnergy);
+        for (const double e : rec.bankBoostEnergyJ)
+            bank_boost.observe(e);
+
+        // Two spans per batch on the slot's trace row: the queue wait
+        // and the execution window assigned by the FCFS post-pass.
+        const auto tid = static_cast<std::uint64_t>(rec.slot);
+        if (rec.startTick > rec.formedTick) {
+            tracer.complete(obsPid_, tid, "wait", rec.formedTick,
+                            rec.startTick - rec.formedTick, {},
+                            {{"tenant", rec.tenant}});
+        }
+        tracer.complete(
+            obsPid_, tid,
+            rec.tenant + "/" + std::string(toString(rec.slo)),
+            rec.startTick, rec.serviceTicks,
+            {{"batch", static_cast<double>(rec.seq)},
+             {"energy_pj", rec.modeledEnergy.value() * 1e12},
+             {"requests", static_cast<double>(rec.size)},
+             {"retries", static_cast<double>(rec.resilience.retries)}});
+    }
+
+    // Run-level gauges from the aggregate snapshot (reconcile with the
+    // ServerStats the benches print).
+    reg.gauge("serve.latency.p50_ticks", base)
+        .set(result.stats.p50LatencyTicks);
+    reg.gauge("serve.latency.p95_ticks", base)
+        .set(result.stats.p95LatencyTicks);
+    reg.gauge("serve.batch.mean_size", base)
+        .set(result.stats.meanBatchSize);
+    reg.gauge("serve.accuracy", base).set(result.stats.accuracy);
 }
 
 } // namespace vboost::serve

@@ -31,6 +31,8 @@
 #include "dnn/dataset.hpp"
 #include "dnn/network.hpp"
 #include "fi/injector.hpp"
+#include "obs/observability.hpp"
+#include "obs/trace.hpp"
 #include "resilience/policy.hpp"
 #include "resilience/resilient_memory.hpp"
 #include "serve/batcher.hpp"
@@ -109,6 +111,9 @@ struct BatchRecord
     Joule modeledEnergy{0.0};
     /** Measured SRAM energy: bank access + boost + spare rows. */
     Joule sramEnergy{0.0};
+    /** Per-bank boost energy (joules) of the batch's weight staging;
+     *  counters reset per batch, so this is batch-local attribution. */
+    std::vector<double> bankBoostEnergyJ;
 
     /** Per-request predictions / correctness, in request order. */
     std::vector<int> predictions;
@@ -206,6 +211,21 @@ class InferenceServer
     const ServerConfig &config() const { return cfg_; }
     OperatingPointPlanner &planner() { return planner_; }
 
+    /**
+     * Attach a metrics + trace sink (DESIGN.md §11). Each run()
+     * publishes admission counters, queue-depth / batch-occupancy /
+     * per-SLO latency histograms, resilience retry + boost-energy
+     * attribution, and per-batch execution spans on the virtual clock
+     * under `trace_pid`. `labels` is folded into every metric so one
+     * registry can hold several sweep points. All recording happens on
+     * the serial formation/aggregation paths, so the metrics
+     * fingerprint and the exported trace are bitwise identical at any
+     * thread count (§7). Pass nullptr to detach.
+     */
+    void attachObservability(obs::Observability *o,
+                             std::uint64_t trace_pid = 0,
+                             obs::Labels labels = {});
+
   private:
     /** Per-execution-slot scratch state (chip + network clone). */
     struct WorkerScratch
@@ -230,6 +250,12 @@ class InferenceServer
     ServerStats aggregate(const std::vector<RequestOutcome> &outcomes,
                           const std::vector<BatchRecord> &records);
 
+    /** Merge the attached base labels under `extra` (extra wins). */
+    obs::Labels withBase(obs::Labels extra) const;
+
+    /** Publish one run's metrics and spans (serial, §11). */
+    void publishObservability(const ServeResult &result);
+
     core::SimContext ctx_;
     dnn::Network &net_;
     const dnn::Dataset &pool_;
@@ -243,6 +269,14 @@ class InferenceServer
     sram::VulnerabilityMap deviceMap_;
 
     std::vector<WorkerScratch> scratch_;
+
+    /** Optional metrics/trace sink (never owned). */
+    obs::Observability *obs_ = nullptr;
+    std::uint64_t obsPid_ = 0;
+    obs::Labels obsLabels_;
+    /** Work-unit clock for the phase ScopeTimers (requests formed,
+     *  batches executed, records aggregated). */
+    obs::VirtualClock workClock_;
 };
 
 } // namespace vboost::serve

@@ -1,0 +1,396 @@
+/**
+ * @file
+ * Tests for the deterministic observability layer (DESIGN.md §11):
+ * registry semantics (creation, kind/bounds aliasing errors, label
+ * canonicalization), merge under the §7 job-order contract including
+ * partition invariance, fingerprint stability and the exclusion
+ * mechanism, tracer span recording and Chrome/text export shape, and
+ * the ScopeTimer / EnergyScope attribution helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+#include "common/logging.hpp"
+#include "obs/metrics.hpp"
+#include "obs/observability.hpp"
+#include "obs/scope.hpp"
+#include "obs/trace.hpp"
+
+namespace vboost::obs {
+namespace {
+
+// ------------------------------------------------------------- registry
+
+TEST(ObsMetrics, CounterSumGaugeBasics)
+{
+    MetricsRegistry reg;
+    reg.counter("fi.trials").add(3);
+    reg.counter("fi.trials").add(2);
+    EXPECT_EQ(reg.counter("fi.trials").value(), 5u);
+
+    reg.sum("serve.energy_j").add(0.5);
+    reg.sum("serve.energy_j").add(0.25);
+    EXPECT_DOUBLE_EQ(reg.sum("serve.energy_j").value(), 0.75);
+
+    reg.gauge("serve.queue.final_depth").set(7.0);
+    reg.gauge("serve.queue.final_depth").set(3.0);
+    EXPECT_DOUBLE_EQ(reg.gauge("serve.queue.final_depth").value(), 3.0);
+
+    EXPECT_EQ(reg.size(), 3u);
+}
+
+TEST(ObsMetrics, LabelsDistinguishInstancesAndRenderInKeyOrder)
+{
+    MetricsRegistry reg;
+    reg.counter("resil.retry.count", {{"bank", "3"}}).add(1);
+    reg.counter("resil.retry.count", {{"bank", "7"}}).add(2);
+    reg.counter("resil.retry.count").add(4);
+    EXPECT_EQ(reg.size(), 3u);
+    EXPECT_EQ(reg.counter("resil.retry.count", {{"bank", "3"}}).value(),
+              1u);
+
+    // Rendering is canonical: labels in key order, insertion order of
+    // the initializer list irrelevant.
+    MetricKey key{"x", {{"b", "2"}, {"a", "1"}}};
+    EXPECT_EQ(key.render(), "x{a=1,b=2}");
+    const MetricKey plain{"plain", {}};
+    EXPECT_EQ(plain.render(), "plain");
+}
+
+TEST(ObsMetrics, InvalidNamesAreFatal)
+{
+    MetricsRegistry reg;
+    EXPECT_THROW(reg.counter(""), FatalError);
+    EXPECT_THROW(reg.counter("has space"), FatalError);
+    EXPECT_THROW(reg.counter("tab\tname"), FatalError);
+}
+
+TEST(ObsMetrics, KindMismatchIsFatal)
+{
+    MetricsRegistry reg;
+    reg.counter("serve.requests").add(1);
+    EXPECT_THROW(reg.sum("serve.requests"), FatalError);
+    EXPECT_THROW(reg.gauge("serve.requests"), FatalError);
+    EXPECT_THROW(
+        reg.histogram("serve.requests", linearBounds(0.0, 1.0, 2)),
+        FatalError);
+    // Same name, different labels: a distinct instance, so a
+    // different kind is fine.
+    EXPECT_NO_THROW(reg.sum("serve.requests", {{"unit", "j"}}));
+}
+
+TEST(ObsMetrics, HistogramBucketsAndBoundsValidation)
+{
+    MetricsRegistry reg;
+    auto h = reg.histogram("lat", linearBounds(10.0, 30.0, 3));
+    // Bounds 10, 20, 30 + overflow bucket.
+    h.observe(5.0);   // <= 10
+    h.observe(10.0);  // <= 10 (bounds are upper-inclusive)
+    h.observe(15.0);  // <= 20
+    h.observe(31.0);  // overflow
+    EXPECT_EQ(h.count(), 4u);
+    EXPECT_DOUBLE_EQ(h.sum(), 61.0);
+    ASSERT_EQ(h.buckets().size(), 4u);
+    EXPECT_EQ(h.buckets()[0], 2u);
+    EXPECT_EQ(h.buckets()[1], 1u);
+    EXPECT_EQ(h.buckets()[2], 0u);
+    EXPECT_EQ(h.buckets()[3], 1u);
+
+    // Re-access with identical bounds is the same instance; different
+    // bounds are a configuration error.
+    EXPECT_NO_THROW(reg.histogram("lat", linearBounds(10.0, 30.0, 3)));
+    EXPECT_THROW(reg.histogram("lat", linearBounds(10.0, 40.0, 3)),
+                 FatalError);
+    EXPECT_THROW(reg.histogram("empty", {}), FatalError);
+    EXPECT_THROW(reg.histogram("dec", {2.0, 1.0}), FatalError);
+}
+
+TEST(ObsMetrics, BoundsHelpers)
+{
+    const auto lin = linearBounds(0.0, 1.0, 5);
+    ASSERT_EQ(lin.size(), 5u);
+    EXPECT_DOUBLE_EQ(lin.front(), 0.0);
+    EXPECT_DOUBLE_EQ(lin[1], 0.25);
+    EXPECT_DOUBLE_EQ(lin.back(), 1.0);
+
+    const auto exp = exponentialBounds(1.0, 2.0, 4);
+    ASSERT_EQ(exp.size(), 4u);
+    EXPECT_DOUBLE_EQ(exp[0], 1.0);
+    EXPECT_DOUBLE_EQ(exp[3], 8.0);
+
+    EXPECT_THROW(linearBounds(1.0, 0.0, 3), FatalError);
+    EXPECT_THROW(linearBounds(0.0, 1.0, 0), FatalError);
+    EXPECT_THROW(exponentialBounds(0.0, 2.0, 3), FatalError);
+    EXPECT_THROW(exponentialBounds(1.0, 1.0, 3), FatalError);
+}
+
+// ---------------------------------------------------------------- merge
+
+TEST(ObsMetrics, MergeAddsCountersSumsHistogramsAndTakesSetGauges)
+{
+    MetricsRegistry a, b;
+    a.counter("c").add(2);
+    b.counter("c").add(3);
+    a.sum("s").add(1.5);
+    b.sum("s").add(0.25);
+    a.gauge("g").set(1.0);
+    b.gauge("g").set(9.0);
+    a.histogram("h", linearBounds(0.0, 1.0, 2)).observe(0.4);
+    b.histogram("h", linearBounds(0.0, 1.0, 2)).observe(0.9);
+    b.counter("only_b").add(7);
+
+    a.merge(b);
+    EXPECT_EQ(a.counter("c").value(), 5u);
+    EXPECT_DOUBLE_EQ(a.sum("s").value(), 1.75);
+    // Merge takes set gauges: the incoming sample wins (last writer).
+    EXPECT_DOUBLE_EQ(a.gauge("g").value(), 9.0);
+    EXPECT_EQ(a.histogram("h", linearBounds(0.0, 1.0, 2)).count(), 2u);
+    EXPECT_EQ(a.counter("only_b").value(), 7u);
+}
+
+TEST(ObsMetrics, MergeKindMismatchIsFatal)
+{
+    MetricsRegistry a, b;
+    a.counter("x").add(1);
+    b.sum("x").add(1.0);
+    EXPECT_THROW(a.merge(b), FatalError);
+}
+
+TEST(ObsMetrics, MergeIsPartitionInvariant)
+{
+    // The §7 contract: merging per-job registries in job order yields
+    // the same fingerprint regardless of how jobs were partitioned
+    // across workers — the property the serve_obs_determinism ctest
+    // checks end to end.
+    const auto record = [](MetricsRegistry &reg, int job) {
+        reg.counter("jobs").add(1);
+        reg.sum("work", {{"kind", job % 2 ? "odd" : "even"}})
+            .add(0.1 * job);
+        reg.histogram("acc", linearBounds(0.0, 1.0, 4))
+            .observe(job / 8.0);
+    };
+
+    MetricsRegistry serial;
+    for (int j = 0; j < 8; ++j)
+        record(serial, j);
+
+    std::vector<MetricsRegistry> per_job(8);
+    for (int j = 0; j < 8; ++j)
+        record(per_job[j], j);
+    MetricsRegistry merged;
+    for (const auto &r : per_job)
+        merged.merge(r);
+
+    EXPECT_EQ(serial.fingerprint(), merged.fingerprint());
+}
+
+// ---------------------------------------------------------- fingerprint
+
+TEST(ObsMetrics, FingerprintDetectsValueAndLabelChanges)
+{
+    MetricsRegistry a, b, c;
+    a.counter("x", {{"k", "1"}}).add(1);
+    b.counter("x", {{"k", "1"}}).add(1);
+    c.counter("x", {{"k", "2"}}).add(1);
+    EXPECT_EQ(a.fingerprint(), b.fingerprint());
+    EXPECT_NE(a.fingerprint(), c.fingerprint());
+    b.counter("x", {{"k", "1"}}).add(1);
+    EXPECT_NE(a.fingerprint(), b.fingerprint());
+}
+
+TEST(ObsMetrics, ExcludedMetricsStayVisibleButOutsideTheFingerprint)
+{
+    MetricsRegistry a, b;
+    a.counter("det").add(1);
+    b.counter("det").add(1);
+    a.gauge("wallclock").set(123.0);
+    b.gauge("wallclock").set(456.0);
+    a.excludeFromFingerprint("wallclock");
+    b.excludeFromFingerprint("wallclock");
+    EXPECT_EQ(a.fingerprint(), b.fingerprint());
+    EXPECT_EQ(a.size(), 2u);
+    ASSERT_EQ(a.fingerprintExclusions().size(), 1u);
+
+    // The exclusion set rides along through merge().
+    MetricsRegistry c;
+    c.merge(a);
+    EXPECT_EQ(c.fingerprintExclusions().count("wallclock"), 1u);
+}
+
+TEST(ObsMetrics, WriteTextIsDeterministicAndMarksUnfingerprinted)
+{
+    MetricsRegistry reg;
+    reg.counter("b.count", {{"z", "9"}, {"a", "1"}}).add(2);
+    reg.gauge("a.gauge").set(1.5);
+    reg.excludeFromFingerprint("a.gauge");
+    std::ostringstream os;
+    reg.writeText(os);
+    const std::string text = os.str();
+    EXPECT_NE(text.find("b.count{a=1,z=9}"), std::string::npos);
+    EXPECT_NE(text.find("(unfingerprinted)"), std::string::npos);
+    // Key order: a.gauge before b.count.
+    EXPECT_LT(text.find("a.gauge"), text.find("b.count"));
+}
+
+// --------------------------------------------------------------- logging
+
+TEST(ObsLogging, RateLimiterTotalsSurfaceAsExcludedGauges)
+{
+    // Tiny refill rate, burst of 5: exactly 5 of the 8 back-to-back
+    // messages pass. Also resets the cumulative totals.
+    setWarnRateLimit(0.001, 5.0);
+    for (int i = 0; i < 8; ++i)
+        warnRateLimited("test-obs-logging message ", i);
+    MetricsRegistry reg;
+    recordLoggingMetrics(reg);
+    EXPECT_DOUBLE_EQ(reg.gauge("log.warn.rate_limited.emitted").value(),
+                     5.0);
+    EXPECT_DOUBLE_EQ(
+        reg.gauge("log.warn.rate_limited.suppressed").value(), 3.0);
+    // Wall-clock-coupled: must not participate in the fingerprint.
+    EXPECT_EQ(reg.fingerprintExclusions().count(
+                  "log.warn.rate_limited.emitted"),
+              1u);
+    EXPECT_EQ(reg.fingerprintExclusions().count(
+                  "log.warn.rate_limited.suppressed"),
+              1u);
+    setWarnRateLimit(5.0, 10.0); // restore the default bucket
+}
+
+// ---------------------------------------------------------------- tracer
+
+TEST(ObsTrace, BeginEndAndCompleteRecordSpans)
+{
+    Tracer tr;
+    const auto id = tr.begin(1, 2, "phase", 10);
+    EXPECT_EQ(tr.openSpans(), 1u);
+    tr.setNumArg(id, "items", 4.0);
+    tr.end(id, 25);
+    EXPECT_EQ(tr.openSpans(), 0u);
+    tr.complete(1, 3, "batch", 30, 5, {{"requests", 8.0}},
+                {{"tenant", "acme"}});
+    tr.instant(1, 2, "shed", 40);
+
+    ASSERT_EQ(tr.eventCount(), 3u);
+    EXPECT_EQ(tr.events()[0].name, "phase");
+    EXPECT_EQ(tr.events()[0].ts, 10u);
+    EXPECT_EQ(tr.events()[0].dur, 15u);
+    EXPECT_DOUBLE_EQ(tr.events()[0].numArgs.at("items"), 4.0);
+    EXPECT_EQ(tr.events()[1].strArgs.at("tenant"), "acme");
+    EXPECT_EQ(tr.events()[2].phase, 'i');
+}
+
+TEST(ObsTrace, EndMisuseIsAnError)
+{
+    Tracer tr;
+    const auto id = tr.begin(0, 0, "s", 10);
+    EXPECT_THROW(tr.end(id + 1, 20), PanicError); // bad id
+    EXPECT_THROW(tr.end(id, 5), PanicError);      // ends before begin
+    tr.end(id, 20);
+    EXPECT_THROW(tr.end(id, 30), PanicError); // double close
+}
+
+TEST(ObsTrace, ScopedSpanClosesWithTheClock)
+{
+    Tracer tr;
+    VirtualClock clock;
+    {
+        ScopedSpan span(tr, 0, 1, "work", clock);
+        clock.advance(7);
+        span.setNumArg("n", 3.0);
+    }
+    ASSERT_EQ(tr.eventCount(), 1u);
+    EXPECT_EQ(tr.events()[0].ts, 0u);
+    EXPECT_EQ(tr.events()[0].dur, 7u);
+    EXPECT_FALSE(tr.events()[0].open);
+    EXPECT_DOUBLE_EQ(tr.events()[0].numArgs.at("n"), 3.0);
+}
+
+TEST(ObsTrace, ChromeExportShapeAndDeterminism)
+{
+    const auto build = [] {
+        Tracer tr;
+        tr.setProcessName(0, "sweep \"point\" 0");
+        tr.setThreadName(0, 1, "slot 1");
+        tr.complete(0, 1, "batch", 5, 10, {{"x", 1.5}});
+        tr.instant(0, 1, "marker", 8, {}, {{"why", "line1\nline2"}});
+        return tr;
+    };
+    const Tracer tr = build();
+    std::ostringstream os;
+    tr.writeChromeTrace(os);
+    const std::string json = os.str();
+
+    EXPECT_NE(json.find("\"displayTimeUnit\""), std::string::npos);
+    EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"M\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+    // Escaping: the quote and the newline must be JSON-encoded.
+    EXPECT_NE(json.find("\\\"point\\\""), std::string::npos);
+    EXPECT_NE(json.find("line1\\nline2"), std::string::npos);
+
+    // Deterministic: an identically built tracer exports identical
+    // bytes and an identical fingerprint.
+    std::ostringstream os2;
+    build().writeChromeTrace(os2);
+    EXPECT_EQ(json, os2.str());
+    EXPECT_EQ(tr.fingerprint(), build().fingerprint());
+}
+
+TEST(ObsTrace, TextSummaryAggregatesPerName)
+{
+    Tracer tr;
+    tr.complete(0, 0, "b", 0, 4);
+    tr.complete(0, 0, "a", 0, 2);
+    tr.complete(0, 0, "b", 10, 6);
+    std::ostringstream os;
+    tr.writeTextSummary(os);
+    const std::string text = os.str();
+    // Name order, with per-name count and total.
+    EXPECT_LT(text.find("a"), text.find("b"));
+    EXPECT_NE(text.find("2"), std::string::npos);
+    EXPECT_NE(text.find("10"), std::string::npos);
+}
+
+// ------------------------------------------------------------ attribution
+
+TEST(ObsScope, ScopeTimerPublishesTicksCallsAndSpan)
+{
+    MetricsRegistry reg;
+    Tracer tr;
+    VirtualClock clock;
+    for (int i = 0; i < 2; ++i) {
+        ScopeTimer timer(reg, "fi.run", clock, {{"kind", "ecc"}}, &tr, 3,
+                         0);
+        clock.advance(5);
+        EXPECT_EQ(timer.elapsed(), 5u);
+    }
+    EXPECT_DOUBLE_EQ(reg.sum("fi.run.ticks", {{"kind", "ecc"}}).value(),
+                     10.0);
+    EXPECT_EQ(reg.counter("fi.run.calls", {{"kind", "ecc"}}).value(), 2u);
+    ASSERT_EQ(tr.eventCount(), 2u);
+    EXPECT_EQ(tr.events()[0].pid, 3u);
+    EXPECT_EQ(tr.events()[1].ts, 5u);
+    EXPECT_EQ(tr.events()[1].dur, 5u);
+}
+
+TEST(ObsScope, EnergyScopePublishesOnceAtExit)
+{
+    MetricsRegistry reg;
+    {
+        EnergyScope scope(reg, "serve.sram.energy_j");
+        scope.add(Joule(1e-9));
+        scope.addJoules(2e-9);
+        EXPECT_DOUBLE_EQ(scope.total().value(), 3e-9);
+        // Nothing published while the scope is open.
+        EXPECT_DOUBLE_EQ(reg.sum("serve.sram.energy_j").value(), 0.0);
+    }
+    EXPECT_DOUBLE_EQ(reg.sum("serve.sram.energy_j").value(), 3e-9);
+}
+
+} // namespace
+} // namespace vboost::obs

@@ -15,9 +15,13 @@
 #include <algorithm>
 #include <cmath>
 #include <set>
+#include <sstream>
+#include <tuple>
 #include <vector>
 
 #include "common/logging.hpp"
+#include "obs/metrics.hpp"
+#include "obs/observability.hpp"
 #include "common/rng.hpp"
 #include "core/context.hpp"
 #include "dnn/dataset.hpp"
@@ -195,6 +199,94 @@ TEST(PoissonTrace, IsDeterministicAndWellFormed)
     // A different seed moves the arrivals.
     cfg.seed = 8;
     EXPECT_NE(generatePoissonTrace(cfg), t1);
+}
+
+/** FNV-1a digest over every field of a trace, in trace order. */
+std::uint64_t
+traceDigest(const std::vector<InferenceRequest> &trace)
+{
+    std::uint64_t h = 1469598103934665603ull;
+    const auto mix = [&h](std::uint64_t v) {
+        for (int i = 0; i < 8; ++i) {
+            h ^= (v >> (8 * i)) & 0xffu;
+            h *= 1099511628211ull;
+        }
+    };
+    for (const auto &req : trace) {
+        mix(req.id);
+        for (const char c : req.tenant)
+            mix(static_cast<unsigned char>(c));
+        mix(static_cast<std::uint64_t>(req.slo));
+        mix(req.sample);
+        mix(req.arrivalTick);
+    }
+    return h;
+}
+
+TEST(PoissonTrace, EmptyTenantMixIsRejected)
+{
+    TraceConfig cfg;
+    cfg.tenants = {};
+    EXPECT_THROW(generatePoissonTrace(cfg), FatalError);
+}
+
+TEST(PoissonTrace, SharesAreNormalized)
+{
+    // Only the relative shares matter: scaling the whole mix changes
+    // nothing about the generated trace.
+    TraceConfig cfg;
+    cfg.requestsPerTick = 0.002;
+    cfg.numRequests = 48;
+    cfg.seed = 11;
+    cfg.samplePoolSize = 8;
+    cfg.tenants = {{"a", SloClass::Gold, 3.0},
+                   {"b", SloClass::Bronze, 1.0}};
+    const auto base = generatePoissonTrace(cfg);
+
+    cfg.tenants = {{"a", SloClass::Gold, 0.75},
+                   {"b", SloClass::Bronze, 0.25}};
+    EXPECT_EQ(generatePoissonTrace(cfg), base);
+
+    cfg.tenants = {{"a", SloClass::Gold, 300.0},
+                   {"b", SloClass::Bronze, 100.0}};
+    EXPECT_EQ(generatePoissonTrace(cfg), base);
+}
+
+TEST(PoissonTrace, SingleRequestTraceIsWellFormed)
+{
+    TraceConfig cfg;
+    cfg.requestsPerTick = 0.001;
+    cfg.numRequests = 1;
+    cfg.seed = 3;
+    cfg.tenants = {{"solo", SloClass::Silver, 1.0}};
+    cfg.samplePoolSize = 4;
+    const auto trace = generatePoissonTrace(cfg);
+    ASSERT_EQ(trace.size(), 1u);
+    EXPECT_EQ(trace[0].id, 0u);
+    EXPECT_EQ(trace[0].tenant, "solo");
+    EXPECT_EQ(trace[0].slo, SloClass::Silver);
+    EXPECT_LT(trace[0].sample, cfg.samplePoolSize);
+}
+
+TEST(PoissonTrace, DigestIsSeedStable)
+{
+    // The digest of a trace is a pure function of the config: equal
+    // for repeated generations (no hidden global state), different
+    // across seeds.
+    TraceConfig cfg;
+    cfg.requestsPerTick = 0.002;
+    cfg.numRequests = 96;
+    cfg.seed = 21;
+    cfg.tenants = {{"a", SloClass::Gold, 0.5},
+                   {"b", SloClass::Bronze, 0.5}};
+    cfg.samplePoolSize = 16;
+    const auto d1 = traceDigest(generatePoissonTrace(cfg));
+    const auto d2 = traceDigest(generatePoissonTrace(cfg));
+    EXPECT_EQ(d1, d2);
+
+    TraceConfig other = cfg;
+    other.seed = 22;
+    EXPECT_NE(traceDigest(generatePoissonTrace(other)), d1);
 }
 
 TEST(PoissonTrace, ValidatesConfig)
@@ -553,6 +645,120 @@ TEST_F(ServeTest, ValidatesTraces)
         makeRequest(3, "a", SloClass::Gold, 1),
     };
     EXPECT_THROW(server.run(duplicate), FatalError);
+}
+
+// ---------------------------------------------------------------------
+// Observability (DESIGN.md §11)
+// ---------------------------------------------------------------------
+
+/** Look up a metric instance without creating it. */
+const obs::Metric *
+findMetric(const obs::MetricsRegistry &reg, const std::string &name,
+           const obs::Labels &labels)
+{
+    const auto it = reg.metrics().find(obs::MetricKey{name, labels});
+    return it == reg.metrics().end() ? nullptr : &it->second;
+}
+
+TEST_F(ServeTest, ObservabilityReconcilesWithServerStats)
+{
+    const auto trace = makeTrace(24, 0.002);
+    auto server = makeServer(smallConfig());
+    obs::Observability o;
+    const obs::Labels base{{"mix", "test"}};
+    server.attachObservability(&o, 0, base);
+    const auto r = server.run(trace);
+    const auto &s = r.stats;
+    const obs::MetricsRegistry &reg = o.metrics;
+
+    // Admission counters match the aggregate snapshot exactly.
+    const auto *requests = findMetric(reg, "serve.requests", base);
+    ASSERT_NE(requests, nullptr);
+    EXPECT_EQ(requests->count, s.total.requests);
+    const auto *admitted = findMetric(reg, "serve.admitted", base);
+    ASSERT_NE(admitted, nullptr);
+    EXPECT_EQ(admitted->count, s.total.admitted);
+
+    // Resilience counters reconcile with the per-tenant totals.
+    const auto *retries = findMetric(reg, "resil.retry.count", base);
+    ASSERT_NE(retries, nullptr);
+    EXPECT_EQ(retries->count, s.total.retries);
+    const auto *escalations =
+        findMetric(reg, "resil.escalation.count", base);
+    ASSERT_NE(escalations, nullptr);
+    EXPECT_EQ(escalations->count, s.total.escalations);
+    const auto *uncorrected =
+        findMetric(reg, "resil.uncorrected.count", base);
+    ASSERT_NE(uncorrected, nullptr);
+    EXPECT_EQ(uncorrected->count, s.total.uncorrected);
+
+    // Every request passed through the queue-depth histogram; every
+    // admitted one landed in exactly one per-SLO latency histogram,
+    // and every batch in the occupancy histogram.
+    const auto *depth = findMetric(reg, "serve.queue.depth", base);
+    ASSERT_NE(depth, nullptr);
+    EXPECT_EQ(depth->count, s.total.requests);
+    std::uint64_t latency_count = 0;
+    double slo_energy_j = 0.0;
+    for (int c = 0; c < kNumSloClasses; ++c) {
+        obs::Labels slo_labels = base;
+        slo_labels["slo"] = toString(static_cast<SloClass>(c));
+        if (const auto *h =
+                findMetric(reg, "serve.latency.ticks", slo_labels))
+            latency_count += h->count;
+        if (const auto *e = findMetric(reg, "serve.energy_j", slo_labels))
+            slo_energy_j += e->sum;
+    }
+    EXPECT_EQ(latency_count, s.total.admitted);
+    const auto *batch_size = findMetric(reg, "serve.batch.size", base);
+    ASSERT_NE(batch_size, nullptr);
+    EXPECT_EQ(batch_size->count, s.total.batches);
+
+    // Modeled energy: the per-SLO sums (joules) add up to the stats
+    // total (picojoules).
+    EXPECT_NEAR(slo_energy_j * 1e12, s.total.energyPj,
+                1e-6 * (1.0 + s.total.energyPj));
+
+    // Run-level gauges mirror the printed percentiles.
+    const auto *p95 = findMetric(reg, "serve.latency.p95_ticks", base);
+    ASSERT_NE(p95, nullptr);
+    EXPECT_DOUBLE_EQ(p95->sum, s.p95LatencyTicks);
+
+    // The trace carries one execution span per batch.
+    std::uint64_t batch_spans = 0;
+    for (const auto &ev : o.trace.events())
+        if (ev.phase == 'X' && ev.numArgs.count("batch") > 0)
+            ++batch_spans;
+    EXPECT_EQ(batch_spans, s.total.batches);
+}
+
+TEST_F(ServeTest, ObservabilityIsThreadCountInvariant)
+{
+    // The §11 acceptance property at unit scale: metrics fingerprint
+    // and the exported Chrome trace are bitwise identical between a
+    // serial and an 8-thread server (the serve_obs_determinism ctest
+    // checks the same property on the full bench sweep).
+    const auto trace = makeTrace(24, 0.002);
+
+    const auto capture = [&](int threads) {
+        auto cfg = smallConfig();
+        cfg.numThreads = threads;
+        auto server = makeServer(cfg);
+        obs::Observability o;
+        server.attachObservability(&o, 0, {{"threads", "x"}});
+        server.run(trace);
+        std::ostringstream chrome, text;
+        o.trace.writeChromeTrace(chrome);
+        o.metrics.writeText(text);
+        return std::make_tuple(o.metrics.fingerprint(), chrome.str(),
+                               text.str());
+    };
+
+    const auto serial = capture(1);
+    const auto wide = capture(8);
+    EXPECT_EQ(std::get<0>(serial), std::get<0>(wide));
+    EXPECT_EQ(std::get<1>(serial), std::get<1>(wide));
+    EXPECT_EQ(std::get<2>(serial), std::get<2>(wide));
 }
 
 } // namespace

@@ -268,6 +268,44 @@ TEST(VblintVB003, ScopedToReductionHeavyLayers)
         1u);
 }
 
+TEST(VblintVB003, ObservabilityLayerIsInScope)
+{
+    // src/obs/ feeds the metrics fingerprint — itself a determinism
+    // acceptance value (DESIGN.md §11) — so its float accumulations
+    // are in VB003 scope like the fi/serve/resilience reductions.
+    const auto fa = analyzeSource(
+        "src/obs/x.cpp",
+        "double total(const double *v, int n) {\n"
+        "    double s = 0.0;\n"
+        "    for (int i = 0; i < n; ++i)\n"
+        "        s += v[i];\n"
+        "    return s;\n"
+        "}\n");
+    const auto diags = withRule(fa, Rule::VB003);
+    ASSERT_EQ(diags.size(), 1u);
+    EXPECT_EQ(diags[0].line, 4);
+    EXPECT_EQ(diags[0].status, DiagStatus::Active);
+}
+
+TEST(VblintVB002, ObservabilityLayerUnorderedIterationIsFlagged)
+{
+    // The registry promises key-ordered iteration; an unordered_map
+    // walk in src/obs/ would silently break the fingerprint contract.
+    const auto fa = analyzeSource(
+        "src/obs/x.cpp",
+        "#include <unordered_map>\n"
+        "int f(const std::unordered_map<int, int> &m) {\n"
+        "    int s = 0;\n"
+        "    for (const auto &kv : m)\n"
+        "        s += kv.second;\n"
+        "    return s;\n"
+        "}\n");
+    const auto diags = withRule(fa, Rule::VB002);
+    ASSERT_EQ(diags.size(), 1u);
+    EXPECT_EQ(diags[0].line, 4);
+    EXPECT_EQ(diags[0].status, DiagStatus::Active);
+}
+
 // ---------------------------------------------------------------- VB004
 
 TEST(VblintVB004, FlagsMutableNamespaceScopeVariable)

@@ -47,12 +47,15 @@ isModelCode(const std::vector<std::string> &comps)
 }
 
 /** VB003 scope: the layers whose accumulations feed Monte-Carlo
- *  statistics, serving fingerprints or resilience accounting. */
+ *  statistics, serving fingerprints, resilience accounting or the
+ *  observability registry (whose fingerprint is itself a determinism
+ *  acceptance value, DESIGN.md §11). */
 bool
 inAccumulationScope(const std::vector<std::string> &comps)
 {
     return hasComponent(comps, "fi") || hasComponent(comps, "serve") ||
-           hasComponent(comps, "resilience");
+           hasComponent(comps, "resilience") ||
+           hasComponent(comps, "obs");
 }
 
 bool

@@ -104,10 +104,10 @@ ruleExplanation(Rule r)
                "summands in a different order give a different result, so\n"
                "an accumulation loop whose iteration order can change\n"
                "(thread count, container order, work stealing) silently\n"
-               "breaks bitwise determinism. In the fi/, serve/ and\n"
-               "resilience/ layers every float/double/unit-quantity\n"
-               "accumulation must either run in a deterministic order or\n"
-               "say so.\n"
+               "breaks bitwise determinism. In the fi/, serve/,\n"
+               "resilience/ and obs/ layers every float/double/unit-\n"
+               "quantity accumulation must either run in a deterministic\n"
+               "order or say so.\n"
                "\n"
                "Fix: reduce in a fixed order (map-index order, batch seq\n"
                "order) or use an ordered-reduce/Kahan helper.\n"
