@@ -4,9 +4,11 @@
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <functional>
 #include <iostream>
 
 #include "common/logging.hpp"
+#include "dnn/backend/backend.hpp"
 #include "dnn/quantize.hpp"
 #include "dnn/serialize.hpp"
 #include "dnn/trainer.hpp"
@@ -33,6 +35,10 @@ BenchOptions::printUsage(std::ostream &os)
           "  --spares <n>        spare rows available for quarantine\n"
           "  --json <path>       write machine-readable results as "
           "JSON\n"
+          "  --backend <name>    compute backend: auto, reference or "
+          "vectorized\n"
+          "                      (rejected at parse time when "
+          "unavailable on this CPU)\n"
           "  --metrics-out <path> write the observability metrics "
           "registry as JSON\n"
           "  --trace-out <path>  write a Chrome trace_event JSON "
@@ -110,6 +116,21 @@ BenchOptions::parse(int argc, char **argv)
             opts.spares = countValue(argc, argv, i);
         } else if (std::strcmp(argv[i], "--json") == 0) {
             opts.jsonPath = optionValue(argc, argv, i);
+        } else if (std::strcmp(argv[i], "--backend") == 0) {
+            opts.backend = optionValue(argc, argv, i);
+            // Reject an unknown or unbuilt/unsupported backend here,
+            // with the usage-dump discipline, rather than silently
+            // falling back to the reference kernels mid-run.
+            if (dnn::findBackend(opts.backend) == nullptr) {
+                std::string names;
+                for (auto name : dnn::availableBackends())
+                    names += std::string(names.empty() ? "" : ", ") +
+                             std::string(name);
+                usageError("--backend '" + opts.backend +
+                           "' is unknown or unavailable on this "
+                           "machine (available: auto, " + names + ")");
+            }
+            dnn::setActiveBackend(opts.backend);
         } else if (std::strcmp(argv[i], "--metrics-out") == 0) {
             opts.metricsOutPath = optionValue(argc, argv, i);
         } else if (std::strcmp(argv[i], "--trace-out") == 0) {
@@ -140,10 +161,13 @@ emit(const std::string &title, const Table &table, const BenchOptions &opts)
 
 namespace {
 
-/** Train (or load) a model and clip it for int16 deployment. */
+/** Train (or load) a model and clip it for int16 deployment. The
+ *  training set is built lazily so a cache hit skips the synthetic
+ *  dataset generation entirely. */
 dnn::Network
 cachedModel(const BenchOptions &opts, const std::string &name,
-            dnn::Network net, const dnn::Dataset &train_set,
+            dnn::Network net,
+            const std::function<dnn::Dataset()> &make_train_set,
             const dnn::TrainConfig &cfg)
 {
     std::filesystem::create_directories(opts.cacheDir);
@@ -153,6 +177,7 @@ cachedModel(const BenchOptions &opts, const std::string &name,
     inform("training ", name, " (cached at ", path, ")");
     dnn::SgdTrainer trainer(cfg);
     Rng rng(2024);
+    const dnn::Dataset train_set = make_train_set();
     trainer.train(net, train_set, rng);
     dnn::clipParameters(net, 0.5f);
     saveParameters(net, path);
@@ -166,10 +191,11 @@ trainedMnistFc(const BenchOptions &opts)
 {
     Rng rng(7);
     auto net = dnn::buildMnistFc(rng);
-    const auto train = dnn::makeSyntheticMnist(4000, 1);
     dnn::TrainConfig cfg;
     cfg.epochs = 6;
-    return cachedModel(opts, "mnist_fc", std::move(net), train, cfg);
+    return cachedModel(opts, "mnist_fc", std::move(net),
+                       [] { return dnn::makeSyntheticMnist(4000, 1); },
+                       cfg);
 }
 
 dnn::Dataset
@@ -184,12 +210,15 @@ trainedAlexNet(const BenchOptions &opts)
 {
     Rng rng(7);
     auto net = dnn::buildAlexNetCifar(rng);
-    const auto train =
-        dnn::makeSyntheticCifar(opts.paper ? 3000 : 1500, 1);
     dnn::TrainConfig cfg;
     cfg.epochs = 3;
     cfg.learningRate = 0.05;
-    return cachedModel(opts, "alexnet_cifar", std::move(net), train, cfg);
+    return cachedModel(opts, "alexnet_cifar", std::move(net),
+                       [&opts] {
+                           return dnn::makeSyntheticCifar(
+                               opts.paper ? 3000 : 1500, 1);
+                       },
+                       cfg);
 }
 
 dnn::Dataset

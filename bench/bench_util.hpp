@@ -45,6 +45,9 @@ struct BenchOptions
     int spares = 8;
     /** Optional JSON output path for machine-readable results. */
     std::string jsonPath;
+    /** Compute backend selection ("auto", "reference", "vectorized");
+     *  validated and applied (dnn::setActiveBackend) at parse time. */
+    std::string backend = "auto";
     /** Optional metrics-registry JSON output path (DESIGN.md §11). */
     std::string metricsOutPath;
     /** Optional Chrome trace_event JSON output path (§11). */
@@ -53,6 +56,8 @@ struct BenchOptions
     /** Parse argv; recognizes --paper, --smoke, --threads <n>,
      *  --csv <path>, --cache <dir>, --policy <open|closed|both>,
      *  --retry-budget <n>, --spares <n>, --json <path>,
+     *  --backend <auto|reference|vectorized> (rejected at parse time
+     *  when unknown or unavailable on this machine),
      *  --metrics-out <path>, --trace-out <path>;
      *  VBOOST_BENCH_SMOKE=1 in the environment also enables smoke
      *  mode. Unknown options and missing values print the usage to

@@ -1,0 +1,67 @@
+#include "dnn/backend/backend.hpp"
+
+#include <atomic>
+
+#include "dnn/backend/impl.hpp"
+
+namespace vboost::dnn {
+
+std::vector<std::string_view>
+availableBackends()
+{
+    std::vector<std::string_view> names{referenceBackend().name()};
+    if (const Backend *v = detail::vectorizedBackendIfAvailable())
+        names.push_back(v->name());
+    return names;
+}
+
+const Backend *
+findBackend(std::string_view name)
+{
+    if (name == "auto") {
+        // Fastest available: the vectorized backend is bitwise-equal
+        // to the reference, so preferring it never changes results.
+        if (const Backend *v = detail::vectorizedBackendIfAvailable())
+            return v;
+        return &referenceBackend();
+    }
+    if (name == "reference")
+        return &referenceBackend();
+    if (name == "vectorized")
+        return detail::vectorizedBackendIfAvailable();
+    return nullptr;
+}
+
+namespace {
+
+std::atomic<const Backend *> &
+activeSlot()
+{
+    // Process-wide backend selection. Mutable global state is accepted
+    // here under the set-before-threads contract: selection happens at
+    // startup (flag parsing) before any worker pool exists, and every
+    // backend is bitwise-identical anyway, so even a mid-run swap
+    // could not change results — only speed.
+    static std::atomic<const Backend *> slot{findBackend("auto")};
+    return slot;
+}
+
+} // namespace
+
+const Backend &
+activeBackend()
+{
+    return *activeSlot().load(std::memory_order_acquire);
+}
+
+bool
+setActiveBackend(std::string_view name)
+{
+    const Backend *b = findBackend(name);
+    if (b == nullptr)
+        return false;
+    activeSlot().store(b, std::memory_order_release);
+    return true;
+}
+
+} // namespace vboost::dnn

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Internal wiring between the backend registry (backend.cpp) and the
+ * concrete implementations (reference.cpp, vectorized.cpp). Not part
+ * of the public backend API.
+ */
+
+#ifndef VBOOST_DNN_BACKEND_IMPL_HPP
+#define VBOOST_DNN_BACKEND_IMPL_HPP
+
+#include "dnn/backend/backend.hpp"
+
+namespace vboost::dnn::detail {
+
+/** The AVX2 backend instance, or nullptr when this build or this CPU
+ *  lacks AVX2 support. */
+const Backend *vectorizedBackendIfAvailable();
+
+/** True when this build and this CPU support the AVX-512 GEMM path
+ *  (vectorized512.cpp). */
+bool avx512GemmAvailable();
+
+/**
+ * AVX-512 GEMM with the same bitwise contract as every other backend
+ * kernel: per-element accumulation in ascending-k order, separate
+ * multiply and add (no FMA), masked tails touching exact element
+ * subsets. Only call when avx512GemmAvailable().
+ */
+void gemmAvx512(const float *a, const float *b, float *c, int m, int k,
+                int n, bool accumulate);
+
+/**
+ * AVX-512 im2col producing byte-identical `cols` to the scalar
+ * expansion (copies and +0.0 padding only — no arithmetic). Requires
+ * avx512GemmAvailable() and g.outW() <= 128 (the per-row segment-mask
+ * cache is fixed-size); callers fall back to the AVX2 path otherwise.
+ */
+void im2colAvx512(const float *image, const ConvGeom &g,
+                  std::vector<float> &cols);
+
+} // namespace vboost::dnn::detail
+
+#endif // VBOOST_DNN_BACKEND_IMPL_HPP

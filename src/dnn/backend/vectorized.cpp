@@ -1,0 +1,595 @@
+/**
+ * @file
+ * The AVX2 "vectorized" backend (DESIGN.md §12). Bitwise-identical to
+ * the reference backend on finite inputs by construction:
+ *
+ *  - GEMM keeps the reference's per-element accumulation order
+ *    (ascending k, one product added at a time). SIMD runs 8/16
+ *    output columns in parallel, which reorders nothing within any
+ *    single element's chain. Multiplies and adds stay separate
+ *    instructions (no FMA — fused rounding differs); the TU is built
+ *    with -ffp-contract=off as a backstop.
+ *  - The reference's zero-skip (`if (aik == 0) continue`) is dropped
+ *    rather than emulated: adding the skipped +/-0.0 products is an
+ *    identity on every accumulator chain seeded from +0.0, because
+ *    round-to-nearest never yields -0.0 from a +0.0 start.
+ *  - im2col is pure element copies (memcpy + zero fill), so any
+ *    implementation is bitwise-identical.
+ *  - MaxPool/ReLU use MAXPS, which returns its second operand on ties
+ *    and on NaN — exactly the reference's strict `>` comparisons; the
+ *    pool's in-order max tournament picks the same earliest-maximal
+ *    element (only observable for -0.0 vs +0.0 ties).
+ *  - Fault application precomputes bit-packed fault masks
+ *    (sram::PackedFaultMap, same counter-based hash, exact integer
+ *    arithmetic) and consumes RNG once per faulty cell in ascending
+ *    visit order — the exact draw sequence of the scalar loop.
+ *  - Dequantize multiplies by the exact power-of-two resolution
+ *    2^-frac instead of dividing by 2^frac: both are exact (no int16
+ *    word decodes to a subnormal), hence bitwise-equal.
+ *
+ * This translation unit is the only dnn code compiled with -mavx2;
+ * the registry only exposes the backend after a runtime CPU check.
+ */
+
+#include "dnn/backend/impl.hpp"
+
+#if defined(VBOOST_HAVE_AVX2)
+
+#include <bit>
+#include <cstring>
+#include <immintrin.h>
+
+#include "sram/cell_hash.hpp"
+#include "sram/packed_fault_map.hpp"
+
+namespace vboost::dnn {
+
+namespace {
+
+// ------------------------------------------------------------- GEMM
+
+/**
+ * Micro-kernel: one row of C over a 16-column strip, accumulating
+ * A[i, k0:k0+kb) * B in ascending-k order. C is loaded, accumulated
+ * in registers and stored back, so K blocking preserves each
+ * element's left-to-right addition chain.
+ */
+inline void
+micro1x16(const float *arow, const float *b, float *crow, int kb, int n)
+{
+    __m256 acc0 = _mm256_loadu_ps(crow);
+    __m256 acc1 = _mm256_loadu_ps(crow + 8);
+    const float *bp = b;
+    for (int kk = 0; kk < kb; ++kk, bp += n) {
+        const __m256 av = _mm256_set1_ps(arow[kk]);
+        acc0 = _mm256_add_ps(acc0,
+                             _mm256_mul_ps(av, _mm256_loadu_ps(bp)));
+        acc1 = _mm256_add_ps(acc1,
+                             _mm256_mul_ps(av, _mm256_loadu_ps(bp + 8)));
+    }
+    _mm256_storeu_ps(crow, acc0);
+    _mm256_storeu_ps(crow + 8, acc1);
+}
+
+/** As micro1x16 for an 8-column strip. */
+inline void
+micro1x8(const float *arow, const float *b, float *crow, int kb, int n)
+{
+    __m256 acc = _mm256_loadu_ps(crow);
+    const float *bp = b;
+    for (int kk = 0; kk < kb; ++kk, bp += n)
+        acc = _mm256_add_ps(
+            acc, _mm256_mul_ps(_mm256_set1_ps(arow[kk]),
+                               _mm256_loadu_ps(bp)));
+    _mm256_storeu_ps(crow, acc);
+}
+
+/**
+ * 4x16 register-tiled micro-kernel: four C rows x two ymm columns,
+ * eight resident accumulators. Same per-element chain as micro1x16.
+ */
+inline void
+micro4x16(const float *a0, const float *a1, const float *a2,
+          const float *a3, const float *b, float *c0, float *c1,
+          float *c2, float *c3, int kb, int n)
+{
+    __m256 r00 = _mm256_loadu_ps(c0), r01 = _mm256_loadu_ps(c0 + 8);
+    __m256 r10 = _mm256_loadu_ps(c1), r11 = _mm256_loadu_ps(c1 + 8);
+    __m256 r20 = _mm256_loadu_ps(c2), r21 = _mm256_loadu_ps(c2 + 8);
+    __m256 r30 = _mm256_loadu_ps(c3), r31 = _mm256_loadu_ps(c3 + 8);
+    const float *bp = b;
+    for (int kk = 0; kk < kb; ++kk, bp += n) {
+        const __m256 b0 = _mm256_loadu_ps(bp);
+        const __m256 b1 = _mm256_loadu_ps(bp + 8);
+        __m256 av = _mm256_set1_ps(a0[kk]);
+        r00 = _mm256_add_ps(r00, _mm256_mul_ps(av, b0));
+        r01 = _mm256_add_ps(r01, _mm256_mul_ps(av, b1));
+        av = _mm256_set1_ps(a1[kk]);
+        r10 = _mm256_add_ps(r10, _mm256_mul_ps(av, b0));
+        r11 = _mm256_add_ps(r11, _mm256_mul_ps(av, b1));
+        av = _mm256_set1_ps(a2[kk]);
+        r20 = _mm256_add_ps(r20, _mm256_mul_ps(av, b0));
+        r21 = _mm256_add_ps(r21, _mm256_mul_ps(av, b1));
+        av = _mm256_set1_ps(a3[kk]);
+        r30 = _mm256_add_ps(r30, _mm256_mul_ps(av, b0));
+        r31 = _mm256_add_ps(r31, _mm256_mul_ps(av, b1));
+    }
+    _mm256_storeu_ps(c0, r00);
+    _mm256_storeu_ps(c0 + 8, r01);
+    _mm256_storeu_ps(c1, r10);
+    _mm256_storeu_ps(c1 + 8, r11);
+    _mm256_storeu_ps(c2, r20);
+    _mm256_storeu_ps(c2 + 8, r21);
+    _mm256_storeu_ps(c3, r30);
+    _mm256_storeu_ps(c3 + 8, r31);
+}
+
+/** Scalar column tail, ascending k like every other path. */
+inline void
+microScalar(const float *arow, const float *b, float *crow, int kb,
+            int jb, int n)
+{
+    for (int j = 0; j < jb; ++j) {
+        float cv = crow[j];
+        const float *bp = b + j;
+        // vblint: assoc-ok(pointer stride advance, not a float reduction)
+        for (int kk = 0; kk < kb; ++kk, bp += n)
+            cv += arow[kk] * *bp; // vblint: assoc-ok(ascending-k chain pinned by the backend bitwise contract, §12)
+        crow[j] = cv;
+    }
+}
+
+void gemmAvx2(const float *a, const float *b, float *c, int m, int k,
+              int n, bool accumulate);
+
+/** Widest bitwise-safe GEMM this CPU offers: the AVX-512 kernels when
+ *  available (two 512-bit FP ports double the no-FMA mul+add
+ *  throughput), the AVX2 kernels otherwise. Both keep the exact
+ *  per-element ascending-k chain, so dispatch never changes bits. */
+inline void
+gemmDispatch(const float *a, const float *b, float *c, int m, int k, int n,
+             bool accumulate)
+{
+    static const bool use512 = detail::avx512GemmAvailable();
+    if (use512) {
+        detail::gemmAvx512(a, b, c, m, k, n, accumulate);
+        return;
+    }
+    gemmAvx2(a, b, c, m, k, n, accumulate);
+}
+
+void im2colAvx2(const float *image, const ConvGeom &g,
+                std::vector<float> &cols);
+
+/** im2col is pure data movement, so dispatch is free to pick the
+ *  fastest expansion: the AVX-512 expand-load path (one load + one
+ *  store per 16-output segment) when the CPU has it and the row fits
+ *  its segment cache, the AVX2 copies otherwise. */
+inline void
+im2colDispatch(const float *image, const ConvGeom &g,
+               std::vector<float> &cols)
+{
+    static const bool use512 = detail::avx512GemmAvailable();
+    if (use512 && g.outW() <= 128) {
+        detail::im2colAvx512(image, g, cols);
+        return;
+    }
+    im2colAvx2(image, g, cols);
+}
+
+void
+gemmAvx2(const float *a, const float *b, float *c, int m, int k, int n,
+         bool accumulate)
+{
+    if (!accumulate) {
+        std::memset(c, 0,
+                    sizeof(float) * static_cast<std::size_t>(m) *
+                        static_cast<std::size_t>(n));
+    }
+    // Cache blocking: column panels of B stay resident while a K
+    // block streams through; C tiles re-load their partial sums, so
+    // each element still sums products in globally ascending k.
+    constexpr int kNC = 256;
+    constexpr int kKC = 160;
+    for (int j0 = 0; j0 < n; j0 += kNC) {
+        const int nb = std::min(kNC, n - j0);
+        for (int k0 = 0; k0 < k; k0 += kKC) {
+            const int kb = std::min(kKC, k - k0);
+            const float *bblk =
+                b + static_cast<std::size_t>(k0) * n + j0;
+            int i = 0;
+            for (; i + 4 <= m; i += 4) {
+                const float *a0 = a + static_cast<std::size_t>(i) * k + k0;
+                const float *a1 = a0 + k;
+                const float *a2 = a1 + k;
+                const float *a3 = a2 + k;
+                float *c0 = c + static_cast<std::size_t>(i) * n + j0;
+                float *c1 = c0 + n;
+                float *c2 = c1 + n;
+                float *c3 = c2 + n;
+                int j = 0;
+                for (; j + 16 <= nb; j += 16)
+                    micro4x16(a0, a1, a2, a3, bblk + j, c0 + j, c1 + j,
+                              c2 + j, c3 + j, kb, n);
+                for (int r = 0; r < 4; ++r) {
+                    const float *ar = a0 + static_cast<std::size_t>(r) * k;
+                    float *cr = c0 + static_cast<std::size_t>(r) * n;
+                    int jj = j;
+                    for (; jj + 8 <= nb; jj += 8)
+                        micro1x8(ar, bblk + jj, cr + jj, kb, n);
+                    if (jj < nb)
+                        microScalar(ar, bblk + jj, cr + jj, kb, nb - jj,
+                                    n);
+                }
+            }
+            for (; i < m; ++i) {
+                const float *ar = a + static_cast<std::size_t>(i) * k + k0;
+                float *cr = c + static_cast<std::size_t>(i) * n + j0;
+                int j = 0;
+                for (; j + 16 <= nb; j += 16)
+                    micro1x16(ar, bblk + j, cr + j, kb, n);
+                for (; j + 8 <= nb; j += 8)
+                    micro1x8(ar, bblk + j, cr + j, kb, n);
+                if (j < nb)
+                    microScalar(ar, bblk + j, cr + j, kb, nb - j, n);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------- im2col
+
+/** Inline copy/zero for the short runs im2col produces (the 3x3 conv
+ *  layers copy 8-16 floats per row, where memcpy's dispatch overhead
+ *  dominates). Plain element moves — bitwise-neutral. */
+inline void
+copyFloats(float *dst, const float *src, int len)
+{
+    int i = 0;
+    for (; i + 8 <= len; i += 8)
+        _mm256_storeu_ps(dst + i, _mm256_loadu_ps(src + i));
+    for (; i < len; ++i)
+        dst[i] = src[i];
+}
+
+inline void
+zeroFloats(float *dst, int len)
+{
+    const __m256 z = _mm256_setzero_ps();
+    int i = 0;
+    for (; i + 8 <= len; i += 8)
+        _mm256_storeu_ps(dst + i, z);
+    for (; i < len; ++i)
+        dst[i] = 0.0f;
+}
+
+/** im2col as row-segment copies: for each (channel, ki, kj) the valid
+ *  output columns map to one contiguous input run per output row. */
+void
+im2colAvx2(const float *image, const ConvGeom &g, std::vector<float> &cols)
+{
+    const int out_h = g.outH();
+    const int out_w = g.outW();
+    const std::size_t spatial = g.spatial();
+    cols.resize(static_cast<std::size_t>(g.patch()) * spatial);
+    std::size_t row = 0;
+    for (int c = 0; c < g.inCh; ++c) {
+        const float *chan = image + static_cast<std::size_t>(c) *
+                                        static_cast<std::size_t>(g.h) *
+                                        static_cast<std::size_t>(g.w);
+        for (int ki = 0; ki < g.kernel; ++ki) {
+            for (int kj = 0; kj < g.kernel; ++kj, ++row) {
+                float *dst = cols.data() + row * spatial;
+                // Valid output columns: 0 <= oj + kj - pad < w.
+                const int oj_lo = std::max(0, g.pad - kj);
+                const int oj_hi = std::min(out_w, g.w + g.pad - kj);
+                // vblint: assoc-ok(pointer stride advance, not a float reduction)
+                for (int oi = 0; oi < out_h; ++oi, dst += out_w) {
+                    const int ii = oi + ki - g.pad;
+                    if (ii < 0 || ii >= g.h || oj_lo >= oj_hi) {
+                        zeroFloats(dst, out_w);
+                        continue;
+                    }
+                    if (oj_lo > 0)
+                        zeroFloats(dst, oj_lo);
+                    copyFloats(dst + oj_lo,
+                               chan + static_cast<std::size_t>(ii) *
+                                          static_cast<std::size_t>(g.w) +
+                                   static_cast<std::size_t>(oj_lo + kj -
+                                                            g.pad),
+                               oj_hi - oj_lo);
+                    if (oj_hi < out_w)
+                        zeroFloats(dst + oj_hi, out_w - oj_hi);
+                }
+            }
+        }
+    }
+}
+
+// ------------------------------------------------------------- pool
+
+/** De-interleave two 8-float loads into even and odd columns:
+ *  evens = [a0,a2,a4,a6,b0,b2,b4,b6], odds likewise. */
+inline __m256
+deinterleave(__m256 a, __m256 b, int which)
+{
+    const __m256 mixed =
+        which == 0 ? _mm256_shuffle_ps(a, b, _MM_SHUFFLE(2, 0, 2, 0))
+                   : _mm256_shuffle_ps(a, b, _MM_SHUFFLE(3, 1, 3, 1));
+    return _mm256_castpd_ps(
+        _mm256_permute4x64_pd(_mm256_castps_pd(mixed), 0xD8));
+}
+
+/**
+ * 2x2/stride-2 max pool. MAXPS(a, b) returns b unless a > b, i.e. ties
+ * resolve to the second operand — so pairing later elements as the
+ * first operand makes every max an exact match for the reference's
+ * `v > best` comparisons. The pairing ((e0,e1),(e2,e3)) is an in-order
+ * tournament over the reference's (di, dj) visit sequence, which
+ * selects the same earliest-maximal element (only observable for
+ * -0.0 vs +0.0 ties).
+ */
+void
+maxPool2x2Avx2(const float *x, float *y, int batch, int c, int h, int w)
+{
+    const int oh = h / 2, ow = w / 2;
+    std::size_t oidx = 0;
+    for (int n = 0; n < batch; ++n) {
+        for (int ch = 0; ch < c; ++ch) {
+            const float *plane = x + (static_cast<std::size_t>(n) * c + ch) *
+                                         static_cast<std::size_t>(h) * w;
+            for (int i = 0; i < oh; ++i) {
+                const float *r0 =
+                    plane + static_cast<std::size_t>(2 * i) * w;
+                const float *r1 = r0 + w;
+                int j = 0;
+                for (; j + 8 <= ow; j += 8, oidx += 8) {
+                    const __m256 a0 = _mm256_loadu_ps(r0 + 2 * j);
+                    const __m256 b0 = _mm256_loadu_ps(r0 + 2 * j + 8);
+                    const __m256 a1 = _mm256_loadu_ps(r1 + 2 * j);
+                    const __m256 b1 = _mm256_loadu_ps(r1 + 2 * j + 8);
+                    const __m256 m0 = _mm256_max_ps(
+                        deinterleave(a0, b0, 1), deinterleave(a0, b0, 0));
+                    const __m256 m1 = _mm256_max_ps(
+                        deinterleave(a1, b1, 1), deinterleave(a1, b1, 0));
+                    _mm256_storeu_ps(y + oidx, _mm256_max_ps(m1, m0));
+                }
+                for (; j < ow; ++j, ++oidx) {
+                    float best = r0[2 * j];
+                    if (r0[2 * j + 1] > best)
+                        best = r0[2 * j + 1];
+                    if (r1[2 * j] > best)
+                        best = r1[2 * j];
+                    if (r1[2 * j + 1] > best)
+                        best = r1[2 * j + 1];
+                    y[oidx] = best;
+                }
+            }
+        }
+    }
+}
+
+// ----------------------------------------------------------- faults
+
+/** Iterate the faulty bits of one <=64-bit mask in ascending order,
+ *  drawing one bernoulli per faulty cell — the scalar loop's exact
+ *  RNG consumption — and flip accepted bits. */
+inline std::uint64_t
+flipMaskedBits(std::uint64_t &bits, std::uint64_t fault_mask,
+               double flip_prob, Rng &rng)
+{
+    std::uint64_t flipped = 0;
+    while (fault_mask != 0) {
+        const int b = std::countr_zero(fault_mask);
+        fault_mask &= fault_mask - 1;
+        if (rng.bernoulli(flip_prob)) {
+            bits ^= 1ull << b;
+            ++flipped;
+        }
+    }
+    return flipped;
+}
+
+std::uint64_t
+applyFaultMapPacked(std::span<std::int16_t> words,
+                    const sram::VulnerabilityMap &map,
+                    const FaultWindow &win, sram::FaultParams params,
+                    Rng &rng)
+{
+    if (params.failProb <= 0.0 || params.flipProb <= 0.0)
+        return 0;
+    const sram::PackedFaultMap packed(map, win.regionBase, win.regionBits,
+                                      win.startBit, words.size() * 16ull,
+                                      params.failProb);
+    std::uint64_t flipped = 0;
+    std::size_t w = 0;
+    // Four 16-bit words per packed 64-bit mask; one compare skips all
+    // four when the window is fault-free there (the common case).
+    for (; w + 4 <= words.size(); w += 4) {
+        std::uint64_t m = packed.words()[w >> 2];
+        if (m == 0)
+            continue;
+        for (std::size_t q = 0; q < 4; ++q, m >>= 16) {
+            const std::uint64_t m16 = m & 0xffffull;
+            if (m16 == 0)
+                continue;
+            std::uint64_t bits =
+                static_cast<std::uint16_t>(words[w + q]);
+            flipped += flipMaskedBits(bits, m16, params.flipProb, rng);
+            words[w + q] =
+                static_cast<std::int16_t>(static_cast<std::uint16_t>(bits));
+        }
+    }
+    for (; w < words.size(); ++w) {
+        const std::uint64_t m16 = packed.mask(w * 16, 16);
+        if (m16 == 0)
+            continue;
+        std::uint64_t bits = static_cast<std::uint16_t>(words[w]);
+        flipped += flipMaskedBits(bits, m16, params.flipProb, rng);
+        words[w] =
+            static_cast<std::int16_t>(static_cast<std::uint16_t>(bits));
+    }
+    return flipped;
+}
+
+class VectorizedBackend final : public Backend
+{
+  public:
+    std::string_view name() const override { return "vectorized"; }
+
+    void
+    gemm(const float *a, const float *b, float *c, int m, int k, int n,
+         bool accumulate) const override
+    {
+        gemmDispatch(a, b, c, m, k, n, accumulate);
+    }
+
+    void
+    im2col(const float *image, const ConvGeom &g,
+           std::vector<float> &cols) const override
+    {
+        im2colDispatch(image, g, cols);
+    }
+
+    void
+    im2colConv(const float *image, const float *weights, const float *bias,
+               float *out, const ConvGeom &g,
+               std::vector<float> &cols) const override
+    {
+        const std::size_t spatial = g.spatial();
+        im2colDispatch(image, g, cols);
+        gemmDispatch(weights, cols.data(), out, g.outCh, g.patch(),
+                     static_cast<int>(spatial), /*accumulate=*/false);
+        for (int oc = 0; oc < g.outCh; ++oc) {
+            float *chan = out + static_cast<std::size_t>(oc) * spatial;
+            const __m256 bv = _mm256_set1_ps(bias[oc]);
+            std::size_t i = 0;
+            for (; i + 8 <= spatial; i += 8)
+                _mm256_storeu_ps(
+                    chan + i,
+                    _mm256_add_ps(_mm256_loadu_ps(chan + i), bv));
+            for (; i < spatial; ++i)
+                chan[i] += bias[oc]; // vblint: assoc-ok(single bias add per element, no reduction)
+        }
+    }
+
+    void
+    maxPool2x2(const float *x, float *y, int batch, int c, int h,
+               int w) const override
+    {
+        maxPool2x2Avx2(x, y, batch, c, h, w);
+    }
+
+    void
+    relu(const float *x, float *y, std::size_t n) const override
+    {
+        // MAXPS(x, +0.0) is exactly `x > 0 ? x : +0.0f`: it returns the
+        // second operand on ties (-0.0) and unordered (NaN) inputs.
+        const __m256 zero = _mm256_setzero_ps();
+        std::size_t i = 0;
+        for (; i + 8 <= n; i += 8)
+            _mm256_storeu_ps(y + i,
+                             _mm256_max_ps(_mm256_loadu_ps(x + i), zero));
+        for (; i < n; ++i)
+            y[i] = x[i] > 0.0f ? x[i] : 0.0f;
+    }
+
+    std::uint64_t
+    applyFaultMap(std::span<std::int16_t> words,
+                  const sram::VulnerabilityMap &map, const FaultWindow &win,
+                  sram::FaultParams params, Rng &rng) const override
+    {
+        return applyFaultMapPacked(words, map, win, params, rng);
+    }
+
+    std::uint64_t
+    applyFaultMapDequant(std::span<std::int16_t> words,
+                         const FixedPointCodec &codec, float *out,
+                         const sram::VulnerabilityMap &map,
+                         const FaultWindow &win, sram::FaultParams params,
+                         Rng &rng) const override
+    {
+        const std::uint64_t flipped =
+            applyFaultMapPacked(words, map, win, params, rng);
+        // decode(raw) = float(raw) / 2^frac = float(raw) * 2^-frac,
+        // exact either way for the int16 range (see file header).
+        const __m256 scale = _mm256_set1_ps(codec.resolution());
+        std::size_t i = 0;
+        for (; i + 8 <= words.size(); i += 8) {
+            const __m128i raw = _mm_loadu_si128(
+                reinterpret_cast<const __m128i *>(words.data() + i));
+            const __m256 vals =
+                _mm256_cvtepi32_ps(_mm256_cvtepi16_epi32(raw));
+            _mm256_storeu_ps(out + i, _mm256_mul_ps(vals, scale));
+        }
+        for (; i < words.size(); ++i)
+            out[i] = codec.decode(words[i]);
+        return flipped;
+    }
+
+    std::uint64_t
+    applyFaultMapBits(std::uint64_t &bits, int nbits,
+                      const sram::VulnerabilityMap &map,
+                      const FaultWindow &win, sram::FaultParams params,
+                      Rng &rng) const override
+    {
+        if (params.failProb <= 0.0)
+            return 0;
+        // Build the <=64-bit fault mask in place (no per-group heap
+        // allocation): the ECC staging loop calls this once per
+        // 64-bit data group and once per 8-bit check group.
+        const std::uint64_t offset = win.startBit % win.regionBits;
+        std::uint64_t mask;
+        if (static_cast<std::uint64_t>(nbits) == 64 &&
+            offset + 64 <= win.regionBits &&
+            sram::PackedFaultMap::simdPackingActive()) {
+            mask = sram::packMask64Avx2(
+                map.streamKey(), sram::detail::probThreshold(
+                                     params.failProb),
+                win.regionBase + offset);
+        } else {
+            mask = 0;
+            for (int b = 0; b < nbits; ++b) {
+                const std::uint64_t cell =
+                    win.regionBase +
+                    (win.startBit + static_cast<std::uint64_t>(b)) %
+                        win.regionBits;
+                if (map.isFaulty(cell, params.failProb))
+                    mask |= 1ull << b;
+            }
+        }
+        return flipMaskedBits(bits, mask, params.flipProb, rng);
+    }
+};
+
+} // namespace
+
+namespace detail {
+
+const Backend *
+vectorizedBackendIfAvailable()
+{
+    static const bool supported = __builtin_cpu_supports("avx2");
+    if (!supported)
+        return nullptr;
+    static const VectorizedBackend kVectorized;
+    return &kVectorized;
+}
+
+} // namespace detail
+
+} // namespace vboost::dnn
+
+#else // !VBOOST_HAVE_AVX2
+
+namespace vboost::dnn::detail {
+
+const Backend *
+vectorizedBackendIfAvailable()
+{
+    return nullptr;
+}
+
+} // namespace vboost::dnn::detail
+
+#endif // VBOOST_HAVE_AVX2

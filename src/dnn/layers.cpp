@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "common/logging.hpp"
+#include "dnn/backend/backend.hpp"
 
 namespace vboost::dnn {
 
@@ -35,11 +36,14 @@ Dense::forward(const Tensor &x, bool train)
         fatal("Dense ", name_, ": expected [B, ", in_, "], got ",
               x.shapeString());
     const int batch = x.dim(0);
-    Tensor y({batch, out_});
-    gemm(x.data(), w_.data(), y.data(), batch, in_, out_);
-    for (int i = 0; i < batch; ++i)
+    Tensor y = Tensor::uninitialized({batch, out_});
+    activeBackend().gemm(x.data(), w_.data(), y.data(), batch, in_, out_,
+                         /*accumulate=*/false);
+    for (int i = 0; i < batch; ++i) {
+        float *row = y.data() + static_cast<std::size_t>(i) * out_;
         for (int j = 0; j < out_; ++j)
-            y.at(i, j) += b_[static_cast<std::size_t>(j)];
+            row[j] += b_[static_cast<std::size_t>(j)];
+    }
     if (train)
         cachedInput_ = x;
     return y;
@@ -89,32 +93,15 @@ void
 Conv2d::im2col(const Tensor &x, int n, std::vector<float> &cols, int h,
                int w) const
 {
-    // cols is [inCh*k*k, h*w]; output spatial size equals input
-    // (stride 1, pad preserves size only if pad == (k-1)/2, but the
-    // general formula is used by the caller).
-    const int out_h = h + 2 * pad_ - k_ + 1;
-    const int out_w = w + 2 * pad_ - k_ + 1;
-    const std::size_t spatial =
-        static_cast<std::size_t>(out_h) * static_cast<std::size_t>(out_w);
-    std::size_t row = 0;
-    for (int c = 0; c < inCh_; ++c) {
-        for (int ki = 0; ki < k_; ++ki) {
-            for (int kj = 0; kj < k_; ++kj, ++row) {
-                float *dst = cols.data() + row * spatial;
-                std::size_t idx = 0;
-                for (int oi = 0; oi < out_h; ++oi) {
-                    const int ii = oi + ki - pad_;
-                    for (int oj = 0; oj < out_w; ++oj, ++idx) {
-                        const int jj = oj + kj - pad_;
-                        dst[idx] =
-                            (ii >= 0 && ii < h && jj >= 0 && jj < w)
-                                ? x.at(n, c, ii, jj)
-                                : 0.0f;
-                    }
-                }
-            }
-        }
-    }
+    // cols is [inCh*k*k, h*w]; all backends produce bitwise-identical
+    // columns (pure element copies), so forward and backward may run
+    // on different backends without skew.
+    const ConvGeom g{inCh_, outCh_, k_, pad_, h, w};
+    const float *image = x.data() + static_cast<std::size_t>(n) *
+                                        static_cast<std::size_t>(inCh_) *
+                                        static_cast<std::size_t>(h) *
+                                        static_cast<std::size_t>(w);
+    activeBackend().im2col(image, g, cols);
 }
 
 void
@@ -156,24 +143,21 @@ Conv2d::forward(const Tensor &x, bool train)
     if (out_h <= 0 || out_w <= 0)
         fatal("Conv2d ", name_, ": kernel larger than padded input");
 
-    Tensor y({batch, outCh_, out_h, out_w});
-    const int patch = inCh_ * k_ * k_;
-    const std::size_t spatial =
-        static_cast<std::size_t>(out_h) * static_cast<std::size_t>(out_w);
-    std::vector<float> cols(static_cast<std::size_t>(patch) * spatial);
+    Tensor y = Tensor::uninitialized({batch, outCh_, out_h, out_w});
+    const ConvGeom g{inCh_, outCh_, k_, pad_, h, w};
+    const std::size_t spatial = g.spatial();
+    const std::size_t per_image = static_cast<std::size_t>(inCh_) *
+                                  static_cast<std::size_t>(h) *
+                                  static_cast<std::size_t>(w);
+    const Backend &backend = activeBackend();
+    std::vector<float> cols(static_cast<std::size_t>(g.patch()) * spatial);
     for (int n = 0; n < batch; ++n) {
-        im2col(x, n, cols, h, w);
-        // y[n] = W [outCh, patch] * cols [patch, spatial].
+        // y[n] = W [outCh, patch] * im2col(x[n]) [patch, spatial] + b.
         float *ydst = y.data() +
             static_cast<std::size_t>(n) * outCh_ * spatial;
-        gemm(w_.data(), cols.data(), ydst, outCh_, patch,
-             static_cast<int>(spatial));
-        for (int oc = 0; oc < outCh_; ++oc) {
-            float *chan = ydst + static_cast<std::size_t>(oc) * spatial;
-            const float bias = b_[static_cast<std::size_t>(oc)];
-            for (std::size_t i = 0; i < spatial; ++i)
-                chan[i] += bias;
-        }
+        backend.im2colConv(x.data() + static_cast<std::size_t>(n) *
+                                          per_image,
+                           w_.data(), b_.data(), ydst, g, cols);
     }
     if (train)
         cachedInput_ = x;
@@ -241,11 +225,17 @@ MaxPool2d::forward(const Tensor &x, bool train)
     if (h % 2 != 0 || w % 2 != 0)
         fatal("MaxPool2d ", name_, ": odd spatial size ", h, "x", w);
     const int oh = h / 2, ow = w / 2;
-    Tensor y({batch, c, oh, ow});
-    if (train) {
-        argmax_.assign(y.numel(), 0);
-        inShape_ = x.shape();
+    // Every output element is written below (backend pool or the
+    // argmax loop), so skip the zero-fill.
+    Tensor y = Tensor::uninitialized({batch, c, oh, ow});
+    if (!train) {
+        // Inference path: no argmax bookkeeping needed, so the pooling
+        // itself goes through the active compute backend (§12).
+        activeBackend().maxPool2x2(x.data(), y.data(), batch, c, h, w);
+        return y;
     }
+    argmax_.assign(y.numel(), 0);
+    inShape_ = x.shape();
     std::size_t oidx = 0;
     for (int n = 0; n < batch; ++n) {
         for (int ch = 0; ch < c; ++ch) {
@@ -304,13 +294,17 @@ Relu::Relu(std::string layer_name) : name_(std::move(layer_name)) {}
 Tensor
 Relu::forward(const Tensor &x, bool train)
 {
+    if (!train) {
+        // Write straight into the output instead of copy-then-rewrite.
+        Tensor y = Tensor::uninitialized(x.shape());
+        activeBackend().relu(x.data(), y.data(), y.numel());
+        return y;
+    }
     Tensor y = x;
-    if (train)
-        mask_.assign(x.numel(), false);
+    mask_.assign(x.numel(), false);
     for (std::size_t i = 0; i < y.numel(); ++i) {
         if (y[i] > 0.0f) {
-            if (train)
-                mask_[i] = true;
+            mask_[i] = true;
         } else {
             y[i] = 0.0f;
         }

@@ -39,6 +39,18 @@ Tensor::zeros(std::vector<int> shape)
 }
 
 Tensor
+Tensor::uninitialized(std::vector<int> shape)
+{
+    Tensor t;
+    t.shape_ = std::move(shape);
+    if (t.shape_.empty() || t.shape_.size() > 4)
+        fatal("Tensor: rank must be 1..4, got ", t.shape_.size());
+    // resize() default-initializes through NoInitAlloc: no zero-fill.
+    t.data_.resize(shapeNumel(t.shape_));
+    return t;
+}
+
+Tensor
 Tensor::randn(std::vector<int> shape, Rng &rng, double stddev)
 {
     Tensor t(std::move(shape));

@@ -10,12 +10,45 @@
 #define VBOOST_DNN_TENSOR_HPP
 
 #include <cstddef>
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/rng.hpp"
 
 namespace vboost::dnn {
+
+namespace detail {
+
+/**
+ * Allocator whose value-less construct() default-initializes, so
+ * vector::resize leaves floats uninitialized. Lets fully-overwritten
+ * layer outputs (Tensor::uninitialized) skip the zero-fill memset the
+ * normal constructor performs.
+ */
+template <typename T>
+struct NoInitAlloc : std::allocator<T>
+{
+    template <typename U> struct rebind
+    {
+        using other = NoInitAlloc<U>;
+    };
+    template <typename U>
+    void
+    construct(U *p) noexcept
+    {
+        ::new (static_cast<void *>(p)) U;
+    }
+    template <typename U, typename... Args>
+    void
+    construct(U *p, Args &&...args)
+    {
+        ::new (static_cast<void *>(p)) U(std::forward<Args>(args)...);
+    }
+};
+
+} // namespace detail
 
 /** Row-major dense float tensor of rank 1..4. */
 class Tensor
@@ -29,6 +62,13 @@ class Tensor
 
     /** Zero-filled tensor. */
     static Tensor zeros(std::vector<int> shape);
+
+    /**
+     * Tensor with UNINITIALIZED contents — for outputs every element
+     * of which is overwritten before being read (layer forward
+     * results). Reading an element before writing it is undefined.
+     */
+    static Tensor uninitialized(std::vector<int> shape);
 
     /** Gaussian-initialized tensor: N(0, stddev). */
     static Tensor randn(std::vector<int> shape, Rng &rng, double stddev);
@@ -79,7 +119,7 @@ class Tensor
 
   private:
     std::vector<int> shape_;
-    std::vector<float> data_;
+    std::vector<float, detail::NoInitAlloc<float>> data_;
 };
 
 /**

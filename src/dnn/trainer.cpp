@@ -111,7 +111,12 @@ SgdTrainer::evaluate(Network &net, const Dataset &test_set,
     if (n == 0)
         fatal("SgdTrainer::evaluate: empty test set");
 
-    constexpr std::size_t kEvalBatch = 128;
+    // Small batches keep the whole interlayer activation chain
+    // L2-resident (a conv1 output alone is 64 KB/image), which
+    // matters more than amortizing per-layer call overhead; results
+    // are bitwise independent of the batch split (each image's
+    // forward only reads its own rows).
+    constexpr std::size_t kEvalBatch = 8;
     std::size_t correct = 0;
     for (std::size_t start = 0; start < n; start += kEvalBatch) {
         const std::size_t count = std::min(kEvalBatch, n - start);

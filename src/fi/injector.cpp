@@ -1,8 +1,10 @@
 #include "fi/injector.hpp"
 
 #include <bit>
+#include <utility>
 
 #include "common/logging.hpp"
+#include "dnn/backend/backend.hpp"
 #include "dnn/quantize.hpp"
 
 namespace vboost::fi {
@@ -10,35 +12,23 @@ namespace vboost::fi {
 namespace {
 
 /**
- * Corrupt 16-bit words whose bits live at
- * region_base + ((start_bit + k) mod region_bits) in the cell space:
- * staged tiles wrap around the physical memory.
+ * Corrupt one staged layer and decode it back to floats in a single
+ * backend pass (the fused corrupt-and-infer kernel, DESIGN.md §12):
+ * bits of `q.words` live at region_base + ((start_bit + k) mod
+ * region_bits) in the cell space — staged tiles wrap around the
+ * physical memory. With fail_prob <= 0 this is the pure quantization
+ * round-trip untargeted layers take.
  */
 std::uint64_t
-corruptWrapped(std::vector<std::int16_t> &words,
-               const sram::VulnerabilityMap &map, std::uint64_t region_base,
-               std::uint64_t region_bits, std::uint64_t start_bit,
-               sram::FaultParams params, Rng &rng)
+corruptLayerFused(const dnn::Backend &backend, dnn::QuantizedTensor &q,
+                  dnn::Tensor &out, const sram::VulnerabilityMap &map,
+                  std::uint64_t region_base, std::uint64_t region_bits,
+                  std::uint64_t start_bit, sram::FaultParams params,
+                  Rng &rng)
 {
-    if (params.failProb <= 0.0 || params.flipProb <= 0.0)
-        return 0;
-    std::uint64_t flipped = 0;
-    std::uint64_t bit = start_bit % region_bits;
-    for (auto &word : words) {
-        auto raw = static_cast<std::uint16_t>(word);
-        for (int b = 0; b < 16; ++b) {
-            const std::uint64_t cell = region_base + bit;
-            if (map.isFaulty(cell, params.failProb) &&
-                rng.bernoulli(params.flipProb)) {
-                raw ^= static_cast<std::uint16_t>(1u << b);
-                ++flipped;
-            }
-            if (++bit == region_bits)
-                bit = 0;
-        }
-        word = static_cast<std::int16_t>(raw);
-    }
-    return flipped;
+    return backend.applyFaultMapDequant(
+        q.words, q.codec, out.data(), map,
+        {region_base, region_bits, start_bit}, params, rng);
 }
 
 } // namespace
@@ -62,6 +52,7 @@ corruptNetwork(dnn::Network &dst, dnn::Network &src,
     if (!spec.injectWeights || fail_prob <= 0.0)
         return 0;
 
+    const dnn::Backend &backend = dnn::activeBackend();
     std::uint64_t flipped = 0;
     std::uint64_t bit_cursor = 0;
     for (std::size_t l = 0; l < src_weights.size(); ++l) {
@@ -69,15 +60,14 @@ corruptNetwork(dnn::Network &dst, dnn::Network &src,
         const std::uint64_t layer_bits = q.words.size() * 16ull;
         const bool targeted =
             spec.onlyLayer < 0 || spec.onlyLayer == static_cast<int>(l);
-        if (targeted) {
-            flipped += corruptWrapped(q.words, map, 0,
-                                      layout.weightRegionBits, bit_cursor,
-                                      {fail_prob, spec.flipProb}, rng);
-        }
         // All layers round-trip quantization (the accelerator computes
         // on int16 storage either way); only targeted layers get
-        // faults.
-        *dst_weights[l].value = dnn::dequantize(q);
+        // faults (fail_prob 0 makes the fused kernel a pure decode).
+        dnn::Tensor decoded(q.shape);
+        flipped += corruptLayerFused(
+            backend, q, decoded, map, 0, layout.weightRegionBits,
+            bit_cursor, {targeted ? fail_prob : 0.0, spec.flipProb}, rng);
+        *dst_weights[l].value = std::move(decoded);
         bit_cursor += layer_bits;
     }
     return flipped;
@@ -97,15 +87,17 @@ corruptNetworkPerLayer(dnn::Network &dst, dnn::Network &src,
         fatal("corruptNetworkPerLayer: expected ", src_weights.size(),
               " per-layer probabilities, got ", fail_prob_by_layer.size());
 
+    const dnn::Backend &backend = dnn::activeBackend();
     std::uint64_t flipped = 0;
     std::uint64_t bit_cursor = 0;
     for (std::size_t l = 0; l < src_weights.size(); ++l) {
         auto q = dnn::quantize(*src_weights[l].value);
         const std::uint64_t layer_bits = q.words.size() * 16ull;
-        flipped += corruptWrapped(q.words, map, 0, layout.weightRegionBits,
-                                  bit_cursor,
-                                  {fail_prob_by_layer[l], flip_prob}, rng);
-        *dst_weights[l].value = dnn::dequantize(q);
+        dnn::Tensor decoded(q.shape);
+        flipped += corruptLayerFused(
+            backend, q, decoded, map, 0, layout.weightRegionBits,
+            bit_cursor, {fail_prob_by_layer[l], flip_prob}, rng);
+        *dst_weights[l].value = std::move(decoded);
         bit_cursor += layer_bits;
     }
     return flipped;
@@ -121,6 +113,7 @@ corruptNetworkEcc(dnn::Network &dst, dnn::Network &src,
     auto src_weights = src.weightParams();
     auto dst_weights = dst.weightParams();
 
+    const dnn::Backend &backend = dnn::activeBackend();
     std::uint64_t flipped = 0;
     std::uint64_t bit_cursor = 0;   // data-bit cursor (weight region)
     std::uint64_t check_cursor = 0; // check-bit cursor (parity region)
@@ -136,29 +129,19 @@ corruptNetworkEcc(dnn::Network &dst, dnn::Network &src,
                         << (16 * k);
             std::uint8_t check = sram::SecdedCodec::encode(word);
 
-            // Corrupt the 64 data cells.
-            for (int b = 0; b < 64; ++b) {
-                const std::uint64_t cell =
-                    (bit_cursor + static_cast<std::uint64_t>(b)) %
-                    layout.weightRegionBits;
-                if (map.isFaulty(cell, fail_prob) &&
-                    rng.bernoulli(flip_prob)) {
-                    word ^= 1ull << b;
-                    ++flipped;
-                }
-            }
-            // Corrupt the 8 check cells (their own region).
-            for (int b = 0; b < 8; ++b) {
-                const std::uint64_t cell =
-                    layout.parityRegionBase() +
-                    (check_cursor + static_cast<std::uint64_t>(b)) %
-                        layout.parityRegionBits();
-                if (map.isFaulty(cell, fail_prob) &&
-                    rng.bernoulli(flip_prob)) {
-                    check = static_cast<std::uint8_t>(check ^ (1u << b));
-                    ++flipped;
-                }
-            }
+            // Corrupt the 64 data cells, then the 8 check cells (their
+            // own region); RNG draws interleave per group, in cell
+            // order, exactly as the backend contract specifies.
+            flipped += backend.applyFaultMapBits(
+                word, 64, map, {0, layout.weightRegionBits, bit_cursor},
+                {fail_prob, flip_prob}, rng);
+            std::uint64_t check_bits = check;
+            flipped += backend.applyFaultMapBits(
+                check_bits, 8, map,
+                {layout.parityRegionBase(), layout.parityRegionBits(),
+                 check_cursor},
+                {fail_prob, flip_prob}, rng);
+            check = static_cast<std::uint8_t>(check_bits);
             bit_cursor += 64;
             check_cursor += 8;
 
@@ -227,24 +210,19 @@ corruptInputs(const dnn::Tensor &images, const sram::VulnerabilityMap &map,
         // Each image is staged through the same physical input memory:
         // image i's bits start where a fresh staging would place them
         // (offset 0 of the region), so all images see the same cells.
+        const dnn::Backend &backend = dnn::activeBackend();
         const int batch = images.dim(0);
         const std::size_t per_image = images.numel() /
                                       static_cast<std::size_t>(batch);
         for (int i = 0; i < batch; ++i) {
-            std::vector<std::int16_t> row(
-                q.words.begin() + static_cast<long>(per_image *
-                                                    static_cast<std::size_t>(
-                                                        i)),
-                q.words.begin() + static_cast<long>(per_image *
-                                                    static_cast<std::size_t>(
-                                                        i + 1)));
-            corruptWrapped(row, map, layout.inputRegionBase(),
-                           layout.inputRegionBits, 0,
-                           {fail_prob, flip_prob}, rng);
-            std::copy(row.begin(), row.end(),
-                      q.words.begin() + static_cast<long>(
-                                            per_image *
-                                            static_cast<std::size_t>(i)));
+            backend.applyFaultMap(
+                std::span<std::int16_t>(
+                    q.words.data() +
+                        per_image * static_cast<std::size_t>(i),
+                    per_image),
+                map,
+                {layout.inputRegionBase(), layout.inputRegionBits, 0},
+                {fail_prob, flip_prob}, rng);
         }
     }
     return dnn::dequantize(q);

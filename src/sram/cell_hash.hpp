@@ -1,0 +1,46 @@
+/**
+ * @file
+ * The counter-based cell hash shared by VulnerabilityMap and the
+ * bit-packed fault maps. One definition keeps the per-cell draws of
+ * every query path bitwise-identical by construction (DESIGN.md §12):
+ * a packed word and a scalar isFaulty() answer come from the same
+ * integer arithmetic.
+ */
+
+#ifndef VBOOST_SRAM_CELL_HASH_HPP
+#define VBOOST_SRAM_CELL_HASH_HPP
+
+#include <cstdint>
+
+namespace vboost::sram::detail {
+
+/** Stateless 64-bit mix (SplitMix64 finalizer). */
+inline std::uint64_t
+mix64(std::uint64_t z)
+{
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+/** Hash a cell id under a stream key to a raw 64-bit value. */
+inline std::uint64_t
+cellHash(std::uint64_t stream_key, std::uint64_t cell)
+{
+    return mix64(stream_key ^ (cell * 0x9e3779b97f4a7c15ull));
+}
+
+/** Convert a fail probability to a 64-bit comparison threshold. */
+inline std::uint64_t
+probThreshold(double fail_prob)
+{
+    if (fail_prob <= 0.0)
+        return 0;
+    if (fail_prob >= 1.0)
+        return ~0ull;
+    return static_cast<std::uint64_t>(fail_prob * 0x1.0p64);
+}
+
+} // namespace vboost::sram::detail
+
+#endif // VBOOST_SRAM_CELL_HASH_HPP

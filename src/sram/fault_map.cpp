@@ -4,39 +4,13 @@
 #include <cmath>
 
 #include "common/logging.hpp"
+#include "sram/cell_hash.hpp"
 
 namespace vboost::sram {
 
-namespace {
-
-/** Stateless 64-bit mix (SplitMix64 finalizer). */
-std::uint64_t
-mix64(std::uint64_t z)
-{
-    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
-    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
-    return z ^ (z >> 31);
-}
-
-/** Hash a cell id under a stream key to a raw 64-bit value. */
-std::uint64_t
-cellHash(std::uint64_t stream_key, std::uint64_t cell)
-{
-    return mix64(stream_key ^ (cell * 0x9e3779b97f4a7c15ull));
-}
-
-/** Convert a fail probability to a 64-bit comparison threshold. */
-std::uint64_t
-probThreshold(double fail_prob)
-{
-    if (fail_prob <= 0.0)
-        return 0;
-    if (fail_prob >= 1.0)
-        return ~0ull;
-    return static_cast<std::uint64_t>(fail_prob * 0x1.0p64);
-}
-
-} // namespace
+using detail::cellHash;
+using detail::mix64;
+using detail::probThreshold;
 
 VulnerabilityMap::VulnerabilityMap(std::uint64_t seed,
                                    std::uint64_t map_index)

@@ -68,6 +68,10 @@ class VulnerabilityMap
     std::uint64_t seed() const { return seed_; }
     std::uint64_t mapIndex() const { return mapIndex_; }
 
+    /** Internal hash stream key; lets PackedFaultMap reproduce the
+     *  exact per-cell draws without going through isFaulty(). */
+    std::uint64_t streamKey() const { return streamKey_; }
+
   private:
     /** Counter-based hash of the cell id to a uniform in [0,1). */
     double cellUniform(std::uint64_t cell) const;

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Bit-packed fault maps (DESIGN.md §12): precompute 64 cells per word
+ * of fault bits for one Monte-Carlo map at one fail probability,
+ * instead of re-hashing every cell on every access.
+ *
+ * A packed map captures a *visit sequence* through the wrapped SRAM
+ * region walked by the fault-injection staging loop: sequence bit j
+ * corresponds to cell
+ *
+ *     region_base + (start_bit + j) mod region_bits,
+ *
+ * exactly the order `fi`'s staging visits cells. Packing hashes each
+ * visited cell once (the same counter-based hash VulnerabilityMap
+ * uses, so packed bits are bitwise-identical to per-cell isFaulty()
+ * answers by construction); application then reduces to mask
+ * extraction, so entire fault-free words are skipped with one compare
+ * instead of 16-64 hash-and-threshold draws.
+ */
+
+#ifndef VBOOST_SRAM_PACKED_FAULT_MAP_HPP
+#define VBOOST_SRAM_PACKED_FAULT_MAP_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "sram/fault_map.hpp"
+
+namespace vboost::sram {
+
+/**
+ * Fault bits for one wrapped-region visit sequence, 64 cells per word.
+ * Immutable after construction; cheap to query from many threads.
+ */
+class PackedFaultMap
+{
+  public:
+    /**
+     * Pack the faults a wrapped walk will visit.
+     *
+     * @param map vulnerability map to pack.
+     * @param region_base first cell of the physical region.
+     * @param region_bits region size in cells (wrap modulus, > 0).
+     * @param start_bit offset of the walk's first visit in the region.
+     * @param num_bits visits to pack (may exceed region_bits: the walk
+     *        then revisits cells, and the packed bits repeat with it).
+     * @param fail_prob bit failure probability F(v).
+     */
+    PackedFaultMap(const VulnerabilityMap &map, std::uint64_t region_base,
+                   std::uint64_t region_bits, std::uint64_t start_bit,
+                   std::uint64_t num_bits, double fail_prob);
+
+    /** Pack a linear (non-wrapping) run of cells starting at
+     *  `base_cell`, as read by sram::corruptWords. */
+    PackedFaultMap(const VulnerabilityMap &map, std::uint64_t base_cell,
+                   std::uint64_t num_bits, double fail_prob);
+
+    /** Number of visits packed. */
+    std::uint64_t numBits() const { return numBits_; }
+
+    /** Is visit j's cell faulty? */
+    bool test(std::uint64_t j) const
+    {
+        return (words_[j >> 6] >> (j & 63)) & 1u;
+    }
+
+    /**
+     * Fault bits for visits [j, j+nbits), nbits in [1, 64]; bit b of
+     * the result is visit j+b. Visits past numBits() read as zero.
+     */
+    std::uint64_t mask(std::uint64_t j, unsigned nbits) const;
+
+    /** Total faulty visits (popcount of the packed words). */
+    std::uint64_t countFaulty() const;
+
+    /** Packed words; bit b of word w is visit 64*w + b. */
+    const std::vector<std::uint64_t> &words() const { return words_; }
+
+    /** True when packing ran on the AVX2 hash path (diagnostics; the
+     *  packed bits are bitwise-identical either way). */
+    static bool simdPackingActive();
+
+  private:
+    void pack(const VulnerabilityMap &map, std::uint64_t region_base,
+              std::uint64_t region_bits, std::uint64_t start_bit,
+              double fail_prob);
+    /** OR `count` fault bits for cells [cell, cell+count) into the
+     *  packed words at sequence position `bit_offset`. */
+    void packRun(std::uint64_t stream_key, std::uint64_t threshold,
+                 std::uint64_t cell, std::uint64_t count,
+                 std::uint64_t bit_offset);
+    void deposit(std::uint64_t bits, std::uint64_t bit_offset,
+                 unsigned nbits);
+
+    std::uint64_t numBits_ = 0;
+    std::vector<std::uint64_t> words_;
+};
+
+/**
+ * AVX2 packing kernel (packed_fault_map_simd.cpp): fault mask for the
+ * 64 consecutive cells [cell, cell+64). Bitwise-identical to 64 scalar
+ * cellHash-vs-threshold compares — the hash is exact integer
+ * arithmetic either way. Only callable when simdPackingActive().
+ */
+std::uint64_t packMask64Avx2(std::uint64_t stream_key,
+                             std::uint64_t threshold, std::uint64_t cell);
+
+} // namespace vboost::sram
+
+#endif // VBOOST_SRAM_PACKED_FAULT_MAP_HPP

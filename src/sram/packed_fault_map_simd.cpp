@@ -1,0 +1,107 @@
+/**
+ * @file
+ * AVX2 packing kernel for PackedFaultMap. This translation unit is the
+ * only sram code compiled with -mavx2 (see src/sram/CMakeLists.txt);
+ * callers must gate on PackedFaultMap::simdPackingActive() so the
+ * kernel never executes on hardware without AVX2.
+ *
+ * The kernel evaluates the SplitMix64-finalizer cell hash four lanes
+ * at a time. Everything here is exact 64-bit integer arithmetic, so
+ * the packed bits are bitwise-identical to the scalar path — SIMD is
+ * purely a throughput choice, never a numerics one (DESIGN.md §12).
+ */
+
+#include "sram/packed_fault_map.hpp"
+
+#if defined(VBOOST_HAVE_AVX2)
+
+#include <immintrin.h>
+
+namespace vboost::sram {
+
+namespace {
+
+/** 64-bit lane-wise multiply low (AVX2 has no mullo_epi64). */
+inline __m256i
+mullo64(__m256i a, __m256i b)
+{
+    // lo(a)*lo(b) + ((lo(a)*hi(b) + hi(a)*lo(b)) << 32), mod 2^64.
+    const __m256i ahi = _mm256_srli_epi64(a, 32);
+    const __m256i bhi = _mm256_srli_epi64(b, 32);
+    const __m256i ll = _mm256_mul_epu32(a, b);
+    const __m256i lh = _mm256_mul_epu32(a, bhi);
+    const __m256i hl = _mm256_mul_epu32(ahi, b);
+    const __m256i hi = _mm256_add_epi64(lh, hl);
+    return _mm256_add_epi64(ll, _mm256_slli_epi64(hi, 32));
+}
+
+/** Lane-wise SplitMix64 finalizer (matches detail::mix64). */
+inline __m256i
+mix64x4(__m256i z)
+{
+    z = _mm256_xor_si256(z, _mm256_srli_epi64(z, 30));
+    z = mullo64(z, _mm256_set1_epi64x(
+                       static_cast<long long>(0xbf58476d1ce4e5b9ull)));
+    z = _mm256_xor_si256(z, _mm256_srli_epi64(z, 27));
+    z = mullo64(z, _mm256_set1_epi64x(
+                       static_cast<long long>(0x94d049bb133111ebull)));
+    return _mm256_xor_si256(z, _mm256_srli_epi64(z, 31));
+}
+
+} // namespace
+
+std::uint64_t
+packMask64Avx2(std::uint64_t stream_key, std::uint64_t threshold,
+               std::uint64_t cell)
+{
+    constexpr std::uint64_t kGolden = 0x9e3779b97f4a7c15ull;
+    const __m256i key = _mm256_set1_epi64x(
+        static_cast<long long>(stream_key));
+    // AVX2 compares are signed; biasing both sides by 2^63 turns the
+    // unsigned hash < threshold test into a signed one.
+    const __m256i bias = _mm256_set1_epi64x(
+        static_cast<long long>(0x8000000000000000ull));
+    const __m256i thr = _mm256_xor_si256(
+        _mm256_set1_epi64x(static_cast<long long>(threshold)), bias);
+    // Consecutive cells differ by kGolden in the pre-mix counter, so
+    // the per-lane counters advance by addition instead of a 64-bit
+    // multiply per lane.
+    const std::uint64_t c0 = cell * kGolden;
+    __m256i ctr = _mm256_set_epi64x(
+        static_cast<long long>(c0 + 3 * kGolden),
+        static_cast<long long>(c0 + 2 * kGolden),
+        static_cast<long long>(c0 + kGolden),
+        static_cast<long long>(c0));
+    const __m256i step = _mm256_set1_epi64x(
+        static_cast<long long>(4 * kGolden));
+
+    std::uint64_t mask = 0;
+    for (int block = 0; block < 16; ++block) {
+        const __m256i hash =
+            mix64x4(_mm256_xor_si256(key, ctr));
+        const __m256i lt = _mm256_cmpgt_epi64(
+            thr, _mm256_xor_si256(hash, bias));
+        const int bits4 = _mm256_movemask_pd(_mm256_castsi256_pd(lt));
+        mask |= static_cast<std::uint64_t>(bits4) << (4 * block);
+        ctr = _mm256_add_epi64(ctr, step);
+    }
+    return mask;
+}
+
+} // namespace vboost::sram
+
+#else // !VBOOST_HAVE_AVX2
+
+#include "common/logging.hpp"
+
+namespace vboost::sram {
+
+std::uint64_t
+packMask64Avx2(std::uint64_t, std::uint64_t, std::uint64_t)
+{
+    fatal("packMask64Avx2: built without AVX2 support");
+}
+
+} // namespace vboost::sram
+
+#endif // VBOOST_HAVE_AVX2

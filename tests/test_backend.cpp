@@ -1,0 +1,452 @@
+/**
+ * @file
+ * Backend equivalence suite (ctest `backend_equivalence`): the §12
+ * bitwise contract. Every kernel of the vectorized backend must
+ * produce byte-identical results to the scalar reference backend —
+ * GEMM across awkward shapes, im2col/conv geometries on and off the
+ * SIMD fast paths, pooling and relu on signed zeros and NaNs, the
+ * fault kernels' flip patterns AND their RNG consumption order, packed
+ * fault-map bits, whole-network logits, and Monte-Carlo experiment
+ * digests plus observability fingerprints at 1 vs 8 threads.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "common/fixed_point.hpp"
+#include "common/rng.hpp"
+#include "dnn/backend/backend.hpp"
+#include "dnn/dataset.hpp"
+#include "dnn/layers.hpp"
+#include "dnn/network.hpp"
+#include "fi/experiment.hpp"
+#include "obs/observability.hpp"
+#include "sram/fault_map.hpp"
+#include "sram/packed_fault_map.hpp"
+
+namespace vboost::dnn {
+namespace {
+
+/** Bitwise equality for float buffers (NaN-safe, -0.0 != +0.0). */
+::testing::AssertionResult
+bitsEqual(const float *a, const float *b, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i) {
+        if (std::memcmp(&a[i], &b[i], sizeof(float)) != 0) {
+            std::uint32_t ba, bb;
+            std::memcpy(&ba, &a[i], 4);
+            std::memcpy(&bb, &b[i], 4);
+            return ::testing::AssertionFailure()
+                   << "bit mismatch at [" << i << "]: " << a[i] << " (0x"
+                   << std::hex << ba << ") vs " << b[i] << " (0x" << bb
+                   << ")";
+        }
+    }
+    return ::testing::AssertionSuccess();
+}
+
+/** Mixed-magnitude fill: negatives, zeros of both signs, tiny values. */
+void
+fillMixed(std::vector<float> &v, Rng &rng)
+{
+    for (std::size_t i = 0; i < v.size(); ++i) {
+        switch (rng.uniformInt(8)) {
+        case 0: v[i] = 0.0f; break;
+        case 1: v[i] = -0.0f; break;
+        case 2: v[i] = static_cast<float>(rng.normal(0.0, 1e-30)); break;
+        default:
+            v[i] = static_cast<float>(rng.normal(0.0, 1.0));
+        }
+    }
+}
+
+class BackendEquivalence : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        ref_ = &referenceBackend();
+        vec_ = findBackend("vectorized");
+        if (vec_ == nullptr)
+            GTEST_SKIP() << "vectorized backend unavailable on this host";
+    }
+
+    const Backend *ref_ = nullptr;
+    const Backend *vec_ = nullptr;
+};
+
+// ------------------------------------------------------------- gemm
+
+TEST_F(BackendEquivalence, GemmBitwiseAcrossShapes)
+{
+    // Primes and tails around the 8x32 micro-kernel, the masked
+    // remainder kernel, the packing threshold (n >= 512) and the
+    // cache-blocking boundaries (nc=512, kc=256).
+    const int shapes[][3] = {{1, 1, 1},     {3, 7, 5},    {8, 32, 32},
+                             {7, 13, 31},   {17, 31, 33}, {16, 25, 1024},
+                             {64, 64, 64},  {5, 13, 513}, {16, 257, 544},
+                             {33, 300, 70}, {2, 400, 36}, {16, 75, 1024}};
+    Rng rng(101);
+    for (const auto &s : shapes) {
+        const int m = s[0], k = s[1], n = s[2];
+        std::vector<float> a(static_cast<std::size_t>(m) * k);
+        std::vector<float> b(static_cast<std::size_t>(k) * n);
+        fillMixed(a, rng);
+        fillMixed(b, rng);
+        for (bool accumulate : {false, true}) {
+            std::vector<float> c0(static_cast<std::size_t>(m) * n);
+            fillMixed(c0, rng);
+            std::vector<float> c1 = c0;
+            ref_->gemm(a.data(), b.data(), c0.data(), m, k, n, accumulate);
+            vec_->gemm(a.data(), b.data(), c1.data(), m, k, n, accumulate);
+            EXPECT_TRUE(bitsEqual(c0.data(), c1.data(), c0.size()))
+                << "gemm m=" << m << " k=" << k << " n=" << n
+                << " accumulate=" << accumulate;
+        }
+    }
+}
+
+// --------------------------------------------------- im2col and conv
+
+TEST_F(BackendEquivalence, Im2colAndConvBitwise)
+{
+    // Geometries on the stride-matched bulk path (w in {8, 16, 32}),
+    // the per-row masked path (w = 12, w = 9), 1x1 no-pad, a kernel
+    // wider than the image's valid span, and non-square images.
+    const ConvGeom geoms[] = {
+        {3, 8, 5, 2, 32, 32}, {16, 8, 5, 2, 16, 16}, {8, 4, 3, 1, 8, 8},
+        {2, 3, 5, 2, 10, 12}, {4, 4, 3, 1, 7, 9},    {1, 2, 1, 0, 4, 4},
+        {2, 2, 7, 3, 8, 8},   {3, 3, 3, 1, 16, 8},
+    };
+    Rng rng(202);
+    for (const auto &g : geoms) {
+        std::vector<float> image(
+            static_cast<std::size_t>(g.inCh) * g.h * g.w);
+        std::vector<float> weights(static_cast<std::size_t>(g.outCh) *
+                                   g.patch());
+        std::vector<float> bias(static_cast<std::size_t>(g.outCh));
+        fillMixed(image, rng);
+        fillMixed(weights, rng);
+        fillMixed(bias, rng);
+
+        std::vector<float> cols0, cols1;
+        ref_->im2col(image.data(), g, cols0);
+        vec_->im2col(image.data(), g, cols1);
+        ASSERT_EQ(cols0.size(), cols1.size());
+        EXPECT_TRUE(bitsEqual(cols0.data(), cols1.data(), cols0.size()))
+            << "im2col k=" << g.kernel << " h=" << g.h << " w=" << g.w;
+
+        std::vector<float> out0(static_cast<std::size_t>(g.outCh) *
+                                g.spatial());
+        std::vector<float> out1(out0.size());
+        std::vector<float> scratch0, scratch1;
+        ref_->im2colConv(image.data(), weights.data(), bias.data(),
+                         out0.data(), g, scratch0);
+        vec_->im2colConv(image.data(), weights.data(), bias.data(),
+                         out1.data(), g, scratch1);
+        EXPECT_TRUE(bitsEqual(out0.data(), out1.data(), out0.size()))
+            << "im2colConv k=" << g.kernel << " h=" << g.h
+            << " w=" << g.w;
+    }
+}
+
+// ----------------------------------------------------- pool and relu
+
+TEST_F(BackendEquivalence, MaxPoolSignedZeroTiesAndNaN)
+{
+    // Windows full of -0.0/+0.0 probe the tie rule (first element in
+    // scan order wins, so MAXPS's "b unless a > b" must be paired in
+    // the same order); NaN lanes probe the unordered-compare path.
+    const int batch = 2, c = 3, h = 8, w = 16;
+    std::vector<float> x(static_cast<std::size_t>(batch) * c * h * w);
+    Rng rng(303);
+    fillMixed(x, rng);
+    for (std::size_t i = 0; i < x.size(); i += 17)
+        x[i] = std::numeric_limits<float>::quiet_NaN();
+    for (std::size_t i = 0; i < x.size(); i += 5)
+        x[i] = (i % 2) ? 0.0f : -0.0f;
+    std::vector<float> y0(x.size() / 4), y1(x.size() / 4);
+    ref_->maxPool2x2(x.data(), y0.data(), batch, c, h, w);
+    vec_->maxPool2x2(x.data(), y1.data(), batch, c, h, w);
+    EXPECT_TRUE(bitsEqual(y0.data(), y1.data(), y0.size()));
+}
+
+TEST_F(BackendEquivalence, ReluSignedZeroAndNaN)
+{
+    std::vector<float> x = {1.5f,
+                            -2.0f,
+                            0.0f,
+                            -0.0f,
+                            std::numeric_limits<float>::quiet_NaN(),
+                            -std::numeric_limits<float>::infinity(),
+                            std::numeric_limits<float>::infinity(),
+                            1e-40f};
+    Rng rng(404);
+    for (int i = 0; i < 100; ++i)
+        x.push_back(static_cast<float>(rng.normal(0.0, 1.0)));
+    std::vector<float> y0(x.size()), y1(x.size());
+    ref_->relu(x.data(), y0.data(), x.size());
+    vec_->relu(x.data(), y1.data(), x.size());
+    EXPECT_TRUE(bitsEqual(y0.data(), y1.data(), y0.size()));
+    // The contract maps -0.0 and NaN to +0.0 exactly.
+    EXPECT_EQ(std::memcmp(&y1[3], &y1[2], 4), 0);
+    EXPECT_FALSE(std::signbit(y1[3]));
+    EXPECT_EQ(y1[4], 0.0f);
+    // In-place operation is allowed.
+    std::vector<float> z = x;
+    vec_->relu(z.data(), z.data(), z.size());
+    EXPECT_TRUE(bitsEqual(z.data(), y0.data(), z.size()));
+}
+
+// ----------------------------------------------------- fault kernels
+
+TEST_F(BackendEquivalence, FaultMapWordsFlipsAndRngOrder)
+{
+    const sram::VulnerabilityMap map(7, 3);
+    const std::size_t kWords = 700; // not a multiple of 4 or 64
+    const struct
+    {
+        FaultWindow win;
+        double fail;
+    } cases[] = {
+        {{0, kWords * 16, 0}, 0.02},
+        {{256, kWords * 16, 4096}, 0.05},
+        // Wrapping walk: region smaller than the staged buffer.
+        {{0, 4096, 4000}, 0.02},
+        {{0, kWords * 16, 0}, 0.0},  // no faults at all
+        {{0, kWords * 16, 0}, 1.0},  // every cell faulty
+    };
+    Rng fill(505);
+    for (const auto &tc : cases) {
+        std::vector<std::int16_t> w0(kWords), w1(kWords);
+        for (auto &v : w0)
+            v = static_cast<std::int16_t>(fill.uniformInt(65536) - 32768);
+        w1 = w0;
+        Rng r0(99), r1(99);
+        const auto f0 = ref_->applyFaultMap(w0, map, tc.win,
+                                            {tc.fail, 0.5}, r0);
+        const auto f1 = vec_->applyFaultMap(w1, map, tc.win,
+                                            {tc.fail, 0.5}, r1);
+        EXPECT_EQ(f0, f1) << "fail_prob=" << tc.fail;
+        EXPECT_EQ(std::memcmp(w0.data(), w1.data(),
+                              kWords * sizeof(std::int16_t)),
+                  0)
+            << "fail_prob=" << tc.fail;
+        // Identical RNG consumption: the next draws must agree.
+        EXPECT_EQ(r0.next(), r1.next()) << "fail_prob=" << tc.fail;
+    }
+}
+
+TEST_F(BackendEquivalence, FusedDequantMatchesReference)
+{
+    const sram::VulnerabilityMap map(11, 1);
+    const std::size_t kWords = 513;
+    const FixedPointCodec codec(12);
+    Rng fill(606);
+    for (double fail : {0.0, 0.03, 0.5}) {
+        std::vector<std::int16_t> w0(kWords), w1(kWords);
+        for (auto &v : w0)
+            v = static_cast<std::int16_t>(fill.uniformInt(65536) - 32768);
+        w1 = w0;
+        std::vector<float> out0(kWords), out1(kWords);
+        const FaultWindow win{128, kWords * 16 + 64, 32};
+        Rng r0(7), r1(7);
+        const auto f0 = ref_->applyFaultMapDequant(
+            w0, codec, out0.data(), map, win, {fail, 0.5}, r0);
+        const auto f1 = vec_->applyFaultMapDequant(
+            w1, codec, out1.data(), map, win, {fail, 0.5}, r1);
+        EXPECT_EQ(f0, f1);
+        EXPECT_EQ(std::memcmp(w0.data(), w1.data(),
+                              kWords * sizeof(std::int16_t)),
+                  0);
+        EXPECT_TRUE(bitsEqual(out0.data(), out1.data(), kWords))
+            << "fail_prob=" << fail;
+        EXPECT_EQ(r0.next(), r1.next());
+    }
+}
+
+TEST_F(BackendEquivalence, FaultMapBitsInterleavedWindows)
+{
+    // The ECC path draws alternately from a data window and a check
+    // window; equivalence must hold under that interleaving too.
+    const sram::VulnerabilityMap map(13, 2);
+    const FaultWindow data{0, 1 << 14, 100};
+    const FaultWindow check{1 << 14, 1 << 12, 9};
+    Rng r0(3), r1(3), fill(707);
+    for (int i = 0; i < 64; ++i) {
+        std::uint64_t b0 = fill.next();
+        std::uint64_t b1 = b0;
+        const int nbits = 1 + static_cast<int>(fill.uniformInt(64));
+        const FaultWindow &winr = (i % 2) ? check : data;
+        FaultWindow w0 = winr, w1 = winr;
+        w0.startBit += static_cast<std::uint64_t>(i) * 64;
+        w1.startBit = w0.startBit;
+        const auto f0 =
+            ref_->applyFaultMapBits(b0, nbits, map, w0, {0.04, 0.5}, r0);
+        const auto f1 =
+            vec_->applyFaultMapBits(b1, nbits, map, w1, {0.04, 0.5}, r1);
+        EXPECT_EQ(f0, f1) << "i=" << i << " nbits=" << nbits;
+        EXPECT_EQ(b0, b1) << "i=" << i << " nbits=" << nbits;
+    }
+    EXPECT_EQ(r0.next(), r1.next());
+}
+
+// ------------------------------------------------- packed fault maps
+
+TEST(PackedFaultMapEdgeCases, MatchesPerCellQueries)
+{
+    const sram::VulnerabilityMap map(17, 5);
+    const struct
+    {
+        std::uint64_t base, region, start, nbits;
+        double fail;
+    } cases[] = {
+        {0, 1000, 0, 1000, 0.05},    // non-multiple-of-64 count
+        {64, 512, 500, 600, 0.05},   // wraps and revisits cells
+        {0, 4096, 4090, 100, 0.05},  // starts at the wrap point
+        {0, 256, 0, 256, 0.0},       // no faulty cells
+        {0, 256, 0, 256, 1.0},       // every cell faulty
+        {7, 130, 129, 3, 0.5},       // tiny map, word-tail bits
+    };
+    for (const auto &tc : cases) {
+        const sram::PackedFaultMap packed(map, tc.base, tc.region,
+                                          tc.start, tc.nbits, tc.fail);
+        ASSERT_EQ(packed.numBits(), tc.nbits);
+        std::uint64_t expect_count = 0;
+        for (std::uint64_t j = 0; j < tc.nbits; ++j) {
+            const std::uint64_t cell =
+                tc.base + (tc.start + j) % tc.region;
+            const bool faulty = map.isFaulty(cell, tc.fail);
+            EXPECT_EQ(packed.test(j), faulty)
+                << "visit " << j << " cell " << cell;
+            expect_count += faulty;
+        }
+        EXPECT_EQ(packed.countFaulty(), expect_count);
+        // mask() straddling 64-bit word boundaries, and reading past
+        // numBits() (must read as zero).
+        for (std::uint64_t j : {std::uint64_t{0}, std::uint64_t{60},
+                                std::uint64_t{127},
+                                tc.nbits > 5 ? tc.nbits - 5
+                                             : std::uint64_t{0}}) {
+            if (j >= tc.nbits)
+                continue;
+            const unsigned nb = 64;
+            const std::uint64_t m = packed.mask(j, nb);
+            for (unsigned b = 0; b < nb; ++b) {
+                const bool expect =
+                    j + b < tc.nbits && packed.test(j + b);
+                EXPECT_EQ(((m >> b) & 1u) != 0, expect)
+                    << "mask(" << j << ") bit " << b;
+            }
+        }
+    }
+}
+
+// --------------------------------------- whole-network and MC digests
+
+/** Small conv net exercising every backend kernel in one forward. */
+Network
+convNet(std::uint64_t seed)
+{
+    Rng rng(seed);
+    Network net;
+    net.addLayer<Conv2d>(3, 8, 5, 2, rng, "c1");
+    net.addLayer<Relu>("r1");
+    net.addLayer<MaxPool2d>("p1");
+    net.addLayer<Conv2d>(8, 8, 3, 1, rng, "c2");
+    net.addLayer<Relu>("r2");
+    net.addLayer<MaxPool2d>("p2");
+    net.addLayer<Flatten>("fl");
+    net.addLayer<Dense>(8 * 4 * 4, 10, rng, "fc");
+    return net;
+}
+
+/** Tiny CIFAR-shaped dataset (random pixels; determinism is what is
+ *  under test, not accuracy). */
+Dataset
+tinyImages(int n, std::uint64_t seed)
+{
+    Rng rng(seed);
+    Dataset ds;
+    ds.images = Tensor({n, 3, 16, 16});
+    ds.labels.resize(static_cast<std::size_t>(n));
+    for (std::size_t i = 0; i < ds.images.numel(); ++i)
+        ds.images[i] = static_cast<float>(rng.normal(0.0, 1.0));
+    for (auto &l : ds.labels)
+        l = static_cast<int>(rng.uniformInt(10));
+    return ds;
+}
+
+TEST_F(BackendEquivalence, NetworkLogitsBitwiseIdentical)
+{
+    Network net = convNet(31);
+    const Dataset ds = tinyImages(12, 32);
+
+    ASSERT_TRUE(setActiveBackend("reference"));
+    const Tensor ref_logits = net.forward(ds.images, /*train=*/false);
+    ASSERT_TRUE(setActiveBackend("vectorized"));
+    const Tensor vec_logits = net.forward(ds.images, /*train=*/false);
+    setActiveBackend("auto");
+
+    ASSERT_EQ(ref_logits.numel(), vec_logits.numel());
+    EXPECT_TRUE(bitsEqual(ref_logits.data(), vec_logits.data(),
+                          ref_logits.numel()));
+}
+
+TEST_F(BackendEquivalence, ExperimentDigestAndObsFingerprint)
+{
+    // The full Monte-Carlo pipeline — staging, fused corrupt +
+    // dequantize, inference, map-order reduction — must produce
+    // bit-identical statistics and observability fingerprints for
+    // every (backend, thread count) combination.
+    Network net = convNet(41);
+    const Dataset ds = tinyImages(24, 42);
+
+    struct Digest
+    {
+        fi::AccuracyPoint p;
+        std::uint64_t fp;
+    };
+    std::vector<Digest> digests;
+    for (const char *backend : {"reference", "vectorized"}) {
+        for (int threads : {1, 8}) {
+            ASSERT_TRUE(setActiveBackend(backend));
+            fi::ExperimentConfig cfg;
+            cfg.numMaps = 3;
+            cfg.maxTestSamples = 16;
+            cfg.numThreads = threads;
+            fi::FaultInjectionRunner runner(net, ds, cfg);
+            obs::Observability o;
+            runner.attachObservability(&o);
+            Digest d;
+            d.p = runner.run(1e-4, fi::InjectionSpec::allWeights());
+            runner.attachObservability(nullptr);
+            d.fp = o.metrics.fingerprint();
+            digests.push_back(d);
+        }
+    }
+    setActiveBackend("auto");
+    const auto &base = digests.front();
+    for (std::size_t i = 1; i < digests.size(); ++i) {
+        EXPECT_EQ(std::memcmp(&digests[i].p.meanAccuracy,
+                              &base.p.meanAccuracy, sizeof(double)),
+                  0)
+            << "config " << i;
+        EXPECT_EQ(std::memcmp(&digests[i].p.stddevAccuracy,
+                              &base.p.stddevAccuracy, sizeof(double)),
+                  0)
+            << "config " << i;
+        EXPECT_EQ(digests[i].p.minAccuracy, base.p.minAccuracy);
+        EXPECT_EQ(digests[i].p.maxAccuracy, base.p.maxAccuracy);
+        EXPECT_EQ(digests[i].p.meanBitFlips, base.p.meanBitFlips);
+        EXPECT_EQ(digests[i].fp, base.fp) << "config " << i;
+    }
+}
+
+} // namespace
+} // namespace vboost::dnn

@@ -287,6 +287,36 @@ TEST(VblintVB003, ObservabilityLayerIsInScope)
     EXPECT_EQ(diags[0].status, DiagStatus::Active);
 }
 
+TEST(VblintVB003, ComputeBackendsAreInScope)
+{
+    // src/dnn/backend/ kernels carry the bitwise cross-backend
+    // equivalence contract (DESIGN.md §12): every float accumulation
+    // there must pin its order, so the directory is in VB003 scope
+    // even though the rest of src/dnn/ is not.
+    const std::string snippet =
+        "void accum(const float *v, float *c, int n) {\n"
+        "    for (int i = 0; i < n; ++i)\n"
+        "        *c += v[i];\n"
+        "}\n";
+    EXPECT_EQ(withRule(analyzeSource("src/dnn/backend/x.cpp", snippet),
+                       Rule::VB003)
+                  .size(),
+              1u);
+    EXPECT_TRUE(
+        withRule(analyzeSource("src/dnn/x.cpp", snippet), Rule::VB003)
+            .empty());
+    // An assoc-ok waiver with a reason suppresses it, as elsewhere.
+    const auto fa = analyzeSource(
+        "src/dnn/backend/x.cpp",
+        "void accum(const float *v, float *c, int n) {\n"
+        "    for (int i = 0; i < n; ++i)\n"
+        "        *c += v[i]; // vblint: assoc-ok(ascending-i chain)\n"
+        "}\n");
+    const auto suppressed = withRule(fa, Rule::VB003);
+    ASSERT_EQ(suppressed.size(), 1u);
+    EXPECT_EQ(suppressed[0].status, DiagStatus::Suppressed);
+}
+
 TEST(VblintVB002, ObservabilityLayerUnorderedIterationIsFlagged)
 {
     // The registry promises key-ordered iteration; an unordered_map

@@ -49,13 +49,15 @@ isModelCode(const std::vector<std::string> &comps)
 /** VB003 scope: the layers whose accumulations feed Monte-Carlo
  *  statistics, serving fingerprints, resilience accounting or the
  *  observability registry (whose fingerprint is itself a determinism
- *  acceptance value, DESIGN.md §11). */
+ *  acceptance value, DESIGN.md §11), plus the swappable compute
+ *  backends (§12), whose kernels carry the bitwise cross-backend
+ *  equivalence contract and must pin every accumulation order. */
 bool
 inAccumulationScope(const std::vector<std::string> &comps)
 {
     return hasComponent(comps, "fi") || hasComponent(comps, "serve") ||
            hasComponent(comps, "resilience") ||
-           hasComponent(comps, "obs");
+           hasComponent(comps, "obs") || hasComponent(comps, "backend");
 }
 
 bool

@@ -8,7 +8,7 @@
  * Scoping is path-based and mirrors the repo layout:
  *  - VB001/VB004 apply to model code (paths under src/);
  *  - VB003 applies to the reduction-heavy layers (path contains an
- *    fi/, serve/ or resilience/ component);
+ *    fi/, serve/, resilience/, obs/ or backend/ component);
  *  - VB002 applies everywhere scanned; VB005 to headers.
  * Paths are repo-relative, which keeps diagnostics and the baseline
  * file stable regardless of the invocation directory.
