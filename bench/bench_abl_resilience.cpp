@@ -83,6 +83,7 @@ writeJson(const std::string &path, const std::vector<ResultRow> &rows,
         .field("bench", "abl_resilience")
         .field("smoke", opts.smoke)
         .field("paper", opts.paper)
+        .field("map_model", opts.mapModel)
         .beginArrayField("points");
     for (const auto &row : rows) {
         const auto &s = row.r.stats;
@@ -142,6 +143,8 @@ main(int argc, char **argv)
     cfg.numMaps = opts.maps(6);
     cfg.maxTestSamples = opts.samples(400);
     cfg.numThreads = opts.threads;
+    if (opts.mapModel == "clustered")
+        cfg.mapModel = sram::MapModel::Clustered;
     fi::FaultInjectionRunner runner(net, test, cfg);
 
     using resilience::EscalationPolicy;
@@ -223,7 +226,7 @@ main(int argc, char **argv)
         }
     }
     bench::emit("Ablation: closed-loop resilient pipeline vs open loop "
-                "(FC-DNN, VLV grid)",
+                "(FC-DNN, VLV grid, " + opts.mapModel + " fault maps)",
                 t, opts);
 
     // Dominance: find the VLV point where some closed-loop variant

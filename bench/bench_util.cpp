@@ -35,6 +35,8 @@ BenchOptions::printUsage(std::ostream &os)
           "  --spares <n>        spare rows available for quarantine\n"
           "  --json <path>       write machine-readable results as "
           "JSON\n"
+          "  --map-model <m>     fault-map spatial model: iid or "
+          "clustered\n"
           "  --backend <name>    compute backend: auto, reference or "
           "vectorized\n"
           "                      (rejected at parse time when "
@@ -116,6 +118,11 @@ BenchOptions::parse(int argc, char **argv)
             opts.spares = countValue(argc, argv, i);
         } else if (std::strcmp(argv[i], "--json") == 0) {
             opts.jsonPath = optionValue(argc, argv, i);
+        } else if (std::strcmp(argv[i], "--map-model") == 0) {
+            opts.mapModel = optionValue(argc, argv, i);
+            if (opts.mapModel != "iid" && opts.mapModel != "clustered")
+                usageError("--map-model expects iid or clustered, "
+                           "got '" + opts.mapModel + "'");
         } else if (std::strcmp(argv[i], "--backend") == 0) {
             opts.backend = optionValue(argc, argv, i);
             // Reject an unknown or unbuilt/unsupported backend here,

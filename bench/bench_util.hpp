@@ -45,6 +45,9 @@ struct BenchOptions
     int spares = 8;
     /** Optional JSON output path for machine-readable results. */
     std::string jsonPath;
+    /** Fault-map spatial model: "iid" or "clustered" (MoRS-lite
+     *  row/column defect clustering, DESIGN.md §13). */
+    std::string mapModel = "iid";
     /** Compute backend selection ("auto", "reference", "vectorized");
      *  validated and applied (dnn::setActiveBackend) at parse time. */
     std::string backend = "auto";
@@ -56,6 +59,7 @@ struct BenchOptions
     /** Parse argv; recognizes --paper, --smoke, --threads <n>,
      *  --csv <path>, --cache <dir>, --policy <open|closed|both>,
      *  --retry-budget <n>, --spares <n>, --json <path>,
+     *  --map-model <iid|clustered>,
      *  --backend <auto|reference|vectorized> (rejected at parse time
      *  when unknown or unavailable on this machine),
      *  --metrics-out <path>, --trace-out <path>;

@@ -1,0 +1,65 @@
+# Timing-datapath thread-count-invariance gate (DESIGN.md §13): run
+# bench_abl_timing in smoke mode at --threads 1 and --threads 8 and
+# require (a) the result JSON — including the per-point replay-count
+# digests — to be bitwise identical and (b) the metrics fingerprint in
+# the metrics JSON to be identical. Invoked by the
+# timing_replay_determinism ctest entry with
+# -DBENCH_TIMING=<exe> -DWORK_DIR=<dir>.
+
+if(NOT BENCH_TIMING)
+    message(FATAL_ERROR "pass -DBENCH_TIMING=<path to bench_abl_timing>")
+endif()
+if(NOT WORK_DIR)
+    message(FATAL_ERROR "pass -DWORK_DIR=<writable work directory>")
+endif()
+
+set(ENV{VBOOST_BENCH_SMOKE} 1)
+
+foreach(threads 1 8)
+    execute_process(
+        COMMAND ${BENCH_TIMING}
+            --threads ${threads}
+            --json ${WORK_DIR}/timing-det-t${threads}.json
+            --metrics-out ${WORK_DIR}/timing-det-metrics-t${threads}.json
+        WORKING_DIRECTORY ${WORK_DIR}
+        RESULT_VARIABLE rc
+        OUTPUT_VARIABLE out
+        ERROR_VARIABLE err)
+    if(NOT rc EQUAL 0)
+        message(FATAL_ERROR
+            "bench_abl_timing --threads ${threads} failed (${rc}):\n"
+            "${out}\n${err}")
+    endif()
+endforeach()
+
+# (a) Result JSON (replay digests included) must match bitwise.
+execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files
+        ${WORK_DIR}/timing-det-t1.json
+        ${WORK_DIR}/timing-det-t8.json
+    RESULT_VARIABLE json_rc)
+if(NOT json_rc EQUAL 0)
+    message(FATAL_ERROR
+        "joint-sweep JSON differs between --threads 1 and --threads 8 "
+        "(timing-det-t1.json vs timing-det-t8.json)")
+endif()
+
+# (b) Metrics fingerprints must match.
+foreach(threads 1 8)
+    file(READ ${WORK_DIR}/timing-det-metrics-t${threads}.json contents)
+    string(REGEX MATCH "\"fingerprint\": ([0-9]+)" _ "${contents}")
+    if(NOT CMAKE_MATCH_1)
+        message(FATAL_ERROR
+            "no fingerprint field in timing-det-metrics-t${threads}.json")
+    endif()
+    set(fp_t${threads} ${CMAKE_MATCH_1})
+endforeach()
+if(NOT fp_t1 STREQUAL fp_t8)
+    message(FATAL_ERROR
+        "metrics fingerprint differs: threads=1 -> ${fp_t1}, "
+        "threads=8 -> ${fp_t8}")
+endif()
+
+message(STATUS
+    "timing determinism OK: fingerprint ${fp_t1}, replay digests and "
+    "result JSON bitwise identical at 1 vs 8 threads")

@@ -73,6 +73,16 @@ PerformanceModel::evaluate(const LayerActivity &activity, Volt vdd,
                            int level, SupplyMode mode,
                            const RetryOverhead &overhead) const
 {
+    return evaluate(activity, vdd, level, mode, overhead,
+                    TimingOverhead::none());
+}
+
+PerfResult
+PerformanceModel::evaluate(const LayerActivity &activity, Volt vdd,
+                           int level, SupplyMode mode,
+                           const RetryOverhead &overhead,
+                           const TimingOverhead &timing) const
+{
     if (level < 0 || level > supply_.levels())
         fatal("PerformanceModel::evaluate: level out of range");
     if (activity.macs == 0)
@@ -86,6 +96,13 @@ PerformanceModel::evaluate(const LayerActivity &activity, Volt vdd,
     if (overhead.escalatedLevel < 0 ||
         overhead.escalatedLevel > supply_.levels())
         fatal("PerformanceModel::evaluate: escalated level out of range");
+    if (timing.replayRate < 0.0 || timing.bubbleRate < 0.0)
+        fatal("PerformanceModel::evaluate: negative timing overhead");
+    if (timing.clockStretch < 1.0)
+        fatal("PerformanceModel::evaluate: clockStretch must be >= 1");
+    if (timing.vLogic.value() != 0.0 && mode != SupplyMode::Boosted)
+        fatal("PerformanceModel::evaluate: a separate logic rail "
+              "requires Boosted mode");
 
     // Retries are extra real accesses on the same ports. The rate is
     // clamped to the pipeline's attempt ceiling (kMaxAttempts - 1
@@ -95,18 +112,28 @@ PerformanceModel::evaluate(const LayerActivity &activity, Volt vdd,
     const auto issued = static_cast<std::uint64_t>(std::llround(
         static_cast<double>(activity.totalAccesses()) *
         (1.0 + retry_rate)));
+    // Replays are extra real PE issues; bubbles occupy PE slots
+    // without issuing a MAC (flush/refill after a detection).
+    const double replay_rate =
+        std::min(timing.replayRate, TimingOverhead::kMaxReplayRate);
+    const auto macs_issued = static_cast<std::uint64_t>(std::llround(
+        static_cast<double>(activity.macs) * (1.0 + replay_rate)));
+    const auto pe_slots = static_cast<std::uint64_t>(std::llround(
+        static_cast<double>(activity.macs) *
+        (1.0 + replay_rate + timing.bubbleRate)));
 
     PerfResult r;
     const Volt vddv = supply_.boostedVoltage(vdd, level);
     const Hertz logic_f = logicFrequency(
         mode == SupplyMode::Single ? vddv : vdd);
-    r.clock = maxClock(vdd, level, mode);
-    r.memoryLimited = r.clock < logic_f;
+    const Hertz unstretched = maxClock(vdd, level, mode);
+    r.memoryLimited = unstretched < logic_f;
+    r.clock = Hertz(unstretched.value() / timing.clockStretch);
 
     // Cycles: PEs and memory ports operate concurrently; the slower
     // stream dominates.
     const std::uint64_t compute_cycles =
-        (activity.macs + static_cast<std::uint64_t>(cfg_.numPes) - 1) /
+        (pe_slots + static_cast<std::uint64_t>(cfg_.numPes) - 1) /
         static_cast<std::uint64_t>(cfg_.numPes);
     const std::uint64_t memory_cycles =
         (issued + static_cast<std::uint64_t>(cfg_.memPorts) - 1) /
@@ -114,7 +141,7 @@ PerformanceModel::evaluate(const LayerActivity &activity, Volt vdd,
     r.cycles = std::max(compute_cycles, memory_cycles);
     r.runtime = Second(static_cast<double>(r.cycles) / r.clock.value());
 
-    const energy::Workload w{issued, activity.macs};
+    const energy::Workload w{issued, macs_issued};
     Joule leak_per_cycle{0.0};
     switch (mode) {
       case SupplyMode::Single:
@@ -131,9 +158,18 @@ PerformanceModel::evaluate(const LayerActivity &activity, Volt vdd,
         slices.emplace_back(issued - escalated, level);
         if (escalated > 0)
             slices.emplace_back(escalated, overhead.escalatedLevel);
-        r.dynamicEnergy =
-            supply_.boostedDynamicMulti(slices, activity.macs, vdd)
-                .total();
+        if (timing.vLogic.value() > 0.0) {
+            // The MAC datapath runs on its own underscaled rail:
+            // charge PE issues there instead of at vdd.
+            r.dynamicEnergy =
+                supply_.boostedDynamicMulti(slices, 0, vdd).total() +
+                supply_.energyModel().peOpEnergy(timing.vLogic) *
+                    static_cast<double>(macs_issued);
+        } else {
+            r.dynamicEnergy =
+                supply_.boostedDynamicMulti(slices, macs_issued, vdd)
+                    .total();
+        }
         leak_per_cycle = supply_.boostedLeakagePerCycle(vdd, r.clock);
         break;
       }

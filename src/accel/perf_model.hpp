@@ -99,6 +99,39 @@ struct RetryOverhead
     static RetryOverhead none() { return {}; }
 };
 
+/**
+ * Perturbation of the compute stream by the timing-speculative
+ * datapath (DESIGN.md §13): replays inflate the number of PE issues,
+ * detection bubbles occupy PE slots without issuing MACs, and the
+ * datapath may run on a separate underscaled logic rail. Derived from
+ * measured timing::TimingStats: replayRate = replays / ops,
+ * bubbleRate = bubbleCycles / ops.
+ */
+struct TimingOverhead
+{
+    /** Extra PE issues per nominal MAC (>= 0). Values above
+     *  kMaxReplayRate are clamped by evaluate(). */
+    double replayRate = 0.0;
+    /** Pipeline flush/refill bubble cycles per nominal MAC. */
+    double bubbleRate = 0.0;
+    /** Underscaled datapath rail; 0 = logic at the mode's rail.
+     *  Only meaningful in Boosted mode (the paper's configuration):
+     *  SRAM boosted per access, periphery at vdd, MAC datapath on its
+     *  own Razor-protected rail. */
+    Volt vLogic{0.0};
+    /** Effective-period stretch of a worst-case-clocked datapath
+     *  (>= 1; 1 for a speculative design at the target clock). */
+    double clockStretch = 1.0;
+
+    /** Physical ceiling on the replay rate: the datapath issues at
+     *  most timing::ReplayPolicy::kMaxIssues (8) times per op, i.e.
+     *  7 replays. */
+    static constexpr double kMaxReplayRate = 7.0;
+
+    /** No perturbation (worst-case-clocked at the mode rail). */
+    static TimingOverhead none() { return {}; }
+};
+
 /** End-to-end performance/efficiency evaluator. */
 class PerformanceModel
 {
@@ -135,6 +168,21 @@ class PerformanceModel
     PerfResult evaluate(const LayerActivity &activity, Volt vdd,
                         int level, SupplyMode mode,
                         const RetryOverhead &overhead) const;
+
+    /**
+     * Evaluate with both the retry-perturbed access stream and the
+     * replay-perturbed compute stream: replays and bubbles inflate
+     * compute cycles, replayed MACs pay PE energy, and (in Boosted
+     * mode) the PE energy moves to the underscaled `timing.vLogic`
+     * rail when one is set. A worst-case-clocked datapath divides the
+     * clock by `timing.clockStretch`. Logic leakage stays at the mode
+     * rail (the control plane does not underscale), which is slightly
+     * conservative for the datapath's share.
+     */
+    PerfResult evaluate(const LayerActivity &activity, Volt vdd,
+                        int level, SupplyMode mode,
+                        const RetryOverhead &overhead,
+                        const TimingOverhead &timing) const;
 
     /**
      * Maximum clock at an operating point: the logic frequency curve

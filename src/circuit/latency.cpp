@@ -29,17 +29,54 @@ LatencyModel::rawDelay(Volt v) const
     return kNorm_ * v.value() / std::pow(v.value() - vt, tech_.alphaPower);
 }
 
+Volt
+LatencyModel::minCalibrated() const
+{
+    return Volt(tech_.thresholdVoltage.value() + kMinMargin);
+}
+
+Volt
+LatencyModel::maxCalibrated() const
+{
+    return Volt(kMaxCalibrated);
+}
+
+Volt
+LatencyModel::clampToDomain(Volt v) const
+{
+    const double vt = tech_.thresholdVoltage.value();
+    if (v.value() <= vt) {
+        fatal("LatencyModel: supply ", v.value(),
+              " V at or below threshold ", vt, " V; no functional access");
+    }
+    const Volt lo = minCalibrated();
+    const Volt hi = maxCalibrated();
+    if (v < lo) {
+        warnRateLimited("LatencyModel: ", v.value(),
+                        " V below calibrated domain [", lo.value(), ", ",
+                        hi.value(), "] V; clamping to ", lo.value(), " V");
+        return lo;
+    }
+    if (v > hi) {
+        warnRateLimited("LatencyModel: ", v.value(),
+                        " V above calibrated domain [", lo.value(), ", ",
+                        hi.value(), "] V; clamping to ", hi.value(), " V");
+        return hi;
+    }
+    return v;
+}
+
 Second
 LatencyModel::accessTime(Volt v) const
 {
-    return Second(rawDelay(v));
+    return Second(rawDelay(clampToDomain(v)));
 }
 
 Second
 LatencyModel::accessTime(Volt v_array, Volt v_periph) const
 {
-    return Second(arrayFraction_ * rawDelay(v_array) +
-                  (1.0 - arrayFraction_) * rawDelay(v_periph));
+    return Second(arrayFraction_ * rawDelay(clampToDomain(v_array)) +
+                  (1.0 - arrayFraction_) * rawDelay(clampToDomain(v_periph)));
 }
 
 double

@@ -49,9 +49,30 @@ class LatencyModel
     /** Fraction of delay in the array segment. */
     double arrayFraction() const { return arrayFraction_; }
 
+    /** Lower edge of the calibrated voltage domain. The alpha-power
+     *  fit is anchored against simulation between kMinMargin above
+     *  threshold and kMaxCalibrated; outside that window the law has
+     *  no data behind it, so queries clamp to the edge instead of
+     *  extrapolating (a diagnostic is emitted via warnRateLimited).
+     *  At or below threshold there is no functional access at all and
+     *  accessTime() still fails hard. */
+    Volt minCalibrated() const;
+
+    /** Upper edge of the calibrated voltage domain. */
+    Volt maxCalibrated() const;
+
+    /** Headroom above Vt where the fit is considered calibrated. */
+    static constexpr double kMinMargin = 0.04; // volts
+    /** Absolute calibrated ceiling (well above any boost rail). */
+    static constexpr double kMaxCalibrated = 1.2; // volts
+
   private:
     /** Unit-K alpha-power delay at voltage v. */
     double rawDelay(Volt v) const;
+
+    /** Clamp v into the calibrated domain, warning (rate-limited)
+     *  when an out-of-domain query is being clamped. */
+    Volt clampToDomain(Volt v) const;
 
     TechnologyParams tech_;
     double arrayFraction_;

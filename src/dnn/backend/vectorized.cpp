@@ -542,6 +542,7 @@ class VectorizedBackend final : public Backend
         std::uint64_t mask;
         if (static_cast<std::uint64_t>(nbits) == 64 &&
             offset + 64 <= win.regionBits &&
+            map.model() == sram::MapModel::Iid &&
             sram::PackedFaultMap::simdPackingActive()) {
             mask = sram::packMask64Avx2(
                 map.streamKey(), sram::detail::probThreshold(

@@ -8,8 +8,97 @@
 #include "dnn/quantize.hpp"
 #include "dnn/trainer.hpp"
 #include "obs/scope.hpp"
+#include "sram/cell_hash.hpp"
 
 namespace vboost::fi {
+
+namespace {
+
+/**
+ * Forward the evaluation set through `net` with every layer-output
+ * element executed as one op on the timing-speculative datapath.
+ * An op whose replay budget exhausts commits a corrupted result: one
+ * deterministic bit flip (cellHash(corrupt_key, op) % 16) applied to
+ * the element through its int16 storage format — the same fault
+ * primitive the SRAM side uses. Serial in sample order so the
+ * datapath's monitors and ladder evolve §7-deterministically.
+ */
+double
+evaluateWithTimingFaults(dnn::Network &net, const dnn::Dataset &set,
+                         timing::SpeculativeDatapath &dp,
+                         std::uint64_t corrupt_key)
+{
+    // Matches SgdTrainer::evaluate's batching so fault-free timing
+    // runs reproduce its accuracy exactly.
+    constexpr std::size_t kBatch = 8;
+
+    // Layers with parameters are the MAC datapath; stateless layers
+    // (activations, reshapes) issue no ops.
+    std::vector<char> isCompute(net.size(), 0);
+    for (std::size_t l = 0; l < net.size(); ++l)
+        isCompute[l] = !net.layer(l).params().empty();
+
+    std::uint64_t op = 0;
+    std::size_t correct = 0;
+    std::vector<std::uint64_t> corrupted;
+    for (std::size_t b = 0; b < set.size(); b += kBatch) {
+        const std::size_t n = std::min(kBatch, set.size() - b);
+        const dnn::Dataset batch = set.slice(b, n);
+        dnn::Tensor x = batch.images;
+        for (std::size_t l = 0; l < net.size(); ++l) {
+            x = net.layer(l).forward(x, /*train=*/false);
+            if (!isCompute[l])
+                continue;
+            const std::uint64_t base = op;
+            corrupted.clear();
+            dp.executeOps(base, x.numel(), corrupted);
+            op += x.numel();
+            if (corrupted.empty())
+                continue;
+            const FixedPointCodec codec = dnn::chooseCodec(x);
+            for (std::uint64_t off : corrupted) {
+                float &v = x[static_cast<std::size_t>(off)];
+                const int bit = static_cast<int>(
+                    sram::detail::cellHash(corrupt_key, base + off) %
+                    16);
+                v = codec.decode(
+                    FixedPointCodec::flipBit(codec.encode(v), bit));
+            }
+        }
+        // x is the [n, classes] logits tensor; argmax vs labels.
+        const int classes = x.dim(1);
+        for (std::size_t i = 0; i < n; ++i) {
+            int best = 0;
+            for (int c = 1; c < classes; ++c) {
+                if (x.at(static_cast<int>(i), c) >
+                    x.at(static_cast<int>(i), best))
+                    best = c;
+            }
+            correct += best == batch.labels[i] ? 1u : 0u;
+        }
+    }
+    return static_cast<double>(correct) /
+           static_cast<double>(set.size());
+}
+
+/** Stream key of map m's datapath violation hashes (base 5000 for
+ *  runTiming, 7000 for runCombined; 1000-4000 belong to the SRAM
+ *  experiment kinds). */
+std::uint64_t
+datapathKey(std::uint64_t seed, std::uint64_t base, std::uint64_t m)
+{
+    return sram::detail::mix64(seed ^ sram::detail::mix64(base + m));
+}
+
+/** Key of the corrupted-commit bit-position stream, salted off the
+ *  datapath key so the two streams never collide. */
+std::uint64_t
+corruptKey(std::uint64_t dp_key)
+{
+    return sram::detail::mix64(dp_key ^ 0x2545f4914f6cdd1dull);
+}
+
+} // namespace
 
 FaultInjectionRunner::FaultInjectionRunner(dnn::Network &net,
                                            const dnn::Dataset &test_set,
@@ -73,6 +162,18 @@ FaultInjectionRunner::recordTrials(const std::string &kind,
             {{"accuracy", r.accuracy},
              {"bit_flips", static_cast<double>(r.bitFlips)}});
     }
+}
+
+sram::VulnerabilityMap
+FaultInjectionRunner::makeMap(std::uint64_t m) const
+{
+    // Both models share the same counter-based stream key, so the
+    // i.i.d. fail-prob draws are identical between them and the
+    // clustered model differs only in its per-cell stratum.
+    if (cfg_.mapModel == sram::MapModel::Iid)
+        return sram::VulnerabilityMap(cfg_.seed, m);
+    return sram::VulnerabilityMap(cfg_.seed, m, cfg_.mapModel,
+                                  cfg_.cluster);
 }
 
 void
@@ -140,7 +241,7 @@ FaultInjectionRunner::baselineAccuracy()
     // error-free ceiling (what "maximum accuracy" means in Fig. 2).
     ensureScratch(1);
     dnn::Network &scratch = *scratch_[0];
-    sram::VulnerabilityMap map(cfg_.seed, 0);
+    const sram::VulnerabilityMap map = makeMap(0);
     Rng rng(cfg_.seed);
     InjectionSpec spec;
     spec.injectWeights = true;
@@ -160,8 +261,8 @@ FaultInjectionRunner::run(double fail_prob, const InjectionSpec &spec)
     const auto results = runMaps(
         static_cast<std::size_t>(cfg_.numMaps),
         [&](std::size_t m, dnn::Network &scratch) {
-            const sram::VulnerabilityMap map(
-                cfg_.seed, static_cast<std::uint64_t>(m));
+            const sram::VulnerabilityMap map =
+                makeMap(static_cast<std::uint64_t>(m));
             Rng rng = Rng(cfg_.seed).split(
                 1000 + static_cast<std::uint64_t>(m));
             MapResult r;
@@ -195,8 +296,8 @@ FaultInjectionRunner::runPerLayer(const std::vector<double> &fail_by_layer,
     const auto results = runMaps(
         static_cast<std::size_t>(cfg_.numMaps),
         [&](std::size_t m, dnn::Network &scratch) {
-            const sram::VulnerabilityMap map(
-                cfg_.seed, static_cast<std::uint64_t>(m));
+            const sram::VulnerabilityMap map =
+                makeMap(static_cast<std::uint64_t>(m));
             Rng rng = Rng(cfg_.seed).split(
                 2000 + static_cast<std::uint64_t>(m));
             MapResult r;
@@ -225,8 +326,8 @@ FaultInjectionRunner::runWithEcc(double fail_prob, double flip_prob,
     const auto results = runMaps(
         static_cast<std::size_t>(cfg_.numMaps),
         [&](std::size_t m, dnn::Network &scratch) {
-            const sram::VulnerabilityMap map(
-                cfg_.seed, static_cast<std::uint64_t>(m));
+            const sram::VulnerabilityMap map =
+                makeMap(static_cast<std::uint64_t>(m));
             Rng rng = Rng(cfg_.seed).split(
                 3000 + static_cast<std::uint64_t>(m));
             MapResult r;
@@ -264,8 +365,8 @@ FaultInjectionRunner::runResilient(Volt vdd, const core::SimContext &ctx,
             // standing levels and spare table. The per-access flip
             // randomness comes from a counter-derived stream (4000+m;
             // 1000/2000/3000 belong to the other experiment kinds).
-            const sram::VulnerabilityMap map(
-                cfg_.seed, static_cast<std::uint64_t>(m));
+            const sram::VulnerabilityMap map =
+                makeMap(static_cast<std::uint64_t>(m));
             sram::BankedMemory mem("weight_mem", banks, ctx.design,
                                    ctx.tech, failure);
             resilience::ResilientMemory rmem(mem, ctx, policy);
@@ -308,6 +409,179 @@ FaultInjectionRunner::runResilient(Volt vdd, const core::SimContext &ctx,
     return out;
 }
 
+TimingAccuracyPoint
+FaultInjectionRunner::runTiming(const core::SimContext &ctx,
+                                const TimingInjection &inj)
+{
+    inj.params.validate();
+    inj.policy.validate();
+    // Prototype datapath for the derived operating-point quantities
+    // (safe rail, initial-rail error probability, cycle stretch);
+    // never executes ops.
+    const timing::SpeculativeDatapath proto(
+        ctx.tech, inj.params, inj.policy, inj.vLogic, inj.clock);
+
+    std::optional<obs::ScopeTimer> timer;
+    if (obs_) {
+        timer.emplace(obs_->metrics, "fi.run", trialClock_,
+                      withBase({{"kind", "timing"}}));
+    }
+    const auto results = runMaps(
+        static_cast<std::size_t>(cfg_.numMaps),
+        [&](std::size_t m, dnn::Network &scratch) {
+            // Weights stage fault-free through the int16 round trip:
+            // the SRAM is clean, only the datapath misbehaves.
+            const sram::VulnerabilityMap map =
+                makeMap(static_cast<std::uint64_t>(m));
+            Rng rng = Rng(cfg_.seed).split(
+                5000 + static_cast<std::uint64_t>(m));
+            InjectionSpec spec;
+            spec.injectWeights = true;
+            corruptNetwork(scratch, net_, map, /*fail_prob=*/0.0, spec,
+                           cfg_.layout, rng);
+
+            // Each map is one device instance: fresh monitors, ladder
+            // position and violation-hash stream.
+            timing::SpeculativeDatapath dp(ctx.tech, inj.params,
+                                           inj.policy, inj.vLogic,
+                                           inj.clock);
+            const std::uint64_t key = datapathKey(
+                cfg_.seed, 5000, static_cast<std::uint64_t>(m));
+            dp.reseed(key);
+
+            MapResult r;
+            r.accuracy = evaluateWithTimingFaults(scratch, evalSet_, dp,
+                                                  corruptKey(key));
+            r.tim = dp.stats();
+            // "Bit flips" on the timing side = corrupted commits that
+            // reached inference (one flipped bit each).
+            r.bitFlips = r.tim.corrupted;
+            if (obs_)
+                dp.exportMetrics(r.metrics, withBase({}));
+            return r;
+        });
+
+    recordTrials("timing", results);
+    if (obs_) {
+        for (const MapResult &r : results)
+            obs_->metrics.merge(r.metrics);
+    }
+
+    TimingAccuracyPoint out;
+    out.point = reduce(results, proto.currentOpErrorProb());
+    out.point.voltage = inj.vLogic;
+    const double period = proto.effectivePeriod().value();
+    double energy_sum = 0.0;
+    double latency_sum = 0.0;
+    for (const auto &r : results) {
+        out.stats.merge(r.tim);
+        energy_sum += r.tim.logicEnergy.value(); // vblint: assoc-ok(map-index-order reduction, §7)
+        latency_sum +=                           // vblint: assoc-ok(map-index-order reduction, §7)
+            static_cast<double>(r.tim.replayCycles +
+                                r.tim.bubbleCycles) *
+            period;
+    }
+    const auto n = static_cast<double>(results.size());
+    out.meanLogicEnergy = Joule(energy_sum / n);
+    out.meanReplayLatency = Second(latency_sum / n);
+    out.cycleStretch = proto.cycleStretch();
+    out.safeVoltage = proto.safeVoltage();
+    return out;
+}
+
+CombinedAccuracyPoint
+FaultInjectionRunner::runCombined(Volt v_sram,
+                                  const core::SimContext &ctx,
+                                  const resilience::ResiliencePolicy &policy,
+                                  const TimingInjection &inj)
+{
+    inj.params.validate();
+    inj.policy.validate();
+    const int banks = static_cast<int>(cfg_.layout.weightRegionBits /
+                                       sram::SramBank::kBits);
+    if (banks < 1)
+        fatal("runCombined: weight region smaller than one bank");
+    const sram::FailureRateModel failure(ctx.failure);
+    const timing::SpeculativeDatapath proto(
+        ctx.tech, inj.params, inj.policy, inj.vLogic, inj.clock);
+
+    std::optional<obs::ScopeTimer> timer;
+    if (obs_) {
+        timer.emplace(obs_->metrics, "fi.run", trialClock_,
+                      withBase({{"kind", "combined"}}));
+    }
+    const auto results = runMaps(
+        static_cast<std::size_t>(cfg_.numMaps),
+        [&](std::size_t m, dnn::Network &scratch) {
+            // SRAM side exactly as runResilient, but on its own
+            // counter streams (6000+m) so combined runs never reuse
+            // the resilient-only experiment's randomness.
+            const sram::VulnerabilityMap map =
+                makeMap(static_cast<std::uint64_t>(m));
+            sram::BankedMemory mem("weight_mem", banks, ctx.design,
+                                   ctx.tech, failure);
+            resilience::ResilientMemory rmem(mem, ctx, policy);
+            rmem.reseed(Rng(cfg_.seed).split(
+                6000 + static_cast<std::uint64_t>(m)));
+
+            MapResult r;
+            r.bitFlips =
+                corruptNetworkResilient(scratch, net_, rmem, v_sram, map);
+
+            timing::SpeculativeDatapath dp(ctx.tech, inj.params,
+                                           inj.policy, inj.vLogic,
+                                           inj.clock);
+            const std::uint64_t key = datapathKey(
+                cfg_.seed, 7000, static_cast<std::uint64_t>(m));
+            dp.reseed(key);
+            r.accuracy = evaluateWithTimingFaults(scratch, evalSet_, dp,
+                                                  corruptKey(key));
+            r.tim = dp.stats();
+            r.bitFlips += r.tim.corrupted;
+            r.res = rmem.snapshot();
+            r.resEnergy = rmem.totalAccessEnergy();
+            if (obs_) {
+                rmem.exportMetrics(r.metrics, withBase({}));
+                dp.exportMetrics(r.metrics, withBase({}));
+            }
+            return r;
+        });
+
+    recordTrials("combined", results);
+    if (obs_) {
+        for (const MapResult &r : results)
+            obs_->metrics.merge(r.metrics);
+    }
+
+    CombinedAccuracyPoint out;
+    out.point = reduce(results, failure.rate(v_sram));
+    out.point.voltage = v_sram;
+    const double period = proto.effectivePeriod().value();
+    double sram_energy = 0.0;
+    double logic_energy = 0.0;
+    double retry_latency = 0.0;
+    double replay_latency = 0.0;
+    for (const auto &r : results) {
+        out.sram.merge(r.res);
+        out.timing.merge(r.tim);
+        sram_energy += r.resEnergy.value();          // vblint: assoc-ok(map-index-order reduction, §7)
+        logic_energy += r.tim.logicEnergy.value();   // vblint: assoc-ok(map-index-order reduction, §7)
+        retry_latency += r.res.retryLatency.value(); // vblint: assoc-ok(map-index-order reduction, §7)
+        replay_latency +=                            // vblint: assoc-ok(map-index-order reduction, §7)
+            static_cast<double>(r.tim.replayCycles +
+                                r.tim.bubbleCycles) *
+            period;
+    }
+    const auto n = static_cast<double>(results.size());
+    out.meanSramEnergy = Joule(sram_energy / n);
+    out.meanLogicEnergy = Joule(logic_energy / n);
+    out.meanRetryLatency = Second(retry_latency / n);
+    out.meanReplayLatency = Second(replay_latency / n);
+    out.cycleStretch = proto.cycleStretch();
+    out.safeVoltage = proto.safeVoltage();
+    return out;
+}
+
 AccuracyPoint
 FaultInjectionRunner::runAtVoltage(Volt v,
                                    const sram::FailureRateModel &model,
@@ -340,8 +614,8 @@ FaultInjectionRunner::sweepVoltage(const std::vector<Volt> &voltages,
         [&](std::size_t j, dnn::Network &scratch) {
             const std::size_t m = j % maps;
             const double fail_prob = rates[j / maps];
-            const sram::VulnerabilityMap map(
-                cfg_.seed, static_cast<std::uint64_t>(m));
+            const sram::VulnerabilityMap map =
+                makeMap(static_cast<std::uint64_t>(m));
             Rng rng = Rng(cfg_.seed).split(
                 1000 + static_cast<std::uint64_t>(m));
             MapResult r;

@@ -32,6 +32,9 @@
 #include "resilience/policy.hpp"
 #include "resilience/resilient_memory.hpp"
 #include "sram/failure_model.hpp"
+#include "timing/replay_policy.hpp"
+#include "timing/speculative_datapath.hpp"
+#include "timing/timing_model.hpp"
 
 namespace vboost::fi {
 
@@ -50,6 +53,24 @@ struct ExperimentConfig
      *  (0 = hardware_concurrency, 1 = serial). Any value produces
      *  bitwise identical results. */
     int numThreads = 0;
+    /** Spatial structure of the fault maps (MoRS-lite clustering vs
+     *  the i.i.d. baseline). */
+    sram::MapModel mapModel = sram::MapModel::Iid;
+    /** Defect-process parameters under MapModel::Clustered. */
+    sram::ClusterParams cluster;
+};
+
+/** Logic-side timing-fault configuration (DESIGN.md §13). */
+struct TimingInjection
+{
+    /** PE pipeline structure / path-slack parameters. */
+    timing::TimingParams params;
+    /** Replay + escalation policy. */
+    timing::ReplayPolicy policy = timing::ReplayPolicy::razor();
+    /** Initial standing logic voltage. */
+    Volt vLogic{0.36};
+    /** Target datapath clock (the speculative clock). */
+    Hertz clock{50e6};
 };
 
 /** Accuracy statistics at one operating point. */
@@ -84,6 +105,49 @@ struct ResilientAccuracyPoint
     Joule meanAccessEnergy{0.0};
     /** Mean per-map latency added by retry attempts. */
     Second meanRetryLatency{0.0};
+};
+
+/** Accuracy plus timing-speculation accounting at one V_logic. */
+struct TimingAccuracyPoint
+{
+    /** Accuracy statistics (voltage = the logic rail; failProb = the
+     *  per-op violation probability at the initial rail). */
+    AccuracyPoint point;
+    /** Datapath counters summed across maps (replay digests chain in
+     *  map order). */
+    timing::TimingStats stats;
+    /** Mean per-map datapath dynamic energy (all issues). */
+    Joule meanLogicEnergy{0.0};
+    /** Mean per-map latency added by replays and recovery bubbles. */
+    Second meanReplayLatency{0.0};
+    /** Effective-period stretch (worst-case clocking only; 1.0 for a
+     *  speculative policy). */
+    double cycleStretch = 1.0;
+    /** The safe fallback rail of the escalation ladder. */
+    Volt safeVoltage{0.0};
+};
+
+/** Joint SRAM + timing fault injection at one (V_sram, V_logic). */
+struct CombinedAccuracyPoint
+{
+    /** Accuracy statistics (voltage = the SRAM rail). */
+    AccuracyPoint point;
+    /** Resilient-SRAM pipeline counters, map-order merged. */
+    resilience::ResilienceStats sram;
+    /** Timing-datapath counters, map-order merged. */
+    timing::TimingStats timing;
+    /** Mean per-map SRAM energy (access + boost + spares). */
+    Joule meanSramEnergy{0.0};
+    /** Mean per-map datapath dynamic energy. */
+    Joule meanLogicEnergy{0.0};
+    /** Mean per-map retry latency (SRAM side). */
+    Second meanRetryLatency{0.0};
+    /** Mean per-map replay + bubble latency (logic side). */
+    Second meanReplayLatency{0.0};
+    /** Effective-period stretch of the datapath clock. */
+    double cycleStretch = 1.0;
+    /** Safe fallback rail of the escalation ladder. */
+    Volt safeVoltage{0.0};
 };
 
 /**
@@ -137,6 +201,28 @@ class FaultInjectionRunner
     runResilient(Volt vdd, const core::SimContext &ctx,
                  const resilience::ResiliencePolicy &policy);
 
+    /**
+     * Monte-Carlo accuracy with *timing* faults only (DESIGN.md §13):
+     * weights stage fault-free through the int16 round trip, but
+     * every layer-output element is one op on a timing-speculative
+     * datapath at `inj.vLogic`. Ops whose replay budget exhausts
+     * commit a corrupted output (one deterministic bit flip in the
+     * element's int16 representation). The datapath evolves serially
+     * within a map (monitors, ladder), fresh per map.
+     */
+    TimingAccuracyPoint runTiming(const core::SimContext &ctx,
+                                  const TimingInjection &inj);
+
+    /**
+     * Joint injection: SRAM faults through the resilient pipeline at
+     * `v_sram` (as runResilient) plus timing faults on the datapath
+     * (as runTiming), in the same inference.
+     */
+    CombinedAccuracyPoint
+    runCombined(Volt v_sram, const core::SimContext &ctx,
+                const resilience::ResiliencePolicy &policy,
+                const TimingInjection &inj);
+
     /** Accuracy at a supply voltage (failure prob from the model). */
     AccuracyPoint runAtVoltage(Volt v, const sram::FailureRateModel &model,
                                const InjectionSpec &spec);
@@ -176,6 +262,8 @@ class FaultInjectionRunner
         sram::EccStats ecc;
         /** Resilient-pipeline counters (runResilient only). */
         resilience::ResilienceStats res;
+        /** Timing-datapath counters (runTiming/runCombined only). */
+        timing::TimingStats tim;
         /** Per-map SRAM energy incl. resilience (runResilient only). */
         Joule resEnergy{0.0};
         /** Per-map ResilientMemory metrics export (runResilient with
@@ -201,6 +289,9 @@ class FaultInjectionRunner
 
     /** Grow the per-worker scratch-clone pool to `count` networks. */
     void ensureScratch(unsigned count);
+
+    /** Construct fault map m under cfg_.mapModel (§7 counter seeds). */
+    sram::VulnerabilityMap makeMap(std::uint64_t m) const;
 
     /** Merge the attached base labels under `extra` (extra wins). */
     obs::Labels withBase(obs::Labels extra) const;

@@ -1,11 +1,58 @@
 #include "serve/planner.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <utility>
 
 #include "common/logging.hpp"
 
 namespace vboost::serve {
+
+namespace {
+
+/** Planned datapath perturbation at one (V_logic, period) point. */
+struct PlannedTiming
+{
+    double replayRate = 0.0;
+    double bubbleRate = 0.0;
+    double corruptedRate = 0.0;
+};
+
+/**
+ * Closed-form expectation of the replay chain: the first issue
+ * violates with p0 = opErrorProb at the target period; replay k is
+ * issued iff all k previous issues violated and itself violates with
+ * p1 = opErrorProb at the slowed replay period. Bubbles charge the
+ * pipeline depth per detection plus the extra slowdown cycles each
+ * replay occupies beyond its PE slot.
+ */
+PlannedTiming
+predictTiming(const timing::TimingErrorModel &model,
+              const timing::ReplayPolicy &policy, Volt v, Second period)
+{
+    const double p0 = model.opErrorProb(v, period);
+    const double p1 = model.opErrorProb(
+        v, Second(period.value() * policy.replaySlowdown));
+    double replay_rate = 0.0;
+    double detect_rate = p0;
+    double reach = p0; // P(replay k is issued)
+    for (int k = 1; k <= policy.replayBudget; ++k) {
+        replay_rate += reach; // vblint: assoc-ok(fixed ascending-k geometric series, single-threaded)
+        reach *= p1; // now P(replay k violates) = P(replay k+1 issued)
+        detect_rate += reach; // vblint: assoc-ok(fixed ascending-k geometric series, single-threaded)
+    }
+    PlannedTiming t;
+    t.replayRate = replay_rate;
+    t.corruptedRate = reach; // all budget + 1 issues violated
+    const double slowdown_extra =
+        std::ceil(policy.replaySlowdown) - 1.0;
+    t.bubbleRate =
+        detect_rate * static_cast<double>(model.params().numStages()) +
+        replay_rate * slowdown_extra;
+    return t;
+}
+
+} // namespace
 
 OperatingPointPlanner::OperatingPointPlanner(
     const core::SimContext &ctx, int num_banks,
@@ -27,6 +74,25 @@ OperatingPointPlanner::OperatingPointPlanner(
         if (fraction <= 0.0 || fraction > 1.0)
             fatal("OperatingPointPlanner: accuracy fraction ", fraction,
                   " outside (0, 1]");
+    }
+    if (!cfg_.vLogicGrid.empty()) {
+        if (!std::is_sorted(cfg_.vLogicGrid.begin(),
+                            cfg_.vLogicGrid.end()))
+            fatal("OperatingPointPlanner: V_logic grid must be "
+                  "ascending");
+        if (cfg_.datapathClock.value() <= 0.0)
+            fatal("OperatingPointPlanner: datapath clock must be "
+                  "positive");
+        if (cfg_.maxCorruptedRate < 0.0 || cfg_.maxCorruptedRate > 1.0)
+            fatal("OperatingPointPlanner: maxCorruptedRate outside "
+                  "[0, 1]");
+        cfg_.timingParams.validate();
+        cfg_.replayPolicy.validate();
+        if (!cfg_.replayPolicy.speculative)
+            fatal("OperatingPointPlanner: a worst-case-clocked policy "
+                  "has no underscaled candidates; leave vLogicGrid "
+                  "empty instead");
+        timingModel_.emplace(ctx.tech, cfg_.timingParams);
     }
 
     for (int c = 0; c < kNumSloClasses; ++c) {
@@ -60,6 +126,25 @@ OperatingPointPlanner::OperatingPointPlanner(
 std::optional<OperatingPlan>
 OperatingPointPlanner::planAtVdd(SloClass slo, Volt vdd) const
 {
+    // The no-underscale point (logic at vdd) is always a candidate —
+    // and the only one under 1-D planning — so joint planning never
+    // loses feasibility the 1-D planner had.
+    std::optional<OperatingPlan> best = planAt(slo, vdd, Volt(0.0));
+    if (!best)
+        return std::nullopt;
+    for (Volt v_logic : cfg_.vLogicGrid) {
+        if (vdd < v_logic)
+            break; // grid ascends; only underscaled rails qualify
+        const auto joint = planAt(slo, vdd, v_logic);
+        if (joint && joint->energyPerInference < best->energyPerInference)
+            best = joint;
+    }
+    return best;
+}
+
+std::optional<OperatingPlan>
+OperatingPointPlanner::planAt(SloClass slo, Volt vdd, Volt v_logic) const
+{
     const double target = targetAccuracy(slo);
     const auto weight_level =
         explorer_.minimalLevelForAccuracy(vdd, target, accuracy_);
@@ -78,14 +163,46 @@ OperatingPointPlanner::planAtVdd(SloClass slo, Volt vdd) const
     plan.vddvInputs = explorer_.boostedVoltage(vdd, plan.inputLevel);
     plan.targetAccuracy = target;
     plan.plannedAccuracy = accuracy_(plan.vddvWeights);
-    plan.energyPerInference =
-        explorer_.supply()
-            .boostedDynamicMulti(
-                {{footprint_.weightAccesses, plan.weightLevel},
-                 {footprint_.inputAccesses + footprint_.psumAccesses,
-                  plan.inputLevel}},
-                footprint_.computeOps, vdd)
-            .total();
+
+    if (v_logic.value() > 0.0) {
+        if (!timingModel_)
+            fatal("OperatingPointPlanner::planAt: vLogicGrid is empty, "
+                  "no timing model to evaluate V_logic = ",
+                  v_logic.value());
+        if (vdd < v_logic)
+            return std::nullopt; // underscaling only
+        const Second period(1.0 / cfg_.datapathClock.value());
+        const PlannedTiming t = predictTiming(
+            *timingModel_, cfg_.replayPolicy, v_logic, period);
+        if (t.corruptedRate > cfg_.maxCorruptedRate)
+            return std::nullopt;
+        plan.vLogic = v_logic;
+        plan.replayRate = t.replayRate;
+        plan.bubbleRate = t.bubbleRate;
+        plan.corruptedRate = t.corruptedRate;
+        // The MAC datapath moves to its own rail; replays pay their
+        // PE energy there too.
+        plan.energyPerInference =
+            explorer_.supply()
+                .boostedDynamicMulti(
+                    {{footprint_.weightAccesses, plan.weightLevel},
+                     {footprint_.inputAccesses + footprint_.psumAccesses,
+                      plan.inputLevel}},
+                    0, vdd)
+                .total() +
+            explorer_.supply().energyModel().peOpEnergy(v_logic) *
+                (static_cast<double>(footprint_.computeOps) *
+                 (1.0 + t.replayRate));
+    } else {
+        plan.energyPerInference =
+            explorer_.supply()
+                .boostedDynamicMulti(
+                    {{footprint_.weightAccesses, plan.weightLevel},
+                     {footprint_.inputAccesses + footprint_.psumAccesses,
+                      plan.inputLevel}},
+                    footprint_.computeOps, vdd)
+                .total();
+    }
     return plan;
 }
 

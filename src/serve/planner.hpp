@@ -27,6 +27,8 @@
 #include "common/units.hpp"
 #include "core/tradeoff.hpp"
 #include "serve/request.hpp"
+#include "timing/replay_policy.hpp"
+#include "timing/timing_model.hpp"
 
 namespace vboost::serve {
 
@@ -60,6 +62,26 @@ struct PlannerConfig
     double stepUpThreshold = 0.08;
     /** EWMA error rate below which a tenant steps back down. */
     double stepDownThreshold = 0.01;
+
+    /**
+     * Candidate underscaled datapath rails for 2-D (V_logic, V_sram)
+     * planning, low to high. Empty = 1-D planning: logic runs at Vdd
+     * with no timing speculation, exactly the legacy behavior. When
+     * non-empty, each Vdd rung is jointly optimized: the cheapest
+     * feasible V_logic <= Vdd (including the no-underscale fallback)
+     * wins on planned energy per inference.
+     */
+    std::vector<Volt> vLogicGrid{};
+    /** Pipeline structure of the timing-speculative datapath. */
+    timing::TimingParams timingParams;
+    /** Replay policy of the underscaled candidates. */
+    timing::ReplayPolicy replayPolicy = timing::ReplayPolicy::razor();
+    /** Target datapath clock the timing predictions are made at. */
+    Hertz datapathClock{50e6};
+    /** Planned per-op corrupted-commit probability above which an
+     *  underscaled rail is infeasible (budget exhaustion would leak
+     *  corrupted MACs into inference). */
+    double maxCorruptedRate = 1e-9;
 };
 
 /** One fully resolved operating point for a batch. */
@@ -83,6 +105,17 @@ struct OperatingPlan
     Joule energyPerInference{0.0};
     /** Ladder position the feedback loop applied (0 = base plan). */
     int vddStep = 0;
+
+    /** Underscaled datapath rail (0 = logic at vdd, no speculation). */
+    Volt vLogic{0.0};
+    /** Planned replay issues per op at vLogic. */
+    double replayRate = 0.0;
+    /** Planned bubble (flush/refill + replay-slowdown) cycles per op. */
+    double bubbleRate = 0.0;
+    /** Planned per-op corrupted-commit probability at vLogic. */
+    double corruptedRate = 0.0;
+    /** Effective-period stretch (worst-case-clocked policies only). */
+    double clockStretch = 1.0;
 };
 
 /**
@@ -125,6 +158,16 @@ class OperatingPointPlanner
     std::optional<OperatingPlan> planAtVdd(SloClass slo, Volt vdd) const;
 
     /**
+     * The plan for one class at one explicit (Vdd, V_logic) joint
+     * point; nullopt when the SRAM side misses the class target or the
+     * rail's planned corrupted-commit rate exceeds the config bound.
+     * v_logic = 0 requests the no-underscale fallback. Exposed for the
+     * joint-sweep bench and the 2-D planner acceptance tests.
+     */
+    std::optional<OperatingPlan> planAt(SloClass slo, Volt vdd,
+                                        Volt v_logic) const;
+
+    /**
      * Feed back one batch's measured word error rate (errors / reads
      * from resilience::ResilienceStats). Updates the tenant's EWMA and
      * possibly its ladder step. Must be called serially in batch
@@ -159,6 +202,8 @@ class OperatingPointPlanner
     double faultFreeAccuracy_;
     InferenceFootprint footprint_;
     PlannerConfig cfg_;
+    /** Timing-error predictor (built when vLogicGrid is non-empty). */
+    std::optional<timing::TimingErrorModel> timingModel_;
 
     /** Feasible plans per class, ordered by ascending Vdd, starting at
      *  the cheapest-energy rung (index 0 = base plan). */

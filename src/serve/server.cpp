@@ -261,9 +261,17 @@ InferenceServer::executeBatch(const FormedBatch &batch, BatchRecord &rec,
     activity.inputAccesses = perInference_.inputAccesses * b;
     activity.psumAccesses = perInference_.psumAccesses * b;
 
+    // The planner's 2-D point carries the datapath perturbation: a
+    // zero vLogic with unit stretch degenerates to the 1-D evaluation.
+    accel::TimingOverhead timing;
+    timing.replayRate = rec.plan.replayRate;
+    timing.bubbleRate = rec.plan.bubbleRate;
+    timing.vLogic = rec.plan.vLogic;
+    timing.clockStretch = rec.plan.clockStretch;
+
     const accel::PerfResult perf =
         perf_.evaluate(activity, rec.plan.vdd, rec.plan.weightLevel,
-                       accel::SupplyMode::Boosted, overhead);
+                       accel::SupplyMode::Boosted, overhead, timing);
     rec.serviceTicks = std::max<Tick>(
         1, static_cast<Tick>(
                std::ceil(perf.runtime.value() * cfg_.ticksPerSecond)));

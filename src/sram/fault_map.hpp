@@ -27,6 +27,46 @@
 
 namespace vboost::sram {
 
+/** Spatial structure of the per-cell fault process. */
+enum class MapModel {
+    /** Independent per-cell draws (the paper's baseline model). */
+    Iid,
+    /** MoRS-lite: row/column defect processes layered over the
+     *  i.i.d. baseline. A deterministic per-map subset of wordline
+     *  rows and bitline columns is *defective*; cells inside a
+     *  defective row or column fail at a boosted probability, the
+     *  rest at a depressed one, calibrated so the aggregate expected
+     *  fault fraction stays exactly F(v). */
+    Clustered,
+};
+
+/** Parameters of the clustered (MoRS-lite) defect process. */
+struct ClusterParams
+{
+    /** Cells per wordline row (row id = cell / rowCells, column id =
+     *  cell % rowCells). Defaults to the resilience layer's 8-word
+     *  72-bit-codeword rows so same-row clustering lines up with
+     *  spare-row quarantine granularity. */
+    std::uint64_t rowCells = 576;
+    /** Fraction of rows that are defective. */
+    double rowDefectProb = 0.05;
+    /** Fraction of columns that are defective. */
+    double colDefectProb = 0.02;
+    /** Fail-probability multiplier inside defective rows/columns
+     *  (clamped so calibration keeps the aggregate at F(v)). */
+    double defectBoost = 12.0;
+
+    /** Fatals on out-of-range parameters. */
+    void validate() const;
+
+    /** Fraction of cells covered by a defective row or column. */
+    double coverage() const
+    {
+        return rowDefectProb + colDefectProb -
+               rowDefectProb * colDefectProb;
+    }
+};
+
 /**
  * Deterministic per-cell vulnerability for one Monte-Carlo fault map.
  * Cheap to copy; all methods are const and thread-safe.
@@ -40,11 +80,36 @@ class VulnerabilityMap
      */
     VulnerabilityMap(std::uint64_t seed, std::uint64_t map_index);
 
+    /** As above, with an explicit spatial model. `cluster` is ignored
+     *  under MapModel::Iid. */
+    VulnerabilityMap(std::uint64_t seed, std::uint64_t map_index,
+                     MapModel model, const ClusterParams &cluster);
+
     /**
      * Is cell `cell` faulty when the bit failure probability is
-     * `fail_prob`? Monotone in fail_prob (inclusivity).
+     * `fail_prob`? Monotone in fail_prob (inclusivity), under both
+     * spatial models: the per-cell draw and the defect structure are
+     * fixed; only the (per-stratum) threshold moves with fail_prob.
      */
     bool isFaulty(std::uint64_t cell, double fail_prob) const;
+
+    /** Spatial model of this map. */
+    MapModel model() const { return model_; }
+
+    /** Cluster parameters (meaningful under MapModel::Clustered). */
+    const ClusterParams &cluster() const { return cluster_; }
+
+    /** Is the cell inside a defective row or column? Always false
+     *  under MapModel::Iid. */
+    bool inDefectCluster(std::uint64_t cell) const;
+
+    /**
+     * Effective per-cell fail probability at aggregate probability
+     * `fail_prob`: the boosted/depressed stratum probability under
+     * Clustered, `fail_prob` itself under Iid. The expectation over
+     * cells equals `fail_prob` exactly under both models.
+     */
+    double effectiveFailProb(std::uint64_t cell, double fail_prob) const;
 
     /** The cell's N(0,1) vulnerability draw (diagnostics/tests). */
     double vulnerability(std::uint64_t cell) const;
@@ -76,9 +141,17 @@ class VulnerabilityMap
     /** Counter-based hash of the cell id to a uniform in [0,1). */
     double cellUniform(std::uint64_t cell) const;
 
+    /** Stratum fail probabilities (boosted, depressed) calibrated so
+     *  cov*hi + (1-cov)*lo == fail_prob. */
+    void stratumProbs(double fail_prob, double &hi, double &lo) const;
+
     std::uint64_t seed_;
     std::uint64_t mapIndex_;
     std::uint64_t streamKey_;
+    MapModel model_ = MapModel::Iid;
+    ClusterParams cluster_;
+    std::uint64_t rowKey_ = 0; // defect stream for row ids
+    std::uint64_t colKey_ = 0; // defect stream for column ids
 };
 
 /** Read-manifestation parameters for fault injection. */

@@ -66,9 +66,38 @@ PackedFaultMap::pack(const VulnerabilityMap &map, std::uint64_t region_base,
     while (j < numBits_) {
         const std::uint64_t run =
             std::min(numBits_ - j, region_bits - offset);
-        packRun(key, thr, region_base + offset, run, j);
+        if (map.model() == MapModel::Iid) {
+            packRun(key, thr, region_base + offset, run, j);
+        } else {
+            // Clustered maps mix per-stratum thresholds into the
+            // per-cell decision; the raw hash-vs-threshold kernel
+            // would silently reproduce the i.i.d. pattern. Go through
+            // isFaulty() so packed bits stay bitwise-identical to the
+            // scalar query path by construction.
+            packClusteredRun(map, fail_prob, region_base + offset, run, j);
+        }
         j += run;
         offset = 0; // every later run restarts at the region base
+    }
+}
+
+void
+PackedFaultMap::packClusteredRun(const VulnerabilityMap &map,
+                                 double fail_prob, std::uint64_t cell,
+                                 std::uint64_t count,
+                                 std::uint64_t bit_offset)
+{
+    std::uint64_t done = 0;
+    while (done < count) {
+        const unsigned chunk =
+            static_cast<unsigned>(std::min<std::uint64_t>(64, count - done));
+        std::uint64_t m = 0;
+        for (unsigned b = 0; b < chunk; ++b) {
+            if (map.isFaulty(cell + done + b, fail_prob))
+                m |= 1ull << b;
+        }
+        deposit(m, bit_offset + done, chunk);
+        done += chunk;
     }
 }
 

@@ -89,6 +89,11 @@ class PackedFaultMap
     void packRun(std::uint64_t stream_key, std::uint64_t threshold,
                  std::uint64_t cell, std::uint64_t count,
                  std::uint64_t bit_offset);
+    /** Scalar run packer for clustered maps: per-cell isFaulty(), so
+     *  stratum thresholds are honored (no raw-hash shortcut). */
+    void packClusteredRun(const VulnerabilityMap &map, double fail_prob,
+                          std::uint64_t cell, std::uint64_t count,
+                          std::uint64_t bit_offset);
     void deposit(std::uint64_t bits, std::uint64_t bit_offset,
                  unsigned nbits);
 

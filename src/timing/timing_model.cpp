@@ -1,0 +1,115 @@
+#include "timing/timing_model.hpp"
+
+#include <cmath>
+
+#include "common/logging.hpp"
+#include "common/rng.hpp"
+
+namespace vboost::timing {
+
+void
+TimingParams::validate() const
+{
+    if (stageFractions.empty() || stageFractions.size() > 8)
+        fatal("TimingParams: need 1-8 pipeline stages, got ",
+              stageFractions.size());
+    for (double f : stageFractions) {
+        if (f <= 0.0 || f > 1.0)
+            fatal("TimingParams: stage fractions must be in (0,1], got ", f);
+    }
+    if (slackSigma <= 0.0 || slackSigma > 0.5)
+        fatal("TimingParams: slackSigma must be in (0,0.5], got ",
+              slackSigma);
+    if (pathsPerOp < 1 || pathsPerOp > 4096)
+        fatal("TimingParams: pathsPerOp must be in [1,4096], got ",
+              pathsPerOp);
+    if (delayAtNominal.value() <= 0.0)
+        fatal("TimingParams: delayAtNominal must be positive");
+}
+
+TimingErrorModel::TimingErrorModel(const circuit::TechnologyParams &tech,
+                                   const TimingParams &params)
+    : tech_(tech), params_(params)
+{
+    params_.validate();
+    // Anchor: datapathDelay(nominalVdd) == delayAtNominal.
+    kNorm_ = 1.0;
+    const double vn = tech_.nominalVdd.value();
+    const double vt = tech_.thresholdVoltage.value();
+    kNorm_ = params_.delayAtNominal.value() /
+             (vn / std::pow(vn - vt, tech_.alphaPower));
+}
+
+Second
+TimingErrorModel::datapathDelay(Volt v) const
+{
+    const double vt = tech_.thresholdVoltage.value();
+    if (v.value() <= vt) {
+        fatal("TimingErrorModel: logic supply ", v.value(),
+              " V at or below threshold ", vt, " V; datapath dead");
+    }
+    return Second(kNorm_ * v.value() /
+                  std::pow(v.value() - vt, tech_.alphaPower));
+}
+
+double
+TimingErrorModel::stageErrorProb(int stage, Volt v, Second period) const
+{
+    if (stage < 0 || stage >= params_.numStages())
+        fatal("TimingErrorModel: stage ", stage, " out of range");
+    if (period.value() <= 0.0)
+        fatal("TimingErrorModel: period must be positive");
+    const double ds =
+        params_.stageFractions[static_cast<std::size_t>(stage)] *
+        datapathDelay(v).value();
+    // Path delay ~ N(ds, (sigma*ds)^2); a path violates when its
+    // delay exceeds the period.
+    const double z = (period.value() - ds) / (params_.slackSigma * ds);
+    const double p_path = normalCdf(-z);
+    if (p_path <= 0.0)
+        return 0.0;
+    if (p_path >= 1.0)
+        return 1.0;
+    // 1 - (1 - p)^n without cancellation for tiny p.
+    return -std::expm1(params_.pathsPerOp * std::log1p(-p_path));
+}
+
+double
+TimingErrorModel::opErrorProb(Volt v, Second period) const
+{
+    double p_ok = 1.0;
+    for (int s = 0; s < params_.numStages(); ++s)
+        p_ok *= 1.0 - stageErrorProb(s, v, period);
+    return 1.0 - p_ok;
+}
+
+Second
+TimingErrorModel::worstCasePeriod(Volt v, double guardband_sigmas) const
+{
+    if (guardband_sigmas < 0.0)
+        fatal("TimingErrorModel: guardband must be non-negative");
+    return Second(datapathDelay(v).value() *
+                  (1.0 + guardband_sigmas * params_.slackSigma));
+}
+
+Volt
+TimingErrorModel::safeVoltage(Second period, double max_op_error) const
+{
+    if (max_op_error <= 0.0 || max_op_error >= 1.0)
+        fatal("TimingErrorModel: max_op_error must be in (0,1)");
+    // Deterministic 1 mV grid from just above threshold to the
+    // calibrated ceiling; opErrorProb is monotone decreasing in v, so
+    // the first qualifying grid point is the answer.
+    const int lo_mv =
+        static_cast<int>(tech_.thresholdVoltage.value() * 1000.0) + 11;
+    const int hi_mv = 1200;
+    for (int mv = lo_mv; mv <= hi_mv; ++mv) {
+        const Volt v(mv * 1e-3);
+        if (opErrorProb(v, period) <= max_op_error)
+            return v;
+    }
+    fatal("TimingErrorModel: no safe voltage up to 1.2 V for period ",
+          period.value(), " s; clock too fast for this process");
+}
+
+} // namespace vboost::timing

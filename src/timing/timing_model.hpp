@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Logic-side timing-error model (DESIGN.md §13): the datapath analog
+ * of the SRAM failure-rate model. The paper assumes VLV *logic* is
+ * clean at any voltage; ThUnderVolt (PAPERS.md) shows the other half
+ * of the energy win is underscaling the MAC datapath into the region
+ * where worst-case timing no longer holds, detecting violations with
+ * Razor-style shadow latches and replaying.
+ *
+ * Model: the PE pipeline has a small number of stages; stage s has a
+ * critical delay equal to a fixed fraction of the full alpha-power
+ * datapath delay t(V) = K * V / (V - Vt)^alpha (the same law —
+ * and the same technology constants — as circuit::LatencyModel, just
+ * anchored to the PE's nominal clock instead of the SRAM access
+ * time). Near-critical path delays spread around the stage critical
+ * delay with relative sigma `slackSigma`; a path violates timing when
+ * its delay exceeds the clock period, so the per-path violation
+ * probability is a normal tail, and an op (one MAC chain) fails when
+ * any of its `pathsPerOp` near-critical paths violates. Error
+ * probability is monotone decreasing in both voltage and period.
+ */
+
+#ifndef VBOOST_TIMING_TIMING_MODEL_HPP
+#define VBOOST_TIMING_TIMING_MODEL_HPP
+
+#include <vector>
+
+#include "circuit/tech.hpp"
+#include "common/units.hpp"
+
+namespace vboost::timing {
+
+/** Structural parameters of the timing-speculative PE pipeline. */
+struct TimingParams
+{
+    /** Critical-path delay of each pipeline stage as a fraction of
+     *  the full datapath delay; stage 0 is the deepest. */
+    std::vector<double> stageFractions = {1.0, 0.93, 0.86, 0.80};
+
+    /** Relative spread of near-critical path delays around a stage's
+     *  critical delay (process variation + data dependence). */
+    double slackSigma = 0.06;
+
+    /** Near-critical paths exercised per op and stage; an op fails
+     *  when any of them violates timing. */
+    int pathsPerOp = 24;
+
+    /** Full datapath critical delay at the nominal supply. Anchored
+     *  so the PE closes timing at accel::PerfConfig's 330 MHz
+     *  nominal logic clock with zero margin. */
+    Second delayAtNominal{1.0 / 330.0e6};
+
+    int numStages() const { return static_cast<int>(stageFractions.size()); }
+
+    /** Throw FatalError on out-of-range parameters. */
+    void validate() const;
+};
+
+/** Per-op timing-violation probability vs (V_logic, clock period). */
+class TimingErrorModel
+{
+  public:
+    TimingErrorModel(const circuit::TechnologyParams &tech,
+                     const TimingParams &params);
+
+    /** Full datapath critical delay at logic voltage v (alpha-power
+     *  law; fatal at or below threshold). */
+    Second datapathDelay(Volt v) const;
+
+    /** Probability that stage `stage` of one op violates timing at
+     *  voltage v and clock period `period`. */
+    double stageErrorProb(int stage, Volt v, Second period) const;
+
+    /** Probability that any stage of one op violates timing. */
+    double opErrorProb(Volt v, Second period) const;
+
+    /**
+     * Worst-case-clocked period at voltage v: the datapath delay plus
+     * a `guardband_sigmas` path-spread margin. A non-speculative
+     * design must stretch its clock to this period to stay error-free.
+     */
+    Second worstCasePeriod(Volt v, double guardband_sigmas) const;
+
+    /**
+     * Smallest voltage (on a deterministic 1 mV grid) whose per-op
+     * error probability at `period` is at most `max_op_error`: the
+     * safe fallback rail of the replay escalation ladder. Fatal when
+     * no voltage up to the calibrated 1.2 V ceiling qualifies.
+     */
+    Volt safeVoltage(Second period, double max_op_error = 1e-12) const;
+
+    const TimingParams &params() const { return params_; }
+    const circuit::TechnologyParams &tech() const { return tech_; }
+
+  private:
+    circuit::TechnologyParams tech_;
+    TimingParams params_;
+    double kNorm_; // scales the alpha-power law to delayAtNominal
+};
+
+} // namespace vboost::timing
+
+#endif // VBOOST_TIMING_TIMING_MODEL_HPP

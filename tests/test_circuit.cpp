@@ -213,6 +213,36 @@ TEST(Latency, RejectsSubThresholdSupply)
     EXPECT_THROW(LatencyModel(tech, 1.0), FatalError);
 }
 
+TEST(Latency, ClampsOutsideTheCalibratedDomain)
+{
+    // Regression: queries outside the calibrated window used to
+    // extrapolate the alpha-power law silently. They now clamp to the
+    // domain edge (with a rate-limited diagnostic); sub-threshold
+    // queries still fail hard (covered above).
+    LatencyModel lat(tech);
+    const Volt lo = lat.minCalibrated();
+    const Volt hi = lat.maxCalibrated();
+    EXPECT_DOUBLE_EQ(lo.value(),
+                     tech.thresholdVoltage.value() +
+                         LatencyModel::kMinMargin);
+    EXPECT_DOUBLE_EQ(hi.value(), LatencyModel::kMaxCalibrated);
+
+    // Just above threshold but below the calibrated edge: identical
+    // to the edge, not the (much larger) extrapolated value.
+    const Volt below(lo.value() - 0.01);
+    EXPECT_DOUBLE_EQ(lat.accessTime(below).value(),
+                     lat.accessTime(lo).value());
+    // Above the ceiling: clamped to the ceiling.
+    EXPECT_DOUBLE_EQ(lat.accessTime(1.5_V).value(),
+                     lat.accessTime(hi).value());
+    // The split-rail path clamps each segment independently.
+    EXPECT_DOUBLE_EQ(lat.accessTime(below, 1.5_V).value(),
+                     lat.accessTime(lo, hi).value());
+    // Inside the domain the model is untouched by the clamp.
+    EXPECT_LT(lat.accessTime(0.5_V).value(),
+              lat.accessTime(lo).value());
+}
+
 // --------------------------------------------------------------- energy
 
 TEST(EnergyModel, AccessEnergyIsCV2WithMuxCost)

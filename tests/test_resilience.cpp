@@ -20,6 +20,7 @@
 #include "dnn/quantize.hpp"
 #include "dnn/trainer.hpp"
 #include "fi/experiment.hpp"
+#include "obs/observability.hpp"
 #include "resilience/monitor.hpp"
 #include "resilience/policy.hpp"
 #include "resilience/resilient_memory.hpp"
@@ -284,6 +285,80 @@ TEST_F(ResilientMemoryTest, QuarantineMovesRowsToSpares)
     EXPECT_EQ(rmem.spares().row(0).data, 0xfeedull);
 }
 
+TEST_F(ResilientMemoryTest, ClusteredMapsDriveSecdedDoubleBitFailures)
+{
+    // MoRS-lite same-row clustering vs SECDED (DESIGN.md §13): at an
+    // aggregate BER low enough that i.i.d. faults almost never land
+    // two bits in one 72-bit codeword, a defective wordline row
+    // concentrates its fault budget into whole codewords and defeats
+    // single-error correction. Same aggregate F(v) on both sides —
+    // only the spatial structure differs.
+    const Volt vdd = failure_.voltageForRate(1e-3);
+    const auto policy =
+        ResiliencePolicy::closedLoop(0, EscalationPolicy::Hold, 0);
+    const sram::ClusterParams cluster; // 576-cell codeword-aligned rows
+
+    std::uint64_t iid_uncorrected = 0, clustered_uncorrected = 0;
+    for (std::uint64_t m = 0; m < 3; ++m) {
+        for (int clustered = 0; clustered < 2; ++clustered) {
+            mem_.resetCounters();
+            auto rmem = wrap(policy);
+            const sram::VulnerabilityMap map =
+                clustered ? sram::VulnerabilityMap(
+                                5, m, sram::MapModel::Clustered, cluster)
+                          : sram::VulnerabilityMap(5, m);
+            Rng data_rng(3);
+            for (std::uint32_t addr = 0; addr < 2048; ++addr)
+                rmem.writeWord(addr, data_rng.next(), vdd);
+            for (std::uint32_t addr = 0; addr < 2048; ++addr)
+                rmem.readWord(addr, vdd, map);
+            (clustered ? clustered_uncorrected : iid_uncorrected) +=
+                rmem.snapshot().uncorrected;
+        }
+    }
+    // Clustering turns a correctable trickle into double-bit escapes.
+    EXPECT_GT(clustered_uncorrected, 2 * iid_uncorrected);
+    EXPECT_GT(clustered_uncorrected, 0u);
+}
+
+TEST_F(ResilientMemoryTest, ClusteredSameRowMapsExhaustSpares)
+{
+    // Spare-row quarantine under same-row clustering: defective rows
+    // fail chronically, quarantine fills the 2-entry spare table, and
+    // further chronic rows degrade gracefully (spareExhausted counts
+    // them). The i.i.d. control at the same aggregate BER stays below
+    // the table capacity and never overflows it.
+    const Volt vdd = failure_.voltageForRate(1e-3);
+    auto policy =
+        ResiliencePolicy::closedLoop(0, EscalationPolicy::Hold, 2);
+    policy.quarantineThreshold = 2;
+    const sram::ClusterParams cluster;
+    const sram::VulnerabilityMap clustered(
+        29, 0, sram::MapModel::Clustered, cluster);
+    const sram::VulnerabilityMap iid(29, 0);
+
+    auto run = [&](const sram::VulnerabilityMap &map) {
+        mem_.resetCounters();
+        auto rmem = wrap(policy);
+        Rng data_rng(8);
+        for (std::uint32_t addr = 0; addr < 1024; ++addr)
+            rmem.writeWord(addr, data_rng.next(), vdd);
+        for (int pass = 0; pass < 4; ++pass)
+            for (std::uint32_t addr = 0; addr < 1024; ++addr)
+                rmem.readWord(addr, vdd, map);
+        return rmem.snapshot();
+    };
+
+    const auto iid_s = run(iid);
+    const auto clu_s = run(clustered);
+    EXPECT_LT(iid_s.quarantines, clu_s.quarantines);
+    EXPECT_EQ(iid_s.spareExhausted, 0u);
+    EXPECT_EQ(clu_s.quarantines, 2u); // table full
+    EXPECT_GT(clu_s.spareReads, 0u);
+    EXPECT_GT(clu_s.spareExhausted, 0u);
+    EXPECT_GT(clu_s.spareEnergy.value(), 0.0);
+}
+
 TEST_F(ResilientMemoryTest, ChronicErrorsRaiseStandingLevel)
 {
     auto policy =
@@ -465,6 +540,100 @@ TEST_F(ResilientExperiment, DeterministicAcrossThreadCounts)
               parallel.meanAccessEnergy.value());
     EXPECT_EQ(serial.meanRetryLatency.value(),
               parallel.meanRetryLatency.value());
+}
+
+TEST_F(ResilientExperiment, TimingRunsAreBitwiseThreadInvariant)
+{
+    // §7 extended to the timing-speculative datapath: runTiming and
+    // runCombined are bitwise identical at 1 and 8 threads, down to
+    // the replay-count digests.
+    auto net = makeTrainedNet();
+    auto test = blobs(200, 12);
+    const auto ctx = core::SimContext::standard();
+
+    TimingInjection inj;
+    inj.vLogic = Volt(0.33); // deep in the violation regime
+    const auto policy = resilience::ResiliencePolicy::closedLoop();
+
+    auto runner_at = [&](int threads) {
+        ExperimentConfig cfg;
+        cfg.numMaps = testenv::tsanScaled(6, 3);
+        cfg.maxTestSamples = 200;
+        cfg.numThreads = threads;
+        return FaultInjectionRunner(net, test, cfg);
+    };
+
+    auto serial_runner = runner_at(1);
+    auto parallel_runner = runner_at(8);
+    const auto ts = serial_runner.runTiming(ctx, inj);
+    const auto tp = parallel_runner.runTiming(ctx, inj);
+    EXPECT_GT(ts.stats.errors, 0u); // the regime is live
+    EXPECT_EQ(ts.point.meanAccuracy, tp.point.meanAccuracy);
+    EXPECT_EQ(ts.point.stddevAccuracy, tp.point.stddevAccuracy);
+    EXPECT_EQ(ts.point.meanBitFlips, tp.point.meanBitFlips);
+    EXPECT_EQ(ts.stats.ops, tp.stats.ops);
+    EXPECT_EQ(ts.stats.errors, tp.stats.errors);
+    EXPECT_EQ(ts.stats.replays, tp.stats.replays);
+    EXPECT_EQ(ts.stats.corrupted, tp.stats.corrupted);
+    EXPECT_EQ(ts.stats.stepUps, tp.stats.stepUps);
+    EXPECT_EQ(ts.stats.replayDigest, tp.stats.replayDigest);
+    EXPECT_EQ(ts.meanLogicEnergy.value(), tp.meanLogicEnergy.value());
+    EXPECT_EQ(ts.meanReplayLatency.value(),
+              tp.meanReplayLatency.value());
+
+    const auto cs = serial_runner.runCombined(Volt{0.44}, ctx, policy,
+                                              inj);
+    const auto cp = parallel_runner.runCombined(Volt{0.44}, ctx, policy,
+                                                inj);
+    EXPECT_EQ(cs.point.meanAccuracy, cp.point.meanAccuracy);
+    EXPECT_EQ(cs.point.meanBitFlips, cp.point.meanBitFlips);
+    EXPECT_EQ(cs.sram.retries, cp.sram.retries);
+    EXPECT_EQ(cs.sram.uncorrected, cp.sram.uncorrected);
+    EXPECT_EQ(cs.sram.spareTableDigest, cp.sram.spareTableDigest);
+    EXPECT_EQ(cs.timing.errors, cp.timing.errors);
+    EXPECT_EQ(cs.timing.replayDigest, cp.timing.replayDigest);
+    EXPECT_EQ(cs.meanSramEnergy.value(), cp.meanSramEnergy.value());
+    EXPECT_EQ(cs.meanLogicEnergy.value(), cp.meanLogicEnergy.value());
+    EXPECT_EQ(cs.meanRetryLatency.value(), cp.meanRetryLatency.value());
+    EXPECT_EQ(cs.meanReplayLatency.value(),
+              cp.meanReplayLatency.value());
+}
+
+TEST_F(ResilientExperiment, TimingObsAttributionReconciles)
+{
+    // The §11 acceptance for the timing path: the metrics a runTiming
+    // pass exports must reconcile exactly (counters) / to rounding
+    // (energy means) with the returned TimingAccuracyPoint.
+    auto net = makeTrainedNet();
+    auto test = blobs(200, 12);
+    const auto ctx = core::SimContext::standard();
+    ExperimentConfig cfg;
+    cfg.numMaps = 3;
+    cfg.maxTestSamples = 200;
+    FaultInjectionRunner runner(net, test, cfg);
+
+    obs::Observability o;
+    runner.attachObservability(&o);
+    TimingInjection inj;
+    inj.vLogic = Volt(0.33);
+    const auto p = runner.runTiming(ctx, inj);
+    runner.attachObservability(nullptr);
+
+    EXPECT_EQ(o.metrics.counter("timing.ops").value(), p.stats.ops);
+    EXPECT_EQ(o.metrics.counter("timing.errors").value(),
+              p.stats.errors);
+    EXPECT_EQ(o.metrics.counter("timing.replays").value(),
+              p.stats.replays);
+    EXPECT_EQ(o.metrics.counter("timing.corrupted").value(),
+              p.stats.corrupted);
+    EXPECT_EQ(o.metrics.counter("timing.replay_cycles").value(),
+              p.stats.replayCycles);
+    EXPECT_EQ(o.metrics.counter("timing.bubble_cycles").value(),
+              p.stats.bubbleCycles);
+    const double total = o.metrics.sum("timing.energy.logic_j").value();
+    EXPECT_NEAR(total, p.meanLogicEnergy.value() * cfg.numMaps,
+                1e-9 * total);
+    EXPECT_EQ(total, p.stats.logicEnergy.value());
 }
 
 } // namespace

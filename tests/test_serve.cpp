@@ -397,6 +397,144 @@ TEST_F(PlannerTest, ErrorFeedbackStepsUpTheLadderAndBackDown)
 }
 
 // ---------------------------------------------------------------------
+// 2-D (V_logic, V_sram) joint planning (DESIGN.md §13)
+// ---------------------------------------------------------------------
+
+class JointPlannerTest : public PlannerTest
+{
+  protected:
+    OperatingPointPlanner
+    makeJointPlanner(std::vector<Volt> v_logic_grid) const
+    {
+        InferenceFootprint fp;
+        fp.weightAccesses = 6352;
+        fp.inputAccesses = 204;
+        fp.psumAccesses = 64;
+        fp.computeOps = 25408;
+        PlannerConfig cfg;
+        cfg.vLogicGrid = std::move(v_logic_grid);
+        return OperatingPointPlanner(ctx_, 16, &stubAccuracy,
+                                     kFaultFree, fp, cfg);
+    }
+};
+
+TEST_F(JointPlannerTest, NoUnderscaleFallbackMatchesLegacyBitwise)
+{
+    // planAt(slo, vdd, 0) of a 2-D planner is the legacy 1-D plan:
+    // same levels, same energy, down to the last bit.
+    auto legacy = makePlanner();
+    auto joint = makeJointPlanner({Volt(0.32), Volt(0.34), Volt(0.36)});
+    for (int c = 0; c < kNumSloClasses; ++c) {
+        const auto slo = static_cast<SloClass>(c);
+        for (Volt vdd : joint.config().vddGrid) {
+            const auto base = legacy.planAtVdd(slo, vdd);
+            const auto fallback = joint.planAt(slo, vdd, Volt(0.0));
+            ASSERT_EQ(base.has_value(), fallback.has_value());
+            if (!base)
+                continue;
+            EXPECT_EQ(fallback->weightLevel, base->weightLevel);
+            EXPECT_EQ(fallback->inputLevel, base->inputLevel);
+            EXPECT_EQ(fallback->energyPerInference.value(),
+                      base->energyPerInference.value());
+            EXPECT_EQ(fallback->vLogic.value(), 0.0);
+            EXPECT_EQ(fallback->replayRate, 0.0);
+            EXPECT_EQ(fallback->clockStretch, 1.0);
+        }
+    }
+}
+
+TEST_F(JointPlannerTest, JointPlanningNeverLosesFeasibilityOrEnergy)
+{
+    // The no-underscale candidate is always in the joint pool, so 2-D
+    // planning can only match or beat the 1-D plan at every rung.
+    auto legacy = makePlanner();
+    auto joint = makeJointPlanner({Volt(0.32), Volt(0.34), Volt(0.36)});
+    int underscaled_rungs = 0;
+    for (int c = 0; c < kNumSloClasses; ++c) {
+        const auto slo = static_cast<SloClass>(c);
+        for (Volt vdd : joint.config().vddGrid) {
+            const auto base = legacy.planAtVdd(slo, vdd);
+            const auto best = joint.planAtVdd(slo, vdd);
+            ASSERT_EQ(base.has_value(), best.has_value());
+            if (!base)
+                continue;
+            EXPECT_LE(best->energyPerInference.value(),
+                      base->energyPerInference.value());
+            EXPECT_LE(best->vLogic.value(), vdd.value());
+            EXPECT_LE(best->corruptedRate,
+                      joint.config().maxCorruptedRate);
+            underscaled_rungs += best->vLogic.value() > 0.0;
+        }
+    }
+    // The grid reaches rails where underscaling pays: at least one
+    // rung must actually pick a V_logic below Vdd.
+    EXPECT_GT(underscaled_rungs, 0);
+}
+
+TEST_F(JointPlannerTest, CorruptionBoundGatesDeepUnderscaling)
+{
+    auto joint = makeJointPlanner({Volt(0.32), Volt(0.34), Volt(0.36)});
+    const Volt vdd(0.46);
+    // 0.30 V at 50 MHz: replay at 2x slowdown still fails, so the
+    // planned corrupted-commit rate blows through the 1e-9 bound and
+    // the rail is rejected outright.
+    EXPECT_FALSE(joint.planAt(SloClass::Bronze, vdd, Volt(0.30))
+                     .has_value());
+    // 0.36 V closes timing: feasible, negligible predicted replays.
+    const auto ok = joint.planAt(SloClass::Bronze, vdd, Volt(0.36));
+    ASSERT_TRUE(ok.has_value());
+    EXPECT_EQ(ok->vLogic.value(), 0.36);
+    EXPECT_LE(ok->corruptedRate, joint.config().maxCorruptedRate);
+    EXPECT_GE(ok->replayRate, 0.0);
+    EXPECT_GT(ok->energyPerInference.value(), 0.0);
+    // A rail above Vdd is not an underscale candidate.
+    EXPECT_FALSE(joint.planAt(SloClass::Bronze, Volt(0.34), Volt(0.36))
+                     .has_value());
+}
+
+TEST_F(JointPlannerTest, ServedPlansCarryTheJointPoint)
+{
+    auto joint = makeJointPlanner({Volt(0.34), Volt(0.36)});
+    for (int c = 0; c < kNumSloClasses; ++c) {
+        const auto slo = static_cast<SloClass>(c);
+        const auto &plan = joint.planFor("tenant", slo);
+        EXPECT_GE(plan.plannedAccuracy, plan.targetAccuracy);
+        EXPECT_LE(plan.vLogic.value(), plan.vdd.value());
+        EXPECT_LE(plan.corruptedRate, joint.config().maxCorruptedRate);
+        EXPECT_DOUBLE_EQ(plan.clockStretch, 1.0); // razor, not worst-case
+    }
+}
+
+TEST_F(JointPlannerTest, ValidatesJointConfig)
+{
+    InferenceFootprint fp;
+    fp.weightAccesses = 100;
+    fp.computeOps = 1000;
+
+    // A worst-case-clocked policy has no underscaled candidates.
+    PlannerConfig cfg;
+    cfg.vLogicGrid = {Volt(0.34)};
+    cfg.replayPolicy = timing::ReplayPolicy::worstCase();
+    EXPECT_THROW(OperatingPointPlanner(ctx_, 16, &stubAccuracy,
+                                       kFaultFree, fp, cfg),
+                 FatalError);
+
+    // The rail grid must be sorted ascending.
+    cfg = PlannerConfig{};
+    cfg.vLogicGrid = {Volt(0.36), Volt(0.34)};
+    EXPECT_THROW(OperatingPointPlanner(ctx_, 16, &stubAccuracy,
+                                       kFaultFree, fp, cfg),
+                 FatalError);
+
+    cfg = PlannerConfig{};
+    cfg.vLogicGrid = {Volt(0.34)};
+    cfg.datapathClock = Hertz(0.0);
+    EXPECT_THROW(OperatingPointPlanner(ctx_, 16, &stubAccuracy,
+                                       kFaultFree, fp, cfg),
+                 FatalError);
+}
+
+// ---------------------------------------------------------------------
 // InferenceServer acceptance
 // ---------------------------------------------------------------------
 

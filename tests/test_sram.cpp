@@ -161,6 +161,148 @@ TEST(VulnerabilityMap, VulnerabilityIsStandardNormal)
     EXPECT_NEAR(sq / n, 1.0, 0.03);
 }
 
+// ------------------------------------------------ clustered fault maps
+
+TEST(ClusteredMap, ValidateRejectsBadKnobs)
+{
+    ClusterParams p;
+    EXPECT_NO_THROW(p.validate());
+
+    p = ClusterParams{};
+    p.rowCells = 0;
+    EXPECT_THROW(p.validate(), FatalError);
+
+    p = ClusterParams{};
+    p.rowDefectProb = 1.2;
+    EXPECT_THROW(p.validate(), FatalError);
+
+    p = ClusterParams{};
+    p.rowDefectProb = 0.0;
+    p.colDefectProb = 0.0; // no defect process at all
+    EXPECT_THROW(p.validate(), FatalError);
+
+    p = ClusterParams{};
+    p.defectBoost = 0.5;
+    EXPECT_THROW(p.validate(), FatalError);
+}
+
+TEST(ClusteredMap, IidMapHasNoClusterStructure)
+{
+    const VulnerabilityMap map(21, 0);
+    EXPECT_EQ(map.model(), MapModel::Iid);
+    for (std::uint64_t cell = 0; cell < 5000; cell += 37) {
+        EXPECT_FALSE(map.inDefectCluster(cell));
+        EXPECT_DOUBLE_EQ(map.effectiveFailProb(cell, 0.01), 0.01);
+    }
+}
+
+TEST(ClusteredMap, DeterministicAndDistinctFromIid)
+{
+    const ClusterParams p;
+    const VulnerabilityMap a(21, 3, MapModel::Clustered, p);
+    const VulnerabilityMap b(21, 3, MapModel::Clustered, p);
+    const VulnerabilityMap iid(21, 3);
+    int differs = 0;
+    for (std::uint64_t cell = 0; cell < 20000; ++cell) {
+        EXPECT_EQ(a.isFaulty(cell, 0.01), b.isFaulty(cell, 0.01));
+        differs += a.isFaulty(cell, 0.01) != iid.isFaulty(cell, 0.01);
+    }
+    EXPECT_GT(differs, 0);
+}
+
+TEST(ClusteredMap, StratumCalibrationPreservesAggregateExactly)
+{
+    // MoRS-lite calibration: cov*hi + (1-cov)*lo == F(v) exactly, so
+    // the clustered model changes the spatial structure of faults,
+    // never the aggregate budget the failure model dictates.
+    const ClusterParams p;
+    const VulnerabilityMap map(31, 1, MapModel::Clustered, p);
+    // Find one in-cluster and one out-of-cluster cell.
+    std::uint64_t in = 0, out = 0;
+    bool have_in = false, have_out = false;
+    for (std::uint64_t cell = 0; cell < 200000 && !(have_in && have_out);
+         ++cell) {
+        if (map.inDefectCluster(cell)) {
+            in = cell;
+            have_in = true;
+        } else {
+            out = cell;
+            have_out = true;
+        }
+    }
+    ASSERT_TRUE(have_in && have_out);
+    for (double f : {0.001, 0.01, 0.05}) {
+        const double hi = map.effectiveFailProb(in, f);
+        const double lo = map.effectiveFailProb(out, f);
+        EXPECT_GT(hi, f);
+        EXPECT_LT(lo, f);
+        const double cov = p.coverage();
+        EXPECT_NEAR(cov * hi + (1.0 - cov) * lo, f, 1e-12);
+    }
+}
+
+TEST(ClusteredMap, AggregateFaultFractionMatchesProbability)
+{
+    // Averaged over maps, the clustered model produces the same fault
+    // fraction as the i.i.d. baseline (per-map variance is larger by
+    // design — whole rows fail together).
+    const ClusterParams p;
+    const std::uint64_t n = 200000;
+    const double f = 0.01;
+    double total = 0.0;
+    const int maps = 20;
+    for (int m = 0; m < maps; ++m) {
+        const VulnerabilityMap map(42, static_cast<std::uint64_t>(m),
+                                   MapModel::Clustered, p);
+        total += static_cast<double>(map.countFaulty(n, f));
+    }
+    const double mean_fraction = total / (maps * static_cast<double>(n));
+    EXPECT_NEAR(mean_fraction, f, 0.15 * f);
+}
+
+TEST(ClusteredMap, FaultsConcentrateInDefectClusters)
+{
+    const ClusterParams p;
+    const VulnerabilityMap map(7, 2, MapModel::Clustered, p);
+    const double f = 0.01;
+    std::uint64_t in_cells = 0, in_faulty = 0;
+    std::uint64_t out_cells = 0, out_faulty = 0;
+    for (std::uint64_t cell = 0; cell < 400000; ++cell) {
+        if (map.inDefectCluster(cell)) {
+            ++in_cells;
+            in_faulty += map.isFaulty(cell, f);
+        } else {
+            ++out_cells;
+            out_faulty += map.isFaulty(cell, f);
+        }
+    }
+    ASSERT_GT(in_cells, 0u);
+    ASSERT_GT(out_cells, 0u);
+    const double in_rate =
+        static_cast<double>(in_faulty) / static_cast<double>(in_cells);
+    const double out_rate =
+        static_cast<double>(out_faulty) / static_cast<double>(out_cells);
+    // Defective rows/columns fail an order of magnitude more often.
+    EXPECT_GT(in_rate, 5.0 * out_rate);
+}
+
+TEST(ClusteredMap, InclusivityAcrossVoltages)
+{
+    // The §5.1 inclusivity contract survives the spatial model: the
+    // defect structure is fixed per map, only the per-stratum
+    // thresholds move with fail probability.
+    const ClusterParams p;
+    const VulnerabilityMap map(7, 3, MapModel::Clustered, p);
+    for (std::uint64_t cell = 0; cell < 50000; ++cell) {
+        if (map.isFaulty(cell, 0.01)) {
+            EXPECT_TRUE(map.isFaulty(cell, 0.05));
+        }
+        if (map.isFaulty(cell, 0.05)) {
+            EXPECT_TRUE(map.isFaulty(cell, 0.3));
+        }
+    }
+}
+
 TEST(CorruptWords, FlipRateMatchesFailTimesFlipProb)
 {
     VulnerabilityMap map(3, 1);
