@@ -40,13 +40,6 @@ using namespace vboost;
 
 namespace {
 
-/** One traffic mix of the sweep. */
-struct Mix
-{
-    std::string name;
-    std::vector<serve::TenantSpec> tenants;
-};
-
 /** One evaluated (load, mix) sweep point. */
 struct SweepPoint
 {
@@ -151,14 +144,7 @@ main(int argc, char **argv)
     footprint.psumAccesses = per_inference.psumAccesses;
     footprint.computeOps = per_inference.macs;
 
-    std::vector<Mix> mixes = {
-        {"gold", {{"acme", serve::SloClass::Gold, 1.0}}},
-        {"mixed",
-         {{"acme", serve::SloClass::Gold, 0.3},
-          {"globex", serve::SloClass::Silver, 0.4},
-          {"initech", serve::SloClass::Bronze, 0.3}}},
-        {"bronze", {{"batchco", serve::SloClass::Bronze, 1.0}}},
-    };
+    std::vector<serve::TenantMix> mixes = serve::standardServeMixes();
     std::vector<double> loads_rps = {250.0, 500.0, 1000.0, 2000.0};
     std::size_t num_requests = 256;
     if (opts.smoke) {
@@ -180,7 +166,7 @@ main(int argc, char **argv)
     Table t({"load (rps)", "mix", "req", "shed", "batches", "mean B",
              "p50 lat (us)", "p95 lat (us)", "accuracy", "pJ/inf",
              "retries", "fingerprint"});
-    for (const Mix &mix : mixes) {
+    for (const serve::TenantMix &mix : mixes) {
         for (double load : loads_rps) {
             serve::OperatingPointPlanner planner(
                 ctx, 16, accuracy_at, curve.faultFree(), footprint);

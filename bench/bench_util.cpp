@@ -45,6 +45,10 @@ BenchOptions::printUsage(std::ostream &os)
           "registry as JSON\n"
           "  --trace-out <path>  write a Chrome trace_event JSON "
           "(chrome://tracing)\n"
+          "  --shards <n>        cluster benches: run one shard count "
+          "instead of the sweep (n >= 1)\n"
+          "  --replicas <n>      cluster benches: replica-group size "
+          "(n >= 1, <= --shards when given)\n"
           "  --help              show this help\n";
 }
 
@@ -89,6 +93,7 @@ BenchOptions
 BenchOptions::parse(int argc, char **argv)
 {
     BenchOptions opts;
+    bool replicas_given = false;
     if (const char *env = std::getenv("VBOOST_BENCH_SMOKE"))
         opts.smoke = std::strcmp(env, "0") != 0 && *env != '\0';
     for (int i = 1; i < argc; ++i) {
@@ -142,6 +147,17 @@ BenchOptions::parse(int argc, char **argv)
             opts.metricsOutPath = optionValue(argc, argv, i);
         } else if (std::strcmp(argv[i], "--trace-out") == 0) {
             opts.traceOutPath = optionValue(argc, argv, i);
+        } else if (std::strcmp(argv[i], "--shards") == 0) {
+            opts.shards = countValue(argc, argv, i);
+            if (opts.shards == 0)
+                usageError("--shards expects a positive integer "
+                           "(omit the option to run the built-in "
+                           "sweep)");
+        } else if (std::strcmp(argv[i], "--replicas") == 0) {
+            opts.replicas = countValue(argc, argv, i);
+            replicas_given = true;
+            if (opts.replicas == 0)
+                usageError("--replicas expects a positive integer");
         } else if (std::strcmp(argv[i], "--help") == 0) {
             printUsage(std::cout);
             std::exit(0);
@@ -149,6 +165,13 @@ BenchOptions::parse(int argc, char **argv)
             usageError(std::string("unknown option '") + argv[i] + "'");
         }
     }
+    // Cross-option constraint, checked after the full command line so
+    // the flags compose in either order. Only an explicit --replicas
+    // conflicts: the benches cap the default at the shard count.
+    if (replicas_given && opts.shards > 0 && opts.replicas > opts.shards)
+        usageError("--replicas (" + std::to_string(opts.replicas) +
+                   ") cannot exceed --shards (" +
+                   std::to_string(opts.shards) + ")");
     return opts;
 }
 

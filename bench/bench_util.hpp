@@ -55,6 +55,13 @@ struct BenchOptions
     std::string metricsOutPath;
     /** Optional Chrome trace_event JSON output path (§11). */
     std::string traceOutPath;
+    /** Cluster shard-count override for the cluster benches (0 = use
+     *  the bench's built-in sweep; positive = single shard count). */
+    int shards = 0;
+    /** Cluster replica-group size: the primary plus two successor
+     *  spill/failover targets (>= 1; must not exceed --shards when
+     *  both are given — enforced at parse time). */
+    int replicas = 3;
 
     /** Parse argv; recognizes --paper, --smoke, --threads <n>,
      *  --csv <path>, --cache <dir>, --policy <open|closed|both>,
@@ -62,7 +69,9 @@ struct BenchOptions
      *  --map-model <iid|clustered>,
      *  --backend <auto|reference|vectorized> (rejected at parse time
      *  when unknown or unavailable on this machine),
-     *  --metrics-out <path>, --trace-out <path>;
+     *  --metrics-out <path>, --trace-out <path>,
+     *  --shards <n>, --replicas <n> (validated at parse time like
+     *  --backend);
      *  VBOOST_BENCH_SMOKE=1 in the environment also enables smoke
      *  mode. Unknown options and missing values print the usage to
      *  stderr and exit with status 2. */

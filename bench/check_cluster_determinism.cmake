@@ -1,0 +1,82 @@
+# Cluster thread-count-invariance gate (DESIGN.md §14): run
+# bench_serve_cluster in smoke mode at --threads 1 and --threads 8
+# with the same seed/config — the sweep includes a node-loss/failover
+# run on every multi-node point — and require (a) the result JSON
+# (cluster outcomes, routing counts, failover transitions, per-point
+# fingerprints) to be bitwise identical, (b) the exported merged Chrome
+# trace JSON to be bitwise identical, and (c) the merged metrics
+# fingerprint to be identical. Invoked by the cluster_determinism
+# ctest entry with -DBENCH_CLUSTER=<exe> -DWORK_DIR=<dir>.
+
+if(NOT BENCH_CLUSTER)
+    message(FATAL_ERROR "pass -DBENCH_CLUSTER=<path to bench_serve_cluster>")
+endif()
+if(NOT WORK_DIR)
+    message(FATAL_ERROR "pass -DWORK_DIR=<writable work directory>")
+endif()
+
+set(ENV{VBOOST_BENCH_SMOKE} 1)
+
+foreach(threads 1 8)
+    execute_process(
+        COMMAND ${BENCH_CLUSTER}
+            --threads ${threads}
+            --json ${WORK_DIR}/cluster-det-result-t${threads}.json
+            --metrics-out ${WORK_DIR}/cluster-det-metrics-t${threads}.json
+            --trace-out ${WORK_DIR}/cluster-det-trace-t${threads}.json
+        WORKING_DIRECTORY ${WORK_DIR}
+        RESULT_VARIABLE rc
+        OUTPUT_VARIABLE out
+        ERROR_VARIABLE err)
+    if(NOT rc EQUAL 0)
+        message(FATAL_ERROR
+            "bench_serve_cluster --threads ${threads} failed (${rc}):\n"
+            "${out}\n${err}")
+    endif()
+endforeach()
+
+# (a) Cluster outcomes (result JSON) must match bitwise.
+execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files
+        ${WORK_DIR}/cluster-det-result-t1.json
+        ${WORK_DIR}/cluster-det-result-t8.json
+    RESULT_VARIABLE result_rc)
+if(NOT result_rc EQUAL 0)
+    message(FATAL_ERROR
+        "cluster result JSON differs between --threads 1 and "
+        "--threads 8 (cluster-det-result-t1.json vs "
+        "cluster-det-result-t8.json)")
+endif()
+
+# (b) Merged trace artifacts must match bitwise.
+execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files
+        ${WORK_DIR}/cluster-det-trace-t1.json
+        ${WORK_DIR}/cluster-det-trace-t8.json
+    RESULT_VARIABLE trace_rc)
+if(NOT trace_rc EQUAL 0)
+    message(FATAL_ERROR
+        "merged cluster trace JSON differs between --threads 1 and "
+        "--threads 8 (cluster-det-trace-t1.json vs "
+        "cluster-det-trace-t8.json)")
+endif()
+
+# (c) Merged metrics fingerprints must match.
+foreach(threads 1 8)
+    file(READ ${WORK_DIR}/cluster-det-metrics-t${threads}.json contents)
+    string(REGEX MATCH "\"fingerprint\": ([0-9]+)" _ "${contents}")
+    if(NOT CMAKE_MATCH_1)
+        message(FATAL_ERROR
+            "no fingerprint field in cluster-det-metrics-t${threads}.json")
+    endif()
+    set(fp_t${threads} ${CMAKE_MATCH_1})
+endforeach()
+if(NOT fp_t1 STREQUAL fp_t8)
+    message(FATAL_ERROR
+        "merged metrics fingerprint differs: threads=1 -> ${fp_t1}, "
+        "threads=8 -> ${fp_t8}")
+endif()
+
+message(STATUS
+    "cluster determinism OK: outcomes, merged fingerprint ${fp_t1} and "
+    "merged trace bitwise identical at 1 vs 8 threads (incl. failover)")

@@ -1,0 +1,151 @@
+#include "cluster/failover.hpp"
+
+#include "common/logging.hpp"
+
+namespace vboost::cluster {
+
+const char *
+toString(NodeState state)
+{
+    switch (state) {
+      case NodeState::Active:
+        return "active";
+      case NodeState::Draining:
+        return "draining";
+      case NodeState::Down:
+        return "down";
+      case NodeState::Rejoining:
+        return "rejoining";
+    }
+    return "?";
+}
+
+const char *
+toString(FailoverCause cause)
+{
+    switch (cause) {
+      case FailoverCause::EwmaDegraded:
+        return "ewma_degraded";
+      case FailoverCause::InjectedLoss:
+        return "injected_loss";
+      case FailoverCause::Lifecycle:
+        return "lifecycle";
+    }
+    return "?";
+}
+
+void
+FailoverConfig::validate() const
+{
+    if (!(ewmaAlpha > 0.0) || ewmaAlpha > 1.0)
+        fatal("FailoverConfig: ewmaAlpha must be in (0, 1], got ",
+              ewmaAlpha);
+    if (!(drainThreshold > 0.0))
+        fatal("FailoverConfig: drainThreshold must be > 0, got ",
+              drainThreshold);
+    if (drainEpochs < 1)
+        fatal("FailoverConfig: drainEpochs must be >= 1, got ",
+              drainEpochs);
+    if (downEpochs < 1)
+        fatal("FailoverConfig: downEpochs must be >= 1, got ",
+              downEpochs);
+    if (rejoinEpochs < 1)
+        fatal("FailoverConfig: rejoinEpochs must be >= 1, got ",
+              rejoinEpochs);
+}
+
+NodeHealthMonitor::NodeHealthMonitor(int num_nodes, FailoverConfig cfg)
+    : cfg_(cfg)
+{
+    cfg_.validate();
+    if (num_nodes < 1)
+        fatal("NodeHealthMonitor: num_nodes must be >= 1, got ",
+              num_nodes);
+    nodes_.resize(static_cast<std::size_t>(num_nodes));
+}
+
+NodeState
+NodeHealthMonitor::state(int node) const
+{
+    return nodes_.at(static_cast<std::size_t>(node)).state;
+}
+
+double
+NodeHealthMonitor::ewma(int node) const
+{
+    return nodes_.at(static_cast<std::size_t>(node)).ewma;
+}
+
+void
+NodeHealthMonitor::transition(std::uint64_t epoch, int node, NodeState to,
+                              FailoverCause cause)
+{
+    Node &n = nodes_.at(static_cast<std::size_t>(node));
+    log_.push_back({epoch, node, n.state, to, cause, n.ewma});
+    n.state = to;
+    n.epochsInState = 0;
+    // Re-observe the node fresh in its new state (§8 reset-after-raise
+    // at node granularity).
+    n.ewma = 0.0;
+    n.seeded = false;
+}
+
+void
+NodeHealthMonitor::injectLoss(std::uint64_t epoch, int node)
+{
+    Node &n = nodes_.at(static_cast<std::size_t>(node));
+    if (n.state == NodeState::Down)
+        return;
+    transition(epoch, node, NodeState::Down, FailoverCause::InjectedLoss);
+}
+
+void
+NodeHealthMonitor::observeEpoch(std::uint64_t epoch, int node,
+                                double error_rate, bool served)
+{
+    if (node < 0 || node >= size())
+        fatal("NodeHealthMonitor::observeEpoch: node ", node,
+              " outside [0, ", size(), ")");
+    if (!(error_rate >= 0.0))
+        fatal("NodeHealthMonitor::observeEpoch: error_rate must be "
+              ">= 0, got ", error_rate);
+    Node &n = nodes_.at(static_cast<std::size_t>(node));
+    if (served) {
+        if (!n.seeded) {
+            n.ewma = error_rate;
+            n.seeded = true;
+        } else {
+            n.ewma = cfg_.ewmaAlpha * error_rate +
+                     (1.0 - cfg_.ewmaAlpha) * n.ewma;
+        }
+    }
+    switch (n.state) {
+      case NodeState::Active:
+        if (served && n.ewma > cfg_.drainThreshold)
+            transition(epoch, node, NodeState::Draining,
+                       FailoverCause::EwmaDegraded);
+        break;
+      case NodeState::Draining:
+        if (++n.epochsInState >= cfg_.drainEpochs)
+            transition(epoch, node, NodeState::Down,
+                       FailoverCause::Lifecycle);
+        break;
+      case NodeState::Down:
+        if (++n.epochsInState >= cfg_.downEpochs)
+            transition(epoch, node, NodeState::Rejoining,
+                       FailoverCause::Lifecycle);
+        break;
+      case NodeState::Rejoining:
+        if (served && n.ewma > cfg_.drainThreshold) {
+            // One bad probation epoch sends the node straight back.
+            transition(epoch, node, NodeState::Down,
+                       FailoverCause::EwmaDegraded);
+        } else if (++n.epochsInState >= cfg_.rejoinEpochs) {
+            transition(epoch, node, NodeState::Active,
+                       FailoverCause::Lifecycle);
+        }
+        break;
+    }
+}
+
+} // namespace vboost::cluster

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Node-granularity health tracking and the drain/rejoin state machine
+ * of the serving cluster (DESIGN.md §14). The NodeHealthMonitor is the
+ * resilience discipline proven at bank granularity (§8's
+ * BankErrorMonitor EWMA + escalation ladder) lifted one level up: each
+ * node's measured word-error rate feeds an EWMA, and crossing the
+ * degradation threshold drains the node instead of raising a boost
+ * level. States move Active -> Draining -> Down -> Rejoining ->
+ * Active, stepped once per routing epoch on a serial path in node
+ * index order, so every transition is a pure function of the epoch
+ * error-rate sequence (§7).
+ */
+
+#ifndef VBOOST_CLUSTER_FAILOVER_HPP
+#define VBOOST_CLUSTER_FAILOVER_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace vboost::cluster {
+
+/** Lifecycle state of one node. */
+enum class NodeState
+{
+    /** Serving primary and spill traffic. */
+    Active = 0,
+    /** Unhealthy: takes no new traffic while in-flight work finishes;
+     *  enters Down after drainEpochs. */
+    Draining = 1,
+    /** Out of rotation (drained or lost); rejoins after downEpochs. */
+    Down = 2,
+    /** Probation: serving again, but one bad epoch sends it straight
+     *  back Down; promoted to Active after rejoinEpochs clean ones. */
+    Rejoining = 3,
+};
+
+/** Display name of a node state ("active"/"draining"/"down"/"rejoining"). */
+const char *toString(NodeState state);
+
+/** Why a node left the Active state. */
+enum class FailoverCause
+{
+    /** EWMA error rate crossed the degradation threshold. */
+    EwmaDegraded = 0,
+    /** Injected node-loss event (crash / power loss model). */
+    InjectedLoss = 1,
+    /** Scheduled lifecycle step (drain elapsed, cooldown elapsed,
+     *  probation passed). */
+    Lifecycle = 2,
+};
+
+/** Display name of a failover cause. */
+const char *toString(FailoverCause cause);
+
+/** One recorded state transition (the cluster's failover log). */
+struct NodeTransition
+{
+    std::uint64_t epoch = 0;
+    int node = 0;
+    NodeState from = NodeState::Active;
+    NodeState to = NodeState::Active;
+    FailoverCause cause = FailoverCause::Lifecycle;
+    /** Node EWMA at the transition instant. */
+    double ewma = 0.0;
+
+    friend bool operator==(const NodeTransition &,
+                           const NodeTransition &) = default;
+};
+
+/** Health-tracking knobs. */
+struct FailoverConfig
+{
+    /** EWMA smoothing factor in (0, 1] (§8 discipline, node scale). */
+    double ewmaAlpha = 0.3;
+    /** EWMA error rate above which an Active node drains. Calibrated
+     *  like §8's raiseThreshold: well above the quiet-node epoch error
+     *  rate so routine ECC traffic never drains a node, while a
+     *  chronically degraded node crosses within a few epochs. */
+    double drainThreshold = 0.35;
+    /** Epochs a Draining node keeps finishing in-flight work before it
+     *  is Down. */
+    int drainEpochs = 1;
+    /** Epochs a Down node stays out of rotation before probation. */
+    int downEpochs = 2;
+    /** Clean probation epochs before a Rejoining node is Active. */
+    int rejoinEpochs = 1;
+
+    /** Throw FatalError unless the knobs are self-consistent. */
+    void validate() const;
+};
+
+/**
+ * Per-node EWMA + state machine. All mutation happens through
+ * observeEpoch(), called once per node per epoch in node index order
+ * (the §7 serial-feedback contract, same as the planner's
+ * observeErrorRate).
+ */
+class NodeHealthMonitor
+{
+  public:
+    NodeHealthMonitor(int num_nodes, FailoverConfig cfg = {});
+
+    /**
+     * Feed one node's epoch-mean word error rate (served == false
+     * means the node ran nothing this epoch: the EWMA is left alone
+     * and only lifecycle timers advance). Appends any transition to
+     * the log. The EWMA resets on every state change, so each state
+     * re-observes the node fresh (§8 reset-after-raise discipline).
+     */
+    void observeEpoch(std::uint64_t epoch, int node, double error_rate,
+                      bool served);
+
+    /** Force a node Down at `epoch` (injected loss). No-op when the
+     *  node is already Down. */
+    void injectLoss(std::uint64_t epoch, int node);
+
+    NodeState state(int node) const;
+
+    /** Current EWMA error rate of a node. */
+    double ewma(int node) const;
+
+    /** True when the node may take new traffic. */
+    bool accepting(int node) const
+    {
+        const NodeState s = state(node);
+        return s == NodeState::Active || s == NodeState::Rejoining;
+    }
+
+    /** Number of nodes tracked. */
+    int size() const { return static_cast<int>(nodes_.size()); }
+
+    /** All transitions so far, in (epoch, node) observation order. */
+    const std::vector<NodeTransition> &transitions() const
+    { return log_; }
+
+    const FailoverConfig &config() const { return cfg_; }
+
+  private:
+    struct Node
+    {
+        NodeState state = NodeState::Active;
+        double ewma = 0.0;
+        bool seeded = false;
+        /** Epochs spent in the current non-Active state. */
+        int epochsInState = 0;
+    };
+
+    void transition(std::uint64_t epoch, int node, NodeState to,
+                    FailoverCause cause);
+
+    FailoverConfig cfg_;
+    std::vector<Node> nodes_;
+    std::vector<NodeTransition> log_;
+};
+
+} // namespace vboost::cluster
+
+#endif // VBOOST_CLUSTER_FAILOVER_HPP

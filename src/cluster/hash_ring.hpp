@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Deterministic consistent-hash ring for tenant -> shard routing
+ * (DESIGN.md §14). Each node projects a bounded number of virtual
+ * nodes onto a 64-bit ring via FNV-1a ("node#k"), and a tenant key
+ * routes to the first virtual node clockwise from its own hash. The
+ * ring is an ordered std::map, so construction, lookup and the
+ * successor walk are pure functions of the node set — never of
+ * insertion order or hash-table internals (§7). Adding or removing a
+ * node remaps only the key ranges adjacent to its virtual nodes
+ * (consistent-hashing monotonicity, tested in test_cluster.cpp).
+ */
+
+#ifndef VBOOST_CLUSTER_HASH_RING_HPP
+#define VBOOST_CLUSTER_HASH_RING_HPP
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace vboost::cluster {
+
+/** Ring construction knobs. */
+struct HashRingConfig
+{
+    /** Virtual nodes per physical node. More points smooth the load
+     *  balance (expected per-node share deviation shrinks like
+     *  1/sqrt(virtualNodes)) at O(nodes * virtualNodes) ring size;
+     *  bounded so a 16-shard ring stays a few KiB. */
+    int virtualNodes = 64;
+};
+
+/**
+ * Consistent-hash ring over named nodes. Deterministic by
+ * construction: equal node sets produce bitwise-equal rings no matter
+ * the add/remove history.
+ */
+class HashRing
+{
+  public:
+    explicit HashRing(HashRingConfig cfg = {});
+
+    /** Add a node (fatal on duplicate or empty name). */
+    void addNode(const std::string &node);
+
+    /** Remove a node (fatal when absent). */
+    void removeNode(const std::string &node);
+
+    /** True when `node` is on the ring. */
+    bool hasNode(const std::string &node) const;
+
+    /** Physical nodes on the ring, name-ordered. */
+    std::vector<std::string> nodes() const;
+
+    /** Number of physical nodes. */
+    std::size_t size() const { return members_.size(); }
+
+    bool empty() const { return members_.empty(); }
+
+    /** Owning node of `key`: first virtual node clockwise from
+     *  hash(key). Fatal on an empty ring. */
+    const std::string &nodeFor(const std::string &key) const;
+
+    /**
+     * The replica group of `key`: the owner followed by the next
+     * distinct nodes clockwise, up to `replicas` entries (bounded by
+     * the node count). The spill/failover candidates of the admission
+     * tier, in preference order.
+     */
+    std::vector<std::string> replicasFor(const std::string &key,
+                                         std::size_t replicas) const;
+
+    /** Virtual-node points on the ring (diagnostics / balance test). */
+    std::size_t pointCount() const { return ring_.size(); }
+
+    /**
+     * FNV-1a digest over every (point, node) ring entry in ring order
+     * plus the config. Equal fingerprints mean bitwise-identical
+     * routing tables — the ring-construction determinism check.
+     */
+    std::uint64_t fingerprint() const;
+
+    const HashRingConfig &config() const { return cfg_; }
+
+    /** The ring position a key hashes to (exposed for tests). */
+    static std::uint64_t hashKey(const std::string &key);
+
+  private:
+    HashRingConfig cfg_;
+    /** ring position -> owning physical node. */
+    std::map<std::uint64_t, std::string> ring_;
+    std::set<std::string> members_;
+};
+
+} // namespace vboost::cluster
+
+#endif // VBOOST_CLUSTER_HASH_RING_HPP

@@ -189,6 +189,19 @@ Tracer::setNumArg(SpanId id, const std::string &key, double value)
     events_[id].numArgs[key] = value;
 }
 
+void
+Tracer::merge(const Tracer &other)
+{
+    if (&other == this)
+        panic("Tracer::merge: cannot merge a tracer into itself");
+    events_.insert(events_.end(), other.events_.begin(),
+                   other.events_.end());
+    for (const auto &[pid, name] : other.processNames_)
+        processNames_[pid] = name;
+    for (const auto &[key, name] : other.threadNames_)
+        threadNames_[key] = name;
+}
+
 std::size_t
 Tracer::openSpans() const
 {

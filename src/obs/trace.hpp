@@ -100,6 +100,17 @@ class Tracer
     /** Attach a numeric argument to a still-open span. */
     void setNumArg(SpanId id, const std::string &key, double value);
 
+    /**
+     * Append another tracer's events (in their record order) after this
+     * tracer's own, and fold in its process/thread names (the other
+     * tracer wins on a name collision). The §7 contract mirrors
+     * MetricsRegistry::merge: callers that fan work out must merge
+     * per-job tracers back in job order, which makes the merged event
+     * sequence — and hence the Chrome export and fingerprint() — a pure
+     * function of the job order, never of scheduling.
+     */
+    void merge(const Tracer &other);
+
     const std::vector<TraceEvent> &events() const { return events_; }
     std::size_t eventCount() const { return events_.size(); }
     bool empty() const { return events_.empty(); }

@@ -71,6 +71,22 @@ hashTenant(std::uint64_t &h, const TenantStats &t)
 
 } // namespace
 
+void
+ServerConfig::validate() const
+{
+    if (queueCapacity == 0)
+        fatal("ServerConfig: queueCapacity must be > 0");
+    if (workerSlots < 1)
+        fatal("ServerConfig: workerSlots must be >= 1, got ",
+              workerSlots);
+    if (feedbackInterval < 1)
+        fatal("ServerConfig: feedbackInterval must be >= 1, got ",
+              feedbackInterval);
+    if (ticksPerSecond <= 0.0)
+        fatal("ServerConfig: ticksPerSecond must be > 0");
+    policy.validate(chip.boostLevels);
+}
+
 std::uint64_t
 ServerStats::fingerprint() const
 {
@@ -104,19 +120,18 @@ InferenceServer::InferenceServer(const core::SimContext &ctx,
       failure_(ctx_.failure),
       deviceMap_(cfg_.seed, 0)
 {
+    cfg_.validate();
     if (pool_.size() == 0)
         fatal("InferenceServer: empty sample pool");
-    if (cfg_.workerSlots < 1)
-        fatal("InferenceServer: workerSlots must be >= 1, got ",
-              cfg_.workerSlots);
-    if (cfg_.feedbackInterval < 1)
-        fatal("InferenceServer: feedbackInterval must be >= 1, got ",
-              cfg_.feedbackInterval);
-    if (cfg_.ticksPerSecond <= 0.0)
-        fatal("InferenceServer: ticksPerSecond must be > 0");
     if (perInference_.macs == 0)
         fatal("InferenceServer: per-inference activity has no MACs");
-    cfg_.policy.validate(cfg_.chip.boostLevels);
+    slotFreeAt_.assign(static_cast<std::size_t>(cfg_.workerSlots), 0);
+}
+
+void
+InferenceServer::resetWorkerBacklog()
+{
+    slotFreeAt_.assign(static_cast<std::size_t>(cfg_.workerSlots), 0);
 }
 
 void
@@ -290,23 +305,24 @@ InferenceServer::executeBatch(const FormedBatch &batch, BatchRecord &rec,
 }
 
 void
-InferenceServer::assignSlots(std::vector<BatchRecord> &records) const
+InferenceServer::assignSlots(std::vector<BatchRecord> &records)
 {
     // FCFS over virtual slots in formation order: earliest-free slot
     // wins, ties to the lowest index. A pure function of the service
     // times, so timing never depends on the execution thread count.
-    std::vector<Tick> free_at(static_cast<std::size_t>(cfg_.workerSlots),
-                              0);
+    // Slot availability carries over from previous runs (a saturated
+    // device stays saturated across back-to-back traces) until
+    // resetWorkerBacklog().
     for (BatchRecord &rec : records) {
         std::size_t slot = 0;
-        for (std::size_t s = 1; s < free_at.size(); ++s) {
-            if (free_at[s] < free_at[slot])
+        for (std::size_t s = 1; s < slotFreeAt_.size(); ++s) {
+            if (slotFreeAt_[s] < slotFreeAt_[slot])
                 slot = s;
         }
         rec.slot = static_cast<int>(slot);
-        rec.startTick = std::max(rec.formedTick, free_at[slot]);
+        rec.startTick = std::max(rec.formedTick, slotFreeAt_[slot]);
         rec.completionTick = rec.startTick + rec.serviceTicks;
-        free_at[slot] = rec.completionTick;
+        slotFreeAt_[slot] = rec.completionTick;
     }
 }
 

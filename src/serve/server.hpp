@@ -79,6 +79,16 @@ struct ServerConfig
     accel::PerfConfig perf;
     /** Cell layout of the modeled memories. */
     fi::MemoryLayout layout;
+
+    /**
+     * Throw FatalError unless the knobs are self-consistent: rejects
+     * workerSlots <= 0, queueCapacity == 0, feedbackInterval < 1,
+     * non-positive ticksPerSecond, and a policy that does not fit the
+     * chip's boost-level range. Called by the InferenceServer
+     * constructor; callers composing configs (the cluster tier) call
+     * it directly to fail fast before building nodes.
+     */
+    void validate() const;
 };
 
 /** Everything one executed batch did and cost. */
@@ -203,13 +213,24 @@ class InferenceServer
     /**
      * Replay a request trace (arrival ticks must be nondecreasing,
      * request ids unique, sample indices inside the pool) through the
-     * whole pipeline. Resets no planner state between calls, so
-     * successive runs continue the tenants' feedback trajectories.
+     * whole pipeline. Resets no planner or worker-slot state between
+     * calls, so successive runs continue the tenants' feedback
+     * trajectories and the slots' carried backlog (see
+     * resetWorkerBacklog()).
      */
     ServeResult run(const std::vector<InferenceRequest> &trace);
 
     const ServerConfig &config() const { return cfg_; }
     OperatingPointPlanner &planner() { return planner_; }
+
+    /**
+     * Clear the virtual worker slots' carried backlog. Slot
+     * availability persists across run() calls (successive traces on
+     * one device share its worker slots, like the planner feedback
+     * trajectories); a restart — e.g. a cluster node returning from
+     * Down — starts from idle slots again.
+     */
+    void resetWorkerBacklog();
 
     /**
      * Attach a metrics + trace sink (DESIGN.md §11). Each run()
@@ -243,8 +264,9 @@ class InferenceServer
     void executeBatch(const FormedBatch &batch, BatchRecord &rec,
                       WorkerScratch &scratch);
 
-    /** FCFS assignment of batches onto virtual worker slots. */
-    void assignSlots(std::vector<BatchRecord> &records) const;
+    /** FCFS assignment of batches onto virtual worker slots
+     *  (continues from the slots' carried backlog). */
+    void assignSlots(std::vector<BatchRecord> &records);
 
     /** Aggregate outcomes + batches into a ServerStats snapshot. */
     ServerStats aggregate(const std::vector<RequestOutcome> &outcomes,
@@ -269,6 +291,10 @@ class InferenceServer
     sram::VulnerabilityMap deviceMap_;
 
     std::vector<WorkerScratch> scratch_;
+
+    /** Tick each virtual worker slot frees up at; persists across
+     *  run() calls (cleared by resetWorkerBacklog()). */
+    std::vector<Tick> slotFreeAt_;
 
     /** Optional metrics/trace sink (never owned). */
     obs::Observability *obs_ = nullptr;

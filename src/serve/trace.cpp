@@ -65,4 +65,36 @@ generatePoissonTrace(const TraceConfig &cfg)
     return trace;
 }
 
+std::vector<TenantMix>
+standardServeMixes()
+{
+    return {
+        {"gold", {{"acme", SloClass::Gold, 1.0}}},
+        {"mixed",
+         {{"acme", SloClass::Gold, 0.3},
+          {"globex", SloClass::Silver, 0.4},
+          {"initech", SloClass::Bronze, 0.3}}},
+        {"bronze", {{"batchco", SloClass::Bronze, 1.0}}},
+    };
+}
+
+TenantMix
+scaledTenantMix(std::size_t num_tenants)
+{
+    if (num_tenants < 1)
+        fatal("scaledTenantMix: num_tenants must be >= 1");
+    static constexpr SloClass kRoundRobin[] = {
+        SloClass::Gold, SloClass::Silver, SloClass::Bronze};
+    TenantMix mix;
+    mix.name = "scaled-" + std::to_string(num_tenants);
+    mix.tenants.reserve(num_tenants);
+    for (std::size_t i = 0; i < num_tenants; ++i) {
+        std::string name = std::to_string(i);
+        name.insert(0, name.size() < 4 ? 4 - name.size() : 0, '0');
+        mix.tenants.push_back({"tenant-" + name, kRoundRobin[i % 3],
+                               1.0 / static_cast<double>(i + 1)});
+    }
+    return mix;
+}
+
 } // namespace vboost::serve

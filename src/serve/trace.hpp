@@ -50,6 +50,35 @@ struct TraceConfig
  */
 std::vector<InferenceRequest> generatePoissonTrace(const TraceConfig &cfg);
 
+/** A named traffic mix (the unit the serving benches sweep over). */
+struct TenantMix
+{
+    std::string name;
+    std::vector<TenantSpec> tenants;
+};
+
+/**
+ * The canonical serving mixes shared by bench_serve and
+ * bench_serve_cluster: "gold" (one Gold tenant), "mixed" (Gold /
+ * Silver / Bronze at 30/40/30) and "bronze" (one Bronze tenant).
+ * Centralised here so every bench replays byte-identical traces for a
+ * given (mix, load, seed) — the seed-stable digests the determinism
+ * gates compare depend on it.
+ */
+std::vector<TenantMix> standardServeMixes();
+
+/**
+ * A scaled "million-user" mix: `num_tenants` tenants named
+ * tenant-0000.., SLO classes assigned round-robin Gold/Silver/Bronze,
+ * traffic shares Zipf-distributed (share of rank i is 1/(i+1)) the way
+ * a large tenant population concentrates load on a heavy head. A pure
+ * function of `num_tenants` — no RNG — so trace digests stay
+ * seed-stable.
+ *
+ * @param num_tenants number of tenants (>= 1).
+ */
+TenantMix scaledTenantMix(std::size_t num_tenants);
+
 } // namespace vboost::serve
 
 #endif // VBOOST_SERVE_TRACE_HPP

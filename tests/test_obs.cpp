@@ -341,6 +341,43 @@ TEST(ObsTrace, ChromeExportShapeAndDeterminism)
     EXPECT_EQ(tr.fingerprint(), build().fingerprint());
 }
 
+TEST(ObsTrace, MergeAppendsInJobOrderAndFoldsNames)
+{
+    // The §7 job-order contract, mirrored from MetricsRegistry::merge:
+    // merging per-job tracers in job order yields the same event
+    // sequence (and fingerprint) as recording serially.
+    const auto record = [](Tracer &tr, std::uint64_t pid) {
+        tr.setProcessName(pid, "job " + std::to_string(pid));
+        tr.complete(pid, 0, "work", 10 * pid, 5);
+        tr.instant(pid, 0, "mark", 10 * pid + 5);
+    };
+    Tracer serial;
+    record(serial, 0);
+    record(serial, 1);
+
+    Tracer merged, job1;
+    record(merged, 0);
+    record(job1, 1);
+    merged.merge(job1);
+
+    ASSERT_EQ(merged.eventCount(), serial.eventCount());
+    EXPECT_EQ(merged.fingerprint(), serial.fingerprint());
+    std::ostringstream a, b;
+    serial.writeChromeTrace(a);
+    merged.writeChromeTrace(b);
+    EXPECT_EQ(a.str(), b.str());
+
+    // A name collision resolves to the merged-in tracer's name, and
+    // self-merge is rejected.
+    Tracer other;
+    other.setProcessName(0, "job zero renamed");
+    merged.merge(other);
+    std::ostringstream c;
+    merged.writeChromeTrace(c);
+    EXPECT_NE(c.str().find("job zero renamed"), std::string::npos);
+    EXPECT_THROW(merged.merge(merged), PanicError);
+}
+
 TEST(ObsTrace, TextSummaryAggregatesPerName)
 {
     Tracer tr;

@@ -317,6 +317,39 @@ TEST(VblintVB003, ComputeBackendsAreInScope)
     EXPECT_EQ(suppressed[0].status, DiagStatus::Suppressed);
 }
 
+TEST(VblintVB003, ClusterTierIsInScope)
+{
+    // src/cluster/ merges per-node stats and fingerprints across the
+    // serving cluster (DESIGN.md §14): an unordered float accumulation
+    // there would break the merged-fingerprint contract, so the
+    // directory is in VB003 scope.
+    const std::string snippet =
+        "void accum(const float *v, float *c, int n) {\n"
+        "    for (int i = 0; i < n; ++i)\n"
+        "        *c += v[i];\n"
+        "}\n";
+    EXPECT_EQ(withRule(analyzeSource("src/cluster/x.cpp", snippet),
+                       Rule::VB003)
+                  .size(),
+              1u);
+}
+
+TEST(VblintVB002, ClusterTierUnorderedIterationIsFlagged)
+{
+    // Routing and aggregation in src/cluster/ run on §7 serial paths;
+    // an unordered_map walk there would leak hash order into routes.
+    const auto fa = analyzeSource(
+        "src/cluster/x.cpp",
+        "#include <unordered_map>\n"
+        "int f(const std::unordered_map<int, int> &m) {\n"
+        "    int s = 0;\n"
+        "    for (const auto &kv : m)\n"
+        "        s += kv.second;\n"
+        "    return s;\n"
+        "}\n");
+    EXPECT_EQ(withRule(fa, Rule::VB002).size(), 1u);
+}
+
 TEST(VblintVB002, ObservabilityLayerUnorderedIterationIsFlagged)
 {
     // The registry promises key-ordered iteration; an unordered_map

@@ -51,13 +51,16 @@ isModelCode(const std::vector<std::string> &comps)
  *  observability registry (whose fingerprint is itself a determinism
  *  acceptance value, DESIGN.md §11), plus the swappable compute
  *  backends (§12), whose kernels carry the bitwise cross-backend
- *  equivalence contract and must pin every accumulation order. */
+ *  equivalence contract and must pin every accumulation order, and
+ *  the cluster tier (§14), whose merged fingerprints extend the
+ *  contract across nodes. */
 bool
 inAccumulationScope(const std::vector<std::string> &comps)
 {
     return hasComponent(comps, "fi") || hasComponent(comps, "serve") ||
            hasComponent(comps, "resilience") ||
-           hasComponent(comps, "obs") || hasComponent(comps, "backend");
+           hasComponent(comps, "obs") || hasComponent(comps, "backend") ||
+           hasComponent(comps, "cluster");
 }
 
 bool
