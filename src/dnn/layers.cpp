@@ -42,6 +42,7 @@ Dense::forward(const Tensor &x, bool train)
     for (int i = 0; i < batch; ++i) {
         float *row = y.data() + static_cast<std::size_t>(i) * out_;
         for (int j = 0; j < out_; ++j)
+            // vblint: assoc-ok(one bias add per element, fixed j order)
             row[j] += b_[static_cast<std::size_t>(j)];
     }
     if (train)
@@ -191,6 +192,7 @@ Conv2d::backward(const Tensor &grad_out)
             const float *chan = g + static_cast<std::size_t>(oc) * spatial;
             float acc = 0.0f;
             for (std::size_t i = 0; i < spatial; ++i)
+                // vblint: assoc-ok(row sum in fixed spatial order)
                 acc += chan[i];
             bGrad_[static_cast<std::size_t>(oc)] += acc;
         }

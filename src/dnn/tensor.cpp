@@ -157,6 +157,7 @@ gemm(const float *a, const float *b, float *c, int m, int k, int n,
                 continue;
             const float *brow = b + static_cast<std::size_t>(kk) * n;
             for (int j = 0; j < n; ++j)
+                // vblint: assoc-ok(k advances in fixed index order)
                 crow[j] += aik * brow[j];
         }
     }
@@ -179,6 +180,7 @@ gemmTransA(const float *a, const float *b, float *c, int m, int k, int n,
                 continue;
             float *crow = c + static_cast<std::size_t>(i) * n;
             for (int j = 0; j < n; ++j)
+                // vblint: assoc-ok(k advances in fixed index order)
                 crow[j] += aki * brow[j];
         }
     }
@@ -199,7 +201,9 @@ gemmTransB(const float *a, const float *b, float *c, int m, int k, int n,
             const float *brow = b + static_cast<std::size_t>(j) * k;
             float acc = 0.0f;
             for (int kk = 0; kk < k; ++kk)
+                // vblint: assoc-ok(dot product in fixed k order)
                 acc += arow[kk] * brow[kk];
+            // vblint: assoc-ok(single accumulated dot per (i,j) cell)
             crow[j] += acc;
         }
     }

@@ -60,6 +60,7 @@ SgdTrainer::train(Network &net, const Dataset &train_set, Rng &rng)
             Tensor logits = batch.images;
             logits = net.forward(logits, /*train=*/true);
             Tensor grad;
+            // vblint: assoc-ok(batches processed in fixed epoch order)
             loss_sum += loss_fn.lossAndGrad(logits, batch.labels, grad);
             ++batches;
             net.backward(grad);
@@ -82,6 +83,7 @@ SgdTrainer::train(Network &net, const Dataset &train_set, Rng &rng)
                 for (std::size_t e = 0; e < value.numel(); ++e) {
                     v[e] = static_cast<float>(cfg_.momentum * v[e] -
                                               lr * grad_p[e]);
+                    // vblint: assoc-ok(one momentum update per element)
                     value[e] += v[e];
                 }
             }

@@ -199,6 +199,7 @@ FaultInjectionRunner::runMaps(
     // Job j deposits into results[j]; the dynamic schedule never
     // affects the output because reduction happens in job order.
     parallelFor(jobs, static_cast<int>(workers),
+                // vblint: allow(VB009, job j writes only results[j]; scratch is slot-exclusive)
                 [&](std::size_t j, unsigned slot) {
                     results[j] = evaluate(j, *scratch_[slot]);
                 });

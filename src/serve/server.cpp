@@ -472,6 +472,7 @@ InferenceServer::run(const std::vector<InferenceRequest> &trace)
                     planner_.planFor(formed[k].tenant, formed[k].slo);
             }
             parallelFor(end - begin, cfg_.numThreads,
+                        // vblint: allow(VB009, batch i writes only records[begin+i]; scratch is slot-exclusive)
                         [&](std::size_t i, unsigned slot) {
                             executeBatch(formed[begin + i],
                                          records[begin + i],

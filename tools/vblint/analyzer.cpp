@@ -1,96 +1,19 @@
 #include "analyzer.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <map>
 #include <set>
 #include <sstream>
 
 #include "lexer.hpp"
+#include "project_model.hpp"
+#include "project_rules.hpp"
+#include "scan_util.hpp"
 
 namespace vboost::vblint {
 
 namespace {
-
-// ---------------------------------------------------------------- paths
-
-std::vector<std::string>
-pathComponents(const std::string &path)
-{
-    std::vector<std::string> out;
-    std::string cur;
-    for (char c : path) {
-        if (c == '/' || c == '\\') {
-            if (!cur.empty())
-                out.push_back(cur);
-            cur.clear();
-        } else {
-            cur.push_back(c);
-        }
-    }
-    if (!cur.empty())
-        out.push_back(cur);
-    return out;
-}
-
-bool
-hasComponent(const std::vector<std::string> &comps, const std::string &c)
-{
-    return std::find(comps.begin(), comps.end(), c) != comps.end();
-}
-
-/** Model code: everything under src/ (bench/, examples/, tools/ and
- *  tests/ are CLI/driver layers where wall clocks are legitimate). */
-bool
-isModelCode(const std::vector<std::string> &comps)
-{
-    return !comps.empty() && comps.front() == "src";
-}
-
-/** VB003 scope: the layers whose accumulations feed Monte-Carlo
- *  statistics, serving fingerprints, resilience accounting or the
- *  observability registry (whose fingerprint is itself a determinism
- *  acceptance value, DESIGN.md §11), plus the swappable compute
- *  backends (§12), whose kernels carry the bitwise cross-backend
- *  equivalence contract and must pin every accumulation order, and
- *  the cluster tier (§14), whose merged fingerprints extend the
- *  contract across nodes. */
-bool
-inAccumulationScope(const std::vector<std::string> &comps)
-{
-    return hasComponent(comps, "fi") || hasComponent(comps, "serve") ||
-           hasComponent(comps, "resilience") ||
-           hasComponent(comps, "obs") || hasComponent(comps, "backend") ||
-           hasComponent(comps, "cluster");
-}
-
-bool
-isHeaderPath(const std::string &path)
-{
-    auto ends = [&](const char *suf) {
-        const std::string s(suf);
-        return path.size() >= s.size() &&
-               path.compare(path.size() - s.size(), s.size(), s) == 0;
-    };
-    return ends(".hpp") || ends(".h") || ends(".hh");
-}
-
-std::string
-normalizeWs(const std::string &s)
-{
-    std::string out;
-    bool in_ws = false;
-    for (char c : s) {
-        if (c == ' ' || c == '\t') {
-            in_ws = true;
-            continue;
-        }
-        if (in_ws && !out.empty())
-            out.push_back(' ');
-        in_ws = false;
-        out.push_back(c);
-    }
-    return out;
-}
 
 // ---------------------------------------------------- type environment
 
@@ -120,29 +43,6 @@ floatLikeTypes()
         "float", "double", "Volt",  "Joule",   "Farad",
         "Second", "Watt",  "Hertz", "Coulomb", "Tensor"};
     return kTypes;
-}
-
-/** Skip a balanced <...> template argument list; returns the index
- *  just past the closing '>' (or `from` when not at a '<'). */
-std::size_t
-skipAngles(const std::vector<Token> &toks, std::size_t from)
-{
-    if (from >= toks.size() || toks[from].text != "<")
-        return from;
-    int depth = 0;
-    std::size_t i = from;
-    // Bounded walk: a pathological '<' (comparison) gives up quickly.
-    const std::size_t limit = std::min(toks.size(), from + 256);
-    for (; i < limit; ++i) {
-        if (toks[i].text == "<")
-            ++depth;
-        else if (toks[i].text == ">") {
-            if (--depth == 0)
-                return i + 1;
-        } else if (toks[i].text == ";")
-            return from; // not a template argument list
-    }
-    return from;
 }
 
 void
@@ -183,16 +83,26 @@ struct ParsedAnnotation
 };
 
 ParsedAnnotation
-parseAnnotation(const RawAnnotation &raw, const std::vector<Token> &toks)
+parseAnnotation(const RawAnnotation &raw, const LexedSource &src)
 {
     ParsedAnnotation a;
     a.line = raw.line;
-    a.targetLine =
-        raw.trailing
-            ? raw.line
-            : (raw.nextTokenIndex < toks.size()
-                   ? toks[raw.nextTokenIndex].line
-                   : raw.line);
+
+    // An own-line annotation suppresses the next code line — the next
+    // token OR the next preprocessor directive, whichever comes first
+    // (so a waiver can sit above an #include for VB006).
+    int next_code = std::numeric_limits<int>::max();
+    if (raw.nextTokenIndex < src.tokens.size())
+        next_code = src.tokens[raw.nextTokenIndex].line;
+    for (const Directive &d : src.directives) {
+        if (d.line > raw.line) {
+            next_code = std::min(next_code, d.line);
+            break;
+        }
+    }
+    if (next_code == std::numeric_limits<int>::max())
+        next_code = raw.line;
+    a.targetLine = raw.trailing ? raw.line : next_code;
 
     const std::string &t = raw.text;
     const std::size_t paren = t.find('(');
@@ -248,27 +158,6 @@ parseAnnotation(const RawAnnotation &raw, const std::vector<Token> &toks)
     return a;
 }
 
-// ------------------------------------------------------ rule passes
-
-const std::set<std::string> &
-bannedCallIdents()
-{
-    static const std::set<std::string> kBanned = {
-        "rand",     "srand",       "rand_r",   "drand48", "lrand48",
-        "time",     "clock",       "gettimeofday",        "localtime",
-        "gmtime",   "mktime"};
-    return kBanned;
-}
-
-const std::set<std::string> &
-bannedTypeIdents()
-{
-    static const std::set<std::string> kBanned = {
-        "random_device", "system_clock", "steady_clock",
-        "high_resolution_clock"};
-    return kBanned;
-}
-
 struct Frame
 {
     enum class Ctx { Top, Namespace, Class, Enum, Function, Block, Init };
@@ -313,7 +202,6 @@ class FileChecker
           src_(src),
           env_(env),
           modelCode_(isModelCode(comps_)),
-          accumScope_(inAccumulationScope(comps_)),
           header_(isHeaderPath(path))
     {
     }
@@ -620,17 +508,19 @@ class FileChecker
     void
     checkLoopAccumulation(const std::vector<Token> &toks, std::size_t i)
     {
-        if (!accumScope_)
+        if (!modelCode_)
             return;
         flagAccumulation(toks, i);
     }
 
     /** Braceless `for (...) stmt;` / `while (...) stmt;`: scan the
-     *  body (tokens after the control parens) for accumulations. */
+     *  body (tokens after the control parens) for accumulations. With
+     *  an enclosing braced loop the walk already flagged every `+=` in
+     *  this statement — running again would double-report. */
     void
     checkBracelessLoop()
     {
-        if (!accumScope_)
+        if (!modelCode_ || inLoop())
             return;
         // Rebuild a token vector from the head pointers; find the end
         // of the control clause.
@@ -739,7 +629,6 @@ class FileChecker
     const LexedSource &src_;
     const DeclEnv &env_;
     const bool modelCode_;
-    const bool accumScope_;
     const bool header_;
 
     std::vector<Frame> stack_;
@@ -748,33 +637,20 @@ class FileChecker
     std::vector<Diagnostic> diags_;
 };
 
-} // namespace
-
-FileAnalysis
-analyzeSource(const std::string &path, const std::string &content,
-              const std::string &sibling_header)
+/** Apply a file's `// vblint:` annotations to its diagnostics:
+ *  suppress matches, then surface malformed (VB901) and unused (VB900)
+ *  annotations as diagnostics of their own, and sort. */
+void
+resolveAnnotations(const std::string &path, const LexedSource &src,
+                   std::vector<Diagnostic> &diags,
+                   std::vector<Suppression> &suppressions)
 {
-    const LexedSource src = lex(content);
-
-    DeclEnv env;
-    collectDecls(src, env);
-    if (!sibling_header.empty()) {
-        const LexedSource sib = lex(sibling_header);
-        collectDecls(sib, env);
-    }
-
-    FileChecker checker(path, src, env);
-    FileAnalysis out;
-    out.diagnostics = checker.run();
-
-    // Resolve annotations: suppress matching diagnostics, then turn
-    // unused / malformed annotations into meta-diagnostics.
     std::vector<ParsedAnnotation> annotations;
     annotations.reserve(src.annotations.size());
     for (const RawAnnotation &raw : src.annotations)
-        annotations.push_back(parseAnnotation(raw, src.tokens));
+        annotations.push_back(parseAnnotation(raw, src));
 
-    for (Diagnostic &d : out.diagnostics) {
+    for (Diagnostic &d : diags) {
         for (ParsedAnnotation &a : annotations) {
             if (!a.malformed && a.rule == d.rule &&
                 a.targetLine == d.line) {
@@ -795,7 +671,7 @@ analyzeSource(const std::string &path, const std::string &content,
                 "malformed vblint annotation (expected allow(VBxxx, "
                 "reason), ordered-ok(reason) or assoc-ok(reason))";
             d.sourceLine = src.line(a.line);
-            out.diagnostics.push_back(std::move(d));
+            diags.push_back(std::move(d));
             continue;
         }
         Suppression s;
@@ -805,7 +681,7 @@ analyzeSource(const std::string &path, const std::string &content,
         s.rule = a.rule;
         s.reason = a.reason;
         s.used = a.used;
-        out.suppressions.push_back(std::move(s));
+        suppressions.push_back(std::move(s));
         if (!a.used) {
             Diagnostic d;
             d.file = path;
@@ -816,16 +692,29 @@ analyzeSource(const std::string &path, const std::string &content,
                         " (no matching diagnostic on line " +
                         std::to_string(a.targetLine) + ")";
             d.sourceLine = src.line(a.line);
-            out.diagnostics.push_back(std::move(d));
+            diags.push_back(std::move(d));
         }
     }
 
-    std::sort(out.diagnostics.begin(), out.diagnostics.end(),
+    std::sort(diags.begin(), diags.end(),
               [](const Diagnostic &a, const Diagnostic &b) {
                   if (a.line != b.line)
                       return a.line < b.line;
                   return ruleName(a.rule) < ruleName(b.rule);
               });
+}
+
+} // namespace
+
+FileAnalysis
+analyzeSource(const std::string &path, const std::string &content,
+              const std::string &sibling_header)
+{
+    const RepoReport report =
+        analyzeAll({{path, content, sibling_header}}, {});
+    FileAnalysis out;
+    out.diagnostics = report.diagnostics;
+    out.suppressions = report.suppressions;
     return out;
 }
 
@@ -864,15 +753,22 @@ parseBaseline(const std::string &content, std::vector<std::string> &errors)
     return out;
 }
 
+namespace {
+
+const char *kBaselineHeader =
+    "# vblint baseline: pre-existing waived diagnostics.\n"
+    "# Format: file|RULE|normalized source line text.\n"
+    "# Entries match by content, not line number, so unrelated\n"
+    "# edits never invalidate them. Remove entries as the code\n"
+    "# they waive is fixed; vblint reports stale entries.\n";
+
+} // namespace
+
 std::string
 formatBaseline(const std::vector<Diagnostic> &diags)
 {
     std::ostringstream out;
-    out << "# vblint baseline: pre-existing waived diagnostics.\n"
-        << "# Format: file|RULE|normalized source line text.\n"
-        << "# Entries match by content, not line number, so unrelated\n"
-        << "# edits never invalidate them. Remove entries as the code\n"
-        << "# they waive is fixed; vblint reports stale entries.\n";
+    out << kBaselineHeader;
     for (const Diagnostic &d : diags) {
         if (d.status != DiagStatus::Active)
             continue;
@@ -899,7 +795,29 @@ analyzeAll(const std::vector<SourceInput> &inputs,
     RepoReport report;
     report.filesScanned = static_cast<int>(inputs.size());
 
-    // Multiset of unconsumed baseline entries.
+    // ---- pass 1: project model (lex once, include graph, symbols) --
+    const ProjectModel model = buildProjectModel(inputs);
+
+    // ---- pass 2: per-file rules + project rules --------------------
+    std::map<std::string, std::vector<Diagnostic>> byFile;
+    for (std::size_t i = 0; i < inputs.size(); ++i) {
+        const LexedFile &f = model.files[i];
+        DeclEnv env;
+        collectDecls(f.lex, env);
+        if (f.siblingIndex >= 0)
+            collectDecls(
+                model.files[static_cast<std::size_t>(f.siblingIndex)].lex,
+                env);
+        FileChecker checker(f.path, f.lex, env);
+        byFile[f.path] = checker.run();
+    }
+
+    std::vector<Diagnostic> projectDiags;
+    runProjectRules(model, projectDiags);
+    for (Diagnostic &d : projectDiags)
+        byFile[d.file].push_back(std::move(d));
+
+    // ---- waiver resolution + baseline, in input order --------------
     std::map<std::string, int> pending;
     auto keyOf = [](const std::string &file, const std::string &rule,
                     const std::string &text) {
@@ -908,10 +826,12 @@ analyzeAll(const std::vector<SourceInput> &inputs,
     for (const BaselineEntry &e : baseline)
         ++pending[keyOf(e.file, e.rule, e.sourceLine)];
 
-    for (const SourceInput &in : inputs) {
-        FileAnalysis fa =
-            analyzeSource(in.path, in.content, in.siblingHeader);
-        for (Diagnostic &d : fa.diagnostics) {
+    for (std::size_t i = 0; i < inputs.size(); ++i) {
+        const LexedFile &f = model.files[i];
+        std::vector<Diagnostic> diags = std::move(byFile[f.path]);
+        byFile[f.path].clear(); // duplicate paths analyze once
+        resolveAnnotations(f.path, f.lex, diags, report.suppressions);
+        for (Diagnostic &d : diags) {
             if (d.status == DiagStatus::Active) {
                 const std::string key = keyOf(
                     d.file, ruleName(d.rule), normalizeWs(d.sourceLine));
@@ -923,8 +843,6 @@ analyzeAll(const std::vector<SourceInput> &inputs,
             }
             report.diagnostics.push_back(std::move(d));
         }
-        for (Suppression &s : fa.suppressions)
-            report.suppressions.push_back(std::move(s));
     }
 
     for (const BaselineEntry &e : baseline) {
@@ -935,6 +853,28 @@ analyzeAll(const std::vector<SourceInput> &inputs,
         }
     }
     return report;
+}
+
+BaselineUpdate
+updateBaseline(const RepoReport &report)
+{
+    BaselineUpdate up;
+    std::ostringstream out;
+    out << kBaselineHeader;
+    for (const Diagnostic &d : report.diagnostics) {
+        if (d.status == DiagStatus::Suppressed)
+            continue;
+        if (d.status == DiagStatus::Active)
+            ++up.added;
+        else
+            ++up.kept;
+        out << d.file << '|' << ruleName(d.rule) << '|'
+            << normalizeWs(d.sourceLine) << '\n';
+    }
+    up.content = out.str();
+    up.prunedEntries = report.staleBaseline;
+    up.pruned = static_cast<int>(up.prunedEntries.size());
+    return up;
 }
 
 } // namespace vboost::vblint

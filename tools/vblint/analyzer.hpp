@@ -1,17 +1,19 @@
 /**
  * @file
- * vblint analysis engine (DESIGN.md §10): runs the VB rules over lexed
- * sources and resolves `// vblint:` suppressions. Exposed as a library
- * so tests/test_vblint.cpp can feed synthetic snippets through the
- * exact production code path, and so the CLI stays a thin shell.
+ * vblint analysis engine (DESIGN.md §10): two passes over the scanned
+ * file set. Pass 1 (project_model.hpp) lexes every file once and
+ * builds the project model — include graph plus symbol index. Pass 2
+ * runs the per-file rules (VB001–VB005, here) and the project rules
+ * (VB006–VB009, project_rules.hpp) over that model, then resolves
+ * `// vblint:` suppressions and the content-keyed baseline. Exposed as
+ * a library so tests/test_vblint.cpp feeds synthetic snippets through
+ * the exact production code path, and so the CLI stays a thin shell.
  *
- * Scoping is path-based and mirrors the repo layout:
- *  - VB001/VB004 apply to model code (paths under src/);
- *  - VB003 applies to the reduction-heavy layers (path contains an
- *    fi/, serve/, resilience/, obs/ or backend/ component);
- *  - VB002 applies everywhere scanned; VB005 to headers.
- * Paths are repo-relative, which keeps diagnostics and the baseline
- * file stable regardless of the invocation directory.
+ * Scoping is path-based and uniform: VB001/VB003/VB004 and the
+ * project rules apply to all model code (paths under src/, no
+ * per-directory lists); VB002 applies everywhere scanned; VB005 to
+ * headers. Paths are repo-relative, which keeps diagnostics and the
+ * baseline file stable regardless of the invocation directory.
  */
 
 #ifndef VBOOST_VBLINT_ANALYZER_HPP
@@ -115,6 +117,20 @@ struct SourceInput
 
 RepoReport analyzeAll(const std::vector<SourceInput> &inputs,
                       const std::vector<BaselineEntry> &baseline);
+
+/** Result of rebuilding the baseline from a report (--update-baseline). */
+struct BaselineUpdate
+{
+    /** New baseline file content: every Active and Baselined finding,
+     *  suppressed ones excluded. */
+    std::string content;
+    int added = 0; ///< Active findings newly entering the baseline
+    int kept = 0;  ///< Baselined findings retained
+    int pruned = 0; ///< stale entries dropped (CLI exits nonzero)
+    std::vector<BaselineEntry> prunedEntries;
+};
+
+BaselineUpdate updateBaseline(const RepoReport &report);
 
 } // namespace vboost::vblint
 

@@ -1,0 +1,224 @@
+#include "include_graph.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "scan_util.hpp"
+
+namespace vboost::vblint {
+
+namespace {
+
+std::string
+trimCopy(const std::string &s)
+{
+    std::size_t b = s.find_first_not_of(" \t");
+    if (b == std::string::npos)
+        return "";
+    std::size_t e = s.find_last_not_of(" \t");
+    return s.substr(b, e - b + 1);
+}
+
+/** Directory part of a repo-relative path ("" when none). */
+std::string
+dirOf(const std::string &path)
+{
+    const std::size_t pos = path.find_last_of('/');
+    return pos == std::string::npos ? "" : path.substr(0, pos);
+}
+
+/** Resolve "." and ".." components ("a/b/../c" -> "a/c"). */
+std::string
+normalizePath(const std::string &path)
+{
+    std::vector<std::string> out;
+    for (const std::string &c : pathComponents(path)) {
+        if (c == ".")
+            continue;
+        if (c == ".." && !out.empty() && out.back() != "..") {
+            out.pop_back();
+            continue;
+        }
+        out.push_back(c);
+    }
+    std::string joined;
+    for (const std::string &c : out) {
+        if (!joined.empty())
+            joined.push_back('/');
+        joined += c;
+    }
+    return joined;
+}
+
+} // namespace
+
+std::string
+moduleOfPath(const std::string &path)
+{
+    const std::vector<std::string> comps = pathComponents(path);
+    if (comps.size() < 3 || comps.front() != "src")
+        return "";
+    return comps[1];
+}
+
+const std::map<std::string, int> &
+moduleTiers()
+{
+    static const std::map<std::string, int> kTiers = {
+        {"common", 0},                   //
+        {"circuit", 1},    {"obs", 1},   //
+        {"sram", 2},       {"energy", 2}, //
+        {"core", 3},       {"dnn", 3},   {"timing", 3}, //
+        {"resilience", 4}, {"accel", 4}, //
+        {"fi", 5},                       //
+        {"serve", 6},                    //
+        {"cluster", 7},                  //
+    };
+    return kTiers;
+}
+
+int
+moduleTier(const std::string &module)
+{
+    const auto &tiers = moduleTiers();
+    const auto it = tiers.find(module);
+    return it == tiers.end() ? -1 : it->second;
+}
+
+IncludeGraph
+buildIncludeGraph(const std::vector<IncludeScanInput> &files)
+{
+    IncludeGraph graph;
+
+    std::set<std::string> scanned;
+    for (const IncludeScanInput &f : files)
+        scanned.insert(f.path);
+
+    for (const IncludeScanInput &f : files) {
+        if (f.lex == nullptr)
+            continue;
+        for (const Directive &d : f.lex->directives) {
+            // Directive text is "#include ..." with collapsed
+            // whitespace; '#' may be separated from the keyword.
+            std::string body = d.text;
+            if (body.empty() || body.front() != '#')
+                continue;
+            body = trimCopy(body.substr(1));
+            const std::string kw = "include";
+            if (body.compare(0, kw.size(), kw) != 0)
+                continue;
+            body = trimCopy(body.substr(kw.size()));
+            if (body.empty())
+                continue;
+
+            IncludeEdge e;
+            e.fromFile = f.path;
+            e.line = d.line;
+
+            if (body.front() == '"') {
+                const std::size_t close = body.find('"', 1);
+                if (close == std::string::npos)
+                    continue; // unterminated; not our problem
+                e.kind = IncludeKind::Quoted;
+                e.target = body.substr(1, close - 1);
+                // The repo convention is src-rooted quoted includes
+                // ("common/rng.hpp"); fall back to includer-relative.
+                const std::string as_src =
+                    normalizePath("src/" + e.target);
+                const std::string as_rel =
+                    normalizePath(dirOf(f.path).empty()
+                                      ? e.target
+                                      : dirOf(f.path) + "/" + e.target);
+                if (scanned.count(as_src))
+                    e.resolvedFile = as_src;
+                else if (scanned.count(as_rel))
+                    e.resolvedFile = as_rel;
+            } else if (body.front() == '<') {
+                const std::size_t close = body.find('>', 1);
+                if (close == std::string::npos)
+                    continue;
+                e.kind = IncludeKind::Angled;
+                e.target = body.substr(1, close - 1);
+            } else {
+                e.kind = IncludeKind::Computed;
+                e.target = body;
+            }
+
+            if (!e.resolvedFile.empty())
+                graph.resolvedOut[e.fromFile].push_back(
+                    graph.edges.size());
+            graph.edges.push_back(e);
+        }
+    }
+
+    return graph;
+}
+
+namespace {
+
+/** Iterative DFS cycle finder. Every back-edge found during the DFS
+ *  closes one elementary cycle along the current stack; canonicalizing
+ *  (rotate to smallest member) and dedup'ing gives each cycle once. */
+struct CycleFinder
+{
+    const IncludeGraph &graph;
+    std::map<std::string, int> state; // 0 unvisited, 1 on stack, 2 done
+    std::vector<std::string> stack;
+    std::set<std::string> seen_keys;
+    std::vector<std::vector<std::string>> cycles;
+
+    void
+    visit(const std::string &file)
+    {
+        state[file] = 1;
+        stack.push_back(file);
+        const auto it = graph.resolvedOut.find(file);
+        if (it != graph.resolvedOut.end()) {
+            for (std::size_t ei : it->second) {
+                const std::string &to = graph.edges[ei].resolvedFile;
+                const int s = state.count(to) ? state[to] : 0;
+                if (s == 0) {
+                    visit(to);
+                } else if (s == 1) {
+                    recordCycle(to);
+                }
+            }
+        }
+        stack.pop_back();
+        state[file] = 2;
+    }
+
+    void
+    recordCycle(const std::string &back_to)
+    {
+        const auto start =
+            std::find(stack.begin(), stack.end(), back_to);
+        if (start == stack.end())
+            return;
+        std::vector<std::string> cycle(start, stack.end());
+        // Canonical form: rotate the smallest member to the front.
+        const auto min_it =
+            std::min_element(cycle.begin(), cycle.end());
+        std::rotate(cycle.begin(), min_it, cycle.end());
+        std::string key;
+        for (const std::string &f : cycle)
+            key += f + "|";
+        if (seen_keys.insert(key).second)
+            cycles.push_back(std::move(cycle));
+    }
+};
+
+} // namespace
+
+std::vector<std::vector<std::string>>
+findIncludeCycles(const IncludeGraph &graph)
+{
+    CycleFinder finder{graph, {}, {}, {}, {}};
+    for (const auto &[file, _] : graph.resolvedOut)
+        if (finder.state[file] == 0)
+            finder.visit(file);
+    std::sort(finder.cycles.begin(), finder.cycles.end());
+    return finder.cycles;
+}
+
+} // namespace vboost::vblint

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Project include graph for vblint pass 1 (DESIGN.md §10). Parses
+ * #include directives out of every lexed file, resolves quoted targets
+ * against the scanned file set (no filesystem access — the analyzer is
+ * a pure function of its inputs), and exposes the module tier table
+ * that VB006 enforces as a layering DAG.
+ *
+ * Tiers (low may never include high; same-tier cross-module edges are
+ * also rejected):
+ *
+ *   0 common
+ *   1 circuit, obs
+ *   2 sram, energy
+ *   3 core, dnn, timing
+ *   4 resilience, accel
+ *   5 fi
+ *   6 serve
+ *   7 cluster
+ *
+ * The table is measured from the repo, not aspirational: every edge in
+ * src/ today is forward under it. A new top-level module must be added
+ * here deliberately (VB006 flags unknown modules).
+ */
+
+#ifndef VBOOST_VBLINT_INCLUDE_GRAPH_HPP
+#define VBOOST_VBLINT_INCLUDE_GRAPH_HPP
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "lexer.hpp"
+
+namespace vboost::vblint {
+
+/** Syntactic form of one #include directive. */
+enum class IncludeKind {
+    Quoted,   ///< #include "path"
+    Angled,   ///< #include <path> (assumed system/toolchain)
+    Computed, ///< #include MACRO — target unknowable to a lexer
+};
+
+/** One #include directive found in a scanned file. */
+struct IncludeEdge
+{
+    std::string fromFile; ///< repo-relative path of the including file
+    std::string target;   ///< include text between the delimiters
+    /** Repo-relative path of the included file when the target resolves
+     *  to a scanned file ("" otherwise — system headers, or project
+     *  headers outside the scan set). */
+    std::string resolvedFile;
+    int line = 0;
+    IncludeKind kind = IncludeKind::Quoted;
+};
+
+/** Include graph over one scan: every directive as an edge, plus an
+ *  adjacency index over resolved edges for cycle detection. */
+struct IncludeGraph
+{
+    std::vector<IncludeEdge> edges;
+    /** fromFile -> indices into edges with a non-empty resolvedFile. */
+    std::map<std::string, std::vector<std::size_t>> resolvedOut;
+};
+
+/** One file handed to the graph builder (lexed elsewhere, pass 1 lexes
+ *  every file exactly once). */
+struct IncludeScanInput
+{
+    std::string path; ///< repo-relative
+    const LexedSource *lex = nullptr;
+};
+
+/** Module of a repo-relative path: "sram" for src/sram/fault_map.hpp,
+ *  "" for anything not of the form src/<module>/... */
+std::string moduleOfPath(const std::string &path);
+
+/** Tier of a module in the layering DAG; -1 for unknown modules. */
+int moduleTier(const std::string &module);
+
+/** The full module -> tier table, for reports and docs. */
+const std::map<std::string, int> &moduleTiers();
+
+/** Parse the #include directives of every input into an edge list.
+ *  Quoted targets are resolved first as src/<target> (the repo's
+ *  include-root convention), then relative to the including file's
+ *  directory, against the set of scanned paths only. */
+IncludeGraph buildIncludeGraph(const std::vector<IncludeScanInput> &files);
+
+/** Every elementary include cycle among resolved edges, each cycle a
+ *  file list starting at its lexicographically smallest member and
+ *  listed once. An acyclic graph returns {}. */
+std::vector<std::vector<std::string>>
+findIncludeCycles(const IncludeGraph &graph);
+
+} // namespace vboost::vblint
+
+#endif // VBOOST_VBLINT_INCLUDE_GRAPH_HPP

@@ -115,10 +115,14 @@ lex(const std::string &content)
         }
 
         // Preprocessor directive: '#' first on the line; join
-        // backslash continuations into one logical line.
+        // backslash continuations into one logical line. A trailing
+        // `// ...` comment ends the directive text and is recorded as
+        // an ordinary (possibly vblint-annotation) comment, so a
+        // waiver can ride on an #include line.
         if (c == '#' && at_line_start) {
             const int start_line = line;
             std::string text;
+            bool tail_comment = false;
             while (i < n) {
                 if (content[i] == '\\' && i + 1 < n &&
                     content[i + 1] == '\n') {
@@ -127,23 +131,52 @@ lex(const std::string &content)
                     ++line;
                     continue;
                 }
+                if (content[i] == '/' && i + 1 < n &&
+                    content[i + 1] == '/') {
+                    tail_comment = true;
+                    break;
+                }
                 if (content[i] == '\n')
                     break;
                 text.push_back(content[i]);
                 ++i;
             }
             out.directives.push_back({start_line, collapse(text)});
+            if (tail_comment) {
+                const int comment_line = line;
+                std::string body;
+                i += 2;
+                while (i < n && content[i] != '\n') {
+                    body.push_back(content[i]);
+                    ++i;
+                }
+                // Trailing by construction: the directive precedes it
+                // on the same line (tokens.back() cannot witness that,
+                // directives never emit tokens).
+                recordComment(comment_line, body, /*trailing=*/true);
+            }
             continue;
         }
 
-        // Line comment (and vblint annotations).
+        // Line comment (and vblint annotations). A backslash
+        // immediately before the newline splices the next physical
+        // line into the comment, exactly as the preprocessor would.
         if (c == '/' && i + 1 < n && content[i + 1] == '/') {
             const int start_line = line;
             const bool trailing =
                 !out.tokens.empty() && out.tokens.back().line == line;
             std::string body;
             i += 2;
-            while (i < n && content[i] != '\n') {
+            while (i < n) {
+                if (content[i] == '\\' && i + 1 < n &&
+                    content[i + 1] == '\n') {
+                    body.push_back(' ');
+                    i += 2;
+                    ++line;
+                    continue;
+                }
+                if (content[i] == '\n')
+                    break;
                 body.push_back(content[i]);
                 ++i;
             }
@@ -181,6 +214,7 @@ lex(const std::string &content)
                 ++j;
             }
             if (j < n && content[j] == '(') {
+                const int start_line = line;
                 const std::string closer = ")" + delim + "\"";
                 std::size_t end = content.find(closer, j + 1);
                 if (end == std::string::npos)
@@ -190,15 +224,20 @@ lex(const std::string &content)
                 for (std::size_t k = i; k < end && k < n; ++k)
                     if (content[k] == '\n')
                         ++line;
+                out.tokens.push_back({TokKind::Str,
+                                      content.substr(i, end - i),
+                                      start_line});
                 i = end;
                 continue;
             }
             // Not a raw string after all: fall through as identifier.
         }
 
-        // String / char literal.
+        // String / char literal: one Str token, quotes included.
         if (c == '"' || c == '\'') {
             const char quote = c;
+            const std::size_t start = i;
+            const int start_line = line;
             ++i;
             while (i < n) {
                 if (content[i] == '\\' && i + 1 < n) {
@@ -216,6 +255,8 @@ lex(const std::string &content)
                 }
                 ++i;
             }
+            out.tokens.push_back(
+                {TokKind::Str, content.substr(start, i - start), start_line});
             continue;
         }
 

@@ -17,11 +17,15 @@
 namespace vboost::vblint {
 
 /** Token classes the rule passes distinguish. */
-enum class TokKind { Ident, Number, Punct };
+enum class TokKind { Ident, Number, Punct, Str };
 
 /** One code token. Multi-char operators `::`, `+=`, `-=`, `->`, `++`,
  *  `--`, `==`, `!=`, `<=`, `>=` are single tokens; everything else is
- *  one character per token. */
+ *  one character per token. String and character literals are single
+ *  Str tokens whose text keeps the surrounding quotes, so a literal
+ *  can never be mistaken for a keyword or punctuation by the rule
+ *  passes, while passes that need literal contents (VB008 metric-name
+ *  matching) can compare the quoted text. */
 struct Token
 {
     TokKind kind;
@@ -33,7 +37,8 @@ struct Token
 struct Directive
 {
     int line;
-    /** Directive text starting at '#', inner whitespace collapsed. */
+    /** Directive text starting at '#', inner whitespace collapsed,
+     *  trailing `//` comment stripped. */
     std::string text;
 };
 

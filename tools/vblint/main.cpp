@@ -14,6 +14,10 @@
  *   --explain <rule>        print a rule's rationale and exit
  *   --list-suppressions     dump the inline-waiver inventory and exit
  *   --write-baseline <file> write active diagnostics as a new baseline
+ *   --update-baseline       rewrite --baseline from current findings;
+ *                           exits 1 when stale entries were pruned so
+ *                           removals stay visible in CI
+ *   --github-annotations    emit ::error/::warning workflow commands
  *   --all                   also print suppressed/baselined findings
  *
  * Exit status: 0 clean, 1 unwaived diagnostics, 2 usage/IO error.
@@ -42,6 +46,8 @@ struct Options
     std::string jsonPath;
     std::string explainRule;
     std::string writeBaselinePath;
+    bool updateBaselineMode = false;
+    bool githubAnnotations = false;
     bool listSuppressions = false;
     bool showAll = false;
     std::vector<std::string> paths;
@@ -52,7 +58,8 @@ usage(std::ostream &os)
 {
     os << "usage: vblint [--root DIR] [--baseline FILE] [--json FILE]\n"
           "              [--explain RULE] [--list-suppressions]\n"
-          "              [--write-baseline FILE] [--all] [paths...]\n"
+          "              [--write-baseline FILE] [--update-baseline]\n"
+          "              [--github-annotations] [--all] [paths...]\n"
           "paths default to 'src' (relative to --root).\n";
 }
 
@@ -115,6 +122,10 @@ main(int argc, char **argv)
             opt.explainRule = need("--explain");
         else if (arg == "--write-baseline")
             opt.writeBaselinePath = need("--write-baseline");
+        else if (arg == "--update-baseline")
+            opt.updateBaselineMode = true;
+        else if (arg == "--github-annotations")
+            opt.githubAnnotations = true;
         else if (arg == "--list-suppressions")
             opt.listSuppressions = true;
         else if (arg == "--all")
@@ -225,6 +236,31 @@ main(int argc, char **argv)
         return 0;
     }
 
+    if (opt.updateBaselineMode) {
+        if (opt.baselinePath.empty()) {
+            std::cerr << "vblint: --update-baseline requires "
+                         "--baseline FILE\n";
+            return 2;
+        }
+        const BaselineUpdate up = updateBaseline(report);
+        std::ofstream out(opt.baselinePath);
+        if (!out) {
+            std::cerr << "vblint: cannot write " << opt.baselinePath
+                      << "\n";
+            return 2;
+        }
+        out << up.content;
+        std::cout << "vblint: baseline updated (" << up.added
+                  << " added, " << up.kept << " kept, " << up.pruned
+                  << " pruned)\n";
+        for (const BaselineEntry &e : up.prunedEntries)
+            std::cout << "vblint: pruned stale entry: " << e.file << "|"
+                      << e.rule << "|" << e.sourceLine << "\n";
+        // Pruning means the committed baseline claimed findings that no
+        // longer exist — surface that as a failure so it gets reviewed.
+        return up.pruned == 0 ? 0 : 1;
+    }
+
     if (!opt.writeBaselinePath.empty()) {
         std::ofstream out(opt.writeBaselinePath);
         if (!out) {
@@ -247,6 +283,8 @@ main(int argc, char **argv)
         writeJson(out, report, opt.root);
     }
 
+    if (opt.githubAnnotations)
+        printGithubAnnotations(std::cout, report);
     printText(std::cout, report, opt.showAll);
     printSummary(std::cout, report);
     return report.activeCount() == 0 ? 0 : 1;

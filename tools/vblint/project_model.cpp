@@ -1,0 +1,458 @@
+#include "project_model.hpp"
+
+#include <algorithm>
+
+#include "rules.hpp"
+#include "scan_util.hpp"
+
+namespace vboost::vblint {
+
+namespace {
+
+bool
+stmtContains(const std::vector<Token> &toks,
+             const std::vector<std::size_t> &stmt, const char *text)
+{
+    for (std::size_t i : stmt)
+        if (toks[i].text == text)
+            return true;
+    return false;
+}
+
+/** Declaration scanner for one file: records every class body and
+ *  function declaration/definition at namespace or class scope.
+ *  Function bodies are skipped (the index needs declarations only;
+ *  taint scans walk raw tokens separately). */
+class DeclScanner
+{
+  public:
+    DeclScanner(const std::string &path, const LexedSource &src,
+                std::vector<FnDecl> &fns, std::vector<ClassDecl> &classes)
+        : path_(path), toks_(src.tokens), fns_(fns), classes_(classes)
+    {
+    }
+
+    void run() { scanRegion(0, toks_.size(), -1, true); }
+
+  private:
+    static constexpr std::size_t kNoBody = static_cast<std::size_t>(-1);
+
+    /** Scan [begin, end); classIdx >= 0 inside a class body. */
+    void
+    scanRegion(std::size_t begin, std::size_t end, int classIdx,
+               bool default_public)
+    {
+        std::vector<std::size_t> stmt;
+        bool pub = default_public;
+        for (std::size_t i = begin; i < end; ++i) {
+            const std::string &t = toks_[i].text;
+            if (t == ";") {
+                maybeRecordFn(stmt, classIdx, pub, kNoBody, kNoBody);
+                stmt.clear();
+                continue;
+            }
+            if (t == ":" && classIdx >= 0 && stmt.size() == 1) {
+                const std::string &w = toks_[stmt[0]].text;
+                if (w == "public") {
+                    pub = true;
+                    stmt.clear();
+                    continue;
+                }
+                if (w == "private" || w == "protected") {
+                    pub = false;
+                    stmt.clear();
+                    continue;
+                }
+            }
+            if (t == "{") {
+                const std::size_t close =
+                    std::min(skipBraces(toks_, i), end);
+                handleBrace(stmt, i, close, classIdx, pub);
+                stmt.clear();
+                i = close - 1; // loop increment lands just past '}'
+                continue;
+            }
+            if (t == "}") { // unbalanced stray; resync
+                stmt.clear();
+                continue;
+            }
+            stmt.push_back(i);
+        }
+    }
+
+    void
+    handleBrace(const std::vector<std::size_t> &stmt, std::size_t open,
+                std::size_t close, int classIdx, bool pub)
+    {
+        const bool has_paren = stmtContains(toks_, stmt, "(");
+        if (stmtContains(toks_, stmt, "namespace") && !has_paren) {
+            scanRegion(open + 1, close - 1, -1, true);
+            return;
+        }
+        if (stmtContains(toks_, stmt, "enum"))
+            return;
+        if ((stmtContains(toks_, stmt, "class") ||
+             stmtContains(toks_, stmt, "struct") ||
+             stmtContains(toks_, stmt, "union")) &&
+            !has_paren && !stmtContains(toks_, stmt, "friend")) {
+            // Name = first identifier after the class-key.
+            std::string name;
+            int line = 0;
+            bool is_struct = false;
+            bool seen_key = false;
+            for (std::size_t i : stmt) {
+                const Token &tok = toks_[i];
+                if (tok.text == "class" || tok.text == "struct" ||
+                    tok.text == "union") {
+                    seen_key = true;
+                    is_struct = tok.text != "class";
+                    continue;
+                }
+                if (seen_key && tok.kind == TokKind::Ident) {
+                    name = tok.text;
+                    line = tok.line;
+                    break;
+                }
+            }
+            if (name.empty())
+                return; // anonymous aggregate
+            ClassDecl cd;
+            cd.name = name;
+            cd.file = path_;
+            cd.line = line;
+            for (std::size_t i = open + 1; i + 2 < close; ++i) {
+                if (toks_[i].text == "std" &&
+                    toks_[i + 1].text == "::" &&
+                    toks_[i + 2].text == "thread") {
+                    cd.hasStdThreadMember = true;
+                    break;
+                }
+            }
+            classes_.push_back(cd);
+            const int idx = static_cast<int>(classes_.size() - 1);
+            scanRegion(open + 1, close - 1, idx, is_struct);
+            return;
+        }
+        if (has_paren) {
+            maybeRecordFn(stmt, classIdx, pub, open, close);
+            return;
+        }
+        // Brace initializer / unknown aggregate: nothing to record.
+    }
+
+    void
+    maybeRecordFn(const std::vector<std::size_t> &stmt, int classIdx,
+                  bool pub, std::size_t bodyOpen, std::size_t bodyClose)
+    {
+        if (stmt.empty())
+            return;
+        static const char *kBail[] = {"using",  "typedef", "friend",
+                                      "template", "static_assert",
+                                      "enum",   "class",   "struct",
+                                      "union",  "namespace"};
+        for (const char *kw : kBail)
+            if (stmtContains(toks_, stmt, kw))
+                return;
+
+        std::size_t p = stmt.size();
+        for (std::size_t k = 0; k < stmt.size(); ++k) {
+            if (toks_[stmt[k]].text == "(") {
+                p = k;
+                break;
+            }
+        }
+        if (p == stmt.size() || p == 0)
+            return;
+        const Token &nameTok = toks_[stmt[p - 1]];
+        if (nameTok.kind != TokKind::Ident)
+            return;
+
+        FnDecl fn;
+        fn.name = nameTok.text;
+        fn.file = path_;
+        fn.line = nameTok.line;
+        fn.isPublic = classIdx < 0 ? true : pub;
+        fn.hasBody = bodyOpen != kNoBody;
+        if (fn.hasBody) {
+            fn.bodyBegin = bodyOpen;
+            fn.bodyEnd = bodyClose;
+        }
+
+        std::size_t retEnd = p - 1;
+        if (classIdx >= 0) {
+            fn.klass = classes_[static_cast<std::size_t>(classIdx)].name;
+        } else if (p >= 3 && toks_[stmt[p - 2]].text == "::" &&
+                   toks_[stmt[p - 3]].kind == TokKind::Ident) {
+            // Out-of-class member definition: Type Class::name(...).
+            fn.klass = toks_[stmt[p - 3]].text;
+            retEnd = p - 3;
+        }
+
+        static const char *kQualifiers[] = {"inline",   "static",
+                                            "constexpr", "consteval",
+                                            "explicit", "virtual",
+                                            "extern",   "mutable"};
+        for (std::size_t k = 0; k < retEnd; ++k)
+            fn.ret.push_back(toks_[stmt[k]].text);
+        while (!fn.ret.empty() &&
+               std::any_of(std::begin(kQualifiers), std::end(kQualifiers),
+                           [&](const char *q) { return fn.ret.front() == q; }))
+            fn.ret.erase(fn.ret.begin());
+
+        // A return type containing these cannot be a declaration head.
+        static const char *kRetBail[] = {"=", ",", "return", "new",
+                                         "throw", "delete", "if", "for",
+                                         "while", "switch", "catch", "do",
+                                         "goto", "case", "else"};
+        for (const std::string &t : fn.ret)
+            for (const char *b : kRetBail)
+                if (t == b)
+                    return;
+
+        int depth = 0;
+        for (std::size_t k = p; k < stmt.size(); ++k) {
+            const std::string &t = toks_[stmt[k]].text;
+            if (t == "(") {
+                if (depth++ > 0)
+                    fn.params.push_back(t);
+                continue;
+            }
+            if (t == ")") {
+                if (--depth == 0)
+                    break;
+                fn.params.push_back(t);
+                continue;
+            }
+            fn.params.push_back(t);
+        }
+
+        if (classIdx >= 0)
+            classes_[static_cast<std::size_t>(classIdx)]
+                .memberNames.insert(fn.name);
+        fns_.push_back(std::move(fn));
+    }
+
+    const std::string path_;
+    const std::vector<Token> &toks_;
+    std::vector<FnDecl> &fns_;
+    std::vector<ClassDecl> &classes_;
+};
+
+/** True when the file mentions a VB001-banned symbol (same exemptions
+ *  as the VB001 pass: member access is not the libc/std symbol; call
+ *  idents must be called). Waived uses still taint — the file IS
+ *  wall-clock coupled, waiver or not. */
+bool
+touchesWallClock(const LexedSource &src)
+{
+    const auto &toks = src.tokens;
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+        if (toks[i].kind != TokKind::Ident)
+            continue;
+        const std::string prev = i > 0 ? toks[i - 1].text : "";
+        if (prev == "." || prev == "->")
+            continue;
+        if (bannedTypeIdents().count(toks[i].text))
+            return true;
+        if (bannedCallIdents().count(toks[i].text) &&
+            i + 1 < toks.size() && toks[i + 1].text == "(")
+            return true;
+    }
+    return false;
+}
+
+/** Parameter list is scalar-only: no references/pointers, every token
+ *  a scalar type keyword, punctuation, literal or the parameter name.
+ *  The filter that keeps hashHelpers to pure integer mixers. */
+bool
+scalarOnlyParams(const std::vector<std::string> &params)
+{
+    static const std::set<std::string> kTypeish = {
+        "std",      "::",       "const",    "unsigned", "signed",
+        "int",      "long",     "short",    "char",     "bool",
+        "float",    "double",   "size_t",   "uint8_t",  "uint16_t",
+        "uint32_t", "uint64_t", "int8_t",   "int16_t",  "int32_t",
+        "int64_t",  "uintptr_t", "ptrdiff_t", "<",      ">",
+        ",",        "=",        "..."};
+    for (const std::string &t : params)
+        if (t == "&" || t == "*")
+            return false;
+    // Per parameter: every token must be type-ish except one free
+    // identifier (the name) and literals (default args).
+    std::vector<std::vector<std::string>> groups(1);
+    for (const std::string &t : params) {
+        if (t == ",") {
+            groups.emplace_back();
+            continue;
+        }
+        groups.back().push_back(t);
+    }
+    for (const auto &g : groups) {
+        int freeIdents = 0;
+        for (const std::string &t : g) {
+            if (kTypeish.count(t))
+                continue;
+            const char c = t.empty() ? '\0' : t.front();
+            if (c >= '0' && c <= '9')
+                continue; // literal default argument
+            const bool ident =
+                (c == '_' || (c >= 'a' && c <= 'z') ||
+                 (c >= 'A' && c <= 'Z'));
+            if (!ident)
+                return false;
+            ++freeIdents;
+        }
+        if (freeIdents > 1)
+            return false; // a non-scalar user type plus a name
+    }
+    return true;
+}
+
+bool
+retContains(const FnDecl &fn, const char *text)
+{
+    return std::find(fn.ret.begin(), fn.ret.end(), text) != fn.ret.end();
+}
+
+bool
+paramsContain(const FnDecl &fn, const char *text)
+{
+    return std::find(fn.params.begin(), fn.params.end(), text) !=
+           fn.params.end();
+}
+
+} // namespace
+
+std::string
+fileStem(const std::string &path)
+{
+    static const char *kExts[] = {".cpp", ".cc", ".cxx", ".hpp", ".h",
+                                  ".hh"};
+    for (const char *ext : kExts) {
+        const std::string e(ext);
+        if (path.size() > e.size() &&
+            path.compare(path.size() - e.size(), e.size(), e) == 0)
+            return path.substr(0, path.size() - e.size());
+    }
+    return path;
+}
+
+ProjectModel
+buildProjectModel(const std::vector<SourceInput> &inputs)
+{
+    ProjectModel model;
+
+    // ---- lex every input once --------------------------------------
+    std::map<std::string, int> byPath;
+    for (const SourceInput &in : inputs) {
+        LexedFile f;
+        f.path = in.path;
+        f.lex = lex(in.content);
+        byPath[in.path] = static_cast<int>(model.files.size());
+        model.files.push_back(std::move(f));
+    }
+
+    // Pair cpp inputs with their header: an already-scanned input when
+    // present, else a synthetic index-only file from the sibling text.
+    const std::size_t realCount = model.files.size();
+    for (std::size_t i = 0; i < realCount; ++i) {
+        if (inputs[i].siblingHeader.empty())
+            continue;
+        const std::string stem = fileStem(inputs[i].path);
+        int sib = -1;
+        for (const char *ext : {".hpp", ".h", ".hh"}) {
+            const auto it = byPath.find(stem + ext);
+            if (it != byPath.end()) {
+                sib = it->second;
+                break;
+            }
+        }
+        if (sib < 0) {
+            LexedFile f;
+            f.path = stem + ".hpp";
+            f.lex = lex(inputs[i].siblingHeader);
+            f.synthetic = true;
+            sib = static_cast<int>(model.files.size());
+            model.files.push_back(std::move(f));
+        }
+        model.files[i].siblingIndex = sib;
+    }
+
+    // ---- declaration scan + include graph --------------------------
+    std::vector<IncludeScanInput> graphInputs;
+    for (const LexedFile &f : model.files) {
+        DeclScanner(f.path, f.lex, model.functions, model.classes).run();
+        if (!f.synthetic)
+            graphInputs.push_back({f.path, &f.lex});
+    }
+    model.includes = buildIncludeGraph(graphInputs);
+
+    // ---- symbol index ----------------------------------------------
+    SymbolIndex &sym = model.symbols;
+
+    std::map<std::string, bool> stemTainted;
+    for (const LexedFile &f : model.files) {
+        const std::string stem = fileStem(f.path);
+        if (touchesWallClock(f.lex))
+            stemTainted[stem] = true;
+        else
+            stemTainted.emplace(stem, false);
+    }
+
+    for (const ClassDecl &c : model.classes) {
+        if (c.memberNames.count("split")) {
+            sym.streamClasses.insert(c.name);
+            sym.providerStems.insert(fileStem(c.file));
+        }
+        if (c.memberNames.count("excludeFromFingerprint")) {
+            sym.registryClasses.insert(c.name);
+            sym.registryStems.insert(fileStem(c.file));
+        }
+        if (c.hasStdThreadMember) {
+            sym.poolClasses.insert(c.name);
+            sym.poolStems.insert(fileStem(c.file));
+        }
+    }
+
+    // Class names per file, for the registration-method return check.
+    std::map<std::string, std::set<std::string>> classesInFile;
+    for (const ClassDecl &c : model.classes)
+        classesInFile[c.file].insert(c.name);
+
+    for (const FnDecl &fn : model.functions) {
+        if (fn.klass.empty()) {
+            if ((retContains(fn, "uint64_t") ||
+                 retContains(fn, "uint64")) &&
+                scalarOnlyParams(fn.params)) {
+                sym.hashHelpers.insert(fn.name);
+                sym.providerStems.insert(fileStem(fn.file));
+            }
+            const auto taint = stemTainted.find(fileStem(fn.file));
+            const bool voidish = retContains(fn, "void");
+            if (taint != stemTainted.end() && taint->second &&
+                !voidish && !fn.ret.empty())
+                sym.wallClockTainted.insert(fn.name);
+            continue;
+        }
+        if (sym.registryClasses.count(fn.klass) && fn.isPublic &&
+            fn.ret.size() == 1 &&
+            classesInFile[fn.file].count(fn.ret.front()))
+            sym.registrationMethods.insert(fn.name);
+        if (sym.poolClasses.count(fn.klass) && fn.isPublic &&
+            paramsContain(fn, "function"))
+            sym.poolEntryPoints.insert(fn.name);
+    }
+
+    // Free functions declared beside a pool class that accept a
+    // callable are pool entry points too (the global parallelFor).
+    for (const FnDecl &fn : model.functions) {
+        if (!fn.klass.empty() || !paramsContain(fn, "function"))
+            continue;
+        if (sym.poolStems.count(fileStem(fn.file)))
+            sym.poolEntryPoints.insert(fn.name);
+    }
+
+    return model;
+}
+
+} // namespace vboost::vblint

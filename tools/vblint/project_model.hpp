@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Pass 1 of the vblint v2 analyzer (DESIGN.md §10): lex every scanned
+ * file exactly once and build a project-wide model — the include graph
+ * plus a lightweight symbol index over the determinism-critical APIs.
+ * The rule passes in analyzer.cpp (per-file) and project_rules.cpp
+ * (cross-file) then run over this model.
+ *
+ * The symbol index is discovered structurally, never from hardcoded
+ * name lists: a "stream class" is any class with a split() member, a
+ * "registry class" any class with an excludeFromFingerprint() member,
+ * a "pool class" any class holding std::thread members, and so on. A
+ * renamed or newly added helper is picked up automatically, and the
+ * test fixtures exercise the rules with their own synthetic classes.
+ */
+
+#ifndef VBOOST_VBLINT_PROJECT_MODEL_HPP
+#define VBOOST_VBLINT_PROJECT_MODEL_HPP
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analyzer.hpp"
+#include "include_graph.hpp"
+#include "lexer.hpp"
+
+namespace vboost::vblint {
+
+/** One function declaration/definition found by the decl scanner. */
+struct FnDecl
+{
+    std::string name;
+    /** Return-type tokens before the name (qualifiers included;
+     *  empty for constructors). */
+    std::vector<std::string> ret;
+    /** Parameter-list tokens between the parens. */
+    std::vector<std::string> params;
+    /** Enclosing (or qualifying, for out-of-class definitions) class
+     *  name; "" for free functions. */
+    std::string klass;
+    bool isPublic = true;
+    bool hasBody = false;
+    /** Token range of the body `{...}` when hasBody (indices into the
+     *  owning file's token stream; bodyBegin at '{'). */
+    std::size_t bodyBegin = 0;
+    std::size_t bodyEnd = 0;
+    std::string file;
+    int line = 0;
+};
+
+/** One class/struct with a braced body found by the decl scanner. */
+struct ClassDecl
+{
+    std::string name;
+    std::string file;
+    int line = 0;
+    /** Body mentions std::thread — the class owns threads. */
+    bool hasStdThreadMember = false;
+    /** Member function names (any access). */
+    std::set<std::string> memberNames;
+};
+
+/** Determinism-critical APIs discovered from the scanned sources. */
+struct SymbolIndex
+{
+    /** Classes with a split() member: counter-based RNG streams. */
+    std::set<std::string> streamClasses;
+    /** Free functions returning uint64_t from scalar-only params: the
+     *  blessed hash/threshold helpers (mix64, cellHash, ...). */
+    std::set<std::string> hashHelpers;
+    /** Classes with an excludeFromFingerprint() member. */
+    std::set<std::string> registryClasses;
+    /** Public members of registry classes returning a handle class
+     *  declared in the same file (counter/sum/gauge/histogram). */
+    std::set<std::string> registrationMethods;
+    /** Classes owning std::thread members. */
+    std::set<std::string> poolClasses;
+    /** Pool-class public members — and free functions declared beside
+     *  a pool class — that accept a callable (`function` in params):
+     *  submit, parallelFor. */
+    std::set<std::string> poolEntryPoints;
+    /** Non-void free functions declared in a file group whose sources
+     *  touch a VB001-banned wall-clock/random symbol: their return
+     *  values are wall-clock coupled (rateLimitedWarnStats). */
+    std::set<std::string> wallClockTainted;
+
+    /** File stems (path minus extension) declaring stream classes or
+     *  hash helpers: their own implementations are exempt from VB007. */
+    std::set<std::string> providerStems;
+    /** File stems declaring registry classes (exempt from VB008). */
+    std::set<std::string> registryStems;
+    /** File stems declaring pool classes (exempt from VB009). */
+    std::set<std::string> poolStems;
+};
+
+/** One lexed scanned file. */
+struct LexedFile
+{
+    std::string path;
+    LexedSource lex;
+    /** Index into ProjectModel::files of the paired header lexed for
+     *  the declaration environment; -1 when none. */
+    int siblingIndex = -1;
+    /** True for sibling-header content lexed for the index only (its
+     *  path was not a scanned input): no diagnostics are emitted
+     *  against synthetic files and they add no include edges. */
+    bool synthetic = false;
+};
+
+/** Everything pass 2 runs over. */
+struct ProjectModel
+{
+    std::vector<LexedFile> files; ///< inputs first, synthetic appended
+    IncludeGraph includes;        ///< over non-synthetic files
+    SymbolIndex symbols;
+    std::vector<FnDecl> functions;
+    std::vector<ClassDecl> classes;
+};
+
+/** Path minus a trailing .cpp/.cc/.hpp/.h/.hh extension. */
+std::string fileStem(const std::string &path);
+
+/** Build the model: lex every input (and unpaired sibling headers),
+ *  scan declarations, derive the symbol index and include graph. */
+ProjectModel buildProjectModel(const std::vector<SourceInput> &inputs);
+
+} // namespace vboost::vblint
+
+#endif // VBOOST_VBLINT_PROJECT_MODEL_HPP

@@ -1,0 +1,466 @@
+#include "project_rules.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "scan_util.hpp"
+
+namespace vboost::vblint {
+
+namespace {
+
+void
+report(std::vector<Diagnostic> &out, const LexedFile &f, Rule rule,
+       int line, std::string message)
+{
+    Diagnostic d;
+    d.file = f.path;
+    d.line = line;
+    d.rule = rule;
+    d.message = std::move(message);
+    d.sourceLine = f.lex.line(line);
+    out.push_back(std::move(d));
+}
+
+// ------------------------------------------------------------- VB006
+
+void
+checkLayering(const ProjectModel &model,
+              const std::map<std::string, const LexedFile *> &byPath,
+              std::vector<Diagnostic> &out)
+{
+    for (const IncludeEdge &e : model.includes.edges) {
+        const std::string fromModule = moduleOfPath(e.fromFile);
+        if (fromModule.empty())
+            continue; // layering is enforced for src/<module>/ files
+        const auto fit = byPath.find(e.fromFile);
+        if (fit == byPath.end())
+            continue;
+        const LexedFile &f = *fit->second;
+
+        if (e.kind == IncludeKind::Computed) {
+            report(out, f, Rule::VB006, e.line,
+                   "computed #include in model code — the layering "
+                   "check cannot resolve its target (see --explain "
+                   "VB006)");
+            continue;
+        }
+        if (e.kind == IncludeKind::Angled)
+            continue; // system/toolchain header
+
+        const std::string toPath =
+            e.resolvedFile.empty() ? "src/" + e.target : e.resolvedFile;
+        const std::string toModule = moduleOfPath(toPath);
+        if (toModule.empty()) {
+            report(out, f, Rule::VB006, e.line,
+                   "quoted include \"" + e.target +
+                       "\" does not land in the src/<module>/ tree "
+                       "(see --explain VB006)");
+            continue;
+        }
+        if (fromModule == toModule)
+            continue;
+        const int fromTier = moduleTier(fromModule);
+        const int toTier = moduleTier(toModule);
+        if (fromTier < 0) {
+            report(out, f, Rule::VB006, e.line,
+                   "module '" + fromModule +
+                       "' is missing from the layering tier table "
+                       "(tools/vblint/include_graph.cpp; see --explain "
+                       "VB006)");
+            continue;
+        }
+        if (toTier < 0) {
+            report(out, f, Rule::VB006, e.line,
+                   "module '" + toModule +
+                       "' is missing from the layering tier table "
+                       "(tools/vblint/include_graph.cpp; see --explain "
+                       "VB006)");
+            continue;
+        }
+        if (toTier > fromTier) {
+            report(out, f, Rule::VB006, e.line,
+                   "layering back-edge: " + fromModule + " (tier " +
+                       std::to_string(fromTier) + ") includes " +
+                       toModule + " (tier " + std::to_string(toTier) +
+                       ") above it (see --explain VB006)");
+        } else if (toTier == fromTier) {
+            report(out, f, Rule::VB006, e.line,
+                   "same-tier cross-module include: " + fromModule +
+                       " -> " + toModule + " (both tier " +
+                       std::to_string(fromTier) +
+                       "); one must move down (see --explain VB006)");
+        }
+    }
+
+    for (const std::vector<std::string> &cycle :
+         findIncludeCycles(model.includes)) {
+        if (cycle.empty())
+            continue;
+        // Attach the diagnostic to the first edge of the cycle.
+        const std::string &from = cycle.front();
+        const std::string &next = cycle.size() > 1 ? cycle[1] : from;
+        const auto fit = byPath.find(from);
+        if (fit == byPath.end())
+            continue;
+        int line = 1;
+        const auto oit = model.includes.resolvedOut.find(from);
+        if (oit != model.includes.resolvedOut.end()) {
+            for (std::size_t ei : oit->second) {
+                if (model.includes.edges[ei].resolvedFile == next) {
+                    line = model.includes.edges[ei].line;
+                    break;
+                }
+            }
+        }
+        std::string path;
+        for (const std::string &f : cycle)
+            path += f + " -> ";
+        path += from;
+        report(out, *fit->second, Rule::VB006, line,
+               "include cycle: " + path + " (see --explain VB006)");
+    }
+}
+
+// ------------------------------------------------------------- VB007
+
+const std::set<std::string> &
+stdEngineIdents()
+{
+    static const std::set<std::string> kEngines = {
+        "mt19937",          "mt19937_64",
+        "minstd_rand",      "minstd_rand0",
+        "ranlux24",         "ranlux48",
+        "ranlux24_base",    "ranlux48_base",
+        "knuth_b",          "default_random_engine",
+        "mersenne_twister_engine", "linear_congruential_engine",
+        "subtract_with_carry_engine", "shuffle_order_engine",
+        "independent_bits_engine", "discard_block_engine",
+        "seed_seq"};
+    return kEngines;
+}
+
+bool
+endsWith(const std::string &s, const char *suf)
+{
+    const std::string t(suf);
+    return s.size() >= t.size() &&
+           s.compare(s.size() - t.size(), t.size(), t) == 0;
+}
+
+void
+checkRngDiscipline(const ProjectModel &model, const LexedFile &f,
+                   std::vector<Diagnostic> &out)
+{
+    const SymbolIndex &sym = model.symbols;
+    const auto &toks = f.lex.tokens;
+
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+        if (toks[i].kind != TokKind::Ident)
+            continue;
+        const std::string &t = toks[i].text;
+        const std::string prev = i > 0 ? toks[i - 1].text : "";
+        if (prev == "." || prev == "->")
+            continue;
+
+        if (stdEngineIdents().count(t) || endsWith(t, "_distribution")) {
+            report(out, f, Rule::VB007, toks[i].line,
+                   "std random engine/distribution '" + t +
+                       "' in model code — draw sequences are "
+                       "library-dependent (use the project stream "
+                       "classes; see --explain VB007)");
+            continue;
+        }
+
+        // Stream constructor with ad-hoc seed arithmetic.
+        if (sym.streamClasses.count(t) && i + 1 < toks.size() &&
+            toks[i + 1].text == "(") {
+            const std::size_t end = skipParens(toks, i + 1);
+            static const char *kArith[] = {"+", "-", "*", "/", "%", "^"};
+            for (std::size_t j = i + 2; j + 1 < end; ++j) {
+                // Arithmetic inside a blessed hash helper is its job.
+                if (toks[j].kind == TokKind::Ident &&
+                    sym.hashHelpers.count(toks[j].text) &&
+                    j + 1 < end && toks[j + 1].text == "(") {
+                    j = skipParens(toks, j + 1) - 1;
+                    continue;
+                }
+                const bool arith = std::any_of(
+                    std::begin(kArith), std::end(kArith),
+                    [&](const char *op) { return toks[j].text == op; });
+                if (arith) {
+                    report(out, f, Rule::VB007, toks[j].line,
+                           "ad-hoc seed arithmetic in a " + t +
+                               "(...) stream constructor — derive "
+                               "streams via split(counter) or the "
+                               "blessed hash helpers (see --explain "
+                               "VB007)");
+                    break;
+                }
+            }
+        }
+    }
+}
+
+// ------------------------------------------------------------- VB008
+
+/** First string-literal argument right after the call's '(' ("" when
+ *  the first argument is not a literal). */
+std::string
+firstLiteralArg(const std::vector<Token> &toks, std::size_t open)
+{
+    if (open + 1 < toks.size() && toks[open + 1].kind == TokKind::Str)
+        return toks[open + 1].text;
+    return "";
+}
+
+bool
+fileExcludesMetric(const std::vector<Token> &toks,
+                   const std::string &literal)
+{
+    for (std::size_t i = 0; i + 2 < toks.size(); ++i) {
+        if (toks[i].kind == TokKind::Ident &&
+            toks[i].text == "excludeFromFingerprint" &&
+            toks[i + 1].text == "(" &&
+            toks[i + 2].kind == TokKind::Str &&
+            (literal.empty() || toks[i + 2].text == literal))
+            return true;
+    }
+    return false;
+}
+
+void
+checkFingerprintHygiene(const ProjectModel &model, const LexedFile &f,
+                        const std::vector<const FnDecl *> &regions,
+                        std::vector<Diagnostic> &out)
+{
+    const SymbolIndex &sym = model.symbols;
+    const auto &toks = f.lex.tokens;
+    if (sym.registrationMethods.empty())
+        return;
+
+    for (const FnDecl *fn : regions) {
+        // Does this function consume a wall-clock-coupled value?
+        std::string taintSource;
+        for (std::size_t i = fn->bodyBegin;
+             i < fn->bodyEnd && i < toks.size(); ++i) {
+            if (toks[i].kind != TokKind::Ident)
+                continue;
+            const std::string prev = i > 0 ? toks[i - 1].text : "";
+            if (prev == "." || prev == "->")
+                continue;
+            if (sym.wallClockTainted.count(toks[i].text) &&
+                i + 1 < toks.size() && toks[i + 1].text == "(") {
+                taintSource = toks[i].text;
+                break;
+            }
+        }
+        if (taintSource.empty())
+            continue;
+
+        for (std::size_t i = fn->bodyBegin;
+             i < fn->bodyEnd && i < toks.size(); ++i) {
+            if (toks[i].kind != TokKind::Ident ||
+                !sym.registrationMethods.count(toks[i].text))
+                continue;
+            const std::string prev = i > 0 ? toks[i - 1].text : "";
+            if (prev != "." && prev != "->")
+                continue;
+            if (i + 1 >= toks.size() || toks[i + 1].text != "(")
+                continue;
+            const std::string literal = firstLiteralArg(toks, i + 1);
+            if (fileExcludesMetric(toks, literal))
+                continue;
+            const std::string what =
+                literal.empty() ? "a metric" : "metric " + literal;
+            report(out, f, Rule::VB008, toks[i].line,
+                   what + " is registered in a function that consumes "
+                          "the wall-clock-coupled value " +
+                       taintSource +
+                       "() without a matching excludeFromFingerprint() "
+                       "(see --explain VB008)");
+        }
+    }
+}
+
+// ---------------------------------------------- VB009 (and VB008b)
+
+/** Token types guarding a by-reference capture: the captured object is
+ *  synchronized or immutable. */
+bool
+nameLooksGuarded(const std::vector<Token> &toks, const std::string &name)
+{
+    static const char *kGuards[] = {
+        "atomic",   "atomic_flag", "mutex",  "shared_mutex",
+        "condition_variable", "condition_variable_any",
+        "once_flag", "latch",      "barrier", "const", "constexpr"};
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+        if (toks[i].kind != TokKind::Ident || toks[i].text != name)
+            continue;
+        // Look back over the declaration head for a guard keyword.
+        std::size_t j = i;
+        int steps = 0;
+        while (j > 0 && steps < 16) {
+            --j;
+            ++steps;
+            const std::string &t = toks[j].text;
+            if (t == ";" || t == "{" || t == "}" || t == "(")
+                break;
+            for (const char *g : kGuards)
+                if (t == g)
+                    return true;
+        }
+    }
+    return false;
+}
+
+void
+checkPoolLambdas(const ProjectModel &model, const LexedFile &f,
+                 std::vector<Diagnostic> &out)
+{
+    const SymbolIndex &sym = model.symbols;
+    const auto &toks = f.lex.tokens;
+    if (sym.poolEntryPoints.empty())
+        return;
+
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+        if (toks[i].kind != TokKind::Ident ||
+            !sym.poolEntryPoints.count(toks[i].text) ||
+            i + 1 >= toks.size() || toks[i + 1].text != "(")
+            continue;
+        const std::size_t argEnd = skipParens(toks, i + 1);
+
+        for (std::size_t j = i + 2; j < argEnd; ++j) {
+            if (toks[j].text != "[")
+                continue;
+            // Subscript, not a capture list, when an expression
+            // precedes the bracket.
+            const std::string &prevT = toks[j - 1].text;
+            const bool subscript =
+                toks[j - 1].kind == TokKind::Ident || prevT == "]" ||
+                prevT == ")";
+            std::size_t capEnd = j;
+            int depth = 0;
+            for (std::size_t k = j; k < argEnd; ++k) {
+                if (toks[k].text == "[")
+                    ++depth;
+                else if (toks[k].text == "]") {
+                    if (--depth == 0) {
+                        capEnd = k;
+                        break;
+                    }
+                }
+            }
+            if (subscript || capEnd == j) {
+                j = capEnd;
+                continue;
+            }
+            const bool lambda =
+                capEnd + 1 < argEnd && (toks[capEnd + 1].text == "(" ||
+                                        toks[capEnd + 1].text == "{");
+            if (!lambda) {
+                j = capEnd;
+                continue;
+            }
+
+            // Parse the capture list [j+1, capEnd).
+            std::vector<std::vector<std::size_t>> groups(1);
+            for (std::size_t k = j + 1; k < capEnd; ++k) {
+                if (toks[k].text == ",") {
+                    groups.emplace_back();
+                    continue;
+                }
+                groups.back().push_back(k);
+            }
+            for (const auto &g : groups) {
+                if (g.empty())
+                    continue;
+                const std::string &g0 = toks[g[0]].text;
+                if (g0 == "=" || g0 == "this" || g0 == "*")
+                    continue; // by-value default / this / *this
+                if (g0 == "&" && g.size() == 1) {
+                    report(out, f, Rule::VB009, toks[g[0]].line,
+                           "default by-reference capture [&] into a "
+                           "thread-pool lambda — every touched object "
+                           "is shared across workers (capture "
+                           "explicitly; see --explain VB009)");
+                    continue;
+                }
+                if (g0 == "&" && g.size() >= 2 &&
+                    toks[g[1]].kind == TokKind::Ident) {
+                    const std::string &name = toks[g[1]].text;
+                    if (!nameLooksGuarded(toks, name))
+                        report(out, f, Rule::VB009, toks[g[1]].line,
+                               "by-reference capture of '" + name +
+                                   "' into a thread-pool lambda with "
+                                   "no atomic/mutex/const guard in "
+                                   "sight (see --explain VB009)");
+                }
+            }
+
+            // VB008b: registering metrics from inside the pool lambda
+            // accumulates in worker order.
+            std::size_t bodyOpen = capEnd + 1;
+            if (bodyOpen < argEnd && toks[bodyOpen].text == "(")
+                bodyOpen = skipParens(toks, bodyOpen);
+            while (bodyOpen < argEnd && toks[bodyOpen].text != "{")
+                ++bodyOpen;
+            if (bodyOpen < argEnd && toks[bodyOpen].text == "{") {
+                const std::size_t bodyEnd =
+                    std::min(skipBraces(toks, bodyOpen), argEnd);
+                for (std::size_t k = bodyOpen; k < bodyEnd; ++k) {
+                    if (toks[k].kind != TokKind::Ident ||
+                        !sym.registrationMethods.count(toks[k].text))
+                        continue;
+                    const std::string prev =
+                        k > 0 ? toks[k - 1].text : "";
+                    if ((prev == "." || prev == "->") &&
+                        k + 1 < toks.size() &&
+                        toks[k + 1].text == "(") {
+                        report(out, f, Rule::VB008, toks[k].line,
+                               "metric registered inside a thread-pool "
+                               "lambda — fingerprinted values must be "
+                               "recorded per job and merged in job "
+                               "order (see --explain VB008)");
+                    }
+                }
+            }
+            j = capEnd;
+        }
+        i = argEnd - 1;
+    }
+}
+
+} // namespace
+
+void
+runProjectRules(const ProjectModel &model, std::vector<Diagnostic> &out)
+{
+    std::map<std::string, const LexedFile *> byPath;
+    for (const LexedFile &f : model.files)
+        if (!f.synthetic)
+            byPath[f.path] = &f;
+
+    checkLayering(model, byPath, out);
+
+    std::map<std::string, std::vector<const FnDecl *>> regionsByFile;
+    for (const FnDecl &fn : model.functions)
+        if (fn.hasBody)
+            regionsByFile[fn.file].push_back(&fn);
+
+    for (const LexedFile &f : model.files) {
+        if (f.synthetic || !isModelCodePath(f.path))
+            continue;
+        const std::string stem = fileStem(f.path);
+        if (!model.symbols.providerStems.count(stem))
+            checkRngDiscipline(model, f, out);
+        if (!model.symbols.registryStems.count(stem))
+            checkFingerprintHygiene(model, f, regionsByFile[f.path],
+                                    out);
+        if (!model.symbols.poolStems.count(stem))
+            checkPoolLambdas(model, f, out);
+    }
+}
+
+} // namespace vboost::vblint

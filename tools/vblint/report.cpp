@@ -20,7 +20,67 @@ statusName(DiagStatus s)
     return "?";
 }
 
+/** Escape a workflow-command data value (message text). */
+std::string
+ghEscapeData(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '%':
+            out += "%25";
+            break;
+          case '\r':
+            out += "%0D";
+            break;
+          case '\n':
+            out += "%0A";
+            break;
+          default:
+            out.push_back(c);
+        }
+    }
+    return out;
+}
+
+/** Escape a workflow-command property value (file=, title=). */
+std::string
+ghEscapeProperty(const std::string &s)
+{
+    std::string out;
+    for (char c : ghEscapeData(s)) {
+        if (c == ',')
+            out += "%2C";
+        else if (c == ':')
+            out += "%3A";
+        else
+            out.push_back(c);
+    }
+    return out;
+}
+
 } // namespace
+
+void
+printGithubAnnotations(std::ostream &os, const RepoReport &report)
+{
+    for (const Diagnostic &d : report.diagnostics) {
+        if (d.status != DiagStatus::Active)
+            continue;
+        os << "::error file=" << ghEscapeProperty(d.file)
+           << ",line=" << d.line << ",title="
+           << ghEscapeProperty("vblint " + ruleName(d.rule)) << "::"
+           << ghEscapeData(d.message) << "\n";
+    }
+    for (const BaselineEntry &e : report.staleBaseline) {
+        os << "::warning file=" << ghEscapeProperty(e.file) << ",title="
+           << ghEscapeProperty("vblint stale baseline") << "::"
+           << ghEscapeData("stale baseline entry (matched nothing): " +
+                           e.rule + "|" + e.sourceLine)
+           << "\n";
+    }
+}
 
 void
 printText(std::ostream &os, const RepoReport &report, bool all)

@@ -16,6 +16,14 @@ ruleName(Rule r)
         return "VB004";
       case Rule::VB005:
         return "VB005";
+      case Rule::VB006:
+        return "VB006";
+      case Rule::VB007:
+        return "VB007";
+      case Rule::VB008:
+        return "VB008";
+      case Rule::VB009:
+        return "VB009";
       case Rule::VB900:
         return "VB900";
       case Rule::VB901:
@@ -51,6 +59,14 @@ ruleSummary(Rule r)
         return "mutable static/global state in model code";
       case Rule::VB005:
         return "header hygiene violation";
+      case Rule::VB006:
+        return "module layering violation in the include graph";
+      case Rule::VB007:
+        return "RNG-stream discipline violation";
+      case Rule::VB008:
+        return "metrics fingerprint hygiene violation";
+      case Rule::VB009:
+        return "shared-mutable capture into a thread-pool lambda";
       case Rule::VB900:
         return "unused vblint suppression";
       case Rule::VB901:
@@ -140,6 +156,89 @@ ruleExplanation(Rule r)
                "Fix: add a guard; qualify names instead of using\n"
                "namespace directives in headers.\n"
                "Waive: // vblint: allow(VB005, <reason>).";
+      case Rule::VB006:
+        return "VB006 — module layering violation in the include graph\n"
+               "\n"
+               "src/ is a layered DAG: every module sits in a tier and\n"
+               "may include only modules in strictly lower tiers —\n"
+               "  0 common | 1 circuit,obs | 2 sram,energy |\n"
+               "  3 core,dnn,timing | 4 resilience,accel | 5 fi |\n"
+               "  6 serve | 7 cluster.\n"
+               "A back-edge (or same-tier cross-module edge) makes the\n"
+               "dependency graph cyclic over time, couples low layers to\n"
+               "the experiment stack above them, and breaks the\n"
+               "bottom-up testing order the determinism contract is\n"
+               "verified in. vblint builds the project include graph\n"
+               "(pass 1) and rejects back-edges, same-tier cross edges,\n"
+               "file-level include cycles, modules missing from the\n"
+               "tier table, and computed #include directives it cannot\n"
+               "resolve.\n"
+               "\n"
+               "Fix: move the shared type down a tier, or invert the\n"
+               "dependency (callback / interface in the lower module).\n"
+               "New top-level module: extend the tier table in\n"
+               "tools/vblint/include_graph.cpp deliberately.\n"
+               "Waive: // vblint: allow(VB006, <reason>) trailing on the\n"
+               "#include line.";
+      case Rule::VB007:
+        return "VB007 — RNG-stream discipline\n"
+               "\n"
+               "All model randomness must come from the repo's\n"
+               "counter-based stream helpers (DESIGN.md §7): the\n"
+               "split()-capable stream classes and the integer hash\n"
+               "helpers discovered from the project symbol index — not\n"
+               "from a hardcoded name list, so a renamed or added\n"
+               "helper is picked up automatically. Direct\n"
+               "std::mt19937 / std::*_distribution construction has\n"
+               "library-dependent draw sequences, and ad-hoc seed\n"
+               "arithmetic in a stream constructor (Rng(seed + i))\n"
+               "collides streams silently — stream derivation must go\n"
+               "through split(counter) / the blessed hash helpers,\n"
+               "whose mixing is collision-audited.\n"
+               "\n"
+               "Fix: Rng(seed).split(counter) for derived streams;\n"
+               "cellHash/mix64-style helpers for per-cell draws.\n"
+               "Waive: // vblint: allow(VB007, <reason>).";
+      case Rule::VB008:
+        return "VB008 — metrics fingerprint hygiene\n"
+               "\n"
+               "The obs registry fingerprint is a determinism\n"
+               "acceptance value (DESIGN.md §11): every registered\n"
+               "metric feeds it unless excluded. Two antipatterns\n"
+               "corrupt it. (a) Registering a metric computed from a\n"
+               "wall-clock-coupled source (a function declared in a\n"
+               "file with VB001 sites, per the project symbol index)\n"
+               "without excludeFromFingerprint(name) makes the\n"
+               "fingerprint differ across runs. (b) Registering\n"
+               "metrics from inside a lambda handed to a thread-pool\n"
+               "entry point accumulates in worker order — fingerprinted\n"
+               "sums must be recorded into per-job registries and\n"
+               "merged in job order.\n"
+               "\n"
+               "Fix: excludeFromFingerprint() for wall-clock telemetry\n"
+               "(same file as the registration); per-job registries +\n"
+               "job-order merge() for parallel sections.\n"
+               "Waive: // vblint: allow(VB008, <reason>).";
+      case Rule::VB009:
+        return "VB009 — shared-mutable capture into a thread-pool "
+               "lambda\n"
+               "\n"
+               "Lambdas handed to the pool entry points (parallelFor /\n"
+               "submit, discovered from the thread-pool class in the\n"
+               "symbol index) run concurrently. A default by-reference\n"
+               "capture ([&]) or a by-reference capture of plain\n"
+               "mutable state is how data races and schedule-dependent\n"
+               "results enter: every captured reference must be\n"
+               "atomic, mutex-guarded, or per-index/per-slot disjoint.\n"
+               "vblint cannot prove disjointness, so the correct §7\n"
+               "pattern (job j writes only results[j]) is waived at the\n"
+               "callsite with the reason stating the disjointness\n"
+               "argument.\n"
+               "\n"
+               "Fix: capture by value, capture atomics/mutexes by\n"
+               "reference, or keep per-slot scratch state.\n"
+               "Waive: // vblint: allow(VB009, <why disjoint/guarded>)\n"
+               "on the lambda's opening line.";
       case Rule::VB900:
         return "VB900 — unused vblint suppression\n"
                "\n"
@@ -171,9 +270,29 @@ allRules()
 {
     static const std::vector<Rule> kRules = {
         Rule::VB001, Rule::VB002, Rule::VB003, Rule::VB004,
-        Rule::VB005, Rule::VB900, Rule::VB901,
+        Rule::VB005, Rule::VB006, Rule::VB007, Rule::VB008,
+        Rule::VB009, Rule::VB900, Rule::VB901,
     };
     return kRules;
+}
+
+const std::set<std::string> &
+bannedCallIdents()
+{
+    static const std::set<std::string> kBanned = {
+        "rand",     "srand",       "rand_r",   "drand48", "lrand48",
+        "time",     "clock",       "gettimeofday",        "localtime",
+        "gmtime",   "mktime"};
+    return kBanned;
+}
+
+const std::set<std::string> &
+bannedTypeIdents()
+{
+    static const std::set<std::string> kBanned = {
+        "random_device", "system_clock", "steady_clock",
+        "high_resolution_clock"};
+    return kBanned;
 }
 
 } // namespace vboost::vblint

@@ -10,6 +10,7 @@
 #define VBOOST_VBLINT_RULES_HPP
 
 #include <optional>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -21,6 +22,10 @@ enum class Rule {
     VB003, ///< floating-point += in a loop without assoc-ok
     VB004, ///< mutable static / global state
     VB005, ///< header hygiene (guard, using-namespace)
+    VB006, ///< module layering violation in the include graph
+    VB007, ///< RNG-stream discipline (std RNG / ad-hoc seed arithmetic)
+    VB008, ///< fingerprint hygiene (wall-clock metrics, parallel sums)
+    VB009, ///< shared-mutable capture into a thread-pool lambda
     VB900, ///< unused vblint suppression
     VB901, ///< malformed vblint annotation
 };
@@ -39,6 +44,16 @@ std::string ruleExplanation(Rule r);
 
 /** Every rule, in report order. */
 const std::vector<Rule> &allRules();
+
+/** Free functions whose call is a banned nondeterminism source under
+ *  VB001 (rand(), time(), ...). Shared with the project-model taint
+ *  analysis, which marks files containing any of these as
+ *  wall-clock-coupled for VB008. */
+const std::set<std::string> &bannedCallIdents();
+
+/** Type names that are banned nondeterminism sources under VB001
+ *  (random_device, system_clock, ...). */
+const std::set<std::string> &bannedTypeIdents();
 
 } // namespace vboost::vblint
 
