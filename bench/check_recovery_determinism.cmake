@@ -1,0 +1,66 @@
+# Recovery-subsystem thread-count-invariance gate (DESIGN.md §15): run
+# bench_abl_recovery in smoke mode at --threads 1 and --threads 8 and
+# require (a) the result JSON — trained-weight digests, training-stats
+# digests and per-point ChipEvaluator digests included — to be bitwise
+# identical and (b) the metrics fingerprint in the metrics JSON to be
+# identical. Invoked by the recovery_determinism ctest entry with
+# -DBENCH_RECOVERY=<exe> -DWORK_DIR=<dir>.
+
+if(NOT BENCH_RECOVERY)
+    message(FATAL_ERROR "pass -DBENCH_RECOVERY=<path to bench_abl_recovery>")
+endif()
+if(NOT WORK_DIR)
+    message(FATAL_ERROR "pass -DWORK_DIR=<writable work directory>")
+endif()
+
+set(ENV{VBOOST_BENCH_SMOKE} 1)
+
+foreach(threads 1 8)
+    execute_process(
+        COMMAND ${BENCH_RECOVERY}
+            --threads ${threads}
+            --json ${WORK_DIR}/recovery-det-t${threads}.json
+            --metrics-out ${WORK_DIR}/recovery-det-metrics-t${threads}.json
+        WORKING_DIRECTORY ${WORK_DIR}
+        RESULT_VARIABLE rc
+        OUTPUT_VARIABLE out
+        ERROR_VARIABLE err)
+    if(NOT rc EQUAL 0)
+        message(FATAL_ERROR
+            "bench_abl_recovery --threads ${threads} failed (${rc}):\n"
+            "${out}\n${err}")
+    endif()
+endforeach()
+
+# (a) Result JSON (all digests included) must match bitwise.
+execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files
+        ${WORK_DIR}/recovery-det-t1.json
+        ${WORK_DIR}/recovery-det-t8.json
+    RESULT_VARIABLE json_rc)
+if(NOT json_rc EQUAL 0)
+    message(FATAL_ERROR
+        "recovery-frontier JSON differs between --threads 1 and "
+        "--threads 8 (recovery-det-t1.json vs recovery-det-t8.json)")
+endif()
+
+# (b) Metrics fingerprints must match.
+foreach(threads 1 8)
+    file(READ ${WORK_DIR}/recovery-det-metrics-t${threads}.json contents)
+    string(REGEX MATCH "\"fingerprint\": ([0-9]+)" _ "${contents}")
+    if(NOT CMAKE_MATCH_1)
+        message(FATAL_ERROR
+            "no fingerprint field in recovery-det-metrics-t${threads}.json")
+    endif()
+    set(fp_t${threads} ${CMAKE_MATCH_1})
+endforeach()
+if(NOT fp_t1 STREQUAL fp_t8)
+    message(FATAL_ERROR
+        "metrics fingerprint differs: threads=1 -> ${fp_t1}, "
+        "threads=8 -> ${fp_t8}")
+endif()
+
+message(STATUS
+    "recovery determinism OK: fingerprint ${fp_t1}, trained-weight and "
+    "evaluation digests and result JSON bitwise identical at 1 vs 8 "
+    "threads")

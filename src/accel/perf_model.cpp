@@ -190,4 +190,42 @@ PerformanceModel::evaluate(const LayerActivity &activity, Volt vdd,
     return r;
 }
 
+PerfResult
+PerformanceModel::evaluate(const LayerActivity &activity, Volt vdd,
+                           int level, SupplyMode mode,
+                           const RetryOverhead &overhead,
+                           const TimingOverhead &timing,
+                           const RecoveryOverhead &recovery) const
+{
+    if (recovery.computeOverhead < 0.0 || recovery.accessOverhead < 0.0)
+        fatal("PerformanceModel::evaluate: negative recovery overhead");
+
+    // The recovery path's extra work inflates the nominal streams
+    // before retries/replays apply: it executes on the same PEs and
+    // ports as the base model and faults the same way.
+    const double cov = std::min(recovery.computeOverhead,
+                                RecoveryOverhead::kMaxOverhead);
+    const double aov = std::min(recovery.accessOverhead,
+                                RecoveryOverhead::kMaxOverhead);
+    auto scale = [](std::uint64_t n, double factor) {
+        return static_cast<std::uint64_t>(
+            std::llround(static_cast<double>(n) * factor));
+    };
+    LayerActivity inflated = activity;
+    inflated.macs = scale(activity.macs, 1.0 + cov);
+    inflated.weightAccesses = scale(activity.weightAccesses, 1.0 + aov);
+    inflated.inputAccesses = scale(activity.inputAccesses, 1.0 + aov);
+    inflated.psumAccesses = scale(activity.psumAccesses, 1.0 + aov);
+
+    PerfResult r = evaluate(inflated, vdd, level, mode, overhead,
+                            timing);
+    // Throughput and efficiency stay per useful base-model MAC: the
+    // recovery ops are overhead, not delivered work.
+    r.gmacsPerSecond = static_cast<double>(activity.macs) /
+                       r.runtime.value() / 1e9;
+    r.gopsPerWatt = 2.0 * static_cast<double>(activity.macs) /
+                    r.totalEnergy.value() / 1e9;
+    return r;
+}
+
 } // namespace vboost::accel

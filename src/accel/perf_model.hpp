@@ -132,6 +132,37 @@ struct TimingOverhead
     static TimingOverhead none() { return {}; }
 };
 
+/**
+ * Perturbation of both streams by an accuracy-recovery mechanism
+ * (DESIGN.md §15): a learned input transform (or other pre/post
+ * processing) adds MACs and operand traffic to every inference.
+ * Derived from a recovery::PlannedRecovery's per-inference overheads:
+ * computeOverhead = extraComputeOps / macs, accessOverhead =
+ * extraAccesses / totalAccesses.
+ */
+struct RecoveryOverhead
+{
+    /** Extra MACs per nominal MAC (>= 0). Values above kMaxOverhead
+     *  are clamped by evaluate(). */
+    double computeOverhead = 0.0;
+    /** Extra SRAM accesses per nominal access (>= 0). Values above
+     *  kMaxOverhead are clamped by evaluate(). */
+    double accessOverhead = 0.0;
+
+    /**
+     * Sanity ceiling: a recovery path costing more than 4x the base
+     * network defeats its purpose (NeuralFuse-class transforms cost a
+     * few percent); a larger measured ratio is a sizing bug upstream,
+     * so evaluate() clamps rather than letting the streams grow
+     * without bound.
+     */
+    static constexpr double kMaxOverhead = 4.0;
+
+    /** No perturbation (RecoveryMode::None / MapAware-only, which
+     *  changes weights, not work). */
+    static RecoveryOverhead none() { return {}; }
+};
+
 /** End-to-end performance/efficiency evaluator. */
 class PerformanceModel
 {
@@ -183,6 +214,21 @@ class PerformanceModel
                         int level, SupplyMode mode,
                         const RetryOverhead &overhead,
                         const TimingOverhead &timing) const;
+
+    /**
+     * Evaluate with a recovery mechanism's extra work on top of the
+     * retry- and replay-perturbed streams: the recovery MACs and
+     * accesses inflate the nominal streams (and are themselves subject
+     * to retries/replays — they run on the same datapath and ports),
+     * while throughput and GOPS/W remain per *useful* base-model MAC,
+     * so "lower Vdd + transform" competes against "higher boost" on
+     * delivered work.
+     */
+    PerfResult evaluate(const LayerActivity &activity, Volt vdd,
+                        int level, SupplyMode mode,
+                        const RetryOverhead &overhead,
+                        const TimingOverhead &timing,
+                        const RecoveryOverhead &recovery) const;
 
     /**
      * Maximum clock at an operating point: the logic frequency curve

@@ -2,6 +2,8 @@
 
 #include <cstdint>
 #include <fstream>
+#include <istream>
+#include <ostream>
 
 #include "common/logging.hpp"
 
@@ -11,15 +13,9 @@ namespace {
 
 constexpr std::uint32_t kMagic = 0x56424e31; // "VBN1"
 
-} // namespace
-
 void
-saveParameters(Network &net, const std::string &path)
+writeParameters(Network &net, std::ostream &out, const std::string &what)
 {
-    std::ofstream out(path, std::ios::binary);
-    if (!out)
-        fatal("saveParameters: cannot open ", path, " for writing");
-
     auto params = net.params();
     const auto count = static_cast<std::uint32_t>(params.size());
     out.write(reinterpret_cast<const char *>(&kMagic), sizeof(kMagic));
@@ -36,25 +32,21 @@ saveParameters(Network &net, const std::string &path)
                                                sizeof(float)));
     }
     if (!out)
-        fatal("saveParameters: write to ", path, " failed");
+        fatal("saveParameters: write to ", what, " failed");
 }
 
-bool
-loadParameters(Network &net, const std::string &path)
+void
+readParameters(Network &net, std::istream &in, const std::string &what)
 {
-    std::ifstream in(path, std::ios::binary);
-    if (!in)
-        return false;
-
     std::uint32_t magic = 0, count = 0;
     in.read(reinterpret_cast<char *>(&magic), sizeof(magic));
     in.read(reinterpret_cast<char *>(&count), sizeof(count));
     if (!in || magic != kMagic)
-        fatal("loadParameters: ", path, " is not a parameter file");
+        fatal("loadParameters: ", what, " is not a parameter image");
 
     auto params = net.params();
     if (count != params.size())
-        fatal("loadParameters: ", path, " has ", count,
+        fatal("loadParameters: ", what, " has ", count,
               " parameters; network expects ", params.size());
 
     for (auto &p : params) {
@@ -74,7 +66,39 @@ loadParameters(Network &net, const std::string &path)
         if (!in)
             fatal("loadParameters: truncated data at ", p.name);
     }
+}
+
+} // namespace
+
+void
+saveParameters(Network &net, const std::string &path)
+{
+    std::ofstream out(path, std::ios::binary);
+    if (!out)
+        fatal("saveParameters: cannot open ", path, " for writing");
+    writeParameters(net, out, path);
+}
+
+void
+saveParameters(Network &net, std::ostream &out)
+{
+    writeParameters(net, out, "<stream>");
+}
+
+bool
+loadParameters(Network &net, const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return false;
+    readParameters(net, in, path);
     return true;
+}
+
+void
+loadParameters(Network &net, std::istream &in)
+{
+    readParameters(net, in, "<stream>");
 }
 
 } // namespace vboost::dnn

@@ -1,15 +1,19 @@
 /**
  * @file
  * Flat binary serialization of network parameters, so benches and
- * examples can train once and reuse the model across runs. The format
- * is a magic/version header followed by each parameter tensor's shape
- * and float data, in network parameter order; loading validates the
- * structure against the destination network.
+ * examples can train once and reuse the model across runs — and so
+ * recovery artifacts (e.g. a learned InputTransform) round-trip like
+ * model weights. The format is a magic/version header followed by each
+ * parameter tensor's shape and float data, in network parameter order;
+ * loading validates the structure against the destination network.
+ * The stream overloads carry the same format for in-memory transport
+ * (tests, RPC payloads); the path overloads delegate to them.
  */
 
 #ifndef VBOOST_DNN_SERIALIZE_HPP
 #define VBOOST_DNN_SERIALIZE_HPP
 
+#include <iosfwd>
 #include <string>
 
 #include "dnn/network.hpp"
@@ -20,6 +24,10 @@ namespace vboost::dnn {
  *  failure. */
 void saveParameters(Network &net, const std::string &path);
 
+/** Write all parameters of `net` to a binary stream. Throws
+ *  FatalError on stream failure. */
+void saveParameters(Network &net, std::ostream &out);
+
 /**
  * Load parameters from `path` into `net`.
  *
@@ -28,6 +36,11 @@ void saveParameters(Network &net, const std::string &path);
  *         network's structure.
  */
 bool loadParameters(Network &net, const std::string &path);
+
+/** Load parameters from a binary stream into `net`. Throws FatalError
+ *  if the stream is not a parameter image or does not match the
+ *  network's structure. */
+void loadParameters(Network &net, std::istream &in);
 
 } // namespace vboost::dnn
 

@@ -10,7 +10,14 @@ namespace vboost::fi {
 FaultAwareTrainer::FaultAwareTrainer(FaultTrainConfig cfg) : cfg_(cfg)
 {
     if (cfg_.failProb < 0.0 || cfg_.failProb > 1.0)
-        fatal("FaultAwareTrainer: failProb must be in [0,1]");
+        fatal("FaultAwareTrainer: failProb must be in [0,1] (got ",
+              cfg_.failProb, ")");
+    if (cfg_.flipProb < 0.0 || cfg_.flipProb > 1.0)
+        fatal("FaultAwareTrainer: flipProb must be in [0,1] (got ",
+              cfg_.flipProb, ")");
+    if (cfg_.warmupEpochs < 0)
+        fatal("FaultAwareTrainer: warmupEpochs must be >= 0 (got ",
+              cfg_.warmupEpochs, ")");
     // Delegate the rest of the validation to the base trainer.
     dnn::SgdTrainer validator(cfg_.base);
     (void)validator;

@@ -1,0 +1,301 @@
+#include "recovery/input_transform.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <utility>
+
+#include "common/logging.hpp"
+#include "dnn/layers.hpp"
+#include "dnn/serialize.hpp"
+#include "recovery/recovery.hpp"
+
+namespace vboost::recovery {
+
+void
+TransformConfig::validate() const
+{
+    if (inputDim < 1)
+        fatal("TransformConfig: inputDim must be positive (got ",
+              inputDim, ")");
+    if (hiddenDim < 1)
+        fatal("TransformConfig: hiddenDim must be positive (got ",
+              hiddenDim, ")");
+    if (alpha <= 0.0 || alpha > 1.0)
+        fatal("TransformConfig: alpha must be in (0, 1] (got ", alpha,
+              ")");
+}
+
+InputTransform::InputTransform(TransformConfig cfg) : cfg_(cfg)
+{
+    cfg_.validate();
+    Rng rng(cfg_.initSeed);
+    net_.addLayer<dnn::Dense>(cfg_.inputDim, cfg_.hiddenDim, rng,
+                              "tf_fc1");
+    net_.addLayer<dnn::Relu>("tf_relu");
+    net_.addLayer<dnn::Dense>(cfg_.hiddenDim, cfg_.inputDim, rng,
+                              "tf_fc2");
+}
+
+dnn::Tensor
+InputTransform::apply(const dnn::Tensor &x, bool train)
+{
+    if (x.rank() != 2 || x.dim(1) != cfg_.inputDim)
+        fatal("InputTransform::apply: input ", x.shapeString(),
+              " does not match [B, ", cfg_.inputDim, "]");
+    dnn::Tensor t = net_.forward(x, train);
+    const auto alpha = static_cast<float>(cfg_.alpha);
+    dnn::Tensor raw = dnn::Tensor::uninitialized(x.shape());
+    dnn::Tensor y = dnn::Tensor::uninitialized(x.shape());
+    for (std::size_t e = 0; e < x.numel(); ++e) {
+        const float r = x[e] + alpha * t[e];
+        raw[e] = r;
+        y[e] = std::clamp(r, 0.0f, 1.0f);
+    }
+    if (train)
+        lastRaw_ = std::move(raw);
+    return y;
+}
+
+dnn::Tensor
+InputTransform::backward(const dnn::Tensor &grad_out)
+{
+    if (lastRaw_.numel() != grad_out.numel())
+        fatal("InputTransform::backward: no cached apply(train=true) "
+              "pass for this batch shape");
+    const auto alpha = static_cast<float>(cfg_.alpha);
+    // Gradient passes where the clamp is inactive; saturated elements
+    // are pinned at the bound, so their gradient is zero (exact, not
+    // straight-through: the residual keeps most elements interior).
+    dnn::Tensor pass = dnn::Tensor::uninitialized(grad_out.shape());
+    for (std::size_t e = 0; e < grad_out.numel(); ++e) {
+        pass[e] = (lastRaw_[e] > 0.0f && lastRaw_[e] < 1.0f)
+                      ? grad_out[e]
+                      : 0.0f;
+    }
+    dnn::Tensor gt = dnn::Tensor::uninitialized(grad_out.shape());
+    for (std::size_t e = 0; e < grad_out.numel(); ++e)
+        gt[e] = alpha * pass[e];
+    dnn::Tensor gx = net_.backward(gt);
+    // The identity path of the residual adds the passed gradient.
+    for (std::size_t e = 0; e < gx.numel(); ++e)
+        gx[e] += pass[e]; // vblint: assoc-ok(element-wise two-term add, no cross-iteration accumulation)
+    return gx;
+}
+
+std::uint64_t
+InputTransform::macsPerSample() const
+{
+    return 2ull * static_cast<std::uint64_t>(cfg_.inputDim) *
+           static_cast<std::uint64_t>(cfg_.hiddenDim);
+}
+
+std::uint64_t
+InputTransform::accessesPerSample(int elems_per_access) const
+{
+    if (elems_per_access < 1)
+        fatal("InputTransform::accessesPerSample: elems_per_access "
+              "must be positive");
+    const auto in = static_cast<std::uint64_t>(cfg_.inputDim);
+    const auto h = static_cast<std::uint64_t>(cfg_.hiddenDim);
+    // Streamed int16 elements: both weight matrices once, the input
+    // read, the hidden activation written and read back, the output
+    // written (biases ride along with the weights).
+    const std::uint64_t elems = 2 * in * h + 2 * in + 2 * h;
+    const auto per = static_cast<std::uint64_t>(elems_per_access);
+    return (elems + per - 1) / per;
+}
+
+std::size_t
+InputTransform::parameterCount()
+{
+    std::size_t n = 0;
+    for (const auto &p : net_.params())
+        n += p.value->numel();
+    return n;
+}
+
+void
+InputTransform::save(const std::string &path)
+{
+    dnn::saveParameters(net_, path);
+}
+
+bool
+InputTransform::load(const std::string &path)
+{
+    return dnn::loadParameters(net_, path);
+}
+
+void
+TransformTrainConfig::validate() const
+{
+    if (failProb < 0.0 || failProb > 1.0)
+        fatal("TransformTrainConfig: failProb must be in [0,1] (got ",
+              failProb, ")");
+    if (flipProb < 0.0 || flipProb > 1.0)
+        fatal("TransformTrainConfig: flipProb must be in [0,1] (got ",
+              flipProb, ")");
+    if (warmupEpochs < 0)
+        fatal("TransformTrainConfig: warmupEpochs must be >= 0 (got ",
+              warmupEpochs, ")");
+    if (gradClip < 0.0)
+        fatal("TransformTrainConfig: gradClip must be >= 0 (got ",
+              gradClip, ")");
+}
+
+std::uint64_t
+TransformTrainStats::digest() const
+{
+    std::uint64_t h = kFnvOffset;
+    for (const auto &e : epochs) {
+        h = fnvMixDouble(h, e.meanLoss);
+        h = fnvMixDouble(h, e.trainAccuracy);
+    }
+    h = fnvMix(h, batches);
+    h = fnvMix(h, bitFlips);
+    return h;
+}
+
+TransformTrainer::TransformTrainer(TransformTrainConfig cfg)
+    : cfg_(std::move(cfg))
+{
+    cfg_.validate();
+    // Delegate base SGD validation to the trainer it mirrors.
+    dnn::SgdTrainer validator(cfg_.base);
+    (void)validator;
+}
+
+void
+TransformTrainer::attachObservability(obs::Observability *o,
+                                      obs::Labels labels)
+{
+    obs_ = o;
+    labels_ = std::move(labels);
+}
+
+TransformTrainStats
+TransformTrainer::train(InputTransform &tf, dnn::Network &base,
+                        dnn::Network &scratch,
+                        const dnn::Dataset &train_set, Rng &rng)
+{
+    if (train_set.size() == 0)
+        fatal("TransformTrainer::train: empty training set");
+    if (base.params().size() != scratch.params().size())
+        fatal("TransformTrainer: base and scratch structure mismatch");
+
+    auto tf_params = tf.network().params();
+    std::vector<dnn::Tensor> velocity;
+    velocity.reserve(tf_params.size());
+    for (auto &p : tf_params)
+        velocity.push_back(dnn::Tensor::zeros(p.value->shape()));
+
+    auto spec = fi::InjectionSpec::allWeights();
+    spec.flipProb = cfg_.flipProb;
+
+    dnn::SoftmaxCrossEntropy loss_fn;
+    std::vector<std::size_t> order(train_set.size());
+    std::iota(order.begin(), order.end(), 0);
+
+    const auto &b = cfg_.base;
+    TransformTrainStats stats;
+    double lr = b.learningRate;
+    std::uint64_t batch_counter = 0;
+    for (int epoch = 0; epoch < b.epochs; ++epoch) {
+        for (std::size_t i = order.size(); i > 1; --i) {
+            const std::size_t j = rng.uniformInt(i);
+            std::swap(order[i - 1], order[j]);
+        }
+
+        double loss_sum = 0.0;
+        std::size_t correct = 0, seen = 0, batches = 0;
+        for (std::size_t start = 0; start < order.size();
+             start += static_cast<std::size_t>(b.batchSize)) {
+            const std::size_t count =
+                std::min(static_cast<std::size_t>(b.batchSize),
+                         order.size() - start);
+            std::vector<std::size_t> idx(
+                order.begin() + static_cast<long>(start),
+                order.begin() + static_cast<long>(start + count));
+            dnn::Dataset batch = train_set.gather(idx);
+
+            // Fresh map per batch: the transform must transfer across
+            // chips, never memorize one chip's broken cells.
+            const sram::VulnerabilityMap map(cfg_.seed, batch_counter);
+            Rng flip_rng = Rng(cfg_.seed).split(batch_counter);
+            ++batch_counter;
+            const double fail_prob =
+                epoch < cfg_.warmupEpochs ? 0.0 : cfg_.failProb;
+            stats.bitFlips += corruptNetwork(scratch, base, map,
+                                             fail_prob, spec,
+                                             cfg_.layout, flip_rng);
+
+            tf.zeroGrads();
+            scratch.zeroGrads();
+            dnn::Tensor x = tf.apply(batch.images, /*train=*/true);
+            dnn::Tensor logits = scratch.forward(x, /*train=*/true);
+            dnn::Tensor grad;
+            loss_sum += loss_fn.lossAndGrad(logits, batch.labels, grad); // vblint: assoc-ok(serial batch-order accumulation, single training thread)
+            ++batches;
+            // The base is frozen: its backward pass only transports
+            // the gradient to the transform's output.
+            dnn::Tensor grad_in = scratch.backward(grad);
+            tf.backward(grad_in);
+
+            for (int r = 0; r < logits.dim(0); ++r) {
+                int best = 0;
+                for (int c = 1; c < logits.dim(1); ++c) {
+                    if (logits.at(r, c) > logits.at(r, best))
+                        best = c;
+                }
+                correct += best ==
+                           batch.labels[static_cast<std::size_t>(r)];
+                ++seen;
+            }
+
+            const auto gclip = static_cast<float>(cfg_.gradClip);
+            for (std::size_t p = 0; p < tf_params.size(); ++p) {
+                dnn::Tensor &v = velocity[p];
+                dnn::Tensor &value = *tf_params[p].value;
+                const dnn::Tensor &g = *tf_params[p].grad;
+                for (std::size_t e = 0; e < value.numel(); ++e) {
+                    float ge = g[e];
+                    if (gclip > 0.0f)
+                        ge = std::clamp(ge, -gclip, gclip);
+                    v[e] = static_cast<float>(b.momentum * v[e] -
+                                              lr * ge);
+                    value[e] += v[e]; // vblint: assoc-ok(serial momentum-SGD update, single training thread)
+                }
+            }
+        }
+        stats.batches += batches;
+
+        dnn::EpochStats es;
+        es.meanLoss = loss_sum / static_cast<double>(batches);
+        es.trainAccuracy =
+            static_cast<double>(correct) / static_cast<double>(seen);
+        stats.epochs.push_back(es);
+        if (b.verbose) {
+            inform("transform epoch ", epoch + 1, "/", b.epochs,
+                   ": loss=", es.meanLoss,
+                   " train_acc=", es.trainAccuracy);
+        }
+        lr *= b.lrDecay;
+    }
+
+    if (obs_ != nullptr) {
+        obs_->metrics.counter("recovery.fuse.batches", labels_)
+            .add(stats.batches);
+        obs_->metrics.counter("recovery.fuse.bit_flips", labels_)
+            .add(stats.bitFlips);
+        if (!stats.epochs.empty()) {
+            obs_->metrics.gauge("recovery.fuse.final_loss", labels_)
+                .set(stats.epochs.back().meanLoss);
+            obs_->metrics
+                .gauge("recovery.fuse.final_train_accuracy", labels_)
+                .set(stats.epochs.back().trainAccuracy);
+        }
+    }
+    return stats;
+}
+
+} // namespace vboost::recovery

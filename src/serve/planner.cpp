@@ -94,6 +94,13 @@ OperatingPointPlanner::OperatingPointPlanner(
                   "empty instead");
         timingModel_.emplace(ctx.tech, cfg_.timingParams);
     }
+    for (const auto &rec : cfg_.recoveryOptions) {
+        rec.validate();
+        if (rec.mode == recovery::RecoveryMode::None)
+            fatal("OperatingPointPlanner: recoveryOptions must not "
+                  "carry RecoveryMode::None (boost-only is the "
+                  "implicit candidate)");
+    }
 
     for (int c = 0; c < kNumSloClasses; ++c) {
         const auto slo = static_cast<SloClass>(c);
@@ -126,18 +133,39 @@ OperatingPointPlanner::OperatingPointPlanner(
 std::optional<OperatingPlan>
 OperatingPointPlanner::planAtVdd(SloClass slo, Volt vdd) const
 {
-    // The no-underscale point (logic at vdd) is always a candidate —
-    // and the only one under 1-D planning — so joint planning never
-    // loses feasibility the 1-D planner had.
-    std::optional<OperatingPlan> best = planAt(slo, vdd, Volt(0.0));
-    if (!best)
-        return std::nullopt;
-    for (Volt v_logic : cfg_.vLogicGrid) {
-        if (vdd < v_logic)
-            break; // grid ascends; only underscaled rails qualify
-        const auto joint = planAt(slo, vdd, v_logic);
-        if (joint && joint->energyPerInference < best->energyPerInference)
-            best = joint;
+    // Candidates per rung: every recovery strategy (boost-only plus
+    // each configured option) jointly with every datapath rail; the
+    // cheapest feasible combination wins. Strategy order breaks energy
+    // ties deterministically (boost-only first, then config order).
+    auto best_over_rails =
+        [&](const recovery::PlannedRecovery *rec)
+        -> std::optional<OperatingPlan> {
+        // The no-underscale point (logic at vdd) is always a candidate
+        // — and the only one under 1-D planning — so joint planning
+        // never loses feasibility the 1-D planner had.
+        std::optional<OperatingPlan> best =
+            planImpl(slo, vdd, Volt(0.0), rec);
+        if (!best)
+            return std::nullopt;
+        for (Volt v_logic : cfg_.vLogicGrid) {
+            if (vdd < v_logic)
+                break; // grid ascends; only underscaled rails qualify
+            const auto joint = planImpl(slo, vdd, v_logic, rec);
+            if (joint &&
+                joint->energyPerInference < best->energyPerInference)
+                best = joint;
+        }
+        return best;
+    };
+
+    std::optional<OperatingPlan> best = best_over_rails(nullptr);
+    for (const auto &rec : cfg_.recoveryOptions) {
+        const auto candidate = best_over_rails(&rec);
+        if (!candidate)
+            continue;
+        if (!best ||
+            candidate->energyPerInference < best->energyPerInference)
+            best = candidate;
     }
     return best;
 }
@@ -145,9 +173,28 @@ OperatingPointPlanner::planAtVdd(SloClass slo, Volt vdd) const
 std::optional<OperatingPlan>
 OperatingPointPlanner::planAt(SloClass slo, Volt vdd, Volt v_logic) const
 {
+    return planImpl(slo, vdd, v_logic, nullptr);
+}
+
+std::optional<OperatingPlan>
+OperatingPointPlanner::planAt(SloClass slo, Volt vdd, Volt v_logic,
+                              const recovery::PlannedRecovery &rec) const
+{
+    return planImpl(slo, vdd, v_logic, &rec);
+}
+
+std::optional<OperatingPlan>
+OperatingPointPlanner::planImpl(SloClass slo, Volt vdd, Volt v_logic,
+                                const recovery::PlannedRecovery *rec) const
+{
     const double target = targetAccuracy(slo);
+    // Feasibility follows the strategy's own accuracy curve: a MATIC
+    // retrained model or a NeuralFuse transform holds the target at a
+    // lower weight voltage than the base model can.
+    const core::TradeoffExplorer::AccuracyFn &oracle =
+        rec != nullptr ? rec->accuracy : accuracy_;
     const auto weight_level =
-        explorer_.minimalLevelForAccuracy(vdd, target, accuracy_);
+        explorer_.minimalLevelForAccuracy(vdd, target, oracle);
     if (!weight_level)
         return std::nullopt;
     const auto input_level =
@@ -162,8 +209,22 @@ OperatingPointPlanner::planAt(SloClass slo, Volt vdd, Volt v_logic) const
     plan.vddvWeights = explorer_.boostedVoltage(vdd, plan.weightLevel);
     plan.vddvInputs = explorer_.boostedVoltage(vdd, plan.inputLevel);
     plan.targetAccuracy = target;
-    plan.plannedAccuracy = accuracy_(plan.vddvWeights);
+    plan.plannedAccuracy = oracle(plan.vddvWeights);
+    if (rec != nullptr) {
+        plan.recoveryMode = rec->mode;
+        plan.recoveryComputeOps = rec->extraComputeOps;
+        plan.recoveryInputAccesses = rec->extraInputAccesses;
+    }
+    // The recovery path's extra work joins the inference streams: its
+    // operand traffic runs at the input level (its activations live in
+    // the boosted input memory) and its MACs at the logic rail.
+    const std::uint64_t input_accesses =
+        footprint_.inputAccesses + footprint_.psumAccesses +
+        plan.recoveryInputAccesses;
+    const std::uint64_t compute_ops =
+        footprint_.computeOps + plan.recoveryComputeOps;
 
+    double replay_mult = 1.0;
     if (v_logic.value() > 0.0) {
         if (!timingModel_)
             fatal("OperatingPointPlanner::planAt: vLogicGrid is empty, "
@@ -180,28 +241,40 @@ OperatingPointPlanner::planAt(SloClass slo, Volt vdd, Volt v_logic) const
         plan.replayRate = t.replayRate;
         plan.bubbleRate = t.bubbleRate;
         plan.corruptedRate = t.corruptedRate;
-        // The MAC datapath moves to its own rail; replays pay their
-        // PE energy there too.
-        plan.energyPerInference =
-            explorer_.supply()
-                .boostedDynamicMulti(
-                    {{footprint_.weightAccesses, plan.weightLevel},
-                     {footprint_.inputAccesses + footprint_.psumAccesses,
-                      plan.inputLevel}},
-                    0, vdd)
-                .total() +
-            explorer_.supply().energyModel().peOpEnergy(v_logic) *
-                (static_cast<double>(footprint_.computeOps) *
-                 (1.0 + t.replayRate));
-    } else {
-        plan.energyPerInference =
-            explorer_.supply()
-                .boostedDynamicMulti(
-                    {{footprint_.weightAccesses, plan.weightLevel},
-                     {footprint_.inputAccesses + footprint_.psumAccesses,
-                      plan.inputLevel}},
-                    footprint_.computeOps, vdd)
-                .total();
+        replay_mult = 1.0 + t.replayRate;
+    }
+
+    // Planned dynamic energy of one inference's streams. Underscaled
+    // rails move the MAC datapath (and its replays — recovery MACs
+    // replay like any other op) to their own rail.
+    auto stream_energy = [&](std::uint64_t in_acc,
+                             std::uint64_t ops) -> Joule {
+        if (v_logic.value() > 0.0) {
+            return explorer_.supply()
+                       .boostedDynamicMulti(
+                           {{footprint_.weightAccesses,
+                             plan.weightLevel},
+                            {in_acc, plan.inputLevel}},
+                           0, vdd)
+                       .total() +
+                   explorer_.supply().energyModel().peOpEnergy(
+                       v_logic) *
+                       (static_cast<double>(ops) * replay_mult);
+        }
+        return explorer_.supply()
+            .boostedDynamicMulti({{footprint_.weightAccesses,
+                                   plan.weightLevel},
+                                  {in_acc, plan.inputLevel}},
+                                 ops, vdd)
+            .total();
+    };
+    plan.energyPerInference = stream_energy(input_accesses, compute_ops);
+    if (rec != nullptr) {
+        const Joule base = stream_energy(
+            footprint_.inputAccesses + footprint_.psumAccesses,
+            footprint_.computeOps);
+        plan.recoveryEnergy = Joule(plan.energyPerInference.value() -
+                                    base.value());
     }
     return plan;
 }

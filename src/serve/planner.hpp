@@ -26,6 +26,7 @@
 
 #include "common/units.hpp"
 #include "core/tradeoff.hpp"
+#include "recovery/recovery.hpp"
 #include "serve/request.hpp"
 #include "timing/replay_policy.hpp"
 #include "timing/timing_model.hpp"
@@ -82,6 +83,18 @@ struct PlannerConfig
      *  underscaled rail is infeasible (budget exhaustion would leak
      *  corrupted MACs into inference). */
     double maxCorruptedRate = 1e-9;
+
+    /**
+     * Recovery options the planner may select per SLO class, on top
+     * of the implicit boost-only RecoveryMode::None candidate
+     * (DESIGN.md §15). Each option carries its own accuracy-vs-voltage
+     * curve (e.g. a sampled ChipEvaluator frontier for a MATIC
+     * retrained model or a NeuralFuse transform) and its per-inference
+     * energy overheads, so "lower Vdd + recovery" competes against
+     * "higher boost" on planned energy. Empty = legacy boost-only
+     * planning. Options must not carry RecoveryMode::None.
+     */
+    std::vector<recovery::PlannedRecovery> recoveryOptions{};
 };
 
 /** One fully resolved operating point for a batch. */
@@ -116,6 +129,16 @@ struct OperatingPlan
     double corruptedRate = 0.0;
     /** Effective-period stretch (worst-case-clocked policies only). */
     double clockStretch = 1.0;
+
+    /** Selected recovery strategy (None = boost-only). */
+    recovery::RecoveryMode recoveryMode = recovery::RecoveryMode::None;
+    /** The recovery path's extra MACs per inference. */
+    std::uint64_t recoveryComputeOps = 0;
+    /** The recovery path's extra input-memory accesses per inference. */
+    std::uint64_t recoveryInputAccesses = 0;
+    /** Planned per-inference energy of the recovery path (already
+     *  included in energyPerInference). */
+    Joule recoveryEnergy{0.0};
 };
 
 /**
@@ -168,6 +191,17 @@ class OperatingPointPlanner
                                         Volt v_logic) const;
 
     /**
+     * As planAt(slo, vdd, v_logic), but planned under one explicit
+     * recovery option: feasibility uses the option's accuracy curve
+     * and the energy objective pays the option's per-inference
+     * overheads. Exposed for the recovery bench and the planner
+     * acceptance tests.
+     */
+    std::optional<OperatingPlan>
+    planAt(SloClass slo, Volt vdd, Volt v_logic,
+           const recovery::PlannedRecovery &rec) const;
+
+    /**
      * Feed back one batch's measured word error rate (errors / reads
      * from resilience::ResilienceStats). Updates the tenant's EWMA and
      * possibly its ladder step. Must be called serially in batch
@@ -196,6 +230,11 @@ class OperatingPointPlanner
         int step = 0;
         bool seeded = false;
     };
+
+    /** Shared implementation: `rec` = nullptr plans boost-only. */
+    std::optional<OperatingPlan>
+    planImpl(SloClass slo, Volt vdd, Volt v_logic,
+             const recovery::PlannedRecovery *rec) const;
 
     core::TradeoffExplorer explorer_;
     core::TradeoffExplorer::AccuracyFn accuracy_;

@@ -173,6 +173,29 @@ TEST(FaultAwareTraining, ValidatesConfig)
     fi::FaultTrainConfig cfg;
     cfg.failProb = 1.5;
     EXPECT_THROW(fi::FaultAwareTrainer{cfg}, FatalError);
+
+    cfg = {};
+    cfg.failProb = -0.1;
+    EXPECT_THROW(fi::FaultAwareTrainer{cfg}, FatalError);
+
+    cfg = {};
+    cfg.flipProb = 1.5;
+    EXPECT_THROW(fi::FaultAwareTrainer{cfg}, FatalError);
+
+    cfg = {};
+    cfg.flipProb = -0.5;
+    EXPECT_THROW(fi::FaultAwareTrainer{cfg}, FatalError);
+
+    cfg = {};
+    cfg.warmupEpochs = -1;
+    EXPECT_THROW(fi::FaultAwareTrainer{cfg}, FatalError);
+
+    // Boundary values are legal.
+    cfg = {};
+    cfg.failProb = 0.0;
+    cfg.flipProb = 1.0;
+    cfg.warmupEpochs = 0;
+    EXPECT_NO_THROW(fi::FaultAwareTrainer{cfg});
 }
 
 // ---------------------------------------------------------------- canary

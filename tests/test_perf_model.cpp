@@ -206,6 +206,73 @@ TEST_F(PerfTest, ValidatesRetryOverhead)
                  FatalError);
 }
 
+TEST_F(PerfTest, ZeroRecoveryOverheadMatchesTimingEvaluate)
+{
+    const auto plain = model_.evaluate(fc_, 0.40_V, 2,
+                                       SupplyMode::Boosted,
+                                       RetryOverhead::none(),
+                                       TimingOverhead::none());
+    const auto with = model_.evaluate(fc_, 0.40_V, 2,
+                                      SupplyMode::Boosted,
+                                      RetryOverhead::none(),
+                                      TimingOverhead::none(),
+                                      RecoveryOverhead::none());
+    EXPECT_EQ(plain.cycles, with.cycles);
+    EXPECT_DOUBLE_EQ(plain.totalEnergy.value(),
+                     with.totalEnergy.value());
+    EXPECT_DOUBLE_EQ(plain.gopsPerWatt, with.gopsPerWatt);
+}
+
+TEST_F(PerfTest, RecoveryOverheadCostsEnergyButCountsUsefulWork)
+{
+    RecoveryOverhead rec;
+    rec.computeOverhead = 0.10;
+    rec.accessOverhead = 0.05;
+    const auto plain = model_.evaluate(fc_, 0.40_V, 2,
+                                       SupplyMode::Boosted);
+    const auto with = model_.evaluate(fc_, 0.40_V, 2,
+                                      SupplyMode::Boosted,
+                                      RetryOverhead::none(),
+                                      TimingOverhead::none(), rec);
+    // The transform's extra work costs energy and cycles...
+    EXPECT_GT(with.totalEnergy.value(), plain.totalEnergy.value());
+    EXPECT_GE(with.cycles, plain.cycles);
+    // ...but throughput/efficiency stay per useful base-model MAC, so
+    // the recovery run is strictly less efficient per delivered op.
+    EXPECT_LT(with.gopsPerWatt, plain.gopsPerWatt);
+    EXPECT_LT(with.gmacsPerSecond, plain.gmacsPerSecond);
+}
+
+TEST_F(PerfTest, RecoveryOverheadIsClampedAndValidated)
+{
+    RecoveryOverhead huge;
+    huge.computeOverhead = 100.0;
+    huge.accessOverhead = 100.0;
+    RecoveryOverhead capped;
+    capped.computeOverhead = RecoveryOverhead::kMaxOverhead;
+    capped.accessOverhead = RecoveryOverhead::kMaxOverhead;
+    const auto a = model_.evaluate(fc_, 0.40_V, 2, SupplyMode::Boosted,
+                                   RetryOverhead::none(),
+                                   TimingOverhead::none(), huge);
+    const auto b = model_.evaluate(fc_, 0.40_V, 2, SupplyMode::Boosted,
+                                   RetryOverhead::none(),
+                                   TimingOverhead::none(), capped);
+    EXPECT_DOUBLE_EQ(a.totalEnergy.value(), b.totalEnergy.value());
+
+    RecoveryOverhead bad;
+    bad.computeOverhead = -0.1;
+    EXPECT_THROW(model_.evaluate(fc_, 0.40_V, 2, SupplyMode::Boosted,
+                                 RetryOverhead::none(),
+                                 TimingOverhead::none(), bad),
+                 FatalError);
+    bad = {};
+    bad.accessOverhead = -0.1;
+    EXPECT_THROW(model_.evaluate(fc_, 0.40_V, 2, SupplyMode::Boosted,
+                                 RetryOverhead::none(),
+                                 TimingOverhead::none(), bad),
+                 FatalError);
+}
+
 /** Property: efficiency falls as the single-rail voltage rises. */
 class EfficiencySweep : public ::testing::TestWithParam<double>
 {

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "analyzer.hpp"
+#include "include_graph.hpp"
 #include "report.hpp"
 #include "rules.hpp"
 
@@ -392,6 +393,40 @@ TEST(VblintVB002, ClusterTierUnorderedIterationIsFlagged)
     EXPECT_EQ(withRule(fa, Rule::VB002).size(), 1u);
 }
 
+TEST(VblintVB003, RecoveryTierIsInScope)
+{
+    // src/recovery/ reduces Monte-Carlo read results and training
+    // statistics under the §7 bitwise contract (DESIGN.md §15): an
+    // unordered float accumulation there would break the digest
+    // acceptance values, so the directory is in VB003 scope.
+    const std::string snippet =
+        "void accum(const float *v, float *c, int n) {\n"
+        "    for (int i = 0; i < n; ++i)\n"
+        "        *c += v[i];\n"
+        "}\n";
+    EXPECT_EQ(withRule(analyzeSource("src/recovery/x.cpp", snippet),
+                       Rule::VB003)
+                  .size(),
+              1u);
+}
+
+TEST(VblintVB002, RecoveryTierUnorderedIterationIsFlagged)
+{
+    // Recovery digests and obs exports iterate label maps; an
+    // unordered_map walk there would leak hash order into the
+    // fingerprints the determinism ctest compares.
+    const auto fa = analyzeSource(
+        "src/recovery/x.cpp",
+        "#include <unordered_map>\n"
+        "int f(const std::unordered_map<int, int> &m) {\n"
+        "    int s = 0;\n"
+        "    for (const auto &kv : m)\n"
+        "        s += kv.second;\n"
+        "    return s;\n"
+        "}\n");
+    EXPECT_EQ(withRule(fa, Rule::VB002).size(), 1u);
+}
+
 TEST(VblintVB002, ObservabilityLayerUnorderedIterationIsFlagged)
 {
     // The registry promises key-ordered iteration; an unordered_map
@@ -618,6 +653,45 @@ TEST(VblintVB006, ForwardAndSameModuleIncludesAreClean)
                                        "int f() { return 1; }\n"),
                          Rule::VB006)
                     .empty());
+}
+
+TEST(VblintVB006, RecoveryTierSitsBetweenFiAndServe)
+{
+    // DESIGN.md §15: recovery consumes fi's injection machinery and
+    // feeds serve's planner, so the DAG must admit recovery -> fi and
+    // serve -> recovery while rejecting the reverse edges.
+    EXPECT_EQ(moduleTier("fi"), 5);
+    EXPECT_EQ(moduleTier("recovery"), 6);
+    EXPECT_EQ(moduleTier("serve"), 7);
+    EXPECT_EQ(moduleTier("cluster"), 8);
+
+    EXPECT_TRUE(withRule(analyzeSource("src/recovery/x.cpp",
+                                       "#include \"fi/injector.hpp\"\n"
+                                       "int f() { return 1; }\n"),
+                         Rule::VB006)
+                    .empty());
+    EXPECT_TRUE(withRule(analyzeSource(
+                             "src/serve/x.cpp",
+                             "#include \"recovery/recovery.hpp\"\n"
+                             "int f() { return 1; }\n"),
+                         Rule::VB006)
+                    .empty());
+
+    const auto back = withRule(
+        analyzeSource("src/fi/x.cpp",
+                      "#include \"recovery/recovery.hpp\"\n"
+                      "int f() { return 1; }\n"),
+        Rule::VB006);
+    ASSERT_EQ(back.size(), 1u);
+    EXPECT_NE(back[0].message.find("back-edge"), std::string::npos);
+
+    const auto up = withRule(
+        analyzeSource("src/recovery/x.cpp",
+                      "#include \"serve/planner.hpp\"\n"
+                      "int f() { return 1; }\n"),
+        Rule::VB006);
+    ASSERT_EQ(up.size(), 1u);
+    EXPECT_NE(up[0].message.find("back-edge"), std::string::npos);
 }
 
 TEST(VblintVB006, FlagsSameTierCrossModuleInclude)

@@ -71,8 +71,9 @@ moduleTiers()
         {"core", 3},       {"dnn", 3},   {"timing", 3}, //
         {"resilience", 4}, {"accel", 4}, //
         {"fi", 5},                       //
-        {"serve", 6},                    //
-        {"cluster", 7},                  //
+        {"recovery", 6},                 //
+        {"serve", 7},                    //
+        {"cluster", 8},                  //
     };
     return kTiers;
 }

@@ -15,8 +15,9 @@
  *   3 core, dnn, timing
  *   4 resilience, accel
  *   5 fi
- *   6 serve
- *   7 cluster
+ *   6 recovery
+ *   7 serve
+ *   8 cluster
  *
  * The table is measured from the repo, not aspirational: every edge in
  * src/ today is forward under it. A new top-level module must be added
